@@ -1,0 +1,130 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Experiment E14 -- ablations of the paper's design choices. Two pieces of
+// the Section 3 machinery look redundant until removed:
+//
+//  A. Each bucket structure carries TWO independent samples R and Q: R
+//     feeds the output, Q feeds the implicit-event coin (Lemma 3.6). If Q
+//     is ablated to reuse R, the coin X becomes correlated with the output
+//     candidate and the combined sample is provably non-uniform -- the
+//     chi-square here catches it instantly.
+//
+//  B. The Incr merge combines two equal-width buckets with a FAIR coin per
+//     sample. Ablating the coin to "always keep the older half's sample"
+//     skews the bucket distribution toward old elements.
+//
+// Both ablations FAIL the same uniformity bar every correct sampler passes
+// in E4, demonstrating the choices are load-bearing, not stylistic.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/bucket_structure.h"
+#include "core/implicit_events.h"
+#include "stats/tests.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace swsample::bench {
+namespace {
+
+// ---- Part A: straddle combination with independent vs reused Q. --------
+//
+// Synthetic straddle state: B1 = indices [0, alpha) of which the last
+// gamma are active; B2 = [alpha, alpha+beta) all active. One-per-step
+// timestamps make expiry checks trivial.
+ChiSquareResult StraddleCombination(bool independent_q, uint64_t alpha,
+                                    uint64_t beta, uint64_t gamma,
+                                    int trials, uint64_t seed) {
+  const Timestamp t0 = static_cast<Timestamp>(gamma + beta);
+  const Timestamp now = static_cast<Timestamp>(alpha + beta - 1);
+  auto ts_of = [&](uint64_t idx) { return static_cast<Timestamp>(idx); };
+  // Active <=> now - ts < t0 <=> idx > alpha - gamma - 1.
+  Rng rng(seed);
+  std::vector<uint64_t> counts(gamma + beta, 0);
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t r1 = rng.UniformIndex(alpha);
+    const uint64_t q1 = independent_q ? rng.UniformIndex(alpha) : r1;
+    const uint64_t r2 = alpha + rng.UniformIndex(beta);
+    BucketStructure bs;
+    bs.x = 0;
+    bs.y = alpha;
+    bs.first_ts = ts_of(0);
+    bs.r = Item{r1, r1, ts_of(r1)};
+    bs.q = Item{q1, q1, ts_of(q1)};
+    const ImplicitEventDraw draw = DrawImplicitEvent(bs, beta, now, t0, rng);
+    const bool r1_active = now - ts_of(r1) < t0;
+    const uint64_t v = (draw.x && r1_active) ? r1 : r2;
+    // Map the active range [alpha-gamma, alpha+beta) onto cells.
+    ++counts[v - (alpha - gamma)];
+  }
+  return ChiSquareUniform(counts);
+}
+
+// ---- Part B: merge chain with fair vs biased coin. ----------------------
+//
+// Build a width-2^h bucket sample by tournament-merging single-element
+// buckets, as Incr does, with P(keep left) = p.
+ChiSquareResult MergeChain(double keep_left_prob, uint32_t height,
+                           int trials, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t width = Pow2(height);
+  std::vector<uint64_t> counts(width, 0);
+  std::vector<uint64_t> layer(width);
+  for (int t = 0; t < trials; ++t) {
+    for (uint64_t i = 0; i < width; ++i) layer[i] = i;
+    uint64_t size = width;
+    while (size > 1) {
+      for (uint64_t i = 0; i < size / 2; ++i) {
+        layer[i] = rng.Bernoulli(keep_left_prob) ? layer[2 * i]
+                                                 : layer[2 * i + 1];
+      }
+      size /= 2;
+    }
+    ++counts[layer[0]];
+  }
+  return ChiSquareUniform(counts);
+}
+
+void Run() {
+  Banner("E14: ablations of the Section 3 design choices",
+         "independent Q sample and fair merge coins are load-bearing: "
+         "ablated variants fail the E4 uniformity bar");
+  const int trials = 200000;
+  Row({"variant", "cells", "chi2", "p-value", "verdict(expect)"});
+  {
+    auto r = StraddleCombination(/*independent_q=*/true, 16, 24, 10, trials,
+                                 1);
+    Row({"A: independent Q", U(34u), F(r.statistic, 1), Sci(r.p_value),
+         r.p_value > 1e-4 ? "PASS (pass)" : "FAIL (pass!)"});
+  }
+  {
+    auto r = StraddleCombination(/*independent_q=*/false, 16, 24, 10, trials,
+                                 2);
+    Row({"A: Q := R (ablated)", U(34u), F(r.statistic, 1), Sci(r.p_value),
+         r.p_value > 1e-4 ? "PASS (fail!)" : "FAIL (fail)"});
+  }
+  {
+    auto r = MergeChain(/*keep_left_prob=*/0.5, /*height=*/5, trials, 3);
+    Row({"B: fair merge coin", U(32u), F(r.statistic, 1), Sci(r.p_value),
+         r.p_value > 1e-4 ? "PASS (pass)" : "FAIL (pass!)"});
+  }
+  {
+    auto r = MergeChain(/*keep_left_prob=*/0.6, /*height=*/5, trials, 4);
+    Row({"B: 0.6 merge coin (ablated)", U(32u), F(r.statistic, 1),
+         Sci(r.p_value),
+         r.p_value > 1e-4 ? "PASS (fail!)" : "FAIL (fail)"});
+  }
+  std::printf(
+      "\nshape check: the two correct variants PASS, both ablations FAIL\n"
+      "decisively (p ~ 0) at the same trial count -- the design choices\n"
+      "are necessary for Theorem 3.9's uniformity, not stylistic.\n");
+}
+
+}  // namespace
+}  // namespace swsample::bench
+
+int main() {
+  swsample::bench::Run();
+  return 0;
+}

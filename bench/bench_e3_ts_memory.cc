@@ -1,0 +1,79 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Experiment E3 (Theorems 3.9 + 4.4 vs the randomized prior art): memory on
+// TIMESTAMP-based windows under bursty arrivals, as a function of the
+// window length t0 and k. Ours is deterministically O(k log n); BDM
+// priority sampling and Gemulla-Lehner bounded priority sampling have
+// expected O(k log n) but randomized worst cases; the exact buffer is
+// Theta(n). n here is the (unknown to the algorithms) number of active
+// elements, around lambda * t0.
+
+#include <algorithm>
+#include <memory>
+
+#include "baseline/bounded_priority_sampler.h"
+#include "baseline/exact_window.h"
+#include "baseline/priority_sampler.h"
+#include "bench/bench_util.h"
+#include "core/ts_swor.h"
+#include "core/ts_swr.h"
+#include "stream/arrival.h"
+#include "stream/stream_gen.h"
+#include "stream/value_gen.h"
+
+namespace swsample::bench {
+namespace {
+
+uint64_t MaxWordsBursty(WindowSampler& sampler, Timestamp t0, double lambda,
+                        uint64_t seed) {
+  auto stream = SyntheticStream(
+      UniformValues::Create(1 << 20).ValueOrDie(),
+      std::move(PoissonBurstArrivals::Create(lambda)).ValueOrDie(), seed);
+  uint64_t max_words = 0;
+  const Timestamp horizon = 4 * t0;
+  for (Timestamp t = 0; t < horizon; ++t) {
+    for (const Item& item : stream.Step()) sampler.Observe(item);
+    sampler.AdvanceTime(t);
+    max_words = std::max(max_words, sampler.MemoryWords());
+  }
+  return max_words;
+}
+
+void Run() {
+  Banner("E3: max memory words vs timestamp-window length t0 (bursty "
+         "arrivals, lambda=4)",
+         "bop-ts-* grow like k log n deterministically; priority/bounded-"
+         "priority are randomized; exact buffer is Theta(n)");
+  const double lambda = 4.0;
+  Row({"t0", "~n", "k", "bop-swr", "bop-swor", "bdm-prio", "gl-bprio",
+       "exact-buf"});
+  for (uint64_t log_t0 : {8u, 10u, 12u, 14u}) {
+    const Timestamp t0 = Timestamp{1} << log_t0;
+    for (uint64_t k : {1u, 16u}) {
+      auto swr = TsSwrSampler::Create(t0, k, 1).ValueOrDie();
+      auto swor = TsSworSampler::Create(t0, k, 2).ValueOrDie();
+      auto prio = PrioritySampler::Create(t0, k, 3).ValueOrDie();
+      auto bprio = BoundedPrioritySampler::Create(t0, k, 4).ValueOrDie();
+      auto exact = ExactWindow::CreateTimestamp(t0, k, true, 5).ValueOrDie();
+      Row({U(static_cast<uint64_t>(t0)),
+           U(static_cast<uint64_t>(lambda * static_cast<double>(t0))), U(k),
+           U(MaxWordsBursty(*swr, t0, lambda, 10)),
+           U(MaxWordsBursty(*swor, t0, lambda, 11)),
+           U(MaxWordsBursty(*prio, t0, lambda, 12)),
+           U(MaxWordsBursty(*bprio, t0, lambda, 13)),
+           U(MaxWordsBursty(*exact, t0, lambda, 14))});
+    }
+  }
+  std::printf(
+      "\nshape check: bop columns grow by a ~constant increment when t0\n"
+      "quadruples (logarithmic), the exact buffer multiplies by ~4\n"
+      "(linear); priority columns sit near bop-swr but vary with the seed.\n");
+}
+
+}  // namespace
+}  // namespace swsample::bench
+
+int main() {
+  swsample::bench::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Experiment E6: per-element throughput of every sampler (google-benchmark).
+// The paper's abstract criticizes over-sampling for "additional costs";
+// this experiment quantifies observe-path cost (ns/element) across all
+// implementations, plus the Sample() query cost, at n = 2^16.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/bounded_priority_sampler.h"
+#include "baseline/chain_sampler.h"
+#include "baseline/exact_window.h"
+#include "baseline/oversampler.h"
+#include "baseline/priority_sampler.h"
+#include "core/seq_swor.h"
+#include "core/seq_swr.h"
+#include "core/ts_swor.h"
+#include "core/ts_swr.h"
+#include "reservoir/algorithm_l.h"
+#include "reservoir/reservoir.h"
+
+namespace swsample {
+namespace {
+
+constexpr uint64_t kWindow = 1 << 16;
+
+void DriveObserve(benchmark::State& state, WindowSampler& sampler) {
+  uint64_t i = 0;
+  Rng rng(1);
+  for (auto _ : state) {
+    sampler.Observe(Item{rng.NextU64(), i, static_cast<Timestamp>(i / 4)});
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+
+void BM_SeqSwrObserve(benchmark::State& state) {
+  auto s = SequenceSwrSampler::Create(kWindow,
+                                      static_cast<uint64_t>(state.range(0)),
+                                      7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_SeqSwrObserve)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_SeqSworObserve(benchmark::State& state) {
+  auto s = SequenceSworSampler::Create(
+               kWindow, static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_SeqSworObserve)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ChainObserve(benchmark::State& state) {
+  auto s = ChainSampler::Create(kWindow,
+                                static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_ChainObserve)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_OversampleObserve(benchmark::State& state) {
+  auto s = OverSampler::Create(kWindow, 16,
+                               static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_OversampleObserve)->Arg(2)->Arg(8);
+
+void BM_TsSwrObserve(benchmark::State& state) {
+  auto s = TsSwrSampler::Create(kWindow,
+                                static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_TsSwrObserve)->Arg(1)->Arg(16);
+
+void BM_TsSworObserve(benchmark::State& state) {
+  auto s = TsSworSampler::Create(kWindow,
+                                 static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_TsSworObserve)->Arg(1)->Arg(16);
+
+void BM_PriorityObserve(benchmark::State& state) {
+  auto s = PrioritySampler::Create(kWindow,
+                                   static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_PriorityObserve)->Arg(1)->Arg(16);
+
+void BM_BoundedPriorityObserve(benchmark::State& state) {
+  auto s = BoundedPrioritySampler::Create(
+               kWindow, static_cast<uint64_t>(state.range(0)), 7)
+               .ValueOrDie();
+  DriveObserve(state, *s);
+}
+BENCHMARK(BM_BoundedPriorityObserve)->Arg(1)->Arg(16);
+
+// Substrate comparison: Algorithm R vs Algorithm L (skip-based).
+void BM_ReservoirAlgorithmR(benchmark::State& state) {
+  KReservoir r(16);
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    r.Observe(Item{i, i, 0}, rng);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_ReservoirAlgorithmR);
+
+void BM_ReservoirAlgorithmL(benchmark::State& state) {
+  SkipReservoir r(16);
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    r.Observe(Item{i, i, 0}, rng);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_ReservoirAlgorithmL);
+
+// Query-path cost.
+void BM_SeqSwrSample(benchmark::State& state) {
+  auto s = SequenceSwrSampler::Create(kWindow, 16, 7).ValueOrDie();
+  for (uint64_t i = 0; i < 2 * kWindow; ++i) {
+    s->Observe(Item{i, i, static_cast<Timestamp>(i)});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(s->Sample());
+}
+BENCHMARK(BM_SeqSwrSample);
+
+void BM_TsSworSample(benchmark::State& state) {
+  auto s = TsSworSampler::Create(1 << 12, 16, 7).ValueOrDie();
+  for (uint64_t i = 0; i < (1 << 13); ++i) {
+    s->Observe(Item{i, i, static_cast<Timestamp>(i)});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(s->Sample());
+}
+BENCHMARK(BM_TsSworSample);
+
+}  // namespace
+}  // namespace swsample
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Experiment E8 (Corollary 5.2): frequency-moment estimation on sliding
+// windows via the AMS estimator over our samplers. For Zipf-skewed streams
+// and a window of 2^14 items the table reports the exact windowed F_k, the
+// estimate, and the relative error as the number of AMS units r grows --
+// the expected shape is error shrinking like 1/sqrt(r).
+
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "apps/freq_moments.h"
+#include "apps/ts_counting.h"
+#include "bench/bench_util.h"
+#include "stats/exact.h"
+#include "stream/value_gen.h"
+
+namespace swsample::bench {
+namespace {
+
+void RunCase(uint32_t moment, double alpha, uint64_t domain) {
+  const uint64_t n = 1 << 14;
+  const uint64_t len = 3 * n;
+  // One fixed stream per case.
+  auto gen = ZipfValues::Create(domain, alpha).ValueOrDie();
+  Rng rng(static_cast<uint64_t>(alpha * 100) + moment);
+  std::vector<uint64_t> values(len);
+  for (auto& v : values) v = gen->Next(rng);
+
+  std::deque<uint64_t> window_q;
+  for (uint64_t v : values) {
+    window_q.push_back(v);
+    if (window_q.size() > n) window_q.pop_front();
+  }
+  std::vector<uint64_t> window(window_q.begin(), window_q.end());
+  const double exact = ExactFrequencyMoment(window, moment);
+
+  for (uint64_t r : {16u, 64u, 256u, 1024u}) {
+    auto est = SlidingFkEstimator::Create(n, moment, r, 900 + r).ValueOrDie();
+    for (uint64_t i = 0; i < len; ++i) {
+      est->Observe(Item{values[i], i, static_cast<Timestamp>(i)});
+    }
+    const double estimate = est->Estimate();
+    Row({"F" + std::to_string(moment), F(alpha, 1), U(r), Sci(exact),
+         Sci(estimate), F(std::fabs(estimate - exact) / exact, 3)});
+  }
+}
+
+// Timestamp-window block: bursty arrivals, window size UNKNOWN to the
+// estimator (DGIM n-hat), forward counts on the covering decomposition.
+void RunTimestampCase(double alpha) {
+  const Timestamp t0 = 1 << 10;
+  auto gen = ZipfValues::Create(1 << 8, alpha).ValueOrDie();
+  Rng rng(static_cast<uint64_t>(alpha * 1000) + 7);
+  // Materialize one bursty stream (1..3 items per step).
+  std::vector<std::pair<Timestamp, uint64_t>> events;
+  for (Timestamp t = 0; t < 3 * t0; ++t) {
+    const uint64_t burst = 1 + rng.UniformIndex(3);
+    for (uint64_t i = 0; i < burst; ++i) events.emplace_back(t, gen->Next(rng));
+  }
+  const Timestamp end = 3 * t0 - 1;
+  std::vector<uint64_t> window;
+  for (const auto& [ts, v] : events) {
+    if (end - ts < t0) window.push_back(v);
+  }
+  const double exact = ExactFrequencyMoment(window, 2);
+
+  for (uint64_t r : {64u, 256u, 1024u}) {
+    auto est = TsFkEstimator::Create(t0, 2, r, /*count_eps=*/0.05, 400 + r)
+                   .ValueOrDie();
+    uint64_t index = 0;
+    for (const auto& [ts, v] : events) {
+      est->Observe(Item{v, index++, ts});
+    }
+    est->AdvanceTime(end);
+    const double estimate = est->Estimate();
+    Row({"F2-ts", F(alpha, 1), U(r), Sci(exact), Sci(estimate),
+         F(std::fabs(estimate - exact) / exact, 3)});
+  }
+}
+
+void Run() {
+  Banner("E8: AMS frequency moments over a sliding window of 2^14 items",
+         "unbiased estimates; relative error shrinks ~1/sqrt(r)");
+  Row({"moment", "alpha", "r", "exact", "estimate", "rel-err"});
+  RunCase(/*moment=*/2, /*alpha=*/0.8, /*domain=*/1 << 10);
+  RunCase(/*moment=*/2, /*alpha=*/1.3, /*domain=*/1 << 10);
+  RunCase(/*moment=*/3, /*alpha=*/1.3, /*domain=*/1 << 8);
+  std::printf(
+      "\n-- timestamp windows (t0=2^10, bursty, n unknown: DGIM n-hat with "
+      "eps=0.05) --\n");
+  RunTimestampCase(/*alpha=*/1.3);
+  std::printf(
+      "\nshape check: within each (moment, alpha) block the rel-err column\n"
+      "trends down as r quadruples (roughly halving), the AMS rate; the\n"
+      "F2-ts block reproduces Corollary 5.2's timestamp-window transfer\n"
+      "with the extra (1 +/- eps) count factor.\n");
+}
+
+}  // namespace
+}  // namespace swsample::bench
+
+int main() {
+  swsample::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Shared helpers for the experiment harness: aligned table printing and
+// stream drivers. Each bench binary regenerates one experiment from
+// DESIGN.md Section 4 and prints the rows EXPERIMENTS.md records.
+
+#ifndef SWSAMPLE_BENCH_BENCH_UTIL_H_
+#define SWSAMPLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "stream/item.h"
+
+namespace swsample::bench {
+
+/// Prints a header band for an experiment.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Prints one row of '|'-separated cells (pre-formatted strings).
+inline void Row(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) std::printf("%14s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string U(uint64_t v) { return std::to_string(v); }
+
+inline std::string F(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string Sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+/// Drives a sequence-indexed stream (one item per step, timestamp = index)
+/// through a sampler, tracking the max memory words.
+inline uint64_t MaxMemorySequenceRun(WindowSampler& sampler, uint64_t items,
+                                     uint64_t value_domain, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t max_words = 0;
+  for (uint64_t i = 0; i < items; ++i) {
+    sampler.Observe(Item{rng.UniformIndex(value_domain), i,
+                         static_cast<Timestamp>(i)});
+    uint64_t w = sampler.MemoryWords();
+    if (w > max_words) max_words = w;
+  }
+  return max_words;
+}
+
+}  // namespace swsample::bench
+
+#endif  // SWSAMPLE_BENCH_BENCH_UTIL_H_

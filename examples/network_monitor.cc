@@ -1,0 +1,80 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Network monitor: timestamp-based windows on bursty traffic.
+//
+//   build/examples/network_monitor
+//
+// Packets arrive in Poisson bursts (many per tick during busy periods,
+// none at night); the monitor keeps a k-sample WITHOUT replacement of the
+// packets seen in the last 60 "seconds" and uses it to estimate the share
+// of traffic per source -- the classic asynchronous-arrivals scenario the
+// paper's timestamp algorithms (Theorem 4.4) exist for. A full window
+// buffer would need ~lambda*60 words at peak; the sampler's footprint is
+// O(k log n) and deterministic.
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "core/ts_swor.h"
+#include "stream/arrival.h"
+#include "stream/stream_gen.h"
+#include "stream/value_gen.h"
+
+using namespace swsample;
+
+int main() {
+  const Timestamp window_seconds = 60;
+  const uint64_t k = 64;
+  auto sampler =
+      TsSworSampler::Create(window_seconds, k, /*seed=*/7).ValueOrDie();
+
+  // Traffic: 256 sources with Zipf popularity, bursty arrivals whose rate
+  // swings over a day-night cycle (lambda 8 by "day", 0.5 by "night").
+  auto sources = ZipfValues::Create(256, 1.2).ValueOrDie();
+  Rng rng(99);
+  uint64_t index = 0;
+  uint64_t peak_memory = 0;
+
+  for (Timestamp t = 0; t < 600; ++t) {
+    const bool day = (t / 150) % 2 == 0;
+    const double lambda = day ? 8.0 : 0.5;
+    auto arrivals = PoissonBurstArrivals::Create(lambda).ValueOrDie();
+    const uint64_t burst = arrivals->CountAt(t, rng);
+    for (uint64_t p = 0; p < burst; ++p) {
+      sampler->Observe(Item{sources->Next(rng), index++, t});
+    }
+    sampler->AdvanceTime(t);
+    if (sampler->MemoryWords() > peak_memory) {
+      peak_memory = sampler->MemoryWords();
+    }
+
+    if ((t + 1) % 120 == 0) {
+      auto sample = sampler->Sample();
+      std::map<uint64_t, int> by_source;
+      for (const Item& item : sample) ++by_source[item.value];
+      uint64_t top_source = 0;
+      int top_count = 0;
+      for (const auto& [source, count] : by_source) {
+        if (count > top_count) {
+          top_source = source;
+          top_count = count;
+        }
+      }
+      std::printf(
+          "t=%4" PRId64 " [%s] sample=%2zu/%" PRIu64
+          " est. top source=%3" PRIu64 " (%4.1f%% of window traffic) "
+          "memory=%" PRIu64 " words\n",
+          t, day ? "day  " : "night", sample.size(), k, top_source,
+          sample.empty() ? 0.0
+                         : 100.0 * top_count / static_cast<double>(sample.size()),
+          sampler->MemoryWords());
+    }
+  }
+  std::printf(
+      "\npeak sampler memory: %" PRIu64
+      " words -- deterministic O(k log n), vs thousands of packets in the "
+      "window at peak rate.\n",
+      peak_memory);
+  return 0;
+}

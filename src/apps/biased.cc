@@ -1,0 +1,82 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/biased.h"
+
+#include <cmath>
+
+namespace swsample {
+
+Result<std::unique_ptr<StepBiasedSampler>> StepBiasedSampler::Create(
+    std::vector<BiasLevel> levels, uint64_t seed) {
+  if (levels.empty()) {
+    return Status::InvalidArgument("StepBiasedSampler: need >= 1 level");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].window < 1) {
+      return Status::InvalidArgument(
+          "StepBiasedSampler: window lengths must be >= 1");
+    }
+    if (i > 0 && levels[i].window <= levels[i - 1].window) {
+      return Status::InvalidArgument(
+          "StepBiasedSampler: window lengths must be strictly increasing");
+    }
+    if (!(levels[i].weight > 0.0) || !std::isfinite(levels[i].weight)) {
+      return Status::InvalidArgument(
+          "StepBiasedSampler: weights must be positive and finite");
+    }
+    total += levels[i].weight;
+  }
+  for (auto& level : levels) level.weight /= total;
+  return std::unique_ptr<StepBiasedSampler>(
+      new StepBiasedSampler(std::move(levels), seed));
+}
+
+StepBiasedSampler::StepBiasedSampler(std::vector<BiasLevel> levels,
+                                     uint64_t seed)
+    : levels_(std::move(levels)), rng_(seed) {
+  samplers_.reserve(levels_.size());
+  for (const BiasLevel& level : levels_) {
+    samplers_.push_back(
+        SequenceSwrSampler::Create(level.window, /*k=*/1, rng_.NextU64())
+            .ValueOrDie());
+  }
+}
+
+void StepBiasedSampler::Observe(const Item& item) {
+  for (auto& sampler : samplers_) sampler->Observe(item);
+}
+
+std::optional<Item> StepBiasedSampler::Sample() {
+  double u = rng_.Uniform01();
+  size_t pick = levels_.size() - 1;
+  double acc = 0.0;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    acc += levels_[i].weight;
+    if (u < acc) {
+      pick = i;
+      break;
+    }
+  }
+  auto sample = samplers_[pick]->Sample();
+  if (sample.empty()) return std::nullopt;
+  return sample.front();
+}
+
+double StepBiasedSampler::InclusionProbability(uint64_t age) const {
+  double p = 0.0;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (age < levels_[i].window) {
+      p += levels_[i].weight / static_cast<double>(levels_[i].window);
+    }
+  }
+  return p;
+}
+
+uint64_t StepBiasedSampler::MemoryWords() const {
+  uint64_t words = 0;
+  for (const auto& sampler : samplers_) words += sampler->MemoryWords();
+  return words;
+}
+
+}  // namespace swsample

@@ -1,0 +1,70 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Step-biased sampling -- the Section 5 extension: "Our algorithms can be
+// naturally extended to some biased functions ... We can apply our methods
+// to implement step biased functions, maintaining samples over each window
+// with different lengths and combining the samples with corresponding
+// probabilities."
+//
+// A step-biased function partitions recency into L nested windows
+// n_1 < n_2 < ... < n_L and assigns each level a weight. Sampling picks a
+// level with probability proportional to its weight and returns that
+// level's uniform window sample, so more recent elements (members of more
+// levels) are proportionally more likely -- a staircase approximation of
+// any monotone bias function.
+
+#ifndef SWSAMPLE_APPS_BIASED_H_
+#define SWSAMPLE_APPS_BIASED_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/seq_swr.h"
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// One recency level of a step-biased sampler.
+struct BiasLevel {
+  uint64_t window;  ///< window length n_j (must be strictly increasing)
+  double weight;    ///< probability mass of this level (> 0)
+};
+
+/// Step-biased sampler over nested fixed-size windows.
+class StepBiasedSampler {
+ public:
+  /// Creates a sampler from strictly increasing window lengths with
+  /// positive weights (weights are normalized internally).
+  static Result<std::unique_ptr<StepBiasedSampler>> Create(
+      std::vector<BiasLevel> levels, uint64_t seed);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item);
+
+  /// Draws one biased sample; nullopt iff nothing observed. An element in
+  /// the j-th-but-not-(j-1)-th window is returned with probability
+  /// sum_{l >= j} weight_l / n_l.
+  std::optional<Item> Sample();
+
+  /// Probability that a Sample() call returns the element at `age` arrivals
+  /// before the newest (age 0 = newest). The staircase bias function.
+  double InclusionProbability(uint64_t age) const;
+
+  /// Total memory words across levels.
+  uint64_t MemoryWords() const;
+
+ private:
+  StepBiasedSampler(std::vector<BiasLevel> levels, uint64_t seed);
+
+  std::vector<BiasLevel> levels_;
+  Rng rng_;
+  std::vector<std::unique_ptr<SequenceSwrSampler>> samplers_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_BIASED_H_

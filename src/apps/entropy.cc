@@ -1,0 +1,55 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/entropy.h"
+
+#include <cmath>
+
+namespace swsample {
+
+Result<std::unique_ptr<SlidingEntropyEstimator>>
+SlidingEntropyEstimator::Create(uint64_t n, uint64_t r, uint64_t seed) {
+  if (n < 1) {
+    return Status::InvalidArgument("SlidingEntropyEstimator: n must be >= 1");
+  }
+  if (r < 1) {
+    return Status::InvalidArgument("SlidingEntropyEstimator: r must be >= 1");
+  }
+  return std::unique_ptr<SlidingEntropyEstimator>(
+      new SlidingEntropyEstimator(n, r, seed));
+}
+
+SlidingEntropyEstimator::SlidingEntropyEstimator(uint64_t n, uint64_t r,
+                                                 uint64_t seed)
+    : rng_(seed) {
+  units_.reserve(r);
+  for (uint64_t i = 0; i < r; ++i) {
+    units_.emplace_back(n, OnSampled{}, OnArrival{});
+  }
+}
+
+void SlidingEntropyEstimator::Observe(const Item& item) {
+  for (Unit& unit : units_) unit.Observe(item, rng_);
+}
+
+double SlidingEntropyEstimator::Estimate() const {
+  if (units_.front().count() == 0) return 0.0;
+  const double n = static_cast<double>(units_.front().WindowSize());
+  double acc = 0.0;
+  uint64_t live = 0;
+  for (const Unit& unit : units_) {
+    const auto& s = unit.Current();
+    if (!s) continue;
+    const double c = static_cast<double>(s->payload.count);
+    double est = c * std::log2(n / c);
+    if (c > 1.0) est -= (c - 1.0) * std::log2(n / (c - 1.0));
+    acc += est;
+    ++live;
+  }
+  return live ? acc / static_cast<double>(live) : 0.0;
+}
+
+uint64_t SlidingEntropyEstimator::WindowSize() const {
+  return units_.front().WindowSize();
+}
+
+}  // namespace swsample

@@ -1,0 +1,59 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/freq_moments.h"
+
+#include <cmath>
+
+namespace swsample {
+
+Result<std::unique_ptr<SlidingFkEstimator>> SlidingFkEstimator::Create(
+    uint64_t n, uint32_t moment, uint64_t r, uint64_t seed) {
+  if (n < 1) {
+    return Status::InvalidArgument("SlidingFkEstimator: n must be >= 1");
+  }
+  if (moment < 1) {
+    return Status::InvalidArgument(
+        "SlidingFkEstimator: moment must be >= 1");
+  }
+  if (r < 1) {
+    return Status::InvalidArgument("SlidingFkEstimator: r must be >= 1");
+  }
+  return std::unique_ptr<SlidingFkEstimator>(
+      new SlidingFkEstimator(n, moment, r, seed));
+}
+
+SlidingFkEstimator::SlidingFkEstimator(uint64_t n, uint32_t moment,
+                                       uint64_t r, uint64_t seed)
+    : moment_(moment), rng_(seed) {
+  units_.reserve(r);
+  for (uint64_t i = 0; i < r; ++i) {
+    units_.emplace_back(n, OnSampled{}, OnArrival{});
+  }
+}
+
+void SlidingFkEstimator::Observe(const Item& item) {
+  for (Unit& unit : units_) unit.Observe(item, rng_);
+}
+
+double SlidingFkEstimator::Estimate() const {
+  if (units_.front().count() == 0) return 0.0;
+  const double n = static_cast<double>(units_.front().WindowSize());
+  double acc = 0.0;
+  uint64_t live = 0;
+  for (const Unit& unit : units_) {
+    const auto& s = unit.Current();
+    if (!s) continue;
+    const double c = static_cast<double>(s->payload.count);
+    const double x =
+        n * (std::pow(c, moment_) - std::pow(c - 1.0, moment_));
+    acc += x;
+    ++live;
+  }
+  return live ? acc / static_cast<double>(live) : 0.0;
+}
+
+uint64_t SlidingFkEstimator::WindowSize() const {
+  return units_.front().WindowSize();
+}
+
+}  // namespace swsample

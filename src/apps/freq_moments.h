@@ -1,0 +1,72 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Frequency-moment estimation over sliding windows -- Corollary 5.2.
+//
+// The Alon-Matias-Szegedy (STOC'96) estimator: sample a uniform position p
+// of the window, let c be the number of occurrences of value(p) at or
+// after p within the window; then  X = n * (c^k - (c-1)^k)  is an unbiased
+// estimate of F_k = sum_i x_i^k. The paper's point (Theorem 5.1) is that
+// replacing AMS's reservoir with a sliding-window sampler transfers the
+// algorithm to windows with no loss in the memory guarantee; this class is
+// that transfer, using PayloadWindowUnit to maintain the forward counts.
+
+#ifndef SWSAMPLE_APPS_FREQ_MOMENTS_H_
+#define SWSAMPLE_APPS_FREQ_MOMENTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/payload_window.h"
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Streaming F_k estimator over a fixed-size sliding window.
+class SlidingFkEstimator {
+ public:
+  /// Creates an estimator of the `moment`-th frequency moment (moment >= 1)
+  /// over windows of `n` arrivals, averaging `r` independent AMS units.
+  static Result<std::unique_ptr<SlidingFkEstimator>> Create(uint64_t n,
+                                                            uint32_t moment,
+                                                            uint64_t r,
+                                                            uint64_t seed);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item);
+
+  /// Current estimate of F_moment over the active window (0 if empty).
+  double Estimate() const;
+
+  /// Window fill level.
+  uint64_t WindowSize() const;
+
+ private:
+  struct CountPayload {
+    uint64_t value = 0;
+    uint64_t count = 0;  // occurrences at/after the sampled position
+  };
+  struct OnSampled {
+    CountPayload operator()(const Item& item) const {
+      return CountPayload{item.value, 1};
+    }
+  };
+  struct OnArrival {
+    void operator()(CountPayload& p, const Item& item) const {
+      if (item.value == p.value) ++p.count;
+    }
+  };
+  using Unit = PayloadWindowUnit<CountPayload, OnSampled, OnArrival>;
+
+  SlidingFkEstimator(uint64_t n, uint32_t moment, uint64_t r, uint64_t seed);
+
+  uint32_t moment_;
+  Rng rng_;
+  std::vector<Unit> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_FREQ_MOMENTS_H_

@@ -1,0 +1,103 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Payload-carrying sliding-window sampling unit -- the Theorem 5.1 bridge
+// used by the application estimators (Corollaries 5.2-5.4).
+//
+// AMS-style estimators need more than the sampled element: they need state
+// accumulated over the arrivals AFTER the sampled position (a forward
+// occurrence count for frequency moments/entropy, incidence flags for
+// triangle counting). This class runs the Section 2.1 equivalent-width
+// bucket-pair scheme with one payload-carrying reservoir slot per bucket:
+//
+//  * when a slot (re)selects an arrival, `OnSampled(item)` builds a fresh
+//    payload;
+//  * every subsequent arrival is reported to the payloads of both live
+//    slots via `OnArrival(payload, item)`.
+//
+// The forward state stays valid across the window because in the
+// sequence-based model every element arriving after an active position is
+// itself active; and it survives bucket boundaries because the previous
+// bucket's final slot keeps receiving arrivals until it expires.
+
+#ifndef SWSAMPLE_APPS_PAYLOAD_WINDOW_H_
+#define SWSAMPLE_APPS_PAYLOAD_WINDOW_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "stream/item.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// One independent single-sample unit with payload tracking over a
+/// fixed-size window of n arrivals.
+template <typename Payload, typename OnSampledFn, typename OnArrivalFn>
+class PayloadWindowUnit {
+ public:
+  /// A sampled position with its forward-accumulated payload.
+  struct Sampled {
+    Item item;
+    Payload payload;
+  };
+
+  PayloadWindowUnit(uint64_t n, OnSampledFn on_sampled,
+                    OnArrivalFn on_arrival)
+      : n_(n),
+        on_sampled_(std::move(on_sampled)),
+        on_arrival_(std::move(on_arrival)) {
+    SWS_CHECK(n >= 1);
+  }
+
+  /// Feeds one arrival (consecutive indices from 0).
+  void Observe(const Item& item, Rng& rng) {
+    SWS_DCHECK(item.index == count_);
+    ++count_;
+    if (cur_count_ == n_) {
+      // Bucket completed on the previous arrival: its slot becomes the
+      // "active bucket" sample, payload intact and still accumulating.
+      prev_ = cur_;
+      cur_.reset();
+      cur_count_ = 0;
+    }
+    ++cur_count_;
+    if (rng.BernoulliRational(1, cur_count_)) {
+      cur_ = Sampled{item, on_sampled_(item)};
+    } else if (cur_) {
+      on_arrival_(cur_->payload, item);
+    }
+    if (prev_) {
+      on_arrival_(prev_->payload, item);
+    }
+  }
+
+  /// The unit's current window sample (Section 2.1 combination rule);
+  /// nullopt iff nothing observed.
+  const std::optional<Sampled>& Current() const {
+    if (count_ == 0) return cur_;  // empty optional
+    if (cur_count_ == n_ || count_ < n_) return cur_;
+    SWS_DCHECK(prev_.has_value());
+    const uint64_t window_start = count_ - n_;
+    return prev_->item.index >= window_start ? prev_ : cur_;
+  }
+
+  /// Number of active elements (window fill level).
+  uint64_t WindowSize() const { return count_ < n_ ? count_ : n_; }
+
+  /// Total arrivals observed.
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t n_;
+  OnSampledFn on_sampled_;
+  OnArrivalFn on_arrival_;
+  uint64_t count_ = 0;
+  uint64_t cur_count_ = 0;  // arrivals in the newest bucket
+  std::optional<Sampled> cur_;
+  std::optional<Sampled> prev_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_PAYLOAD_WINDOW_H_

@@ -1,0 +1,61 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<SlidingQuantileEstimator>>
+SlidingQuantileEstimator::Create(std::unique_ptr<WindowSampler> sampler) {
+  if (sampler == nullptr) {
+    return Status::InvalidArgument(
+        "SlidingQuantileEstimator: sampler must not be null");
+  }
+  return std::unique_ptr<SlidingQuantileEstimator>(
+      new SlidingQuantileEstimator(std::move(sampler)));
+}
+
+Result<uint64_t> SlidingQuantileEstimator::RequiredSampleSize(double eps,
+                                                              double delta) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::InvalidArgument("RequiredSampleSize: eps in (0,1)");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("RequiredSampleSize: delta in (0,1)");
+  }
+  return static_cast<uint64_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+uint64_t SlidingQuantileEstimator::Quantile(double q) {
+  return Quantiles({q}).front();
+}
+
+std::vector<uint64_t> SlidingQuantileEstimator::Quantiles(
+    const std::vector<double>& qs) {
+  SWS_CHECK(!qs.empty());
+  auto sample = sampler_->Sample();
+  std::vector<uint64_t> values;
+  values.reserve(sample.size());
+  for (const Item& item : sample) values.push_back(item.value);
+  std::sort(values.begin(), values.end());
+  std::vector<uint64_t> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    SWS_CHECK(q >= 0.0 && q <= 1.0);
+    if (values.empty()) {
+      out.push_back(0);
+      continue;
+    }
+    const size_t rank = static_cast<size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    out.push_back(values[std::min(rank, values.size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace swsample

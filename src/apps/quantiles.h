@@ -1,0 +1,69 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Windowed quantile estimation -- a direct Theorem 5.1 client.
+//
+// Quantile estimation from a uniform sample is the textbook sampling-based
+// algorithm: the q-quantile of a k-sample WITHOUT replacement of the window
+// approximates the window's q-quantile with rank error at most eps*n with
+// probability 1-delta once k >= ln(2/delta)/(2 eps^2) (Dvoretzky-Kiefer-
+// Wolfowitz). Theorem 5.1 says exactly this transfers to sliding windows by
+// swapping in our window samplers -- with deterministic O(k) words on
+// sequence windows (Theorem 2.2) or O(k log n) on timestamp windows
+// (Theorem 4.4), where previous methods paid randomized bounds.
+//
+// The class is sampler-agnostic: construct it with ANY WindowSampler that
+// produces (preferably without-replacement) samples.
+
+#ifndef SWSAMPLE_APPS_QUANTILES_H_
+#define SWSAMPLE_APPS_QUANTILES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "stream/item.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Streaming quantile estimator over a sliding window.
+class SlidingQuantileEstimator {
+ public:
+  /// Wraps an existing window sampler (takes ownership). The sampler's k
+  /// determines the rank-error guarantee; see RequiredSampleSize().
+  static Result<std::unique_ptr<SlidingQuantileEstimator>> Create(
+      std::unique_ptr<WindowSampler> sampler);
+
+  /// DKW bound: the k for which the sampled q-quantile has rank error at
+  /// most eps*n with probability 1-delta. Requires 0 < eps < 1,
+  /// 0 < delta < 1.
+  static Result<uint64_t> RequiredSampleSize(double eps, double delta);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item) { sampler_->Observe(item); }
+
+  /// Advances the clock (timestamp windows).
+  void AdvanceTime(Timestamp now) { sampler_->AdvanceTime(now); }
+
+  /// Estimates the q-quantile (by value) of the active window, q in [0, 1].
+  /// Returns the sampled order statistic; 0 if the window is empty.
+  uint64_t Quantile(double q);
+
+  /// Estimates several quantiles from ONE sample draw (consistent ranks).
+  /// `qs` must be non-empty with entries in [0, 1].
+  std::vector<uint64_t> Quantiles(const std::vector<double>& qs);
+
+  /// Underlying sampler (memory accounting etc.).
+  WindowSampler& sampler() { return *sampler_; }
+
+ private:
+  explicit SlidingQuantileEstimator(std::unique_ptr<WindowSampler> sampler)
+      : sampler_(std::move(sampler)) {}
+
+  std::unique_ptr<WindowSampler> sampler_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_QUANTILES_H_

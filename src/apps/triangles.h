@@ -1,0 +1,86 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Triangle counting over sliding edge windows -- Corollary 5.3.
+//
+// Buriol-Frahling-Leonardi-Marchetti-Spaccamela-Sohler (PODS'06) style
+// one-pass estimator: sample a uniform edge (a, b) of the window, a
+// uniform third vertex v from V \ {a, b}, and watch whether BOTH closing
+// edges (a, v) and (b, v) appear afterwards. A triangle is detectable only
+// via its first-arriving edge (the closers must come later), so on
+// distinct-edge windows the success probability is exactly
+// T3 / (|E_W| * (|V| - 2)) and
+//
+//   T3_hat = beta * |E_W| * (|V| - 2),   beta = success frequency.
+//
+// Corollary 5.3 transfers this to sliding windows by swapping the reservoir
+// for a window sampler; the "watch afterwards" state is again a forward
+// payload, valid on windows because arrivals after an active edge are
+// active.
+//
+// Edges are encoded into Item::value as (min(a,b) << 32) | max(a,b).
+
+#ifndef SWSAMPLE_APPS_TRIANGLES_H_
+#define SWSAMPLE_APPS_TRIANGLES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/payload_window.h"
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Encodes an undirected edge into an Item value.
+uint64_t EncodeEdge(uint32_t a, uint32_t b);
+
+/// Decodes an Item value into its two endpoints (lo, hi).
+void DecodeEdge(uint64_t value, uint32_t* a, uint32_t* b);
+
+/// Streaming triangle-count estimator over a fixed-size window of edges.
+class SlidingTriangleEstimator {
+ public:
+  /// Creates an estimator over windows of `n` edges on a vertex universe of
+  /// size `num_vertices` (>= 3), averaging `r` independent units.
+  static Result<std::unique_ptr<SlidingTriangleEstimator>> Create(
+      uint64_t n, uint32_t num_vertices, uint64_t r, uint64_t seed);
+
+  /// Feeds one edge arrival (value must be an EncodeEdge() encoding of two
+  /// distinct vertices below num_vertices).
+  void Observe(const Item& item);
+
+  /// Current estimate of the number of triangles among the window's edges.
+  double Estimate() const;
+
+  /// Window fill level (edges).
+  uint64_t WindowSize() const;
+
+ private:
+  struct WatchPayload {
+    uint32_t a = 0, b = 0, v = 0;
+    bool found_av = false, found_bv = false;
+  };
+  struct OnSampled {
+    Rng* rng;
+    uint32_t num_vertices;
+    WatchPayload operator()(const Item& item) const;
+  };
+  struct OnArrival {
+    void operator()(WatchPayload& p, const Item& item) const;
+  };
+  using Unit = PayloadWindowUnit<WatchPayload, OnSampled, OnArrival>;
+
+  SlidingTriangleEstimator(uint64_t n, uint32_t num_vertices, uint64_t r,
+                           uint64_t seed);
+
+  uint32_t num_vertices_;
+  Rng rng_;        // drives the reservoirs
+  Rng vertex_rng_; // drives the third-vertex choices (kept independent)
+  std::vector<Unit> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_TRIANGLES_H_

@@ -1,0 +1,158 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/ts_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+TsForwardCountUnit::TsForwardCountUnit(Timestamp t0, uint64_t seed)
+    : sampler_(std::move(TsSingleSampler::Create(t0, seed)).ValueOrDie()) {}
+
+void TsForwardCountUnit::SyncCandidates(
+    [[maybe_unused]] const Item* arrived) {
+  // Candidate set after the update: R samples of all bucket structures plus
+  // the straddler's. Each is either a pre-existing candidate (merges and
+  // re-straddling choose among existing samples) or the arriving item.
+  std::unordered_map<StreamIndex, Payload> next;
+  next.reserve(sampler_.zeta().size() + 1);
+  auto adopt = [&](const Item& candidate) {
+    auto it = counts_.find(candidate.index);
+    if (it != counts_.end()) {
+      next.emplace(candidate.index, it->second);
+    } else {
+      SWS_DCHECK(arrived != nullptr && candidate.index == arrived->index);
+      next.emplace(candidate.index, Payload{candidate.value, 1});
+    }
+  };
+  for (uint64_t i = 0; i < sampler_.zeta().size(); ++i) {
+    adopt(sampler_.zeta().bucket(i).r);
+  }
+  if (sampler_.straddler()) adopt(sampler_.straddler()->r);
+  counts_ = std::move(next);
+}
+
+void TsForwardCountUnit::Observe(const Item& item) {
+  // Forward counts first: the arrival is "after" every existing candidate.
+  for (auto& [index, payload] : counts_) {
+    if (payload.value == item.value) ++payload.count;
+  }
+  sampler_.Observe(item);
+  SyncCandidates(&item);
+}
+
+void TsForwardCountUnit::AdvanceTime(Timestamp now) {
+  sampler_.AdvanceTime(now);
+  SyncCandidates(nullptr);
+}
+
+std::optional<TsForwardCountUnit::Sampled> TsForwardCountUnit::Sample() {
+  auto item = sampler_.Sample();
+  if (!item) return std::nullopt;
+  auto it = counts_.find(item->index);
+  SWS_CHECK(it != counts_.end());
+  return Sampled{*item, it->second.count};
+}
+
+Result<std::unique_ptr<TsFkEstimator>> TsFkEstimator::Create(
+    Timestamp t0, uint32_t moment, uint64_t r, double count_eps,
+    uint64_t seed) {
+  if (moment < 1) {
+    return Status::InvalidArgument("TsFkEstimator: moment must be >= 1");
+  }
+  if (r < 1) {
+    return Status::InvalidArgument("TsFkEstimator: r must be >= 1");
+  }
+  auto histogram = ExpHistogram::Create(t0, count_eps);
+  if (!histogram.ok()) return histogram.status();
+  auto est = std::unique_ptr<TsFkEstimator>(
+      new TsFkEstimator(moment, std::move(histogram).ValueOrDie()));
+  Rng seeder(seed);
+  est->units_.reserve(r);
+  for (uint64_t i = 0; i < r; ++i) {
+    est->units_.emplace_back(t0, seeder.NextU64());
+  }
+  return est;
+}
+
+void TsFkEstimator::Observe(const Item& item) {
+  histogram_.Add(item.timestamp);
+  for (auto& unit : units_) unit.Observe(item);
+}
+
+void TsFkEstimator::AdvanceTime(Timestamp now) {
+  histogram_.AdvanceTime(now);
+  for (auto& unit : units_) unit.AdvanceTime(now);
+}
+
+double TsFkEstimator::Estimate() {
+  const double n = static_cast<double>(histogram_.Estimate());
+  if (n <= 0.0) return 0.0;
+  double acc = 0.0;
+  uint64_t live = 0;
+  for (auto& unit : units_) {
+    auto s = unit.Sample();
+    if (!s) continue;
+    const double c = static_cast<double>(s->count);
+    acc += n * (std::pow(c, moment_) - std::pow(c - 1.0, moment_));
+    ++live;
+  }
+  return live ? acc / static_cast<double>(live) : 0.0;
+}
+
+uint64_t TsFkEstimator::MemoryWords() const {
+  uint64_t words = histogram_.MemoryWords();
+  for (const auto& unit : units_) words += unit.MemoryWords();
+  return words;
+}
+
+Result<std::unique_ptr<TsEntropyEstimator>> TsEntropyEstimator::Create(
+    Timestamp t0, uint64_t r, double count_eps, uint64_t seed) {
+  if (r < 1) {
+    return Status::InvalidArgument("TsEntropyEstimator: r must be >= 1");
+  }
+  auto histogram = ExpHistogram::Create(t0, count_eps);
+  if (!histogram.ok()) return histogram.status();
+  auto est = std::unique_ptr<TsEntropyEstimator>(
+      new TsEntropyEstimator(std::move(histogram).ValueOrDie()));
+  Rng seeder(seed);
+  est->units_.reserve(r);
+  for (uint64_t i = 0; i < r; ++i) {
+    est->units_.emplace_back(t0, seeder.NextU64());
+  }
+  return est;
+}
+
+void TsEntropyEstimator::Observe(const Item& item) {
+  histogram_.Add(item.timestamp);
+  for (auto& unit : units_) unit.Observe(item);
+}
+
+void TsEntropyEstimator::AdvanceTime(Timestamp now) {
+  histogram_.AdvanceTime(now);
+  for (auto& unit : units_) unit.AdvanceTime(now);
+}
+
+double TsEntropyEstimator::Estimate() {
+  const double n = static_cast<double>(histogram_.Estimate());
+  if (n <= 0.0) return 0.0;
+  double acc = 0.0;
+  uint64_t live = 0;
+  for (auto& unit : units_) {
+    auto s = unit.Sample();
+    if (!s) continue;
+    const double c = static_cast<double>(s->count);
+    // CCM basic estimator; n-hat may dip below c under EH error, so clamp
+    // the log arguments at 1 (the estimator stays consistent as eps -> 0).
+    double est = c * std::log2(std::max(n / c, 1.0));
+    if (c > 1.0) est -= (c - 1.0) * std::log2(std::max(n / (c - 1.0), 1.0));
+    acc += est;
+    ++live;
+  }
+  return live ? acc / static_cast<double>(live) : 0.0;
+}
+
+}  // namespace swsample

@@ -1,0 +1,144 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Forward-count tracking over TIMESTAMP windows -- the missing half of
+// Corollaries 5.2/5.4 for the timestamp model.
+//
+// The sequence-based estimators (apps/freq_moments.h, apps/entropy.h) rely
+// on two facts: (a) a payload can follow each candidate sample, and (b) the
+// window size n is known. On timestamp windows (a) still works -- the
+// candidate set of a TsSingleSampler is the O(log n) bucket R-samples plus
+// the straddler's, and a new candidate can only be the arriving element
+// (fresh single-element bucket); merges and re-straddling select among
+// EXISTING candidates, so payloads survive by carrying a map keyed by
+// candidate index across arrivals. For (b), the window size is unknowable
+// exactly (the paper's Section 1.3.2 negative result), so we substitute the
+// (1 +/- eps) DGIM exponential-histogram estimate (reference [31]) -- the
+// estimator inherits an extra (1 +/- eps) factor, exactly the composition
+// Theorem 5.1 describes.
+
+#ifndef SWSAMPLE_APPS_TS_COUNTING_H_
+#define SWSAMPLE_APPS_TS_COUNTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ts_single.h"
+#include "stream/exp_histogram.h"
+#include "stream/item.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// One timestamp-window sampling unit whose current sample carries the
+/// count of occurrences of its value at/after the sampled position.
+class TsForwardCountUnit {
+ public:
+  /// Builds a unit over window length t0 (>= 1).
+  TsForwardCountUnit(Timestamp t0, uint64_t seed);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item);
+
+  /// Advances the clock.
+  void AdvanceTime(Timestamp now);
+
+  /// A sampled (item, forward count) of the active window; nullopt if
+  /// empty. Fresh sampling randomness per call; the count is exact.
+  struct Sampled {
+    Item item;
+    uint64_t count;
+  };
+  std::optional<Sampled> Sample();
+
+  /// Live memory words incl. the payload map (O(log n) entries).
+  uint64_t MemoryWords() const {
+    return sampler_.MemoryWords() + counts_.size() * 3;
+  }
+
+ private:
+  struct Payload {
+    uint64_t value = 0;
+    uint64_t count = 0;
+  };
+
+  /// Reconciles the payload map with the sampler's candidate set after an
+  /// arrival (every candidate is an old candidate or the new item).
+  void SyncCandidates(const Item* arrived);
+
+  TsSingleSampler sampler_;
+  std::unordered_map<StreamIndex, Payload> counts_;
+};
+
+/// F_k estimator over a timestamp window: AMS forward counts from r
+/// independent TsForwardCountUnits, window size from an exponential
+/// histogram.
+class TsFkEstimator {
+ public:
+  /// Creates an estimator of the `moment`-th frequency moment (>= 1) over
+  /// timestamp windows of length t0, averaging `r` units, with the window
+  /// size approximated to relative error `count_eps`.
+  static Result<std::unique_ptr<TsFkEstimator>> Create(Timestamp t0,
+                                                       uint32_t moment,
+                                                       uint64_t r,
+                                                       double count_eps,
+                                                       uint64_t seed);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item);
+
+  /// Advances the clock.
+  void AdvanceTime(Timestamp now);
+
+  /// Current F_moment estimate (0 when the window is empty).
+  double Estimate();
+
+  /// (1 +/- eps) estimate of the window size.
+  uint64_t WindowSizeEstimate() { return histogram_.Estimate(); }
+
+  /// Live memory words across all units plus the histogram.
+  uint64_t MemoryWords() const;
+
+ private:
+  TsFkEstimator(uint32_t moment, ExpHistogram histogram)
+      : moment_(moment), histogram_(std::move(histogram)) {}
+
+  uint32_t moment_;
+  ExpHistogram histogram_;
+  std::vector<TsForwardCountUnit> units_;
+};
+
+/// Empirical-entropy estimator over a timestamp window (Corollary 5.4's
+/// timestamp half): the CCM basic estimator on forward counts from
+/// TsForwardCountUnits, with the window size from an exponential histogram.
+class TsEntropyEstimator {
+ public:
+  /// Creates an estimator over timestamp windows of length t0 averaging
+  /// `r` units, window size approximated to relative error `count_eps`.
+  static Result<std::unique_ptr<TsEntropyEstimator>> Create(Timestamp t0,
+                                                            uint64_t r,
+                                                            double count_eps,
+                                                            uint64_t seed);
+
+  /// Feeds one arrival.
+  void Observe(const Item& item);
+
+  /// Advances the clock.
+  void AdvanceTime(Timestamp now);
+
+  /// Current entropy estimate in bits (0 when the window is empty).
+  double Estimate();
+
+ private:
+  explicit TsEntropyEstimator(ExpHistogram histogram)
+      : histogram_(std::move(histogram)) {}
+
+  ExpHistogram histogram_;
+  std::vector<TsForwardCountUnit> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_TS_COUNTING_H_

@@ -1,0 +1,80 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/bounded_priority_sampler.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<BoundedPrioritySampler>> BoundedPrioritySampler::Create(
+    Timestamp t0, uint64_t k, uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument(
+        "BoundedPrioritySampler: t0 must be >= 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("BoundedPrioritySampler: k must be >= 1");
+  }
+  return std::unique_ptr<BoundedPrioritySampler>(
+      new BoundedPrioritySampler(t0, k, seed));
+}
+
+BoundedPrioritySampler::BoundedPrioritySampler(Timestamp t0, uint64_t k,
+                                               uint64_t seed)
+    : t0_(t0), k_(k), rng_(seed) {}
+
+void BoundedPrioritySampler::EvictExpired() {
+  while (!entries_.empty() && now_ - entries_.front().item.timestamp >= t0_) {
+    entries_.pop_front();
+  }
+}
+
+void BoundedPrioritySampler::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  EvictExpired();
+}
+
+void BoundedPrioritySampler::Observe(const Item& item) {
+  AdvanceTime(item.timestamp);
+  const uint64_t priority = rng_.NextU64();
+  // The new arrival dominates every stored element of lower priority; an
+  // element dominated k times can never again be among the k highest
+  // priorities of the active suffix, so it is discarded.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->priority < priority && ++(it->dominated) >= k_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entries_.push_back(Entry{item, priority, 0});
+}
+
+std::vector<Item> BoundedPrioritySampler::Sample() {
+  EvictExpired();
+  // All retained entries are active; the k highest priorities among the
+  // window's elements are guaranteed to be retained, and they form a
+  // uniform k-sample without replacement.
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) {
+              return a->priority > b->priority;
+            });
+  std::vector<Item> out;
+  const uint64_t take = std::min<uint64_t>(k_, sorted.size());
+  out.reserve(take);
+  for (uint64_t i = 0; i < take; ++i) out.push_back(sorted[i]->item);
+  return out;
+}
+
+uint64_t BoundedPrioritySampler::MemoryWords() const {
+  // Item + priority + dominated counter per entry, plus clock, t0, k.
+  return 3 + entries_.size() * (kWordsPerItem + 2);
+}
+
+}  // namespace swsample

@@ -1,0 +1,65 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Bounded priority sampling -- Gemulla & Lehner (SIGMOD'08), the prior art
+// for sampling WITHOUT replacement from timestamp-based windows: the
+// natural extension of BDM priority sampling that keeps every element whose
+// priority is among the k highest of all elements arriving at or after it.
+// The retained-set size is E[O(k log(n/k))] but randomized; the paper's
+// Theorem 4.4 achieves the same task with deterministic O(k log n) words.
+
+#ifndef SWSAMPLE_BASELINE_BOUNDED_PRIORITY_SAMPLER_H_
+#define SWSAMPLE_BASELINE_BOUNDED_PRIORITY_SAMPLER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample without replacement over a timestamp window via the k-highest-
+/// priorities scheme.
+class BoundedPrioritySampler final : public WindowSampler {
+ public:
+  /// Creates a sampler; requires t0 >= 1 and k >= 1.
+  static Result<std::unique_ptr<BoundedPrioritySampler>> Create(Timestamp t0,
+                                                                uint64_t k,
+                                                                uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp now) override;
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return k_; }
+  const char* name() const override { return "gl-bounded-priority"; }
+
+  /// Window parameter.
+  Timestamp t0() const { return t0_; }
+
+  /// Current retained-set size (the randomized memory metric).
+  uint64_t ListLength() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Item item;
+    uint64_t priority;
+    uint64_t dominated;  ///< # later arrivals with higher priority
+  };
+
+  BoundedPrioritySampler(Timestamp t0, uint64_t k, uint64_t seed);
+
+  void EvictExpired();
+
+  Timestamp t0_;
+  uint64_t k_;
+  Timestamp now_ = 0;
+  Rng rng_;
+  /// Arrival-ordered; every entry has dominated < k.
+  std::deque<Entry> entries_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_BASELINE_BOUNDED_PRIORITY_SAMPLER_H_

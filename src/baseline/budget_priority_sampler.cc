@@ -1,0 +1,58 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/budget_priority_sampler.h"
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<BudgetPrioritySampler> BudgetPrioritySampler::Create(
+    Timestamp t0, uint64_t capacity, uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument(
+        "BudgetPrioritySampler: t0 must be >= 1");
+  }
+  if (capacity < 1) {
+    return Status::InvalidArgument(
+        "BudgetPrioritySampler: capacity must be >= 1");
+  }
+  return BudgetPrioritySampler(t0, capacity, seed);
+}
+
+void BudgetPrioritySampler::EvictExpired() {
+  while (!stairs_.empty() && now_ - stairs_.front().item.timestamp >= t0_) {
+    stairs_.pop_front();
+  }
+}
+
+void BudgetPrioritySampler::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  EvictExpired();
+}
+
+void BudgetPrioritySampler::Observe(const Item& item) {
+  AdvanceTime(item.timestamp);
+  const uint64_t priority = rng_.NextU64();
+  // Standard right-maxima staircase maintenance ...
+  while (!stairs_.empty() && stairs_.back().priority <= priority) {
+    stairs_.pop_back();
+  }
+  stairs_.push_back(Entry{item, priority});
+  // ... then the BUDGET bites: drop the lowest-priority (newest staircase)
+  // entries beyond capacity. Those were the backups that would have taken
+  // over when older entries expire; without them the sampler can go dark.
+  while (stairs_.size() > capacity_) stairs_.pop_back();
+}
+
+std::optional<Item> BudgetPrioritySampler::Sample() {
+  ++queries_;
+  EvictExpired();
+  if (stairs_.empty()) {
+    ++failures_;
+    return std::nullopt;
+  }
+  return stairs_.front().item;
+}
+
+}  // namespace swsample

@@ -1,0 +1,82 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Bounded-SPACE priority sampling -- the Gemulla / Gemulla-Lehner regime
+// the paper's Section 1.1 discusses: give the sampler a hard memory budget
+// of C entries and accept that a sample may be UNAVAILABLE. The thesis
+// quote the paper reproduces is the point: "We cannot guarantee a global
+// lower bound other than 0 that holds at any arbitrary time without a
+// priori knowledge of the data stream."
+//
+// Model: the usual priority staircase (descending right-maxima), but when
+// it would exceed C entries the lowest-priority (newest staircase tail)
+// entries are dropped. When a burst pushes more than C high-priority
+// recent elements through, the retained set can expire entirely while the
+// window is non-empty -- a query failure. Experiment E13 measures the
+// failure rate as a function of C on bursty streams, the behaviour the
+// paper's deterministic O(log n) structures avoid while *guaranteeing* a
+// sample at every instant.
+
+#ifndef SWSAMPLE_BASELINE_BUDGET_PRIORITY_SAMPLER_H_
+#define SWSAMPLE_BASELINE_BUDGET_PRIORITY_SAMPLER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Priority sampler with a hard entry budget; sampling may fail.
+class BudgetPrioritySampler {
+ public:
+  /// Creates a sampler with window parameter `t0` >= 1 and a budget of
+  /// `capacity` >= 1 staircase entries.
+  static Result<BudgetPrioritySampler> Create(Timestamp t0, uint64_t capacity,
+                                              uint64_t seed);
+
+  /// Feeds one arrival (advances the clock to its timestamp).
+  void Observe(const Item& item);
+
+  /// Advances the clock without arrivals.
+  void AdvanceTime(Timestamp now);
+
+  /// The max-priority retained active element, or nullopt when no active
+  /// entry is retained. The internal failure counter counts nullopt
+  /// returns; callers distinguishing genuinely-empty windows from budget
+  /// failures should compare against an oracle (experiment E13 does).
+  std::optional<Item> Sample();
+
+  /// Hard memory bound (words): capacity entries of (item, priority).
+  uint64_t MemoryWordsBound() const {
+    return 3 + capacity_ * (kWordsPerItem + 1);
+  }
+
+  uint64_t query_count() const { return queries_; }
+  uint64_t failure_count() const { return failures_; }
+
+ private:
+  BudgetPrioritySampler(Timestamp t0, uint64_t capacity, uint64_t seed)
+      : t0_(t0), capacity_(capacity), rng_(seed) {}
+
+  struct Entry {
+    Item item;
+    uint64_t priority;
+  };
+
+  void EvictExpired();
+
+  Timestamp t0_;
+  uint64_t capacity_;
+  Rng rng_;
+  Timestamp now_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t failures_ = 0;
+  std::deque<Entry> stairs_;  // arrival-ordered, priorities descending
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_BASELINE_BUDGET_PRIORITY_SAMPLER_H_

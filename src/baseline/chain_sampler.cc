@@ -1,0 +1,82 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/chain_sampler.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<ChainSampler>> ChainSampler::Create(uint64_t n,
+                                                           uint64_t k,
+                                                           uint64_t seed) {
+  if (n < 1) return Status::InvalidArgument("ChainSampler: n must be >= 1");
+  if (k < 1) return Status::InvalidArgument("ChainSampler: k must be >= 1");
+  return std::unique_ptr<ChainSampler>(new ChainSampler(n, k, seed));
+}
+
+ChainSampler::ChainSampler(uint64_t n, uint64_t k, uint64_t seed)
+    : n_(n), rng_(seed), units_(k) {}
+
+void ChainSampler::Observe(const Item& item) {
+  SWS_DCHECK(item.index == count_);
+  const uint64_t idx = item.index;
+  ++count_;
+  // Replacement coin: 1/m reservoir behaviour while the first window fills,
+  // then 1/(n+1) in steady state. The often-quoted 1/n steady-state coin
+  // double-counts the newest element (it can enter both by replacement and
+  // as the expiring sample's successor), biasing the distribution by
+  // Theta(1/n^2) per element -- enough for our chi-square uniformity tests
+  // to reject it. With 1/(n+1) the handover arithmetic telescopes to an
+  // exactly uniform sample; see chain_sampler.h.
+  const uint64_t coin_den = idx < n_ ? idx + 1 : n_ + 1;
+  for (Unit& unit : units_) {
+    if (rng_.BernoulliRational(1, coin_den)) {
+      unit.chain.clear();
+      unit.chain.push_back(item);
+      unit.next_successor = rng_.UniformRange(idx + 1, idx + n_);
+    } else if (!unit.chain.empty() && idx == unit.next_successor) {
+      // The awaited successor of the chain tail materialized.
+      unit.chain.push_back(item);
+      unit.next_successor = rng_.UniformRange(idx + 1, idx + n_);
+    }
+    // Window is now [idx+1-n, idx]; an expired head hands over to its
+    // successor, which has always arrived by then (successor of j lies in
+    // [j+1, j+n] and j expires at arrival j+n).
+    if (!unit.chain.empty() && idx + 1 >= n_ &&
+        unit.chain.front().index < idx + 1 - n_) {
+      unit.chain.pop_front();
+      SWS_DCHECK(!unit.chain.empty());
+    }
+  }
+}
+
+std::vector<Item> ChainSampler::Sample() {
+  std::vector<Item> out;
+  out.reserve(units_.size());
+  for (const Unit& unit : units_) {
+    if (!unit.chain.empty()) out.push_back(unit.chain.front());
+  }
+  return out;
+}
+
+uint64_t ChainSampler::MemoryWords() const {
+  // Chain items + one awaited-successor index per unit + counters. The
+  // chain length is the randomized part the paper criticizes.
+  uint64_t words = 2;
+  for (const Unit& unit : units_) {
+    words += unit.chain.size() * kWordsPerItem + 1;
+  }
+  return words;
+}
+
+uint64_t ChainSampler::MaxChainLength() const {
+  uint64_t m = 0;
+  for (const Unit& unit : units_) {
+    m = std::max<uint64_t>(m, unit.chain.size());
+  }
+  return m;
+}
+
+}  // namespace swsample

@@ -1,0 +1,87 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/exact_window.h"
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<ExactWindow>> ExactWindow::CreateSequence(
+    uint64_t n, uint64_t k, bool with_replacement, uint64_t seed) {
+  if (n < 1) return Status::InvalidArgument("ExactWindow: n must be >= 1");
+  if (k < 1) return Status::InvalidArgument("ExactWindow: k must be >= 1");
+  if (!with_replacement && k > n) {
+    return Status::InvalidArgument(
+        "ExactWindow: without replacement requires k <= n");
+  }
+  return std::unique_ptr<ExactWindow>(new ExactWindow(
+      WindowKind::kSequence, n, /*t0=*/0, k, with_replacement, seed));
+}
+
+Result<std::unique_ptr<ExactWindow>> ExactWindow::CreateTimestamp(
+    Timestamp t0, uint64_t k, bool with_replacement, uint64_t seed) {
+  if (t0 < 1) return Status::InvalidArgument("ExactWindow: t0 must be >= 1");
+  if (k < 1) return Status::InvalidArgument("ExactWindow: k must be >= 1");
+  return std::unique_ptr<ExactWindow>(new ExactWindow(
+      WindowKind::kTimestamp, /*n=*/0, t0, k, with_replacement, seed));
+}
+
+void ExactWindow::Evict() {
+  if (kind_ == WindowKind::kSequence) {
+    while (window_.size() > n_) window_.pop_front();
+  } else {
+    while (!window_.empty() && now_ - window_.front().timestamp >= t0_) {
+      window_.pop_front();
+    }
+  }
+}
+
+void ExactWindow::Observe(const Item& item) {
+  if (kind_ == WindowKind::kTimestamp) AdvanceTime(item.timestamp);
+  window_.push_back(item);
+  Evict();
+}
+
+void ExactWindow::AdvanceTime(Timestamp now) {
+  if (kind_ == WindowKind::kSequence) return;
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  Evict();
+}
+
+std::vector<Item> ExactWindow::Sample() {
+  std::vector<Item> out;
+  if (window_.empty()) return out;
+  if (with_replacement_) {
+    out.reserve(k_);
+    for (uint64_t i = 0; i < k_; ++i) {
+      out.push_back(window_[rng_.UniformIndex(window_.size())]);
+    }
+    return out;
+  }
+  // Without replacement: Floyd's algorithm over the buffer.
+  const uint64_t m = window_.size();
+  const uint64_t take = k_ < m ? k_ : m;
+  std::vector<uint64_t> chosen;
+  chosen.reserve(take);
+  for (uint64_t j = m - take; j < m; ++j) {
+    uint64_t t = rng_.UniformIndex(j + 1);
+    bool seen = false;
+    for (uint64_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  out.reserve(take);
+  for (uint64_t c : chosen) out.push_back(window_[c]);
+  return out;
+}
+
+uint64_t ExactWindow::MemoryWords() const {
+  return 3 + window_.size() * kWordsPerItem;
+}
+
+}  // namespace swsample

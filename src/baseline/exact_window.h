@@ -1,0 +1,77 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Exact window buffer -- the correctness oracle (and the Zhang et al. '05
+// comparator, which adapted reservoir sampling by keeping the window in
+// memory). Stores every active element; O(n) words, which is exactly what
+// streaming algorithms must avoid, but it yields ground-truth window
+// contents for uniformity tests and exact aggregates for the application
+// experiments.
+
+#ifndef SWSAMPLE_BASELINE_EXACT_WINDOW_H_
+#define SWSAMPLE_BASELINE_EXACT_WINDOW_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Which window model the buffer enforces.
+enum class WindowKind {
+  kSequence,   ///< last n arrivals are active
+  kTimestamp,  ///< active <=> now - T(p) < t0
+};
+
+/// Full window buffer with exact uniform sampling (with or without
+/// replacement) over the buffered contents.
+class ExactWindow final : public WindowSampler {
+ public:
+  /// Sequence-based buffer over the last `n` arrivals.
+  static Result<std::unique_ptr<ExactWindow>> CreateSequence(
+      uint64_t n, uint64_t k, bool with_replacement, uint64_t seed);
+
+  /// Timestamp-based buffer with window parameter `t0`.
+  static Result<std::unique_ptr<ExactWindow>> CreateTimestamp(
+      Timestamp t0, uint64_t k, bool with_replacement, uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp now) override;
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return k_; }
+  const char* name() const override { return "exact-window"; }
+
+  /// The exact window contents, oldest first (test oracle).
+  const std::deque<Item>& contents() const { return window_; }
+
+  /// Number of currently active elements.
+  uint64_t size() const { return window_.size(); }
+
+ private:
+  ExactWindow(WindowKind kind, uint64_t n, Timestamp t0, uint64_t k,
+              bool with_replacement, uint64_t seed)
+      : kind_(kind),
+        n_(n),
+        t0_(t0),
+        k_(k),
+        with_replacement_(with_replacement),
+        rng_(seed) {}
+
+  void Evict();
+
+  WindowKind kind_;
+  uint64_t n_;     // sequence windows
+  Timestamp t0_;   // timestamp windows
+  uint64_t k_;
+  bool with_replacement_;
+  Timestamp now_ = 0;
+  Rng rng_;
+  std::deque<Item> window_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_BASELINE_EXACT_WINDOW_H_

@@ -1,0 +1,49 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/oversampler.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<OverSampler>> OverSampler::Create(uint64_t n,
+                                                         uint64_t k,
+                                                         uint64_t factor,
+                                                         uint64_t seed) {
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("OverSampler: requires 1 <= k <= n");
+  }
+  if (factor < 1) {
+    return Status::InvalidArgument("OverSampler: factor must be >= 1");
+  }
+  auto inner = ChainSampler::Create(n, factor * k, seed);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<OverSampler>(
+      new OverSampler(k, std::move(inner).ValueOrDie()));
+}
+
+void OverSampler::Observe(const Item& item) { inner_->Observe(item); }
+
+std::vector<Item> OverSampler::Sample() {
+  ++queries_;
+  // First k distinct indices among the iid with-replacement draws; the set
+  // of distinct values of iid uniforms is a uniform subset, so on success
+  // this is a valid k-sample without replacement.
+  std::vector<Item> out;
+  out.reserve(k_);
+  for (const Item& item : inner_->Sample()) {
+    bool dup = false;
+    for (const Item& kept : out) {
+      if (kept.index == item.index) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      out.push_back(item);
+      if (out.size() == k_) return out;
+    }
+  }
+  ++failures_;  // fewer than k distinct samples were available
+  return out;
+}
+
+}  // namespace swsample

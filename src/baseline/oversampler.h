@@ -1,0 +1,58 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Over-sampling -- the folklore recipe (and BDM's own suggestion) for
+// sampling WITHOUT replacement from a sequence-based window: run
+// k' = factor * k independent with-replacement samplers and keep the first
+// k DISTINCT samples. Its two disadvantages are the ones the paper's
+// abstract enumerates: (a) extra work proportional to the over-sampling
+// factor, and (b) a non-deterministic guarantee -- with some probability
+// fewer than k distinct samples are available. Experiment E5 measures the
+// failure rate and cost against Theorem 2.2's exact O(k) scheme.
+
+#ifndef SWSAMPLE_BASELINE_OVERSAMPLER_H_
+#define SWSAMPLE_BASELINE_OVERSAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baseline/chain_sampler.h"
+#include "core/api.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample without replacement (best effort!) over a fixed-size window by
+/// over-sampling with replacement and de-duplicating.
+class OverSampler final : public WindowSampler {
+ public:
+  /// Creates a sampler running `factor * k` chain samplers; requires
+  /// n >= k >= 1 and factor >= 1.
+  static Result<std::unique_ptr<OverSampler>> Create(uint64_t n, uint64_t k,
+                                                     uint64_t factor,
+                                                     uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp) override {}
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override { return inner_->MemoryWords(); }
+  uint64_t k() const override { return k_; }
+  const char* name() const override { return "oversample-swor"; }
+
+  /// Queries that could not produce k distinct samples (disadvantage (b)).
+  uint64_t failure_count() const { return failures_; }
+  /// Total queries issued.
+  uint64_t query_count() const { return queries_; }
+
+ private:
+  OverSampler(uint64_t k, std::unique_ptr<ChainSampler> inner)
+      : k_(k), inner_(std::move(inner)) {}
+
+  uint64_t k_;
+  uint64_t failures_ = 0;
+  uint64_t queries_ = 0;
+  std::unique_ptr<ChainSampler> inner_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_BASELINE_OVERSAMPLER_H_

@@ -1,0 +1,79 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "baseline/priority_sampler.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<PrioritySampler>> PrioritySampler::Create(
+    Timestamp t0, uint64_t k, uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument("PrioritySampler: t0 must be >= 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("PrioritySampler: k must be >= 1");
+  }
+  return std::unique_ptr<PrioritySampler>(new PrioritySampler(t0, k, seed));
+}
+
+PrioritySampler::PrioritySampler(Timestamp t0, uint64_t k, uint64_t seed)
+    : t0_(t0), rng_(seed), units_(k) {}
+
+void PrioritySampler::EvictExpired(Unit& unit) {
+  while (!unit.stairs.empty() &&
+         now_ - unit.stairs.front().item.timestamp >= t0_) {
+    unit.stairs.pop_front();
+  }
+}
+
+void PrioritySampler::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  for (Unit& unit : units_) EvictExpired(unit);
+}
+
+void PrioritySampler::Observe(const Item& item) {
+  AdvanceTime(item.timestamp);
+  for (Unit& unit : units_) {
+    // 64 random bits as the priority; ties have probability ~2^-64 per
+    // pair and are broken towards the newer element, which is the
+    // convention that keeps the staircase strictly descending.
+    const uint64_t priority = rng_.NextU64();
+    while (!unit.stairs.empty() && unit.stairs.back().priority <= priority) {
+      unit.stairs.pop_back();
+    }
+    unit.stairs.push_back(Entry{item, priority});
+  }
+}
+
+std::vector<Item> PrioritySampler::Sample() {
+  std::vector<Item> out;
+  out.reserve(units_.size());
+  for (Unit& unit : units_) {
+    EvictExpired(unit);
+    if (!unit.stairs.empty()) out.push_back(unit.stairs.front().item);
+  }
+  return out;
+}
+
+uint64_t PrioritySampler::MemoryWords() const {
+  // Item + priority word per staircase entry, plus the clock and t0.
+  uint64_t words = 2;
+  for (const Unit& unit : units_) {
+    words += unit.stairs.size() * (kWordsPerItem + 1);
+  }
+  return words;
+}
+
+uint64_t PrioritySampler::MaxListLength() const {
+  uint64_t m = 0;
+  for (const Unit& unit : units_) {
+    m = std::max<uint64_t>(m, unit.stairs.size());
+  }
+  return m;
+}
+
+}  // namespace swsample

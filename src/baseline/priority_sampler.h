@@ -1,0 +1,70 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Priority sampling -- Babcock, Datar, Motwani (SODA'02), the prior art for
+// sampling WITH replacement from timestamp-based windows.
+//
+// Every arrival draws a random priority; the sample is the active element
+// of maximum priority. It suffices to store the elements that are maximal
+// among everything that arrived after them (a descending-priority
+// staircase): a new arrival evicts all stored elements with lower priority,
+// expiry trims the front. The staircase length is E[O(log n)] but
+// RANDOMIZED -- the bound the paper replaces with a deterministic one;
+// experiment E3 measures the distribution.
+
+#ifndef SWSAMPLE_BASELINE_PRIORITY_SAMPLER_H_
+#define SWSAMPLE_BASELINE_PRIORITY_SAMPLER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample with replacement over a timestamp window via k independent
+/// priority samplers.
+class PrioritySampler final : public WindowSampler {
+ public:
+  /// Creates a sampler; requires t0 >= 1 and k >= 1.
+  static Result<std::unique_ptr<PrioritySampler>> Create(Timestamp t0,
+                                                         uint64_t k,
+                                                         uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp now) override;
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return units_.size(); }
+  const char* name() const override { return "bdm-priority"; }
+
+  /// Window parameter.
+  Timestamp t0() const { return t0_; }
+
+  /// Longest staircase across units (E3's randomized-memory metric).
+  uint64_t MaxListLength() const;
+
+ private:
+  struct Entry {
+    Item item;
+    uint64_t priority;
+  };
+  struct Unit {
+    /// Arrival-ordered; priorities strictly decrease front to back.
+    std::deque<Entry> stairs;
+  };
+
+  PrioritySampler(Timestamp t0, uint64_t k, uint64_t seed);
+
+  void EvictExpired(Unit& unit);
+
+  Timestamp t0_;
+  Timestamp now_ = 0;
+  Rng rng_;
+  std::vector<Unit> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_BASELINE_PRIORITY_SAMPLER_H_

@@ -1,0 +1,60 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Common interface of all sliding-window samplers (ours and the baselines).
+//
+// The contract mirrors the paper's model:
+//  * Items arrive with consecutive indices 0,1,2,... and non-decreasing
+//    timestamps (bursts share a timestamp).
+//  * `AdvanceTime` moves the clock without arrivals: in the timestamp model
+//    elements expire by clock alone, so a sampler must stay correct across
+//    empty steps. Sequence-based samplers ignore it.
+//  * `Sample()` may be called at ANY moment and must return a uniform
+//    random sample of the currently active elements (k items; fewer iff
+//    fewer than k elements are active for without-replacement samplers, or
+//    during startup). Each call may consume fresh randomness; the
+//    guarantee is on the per-call marginal distribution.
+//  * `MemoryWords()` reports live state under the paper's Section 1.4 word
+//    model (one word per stored value, index, or timestamp). This is the
+//    quantity the memory experiments (E1-E3) track; the paper's entire
+//    point is that for our algorithms it is deterministically bounded.
+
+#ifndef SWSAMPLE_CORE_API_H_
+#define SWSAMPLE_CORE_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/item.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Abstract sliding-window sampler maintaining k samples.
+class WindowSampler {
+ public:
+  virtual ~WindowSampler() = default;
+
+  /// Feeds one arrival. Indices must be consecutive from 0; timestamps
+  /// non-decreasing. Implicitly advances the clock to item.timestamp.
+  virtual void Observe(const Item& item) = 0;
+
+  /// Advances the clock to `now` (>= current time) without arrivals.
+  /// No-op for sequence-based samplers.
+  virtual void AdvanceTime(Timestamp now) = 0;
+
+  /// Draws the current sample set of the active window.
+  virtual std::vector<Item> Sample() = 0;
+
+  /// Live memory in paper words (values + indices + timestamps stored).
+  virtual uint64_t MemoryWords() const = 0;
+
+  /// Number of samples maintained.
+  virtual uint64_t k() const = 0;
+
+  /// Human-readable algorithm name for harness output.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_API_H_

@@ -1,0 +1,71 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Bucket structures -- paper Section 3.1.
+//
+// A bucket structure BS(x, y) summarizes the bucket B(x, y) = {p_x ...
+// p_{y-1}}: boundary indices, the timestamp of its first element (the only
+// thing needed to decide whether p_x expired), and two INDEPENDENT uniform
+// random samples R and Q of the bucket. R feeds the output sample; Q feeds
+// the implicit-event generator of Section 3.3, and keeping them independent
+// is what lets Lemma 3.8 multiply probabilities.
+
+#ifndef SWSAMPLE_CORE_BUCKET_STRUCTURE_H_
+#define SWSAMPLE_CORE_BUCKET_STRUCTURE_H_
+
+#include <cstdint>
+
+#include "stream/item.h"
+#include "stream/item_serial.h"
+#include "util/macros.h"
+#include "util/serial.h"
+
+namespace swsample {
+
+/// Summary of bucket B(x, y); covers stream indices [x, y-1].
+struct BucketStructure {
+  StreamIndex x = 0;  ///< first covered index
+  StreamIndex y = 0;  ///< one past the last covered index
+  Timestamp first_ts = 0;  ///< T(p_x), decides expiry of the bucket's head
+  Item r;  ///< uniform sample of the bucket (drives the output sample)
+  Item q;  ///< second, independent uniform sample (drives implicit events)
+
+  /// Number of covered elements (paper: y - x >= 1).
+  uint64_t width() const {
+    SWS_DCHECK(y > x);
+    return y - x;
+  }
+
+  /// Single-element structure BS(b, b+1) for a freshly arrived item: both
+  /// samples are the item itself.
+  static BucketStructure ForItem(const Item& item) {
+    BucketStructure bs;
+    bs.x = item.index;
+    bs.y = item.index + 1;
+    bs.first_ts = item.timestamp;
+    bs.r = item;
+    bs.q = item;
+    return bs;
+  }
+
+  /// Memory words held: two boundary indices, one timestamp, two sampled
+  /// items (paper Section 1.4 accounting).
+  static constexpr uint64_t kWords = 3 + 2 * kWordsPerItem;
+
+  /// Checkpointing (see util/serial.h).
+  void Save(BinaryWriter* w) const {
+    w->PutU64(x);
+    w->PutU64(y);
+    w->PutI64(first_ts);
+    SaveItem(r, w);
+    SaveItem(q, w);
+  }
+
+  bool Load(BinaryReader* rd) {
+    return rd->GetU64(&x) && rd->GetU64(&y) && rd->GetI64(&first_ts) &&
+           LoadItem(rd, &r) && LoadItem(rd, &q) && y > x;
+  }
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_BUCKET_STRUCTURE_H_

@@ -1,0 +1,128 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/covering_decomposition.h"
+
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+StreamIndex CoveringDecomposition::a() const {
+  SWS_DCHECK(!buckets_.empty());
+  return buckets_.front().x;
+}
+
+StreamIndex CoveringDecomposition::b() const {
+  SWS_DCHECK(!buckets_.empty());
+  return buckets_.back().y - 1;
+}
+
+void CoveringDecomposition::InitFromItem(const Item& item) {
+  SWS_DCHECK(buckets_.empty());
+  buckets_.push_back(BucketStructure::ForItem(item));
+}
+
+void CoveringDecomposition::Incr(const Item& item, Rng& rng) {
+  SWS_DCHECK(!buckets_.empty());
+  const StreamIndex b_old = b();
+  SWS_DCHECK(item.index == b_old + 1);
+  // Walk the nested suffixes zeta(a_i, b). The log test and the merge are
+  // evaluated against the PRE-increment decomposition at every level, per
+  // the recursive definition Incr(zeta(a,b)) = <BS(a,v), Incr(zeta(v,b))>.
+  size_t i = 0;
+  while (true) {
+    if (i + 1 == buckets_.size()) {
+      // Reached zeta(b, b) = <BS(b, b+1)>: its Incr appends BS(b+1, b+2).
+      SWS_DCHECK(buckets_[i].x == b_old);
+      buckets_.push_back(BucketStructure::ForItem(item));
+      return;
+    }
+    const StreamIndex a_i = buckets_[i].x;
+    if (FloorLog2(b_old + 2 - a_i) == FloorLog2(b_old + 1 - a_i)) {
+      ++i;  // v = c: first bucket unchanged, recurse into zeta(c, b)
+      continue;
+    }
+    // v = d: unify BS(a, c) and BS(c, d). The arithmetic of Section 3.2
+    // guarantees the two are equal-width here, so a fair coin keeps the
+    // merged samples uniform; R and Q use independent coins to preserve
+    // their mutual independence.
+    BucketStructure& first = buckets_[i];
+    const BucketStructure& second = buckets_[i + 1];
+    SWS_DCHECK(first.y == second.x);
+    SWS_DCHECK(first.width() == second.width());
+    if (!rng.BernoulliRational(1, 2)) first.r = second.r;
+    if (!rng.BernoulliRational(1, 2)) first.q = second.q;
+    first.y = second.y;
+    buckets_.erase(buckets_.begin() + static_cast<int64_t>(i) + 1);
+    ++i;  // recurse into zeta(d, b)
+  }
+}
+
+void CoveringDecomposition::DropFront(uint64_t count) {
+  SWS_DCHECK(count <= buckets_.size());
+  buckets_.erase(buckets_.begin(),
+                 buckets_.begin() + static_cast<int64_t>(count));
+}
+
+BucketStructure CoveringDecomposition::PopFront() {
+  SWS_DCHECK(!buckets_.empty());
+  BucketStructure bs = buckets_.front();
+  buckets_.pop_front();
+  return bs;
+}
+
+void CoveringDecomposition::Clear() { buckets_.clear(); }
+
+Item CoveringDecomposition::SampleCovered(Rng& rng) const {
+  SWS_DCHECK(!buckets_.empty());
+  uint64_t u = rng.UniformIndex(covered_width());
+  for (const BucketStructure& bs : buckets_) {
+    if (u < bs.width()) return bs.r;
+    u -= bs.width();
+  }
+  SWS_CHECK(false);  // unreachable: widths sum to covered_width()
+  return buckets_.back().r;
+}
+
+void CoveringDecomposition::Save(BinaryWriter* w) const {
+  w->PutU64(buckets_.size());
+  for (const BucketStructure& bs : buckets_) bs.Save(w);
+}
+
+bool CoveringDecomposition::Load(BinaryReader* r) {
+  buckets_.clear();
+  uint64_t size = 0;
+  if (!r->GetU64(&size)) return false;
+  if (size > (uint64_t{1} << 40)) return false;  // sanity: corrupt blob
+  for (uint64_t i = 0; i < size; ++i) {
+    BucketStructure bs;
+    if (!bs.Load(r)) return false;
+    buckets_.push_back(bs);
+  }
+  return CheckInvariants();
+}
+
+bool CoveringDecomposition::CheckInvariants() const {
+  if (buckets_.empty()) return true;
+  const StreamIndex b_idx = b();
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const BucketStructure& bs = buckets_[i];
+    if (bs.y <= bs.x) return false;
+    if (i + 1 < buckets_.size() && bs.y != buckets_[i + 1].x) return false;
+    if (i + 1 == buckets_.size()) {
+      // Last structure is always the single-element zeta(b, b).
+      if (bs.x != b_idx || bs.width() != 1) return false;
+    } else {
+      // Definition 3.1: width = 2^(floor(log2(b+1-a_i)) - 1).
+      const uint64_t range = b_idx + 1 - bs.x;
+      if (range < 2) return false;
+      if (bs.width() != Pow2(FloorLog2(range) - 1)) return false;
+    }
+    // Samples must lie inside the bucket.
+    if (bs.r.index < bs.x || bs.r.index >= bs.y) return false;
+    if (bs.q.index < bs.x || bs.q.index >= bs.y) return false;
+  }
+  return true;
+}
+
+}  // namespace swsample

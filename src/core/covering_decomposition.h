@@ -1,0 +1,98 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Covering decomposition -- paper Definition 3.1 and the Incr operator.
+//
+// zeta(a, b) is an ordered list of bucket structures covering indices
+// [a, b], defined inductively: zeta(b, b) = <BS(b, b+1)> and
+// zeta(a, b) = <BS(a, c), zeta(c, b)> with c = a + 2^(floor(log2(b+1-a))-1).
+// Its size is O(log(b - a)), and widths shrink (roughly geometrically) from
+// the front: the oldest bucket spans about half the covered range.
+//
+// Incr appends element p_{b+1} in O(log(b-a)) time, merging the first two
+// buckets (which the arithmetic of Lemma 3.4 guarantees have EQUAL widths
+// at the merge point) with a fair coin per sample so the merged samples
+// remain uniform. Lemma 3.4 -- Incr(zeta(a,b)) structurally equals
+// zeta(a, b+1) -- is verified by a property test against a from-definition
+// reference construction.
+
+#ifndef SWSAMPLE_CORE_COVERING_DECOMPOSITION_H_
+#define SWSAMPLE_CORE_COVERING_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "core/bucket_structure.h"
+#include "stream/item.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// The ordered bucket-structure list zeta(a, b) with its Incr operator.
+///
+/// Also supports dropping leading buckets (used by the Lemma 3.5 expiry
+/// maintenance, which discards structures that fell wholly behind the
+/// window). Buckets are stored front = oldest.
+class CoveringDecomposition {
+ public:
+  CoveringDecomposition() = default;
+
+  /// True iff no bucket is held.
+  bool empty() const { return buckets_.empty(); }
+
+  /// Number of bucket structures (O(log covered-width)).
+  uint64_t size() const { return buckets_.size(); }
+
+  /// First covered index a. Requires !empty().
+  StreamIndex a() const;
+
+  /// Last covered index b (the list covers [a, b]). Requires !empty().
+  StreamIndex b() const;
+
+  /// Total covered width b + 1 - a. Requires !empty().
+  uint64_t covered_width() const { return b() + 1 - a(); }
+
+  /// Bucket access, 0 = oldest.
+  const BucketStructure& bucket(uint64_t i) const { return buckets_[i]; }
+
+  /// Starts a fresh zeta(b, b) from the first item of a new range.
+  void InitFromItem(const Item& item);
+
+  /// The paper's Incr: extends zeta(a, b) to zeta(a, b+1) with the newly
+  /// arrived item p_{b+1} (item.index must equal b()+1). O(size()) time.
+  void Incr(const Item& item, Rng& rng);
+
+  /// Drops the `count` oldest bucket structures (they covered only expired
+  /// elements, or were absorbed into a straddling bucket).
+  void DropFront(uint64_t count);
+
+  /// Pops and returns the oldest bucket structure. Requires !empty().
+  BucketStructure PopFront();
+
+  /// Discards everything.
+  void Clear();
+
+  /// Draws a uniform sample of the covered range [a, b] by picking a bucket
+  /// with probability proportional to its width and returning its R sample
+  /// (Theorem 3.9, case 1 combination). Requires !empty().
+  Item SampleCovered(Rng& rng) const;
+
+  /// Live memory words (paper model).
+  uint64_t MemoryWords() const {
+    return buckets_.size() * BucketStructure::kWords;
+  }
+
+  /// Internal structural invariants (boundaries contiguous, widths match
+  /// Definition 3.1). Exposed for tests; O(size()).
+  bool CheckInvariants() const;
+
+  /// Checkpointing (see util/serial.h). Load validates CheckInvariants().
+  void Save(BinaryWriter* w) const;
+  bool Load(BinaryReader* r);
+
+ private:
+  std::deque<BucketStructure> buckets_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_COVERING_DECOMPOSITION_H_

@@ -1,0 +1,54 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/implicit_events.h"
+
+#include "util/macros.h"
+
+namespace swsample {
+
+ImplicitEventDraw DrawImplicitEvent(const BucketStructure& straddler,
+                                    uint64_t beta, Timestamp now,
+                                    Timestamp t0, Rng& rng) {
+  const uint64_t alpha = straddler.width();
+  SWS_DCHECK(alpha >= 1);
+  SWS_DCHECK(alpha <= beta);
+  // The head of the straddling bucket must be expired (that is what makes
+  // it a straddler) -- Y falling on p_a is then expired by construction.
+  SWS_DCHECK(now - straddler.first_ts >= t0);
+  // Guard the exact rational coins below against 64-bit overflow; streams
+  // of fewer than 2^31 elements per window keep (beta+i)^2 < 2^63.
+  SWS_DCHECK(beta < (uint64_t{1} << 31));
+
+  ImplicitEventDraw draw;
+
+  // Lemma 3.6: synthesize Y from the independent sample Q1. Writing
+  // Q1 = p_{b-i} (i in [1, alpha]; i == alpha <=> Q1 == p_a):
+  //   i < alpha: flip H_i ~ Bernoulli(alpha*beta/((beta+i)(beta+i-1)));
+  //              Y = Q1 if H_i else Y = p_a.
+  //   i == alpha: Y = p_a.
+  // This realizes P(Y = p_{b-i}) = beta/((beta+i)(beta+i-1)) and
+  // P(Y = p_a) = beta/(beta+alpha-1), and Lemma 3.7's telescoping sum gives
+  // P(Y expired) = beta/(beta+gamma) with gamma unknown.
+  const uint64_t i = straddler.y - straddler.q.index;
+  SWS_DCHECK(i >= 1 && i <= alpha);
+  if (i < alpha) {
+    const uint64_t den = (beta + i) * (beta + i - 1);
+    const bool h = rng.BernoulliRational(alpha * beta, den);
+    if (h) {
+      // Y = Q1: expired iff its timestamp fell out of the window.
+      draw.y_expired = (now - straddler.q.timestamp >= t0);
+    } else {
+      draw.y_expired = true;  // Y = p_a, expired by construction
+    }
+  } else {
+    draw.y_expired = true;  // Q1 == p_a
+  }
+
+  // Lemma 3.7: X = [Y expired] AND S with S ~ Bernoulli(alpha/beta),
+  // giving P(X=1) = (beta/(beta+gamma)) * (alpha/beta) = alpha/(beta+gamma).
+  draw.s = rng.BernoulliRational(alpha, beta);
+  draw.x = draw.y_expired && draw.s;
+  return draw;
+}
+
+}  // namespace swsample

@@ -1,0 +1,46 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Generating implicit events -- paper Section 3.3 (Lemmas 3.6-3.8).
+//
+// In the timestamp model the window size n = beta + gamma is unknown
+// because gamma -- the number of still-active elements inside the straddling
+// bucket B1 = B(a, b) -- cannot be tracked in sublinear space. The paper's
+// trick: using B1's SECOND independent sample Q1, synthesize a random
+// variable Y over B1 whose probability of being EXPIRED is exactly
+// beta/(beta+gamma) (Lemma 3.6/3.7); AND it with an explicit
+// Bernoulli(alpha/beta) coin S to obtain X ~ Bernoulli(alpha/(beta+gamma))
+// -- a coin with the unknown window size in its denominator, generated
+// without ever learning gamma.
+
+#ifndef SWSAMPLE_CORE_IMPLICIT_EVENTS_H_
+#define SWSAMPLE_CORE_IMPLICIT_EVENTS_H_
+
+#include <cstdint>
+
+#include "core/bucket_structure.h"
+#include "stream/item.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Outcome of one implicit-event draw; exposed (rather than just the final
+/// bit) so unit tests can validate the Lemma 3.6 distribution of Y.
+struct ImplicitEventDraw {
+  bool y_expired = false;  ///< whether the synthetic Y landed on an expired element
+  bool s = false;          ///< the explicit Bernoulli(alpha/beta) coin
+  bool x = false;          ///< final X = y_expired && s  ~ Bernoulli(alpha/(beta+gamma))
+};
+
+/// Draws X ~ Bernoulli(alpha/(beta+gamma)) per Lemmas 3.6-3.7.
+///
+/// `straddler` is the bucket structure of B1 = B(a, b) whose first element
+/// is expired; `beta` = |B2| is the known number of elements after B1 (all
+/// active); `now`/`t0` define expiry (expired <=> now - ts >= t0). Requires
+/// alpha <= beta (the Lemma 3.5 case-2 invariant). Consumes O(1) randomness.
+ImplicitEventDraw DrawImplicitEvent(const BucketStructure& straddler,
+                                    uint64_t beta, Timestamp now,
+                                    Timestamp t0, Rng& rng);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_IMPLICIT_EVENTS_H_

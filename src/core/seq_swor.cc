@@ -1,0 +1,122 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/seq_swor.h"
+
+#include "stream/item_serial.h"
+#include "util/macros.h"
+#include "util/serial.h"
+
+namespace swsample {
+namespace {
+constexpr uint64_t kSeqSworMagic = 0x32525753'51455332ULL;
+}  // namespace
+
+Result<std::unique_ptr<SequenceSworSampler>> SequenceSworSampler::Create(
+    uint64_t n, uint64_t k, uint64_t seed) {
+  if (n < 1) {
+    return Status::InvalidArgument("SequenceSworSampler: n must be >= 1");
+  }
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument(
+        "SequenceSworSampler: k must satisfy 1 <= k <= n");
+  }
+  return std::unique_ptr<SequenceSworSampler>(
+      new SequenceSworSampler(n, k, seed));
+}
+
+SequenceSworSampler::SequenceSworSampler(uint64_t n, uint64_t k, uint64_t seed)
+    : n_(n), k_(k), rng_(seed), current_(k) {}
+
+void SequenceSworSampler::Observe(const Item& item) {
+  SWS_DCHECK(item.index == count_);
+  ++count_;
+  if (current_.count() == n_) {
+    prev_sample_ = current_.items();
+    current_.Reset();
+  }
+  current_.Observe(item, rng_);
+}
+
+std::vector<Item> SequenceSworSampler::Sample() {
+  if (count_ == 0) return {};
+  // Window is exactly the newest bucket, or the stream is shorter than one
+  // window: the bucket's k-reservoir (or its full prefix) is the sample.
+  if (current_.count() == n_ || count_ < n_) return current_.items();
+
+  SWS_DCHECK(prev_sample_.size() == k_);
+  const uint64_t window_start = count_ - n_;
+  // Active part of X_U, i.e. X_U intersect U_a.
+  std::vector<Item> out;
+  out.reserve(k_);
+  for (const Item& item : prev_sample_) {
+    if (item.index >= window_start) out.push_back(item);
+  }
+  const uint64_t expired = k_ - out.size();
+  // The i expired members are replaced by a uniform i-subset of the partial
+  // bucket's reservoir X_V. i <= |U_e| = s arrived items, and the reservoir
+  // holds min(k, s) items, so the subsample is always well defined.
+  SWS_DCHECK(expired <= current_.items().size());
+  current_.SubsampleInto(expired, rng_, &out);
+  return out;
+}
+
+void SequenceSworSampler::SaveState(std::string* out) const {
+  SWS_CHECK(out != nullptr);
+  BinaryWriter w;
+  w.PutU64(kSeqSworMagic);
+  w.PutU64(n_);
+  w.PutU64(k_);
+  w.PutU64(count_);
+  SaveRngState(rng_, &w);
+  current_.Save(&w);
+  w.PutU64(prev_sample_.size());
+  for (const Item& item : prev_sample_) SaveItem(item, &w);
+  *out = w.Release();
+}
+
+Result<std::unique_ptr<SequenceSworSampler>> SequenceSworSampler::Restore(
+    const std::string& data) {
+  BinaryReader r(data);
+  uint64_t magic = 0, n = 0, k = 0, count = 0, prev_size = 0;
+  Rng rng(0);
+  if (!r.GetU64(&magic) || magic != kSeqSworMagic) {
+    return Status::InvalidArgument(
+        "SequenceSworSampler: bad checkpoint magic");
+  }
+  if (!r.GetU64(&n) || !r.GetU64(&k) || !r.GetU64(&count) ||
+      !LoadRngState(&r, &rng) || n < 1 || k < 1 || k > n) {
+    return Status::InvalidArgument(
+        "SequenceSworSampler: truncated or invalid checkpoint header");
+  }
+  auto sampler =
+      std::unique_ptr<SequenceSworSampler>(new SequenceSworSampler(n, k, 0));
+  sampler->count_ = count;
+  sampler->rng_ = rng;
+  if (!sampler->current_.Load(&r) || sampler->current_.k() != k ||
+      !r.GetU64(&prev_size) || prev_size > k) {
+    return Status::InvalidArgument(
+        "SequenceSworSampler: truncated checkpoint body");
+  }
+  sampler->prev_sample_.clear();
+  for (uint64_t i = 0; i < prev_size; ++i) {
+    Item item;
+    if (!LoadItem(&r, &item)) {
+      return Status::InvalidArgument(
+          "SequenceSworSampler: truncated checkpoint item");
+    }
+    sampler->prev_sample_.push_back(item);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "SequenceSworSampler: trailing bytes in checkpoint");
+  }
+  return sampler;
+}
+
+uint64_t SequenceSworSampler::MemoryWords() const {
+  // Stored items of both bucket samples + counters (arrivals, reservoir
+  // counter, window size, k).
+  return current_.MemoryWords() + prev_sample_.size() * kWordsPerItem + 4;
+}
+
+}  // namespace swsample

@@ -1,0 +1,72 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Sampling WITHOUT replacement from sequence-based windows -- paper Section
+// 2.2, Theorem 2.2: a k-sample without replacement in O(k) words,
+// deterministic.
+//
+// Same equivalent-width partition as Section 2.1, but each bucket carries a
+// k-item reservoir (without replacement). With U the active bucket, V the
+// partial one and i = |X_U  intersect  U_expired| the number of expired
+// members of U's sample, the combined sample is
+//
+//     Z = (X_U  intersect  U_active)  union  X_V^i
+//
+// where X_V^i is a uniform i-subset of V's reservoir. The paper's counting
+// argument (Section 2.2) shows P(Z = Q) = 1/C(n, k) for every k-subset Q of
+// the window.
+
+#ifndef SWSAMPLE_CORE_SEQ_SWOR_H_
+#define SWSAMPLE_CORE_SEQ_SWOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "reservoir/reservoir.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample without replacement over a fixed-size window of n items.
+class SequenceSworSampler final : public WindowSampler {
+ public:
+  /// Creates a sampler. Requires 1 <= k <= n (a without-replacement
+  /// k-sample needs k distinct active elements once the window fills).
+  static Result<std::unique_ptr<SequenceSworSampler>> Create(uint64_t n,
+                                                             uint64_t k,
+                                                             uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp) override {}
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return k_; }
+  const char* name() const override { return "bop-seq-swor"; }
+
+  /// Window size n.
+  uint64_t n() const { return n_; }
+
+  /// Total items observed.
+  uint64_t count() const { return count_; }
+
+  /// Serializes the full sampler state (config, counters, RNG, samples).
+  void SaveState(std::string* out) const;
+
+  /// Rebuilds a sampler from SaveState() output.
+  static Result<std::unique_ptr<SequenceSworSampler>> Restore(
+      const std::string& data);
+
+ private:
+  SequenceSworSampler(uint64_t n, uint64_t k, uint64_t seed);
+
+  uint64_t n_;
+  uint64_t k_;
+  uint64_t count_ = 0;
+  Rng rng_;
+  KReservoir current_;                // k-reservoir of the newest bucket
+  std::vector<Item> prev_sample_;    // final k-sample of the previous bucket
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_SEQ_SWOR_H_

@@ -1,0 +1,131 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/seq_swr.h"
+
+#include "stream/item_serial.h"
+#include "util/macros.h"
+#include "util/serial.h"
+
+namespace swsample {
+namespace {
+constexpr uint64_t kSeqSwrMagic = 0x31525753'51455331ULL;  // "1RWS QES1"
+}  // namespace
+
+Result<std::unique_ptr<SequenceSwrSampler>> SequenceSwrSampler::Create(
+    uint64_t n, uint64_t k, uint64_t seed) {
+  if (n < 1) {
+    return Status::InvalidArgument("SequenceSwrSampler: n must be >= 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("SequenceSwrSampler: k must be >= 1");
+  }
+  return std::unique_ptr<SequenceSwrSampler>(
+      new SequenceSwrSampler(n, k, seed));
+}
+
+SequenceSwrSampler::SequenceSwrSampler(uint64_t n, uint64_t k, uint64_t seed)
+    : n_(n), rng_(seed), units_(k) {}
+
+void SequenceSwrSampler::Observe(const Item& item) {
+  SWS_DCHECK(item.index == count_);
+  ++count_;
+  for (Unit& unit : units_) {
+    if (unit.current.count() == n_) {
+      // The newest bucket just completed on the previous arrival; its final
+      // reservoir sample becomes the "active bucket" sample X_U.
+      unit.prev_sample = unit.current.sample();
+      unit.current.Reset();
+    }
+    unit.current.Observe(item, rng_);
+  }
+}
+
+std::optional<Item> SequenceSwrSampler::SampleUnit(const Unit& unit) const {
+  if (count_ == 0) return std::nullopt;
+  // Window is exactly the newest bucket (it just completed), or the stream
+  // is still shorter than one window: the bucket reservoir is the answer.
+  if (unit.current.count() == n_ || count_ < n_) return unit.current.sample();
+  // Window straddles the previous (complete) bucket U and the partial
+  // bucket V. X_U expired <=> its index precedes the window start.
+  SWS_DCHECK(unit.prev_sample.has_value());
+  const uint64_t window_start = count_ - n_;
+  if (unit.prev_sample->index >= window_start) return unit.prev_sample;
+  return unit.current.sample();
+}
+
+std::vector<Item> SequenceSwrSampler::Sample() {
+  std::vector<Item> out;
+  out.reserve(units_.size());
+  for (const Unit& unit : units_) {
+    if (auto s = SampleUnit(unit)) out.push_back(*s);
+  }
+  return out;
+}
+
+void SequenceSwrSampler::SaveState(std::string* out) const {
+  SWS_CHECK(out != nullptr);
+  BinaryWriter w;
+  w.PutU64(kSeqSwrMagic);
+  w.PutU64(n_);
+  w.PutU64(count_);
+  SaveRngState(rng_, &w);
+  w.PutU64(units_.size());
+  for (const Unit& unit : units_) {
+    unit.current.Save(&w);
+    w.PutBool(unit.prev_sample.has_value());
+    if (unit.prev_sample) SaveItem(*unit.prev_sample, &w);
+  }
+  *out = w.Release();
+}
+
+Result<std::unique_ptr<SequenceSwrSampler>> SequenceSwrSampler::Restore(
+    const std::string& data) {
+  BinaryReader r(data);
+  uint64_t magic = 0, n = 0, count = 0, k = 0;
+  Rng rng(0);
+  if (!r.GetU64(&magic) || magic != kSeqSwrMagic) {
+    return Status::InvalidArgument("SequenceSwrSampler: bad checkpoint magic");
+  }
+  if (!r.GetU64(&n) || !r.GetU64(&count) || !LoadRngState(&r, &rng) ||
+      !r.GetU64(&k) || n < 1 || k < 1) {
+    return Status::InvalidArgument(
+        "SequenceSwrSampler: truncated or invalid checkpoint header");
+  }
+  auto sampler =
+      std::unique_ptr<SequenceSwrSampler>(new SequenceSwrSampler(n, k, 0));
+  sampler->count_ = count;
+  sampler->rng_ = rng;
+  for (Unit& unit : sampler->units_) {
+    bool has_prev = false;
+    if (!unit.current.Load(&r) || !r.GetBool(&has_prev)) {
+      return Status::InvalidArgument(
+          "SequenceSwrSampler: truncated checkpoint unit");
+    }
+    if (has_prev) {
+      Item item;
+      if (!LoadItem(&r, &item)) {
+        return Status::InvalidArgument(
+            "SequenceSwrSampler: truncated checkpoint item");
+      }
+      unit.prev_sample = item;
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "SequenceSwrSampler: trailing bytes in checkpoint");
+  }
+  return sampler;
+}
+
+uint64_t SequenceSwrSampler::MemoryWords() const {
+  // Per unit: the partial bucket's reservoir item + the previous bucket's
+  // final sample; plus the shared arrival counter and window size.
+  uint64_t words = 2;
+  for (const Unit& unit : units_) {
+    words += unit.current.MemoryWords() + 1;  // +1: reservoir counter
+    if (unit.prev_sample) words += kWordsPerItem;
+  }
+  return words;
+}
+
+}  // namespace swsample

@@ -1,0 +1,82 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Sampling WITH replacement from sequence-based (fixed-size) windows --
+// paper Section 2.1, Theorem 2.1: k samples in O(k) words, deterministic.
+//
+// Equivalent-width partition: the stream is split into consecutive buckets
+// of exactly n items, B(in, (i+1)n). At any moment at most one bucket is
+// "active" (complete, with a non-expired element) and at most one "partial"
+// (still filling). Each maintains an independent single-item reservoir.
+// The window W (last n items) satisfies  V_a <= W <= U union V_a  with
+// |U| = |W| = n, so the Section 1.3.1 rule applies:
+//
+//     Z = X_U  if X_U has not expired, else  Z = X_V.
+//
+// For an active p in U: P(Z=p) = 1/n directly. For p among the s arrived
+// items of V: P(Z=p) = P(X_U expired) * P(X_V=p) = (s/n)(1/s) = 1/n.
+
+#ifndef SWSAMPLE_CORE_SEQ_SWR_H_
+#define SWSAMPLE_CORE_SEQ_SWR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/api.h"
+#include "reservoir/reservoir.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample with replacement over a fixed-size window of n items.
+class SequenceSwrSampler final : public WindowSampler {
+ public:
+  /// Creates a sampler for window size `n` >= 1 with `k` >= 1 independent
+  /// samples, seeded from `seed`.
+  static Result<std::unique_ptr<SequenceSwrSampler>> Create(uint64_t n,
+                                                            uint64_t k,
+                                                            uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp) override {}  // sequence windows ignore time
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return units_.size(); }
+  const char* name() const override { return "bop-seq-swr"; }
+
+  /// Window size n.
+  uint64_t n() const { return n_; }
+
+  /// Total items observed.
+  uint64_t count() const { return count_; }
+
+  /// Serializes the full sampler state (config, counters, RNG, samples).
+  void SaveState(std::string* out) const;
+
+  /// Rebuilds a sampler from SaveState() output; the restored sampler
+  /// resumes the exact same behaviour bit for bit.
+  static Result<std::unique_ptr<SequenceSwrSampler>> Restore(
+      const std::string& data);
+
+ private:
+  /// One independent single-sample pipeline (Theorem 2.1 is "repeat the
+  /// single-sample procedure k times independently").
+  struct Unit {
+    SingleReservoir current;           // reservoir of the newest bucket
+    std::optional<Item> prev_sample;   // final sample of the previous bucket
+  };
+
+  SequenceSwrSampler(uint64_t n, uint64_t k, uint64_t seed);
+
+  /// Single-sample combination rule for one unit; nullopt iff stream empty.
+  std::optional<Item> SampleUnit(const Unit& unit) const;
+
+  uint64_t n_;
+  uint64_t count_ = 0;
+  Rng rng_;
+  std::vector<Unit> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_SEQ_SWR_H_

@@ -1,0 +1,63 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Theorem 5.1 -- the black-box translation: "For a sampling-based algorithm
+// Lambda that solves problem P, there exists an algorithm Lambda' that
+// solves P on sliding windows", obtained by swapping Lambda's sampling
+// substrate for one of our window samplers. This adapter is the literal
+// code form of that statement: it owns a WindowSampler and re-runs a
+// sample-consuming estimator on the current window sample on demand. The
+// richer estimators in src/apps (frequency moments, entropy, triangles)
+// specialize the same idea with payload-carrying samplers.
+
+#ifndef SWSAMPLE_CORE_SLIDING_ADAPTER_H_
+#define SWSAMPLE_CORE_SLIDING_ADAPTER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/api.h"
+#include "stream/item.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+/// Adapts a sample-consuming computation to sliding windows.
+///
+/// `Estimator` is any callable `R(const std::vector<Item>&)`. Example:
+///
+///   SlidingAdapter mean_adapter(std::move(sampler),
+///       [](const std::vector<Item>& s) {
+///         double acc = 0; for (auto& it : s) acc += double(it.value);
+///         return s.empty() ? 0.0 : acc / double(s.size());
+///       });
+///   for (const Item& it : stream) mean_adapter.Observe(it);
+///   double windowed_mean = mean_adapter.Estimate();
+template <typename Estimator>
+class SlidingAdapter {
+ public:
+  SlidingAdapter(std::unique_ptr<WindowSampler> sampler, Estimator estimator)
+      : sampler_(std::move(sampler)), estimator_(std::move(estimator)) {
+    SWS_CHECK(sampler_ != nullptr);
+  }
+
+  /// Feeds one arrival to the underlying sampler.
+  void Observe(const Item& item) { sampler_->Observe(item); }
+
+  /// Advances the clock (timestamp windows).
+  void AdvanceTime(Timestamp now) { sampler_->AdvanceTime(now); }
+
+  /// Runs the estimator on a fresh window sample.
+  auto Estimate() { return estimator_(sampler_->Sample()); }
+
+  /// Underlying sampler (for memory accounting etc.).
+  WindowSampler& sampler() { return *sampler_; }
+
+ private:
+  std::unique_ptr<WindowSampler> sampler_;
+  Estimator estimator_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_SLIDING_ADAPTER_H_

@@ -1,0 +1,147 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/ts_single.h"
+
+#include "stream/item_serial.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<TsSingleSampler> TsSingleSampler::Create(Timestamp t0, uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument("TsSingleSampler: t0 must be >= 1");
+  }
+  return TsSingleSampler(t0, seed);
+}
+
+void TsSingleSampler::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  Restructure();
+}
+
+void TsSingleSampler::Restructure() {
+  if (zeta_.empty()) {
+    SWS_DCHECK(!straddler_);
+    return;
+  }
+  // The newest represented element sits in the last (single-element) bucket
+  // structure; if even it expired, everything did (Lemma 3.5 cases 2b/3b).
+  const Timestamp newest_ts = zeta_.bucket(zeta_.size() - 1).first_ts;
+  if (Expired(newest_ts)) {
+    zeta_.Clear();
+    straddler_.reset();
+    return;
+  }
+  if (straddler_) {
+    // Case 3a: p_z (head of zeta) still active -> state unchanged.
+    if (!Expired(zeta_.bucket(0).first_ts)) return;
+    // Case 3c: the straddler fell wholly behind; a new straddler lies
+    // inside zeta. Discard the old one and fall through to the scan.
+    straddler_.reset();
+  } else {
+    // Case 2a: the oldest represented element is still active -> Full.
+    if (!Expired(zeta_.bucket(0).first_ts)) return;
+  }
+  // Case 2c/3c scan: find the unique bucket whose head expired while its
+  // successor's head is active. The last bucket's head is the newest
+  // element (active here), so the scan always terminates before it.
+  uint64_t straddle_idx = 0;
+  for (uint64_t i = 0; i + 1 < zeta_.size(); ++i) {
+    if (Expired(zeta_.bucket(i).first_ts) &&
+        !Expired(zeta_.bucket(i + 1).first_ts)) {
+      straddle_idx = i;
+      break;
+    }
+  }
+  zeta_.DropFront(straddle_idx);
+  straddler_ = zeta_.PopFront();
+  // Lemma 3.5 case-2 invariant: z - y <= N + 1 - z.
+  SWS_DCHECK(straddler_->width() <= zeta_.covered_width());
+}
+
+void TsSingleSampler::Insert(const Item& item) {
+  SWS_DCHECK(item.timestamp <= now_);
+  if (zeta_.empty()) {
+    // Lemma 4.1: a delayed element may arrive pre-expired; representing it
+    // would poison the fresh decomposition, so skip it.
+    if (Expired(item.timestamp)) return;
+    zeta_.InitFromItem(item);
+    return;
+  }
+  zeta_.Incr(item, rng_);
+}
+
+void TsSingleSampler::Observe(const Item& item) {
+  AdvanceTime(item.timestamp);
+  Insert(item);
+}
+
+bool TsSingleSampler::has_active() {
+  Restructure();
+  return !zeta_.empty();
+}
+
+std::optional<Item> TsSingleSampler::Sample() {
+  Restructure();
+  if (zeta_.empty()) return std::nullopt;
+  if (!straddler_) {
+    // Theorem 3.9 case 1: all represented elements are active; combine the
+    // bucket samples with width-proportional probabilities.
+    return zeta_.SampleCovered(rng_);
+  }
+  // Theorem 3.9 case 2 == Lemma 3.8: B1 = straddler, B2 = zeta coverage.
+  const uint64_t beta = zeta_.covered_width();
+  const ImplicitEventDraw draw =
+      DrawImplicitEvent(*straddler_, beta, now_, t0_, rng_);
+  if (draw.x && !Expired(straddler_->r.timestamp)) return straddler_->r;
+  return zeta_.SampleCovered(rng_);
+}
+
+uint64_t TsSingleSampler::MemoryWords() const {
+  // Decomposition + optional straddler + clock, t0 and rng bookkeeping
+  // (4 state words for xoshiro, counted to be conservative).
+  uint64_t words = zeta_.MemoryWords() + 6;
+  if (straddler_) words += BucketStructure::kWords;
+  return words;
+}
+
+void TsSingleSampler::Save(BinaryWriter* w) const {
+  w->PutI64(t0_);
+  w->PutI64(now_);
+  SaveRngState(rng_, w);
+  w->PutBool(straddler_.has_value());
+  if (straddler_) straddler_->Save(w);
+  zeta_.Save(w);
+}
+
+bool TsSingleSampler::Load(BinaryReader* r) {
+  straddler_.reset();
+  zeta_.Clear();
+  bool has_straddler = false;
+  if (!r->GetI64(&t0_) || !r->GetI64(&now_) || !LoadRngState(r, &rng_) ||
+      !r->GetBool(&has_straddler)) {
+    return false;
+  }
+  if (t0_ < 1) return false;
+  if (has_straddler) {
+    BucketStructure bs;
+    if (!bs.Load(r)) return false;
+    straddler_ = bs;
+  }
+  if (!zeta_.Load(r)) return false;
+  return CheckInvariants();
+}
+
+bool TsSingleSampler::CheckInvariants() const {
+  if (!zeta_.CheckInvariants()) return false;
+  if (straddler_) {
+    if (zeta_.empty()) return false;
+    if (straddler_->y != zeta_.a()) return false;
+    if (straddler_->width() > zeta_.covered_width()) return false;
+    if (!Expired(straddler_->first_ts)) return false;
+  }
+  return true;
+}
+
+}  // namespace swsample

@@ -1,0 +1,112 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Single-sample maintenance for TIMESTAMP-BASED windows -- paper Section 3
+// (Lemma 3.5 maintenance + Theorem 3.9 sampling), Theta(log n) words
+// deterministic.
+//
+// The sampler is always in one of three states:
+//   Empty    - no active element is represented;
+//   Full     - a covering decomposition zeta(l, N) whose head is the oldest
+//              ACTIVE element (Lemma 3.5 case 1);
+//   Straddle - one bucket structure BS(y, z) whose head p_y is expired but
+//              whose tail may be active, plus zeta(z, N) covering the rest
+//              (Lemma 3.5 case 2, with the invariant z - y <= N + 1 - z).
+//
+// Queries in the Full state combine bucket R-samples with width-
+// proportional probabilities; in the Straddle state they use the implicit-
+// event coin of Section 3.3 to decide between the straddler's R-sample and
+// the suffix, which is exactly Lemma 3.8.
+//
+// The class deliberately separates AdvanceTime (clock) from Insert (data):
+// the Section 4 black-box reduction feeds each structure *delayed* elements
+// whose timestamps are older than the current clock, including elements
+// that may already be expired on arrival (Lemma 4.1's "skip" case).
+
+#ifndef SWSAMPLE_CORE_TS_SINGLE_H_
+#define SWSAMPLE_CORE_TS_SINGLE_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/covering_decomposition.h"
+#include "core/implicit_events.h"
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Maintains one uniform sample of the active elements of a timestamp-based
+/// window with parameter t0 (active <=> now - T(p) < t0).
+class TsSingleSampler {
+ public:
+  /// Creates a sampler; requires t0 >= 1.
+  static Result<TsSingleSampler> Create(Timestamp t0, uint64_t seed);
+
+  /// Advances the clock (monotone) and performs expiry maintenance.
+  void AdvanceTime(Timestamp now);
+
+  /// Inserts an element with timestamp <= current clock. Consecutive calls
+  /// must carry consecutive indices unless the structure emptied in
+  /// between. Already-expired elements are skipped (Lemma 4.1).
+  void Insert(const Item& item);
+
+  /// Convenience: AdvanceTime(item.timestamp) then Insert(item).
+  void Observe(const Item& item);
+
+  /// Draws a uniform sample of the active elements; nullopt iff none are
+  /// represented. Fresh randomness per call.
+  std::optional<Item> Sample();
+
+  /// True iff at least one active element is represented.
+  bool has_active();
+
+  /// Current clock.
+  Timestamp now() const { return now_; }
+
+  /// Window parameter t0.
+  Timestamp t0() const { return t0_; }
+
+  /// Live memory words (paper model).
+  uint64_t MemoryWords() const;
+
+  /// Number of bucket structures held (straddler included); the Theorem
+  /// 3.9 claim is that this is O(log n).
+  uint64_t StructureCount() const {
+    return zeta_.size() + (straddler_ ? 1 : 0);
+  }
+
+  /// Structural invariants incl. Lemma 3.5's case-2 width inequality.
+  bool CheckInvariants() const;
+
+  /// Checkpointing: serializes config, clock, RNG and both structures so a
+  /// restored sampler resumes the exact same behaviour bit for bit.
+  void Save(BinaryWriter* w) const;
+  bool Load(BinaryReader* r);
+
+  /// Read access to the internal structures. Used by the forward-count
+  /// tracker (apps/ts_counting.h) that attaches AMS payloads to the O(log n)
+  /// candidate samples, and by white-box tests.
+  const CoveringDecomposition& zeta() const { return zeta_; }
+  const std::optional<BucketStructure>& straddler() const {
+    return straddler_;
+  }
+
+ private:
+  TsSingleSampler(Timestamp t0, uint64_t seed) : t0_(t0), rng_(seed) {}
+
+  bool Expired(Timestamp ts) const { return now_ - ts >= t0_; }
+
+  /// Lemma 3.5 case analysis at the current clock; idempotent.
+  void Restructure();
+
+  Timestamp t0_;
+  Rng rng_;
+  Timestamp now_ = 0;
+  std::optional<BucketStructure> straddler_;
+  CoveringDecomposition zeta_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_TS_SINGLE_H_

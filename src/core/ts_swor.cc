@@ -1,0 +1,163 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/ts_swor.h"
+
+#include <algorithm>
+
+#include "stream/item_serial.h"
+#include "util/macros.h"
+#include "util/serial.h"
+
+namespace swsample {
+namespace {
+constexpr uint64_t kTsSworMagic = 0x34525753'53545334ULL;
+}  // namespace
+
+Result<std::unique_ptr<TsSworSampler>> TsSworSampler::Create(Timestamp t0,
+                                                             uint64_t k,
+                                                             uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument("TsSworSampler: t0 must be >= 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("TsSworSampler: k must be >= 1");
+  }
+  return std::unique_ptr<TsSworSampler>(new TsSworSampler(t0, k, seed));
+}
+
+TsSworSampler::TsSworSampler(Timestamp t0, uint64_t k, uint64_t seed)
+    : t0_(t0), k_(k) {
+  Rng seeder(seed);
+  structures_.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    structures_.push_back(
+        std::move(TsSingleSampler::Create(t0, seeder.NextU64())).ValueOrDie());
+  }
+}
+
+void TsSworSampler::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  for (auto& s : structures_) s.AdvanceTime(now);
+}
+
+void TsSworSampler::Observe(const Item& item) {
+  AdvanceTime(item.timestamp);
+  // The new arrival enters the auxiliary array; each structure R_i then
+  // receives the element that is now exactly i arrivals old. Element
+  // (m - i) is recent_[size-1-i] after the push. Pre-expired delayed
+  // elements are skipped inside Insert (Lemma 4.1).
+  recent_.push_back(item);
+  if (recent_.size() > k_) recent_.pop_front();
+  const uint64_t have = recent_.size();
+  for (uint64_t i = 0; i < k_; ++i) {
+    if (item.index < i) break;  // fewer than i+1 arrivals so far
+    if (i < have) {
+      structures_[i].Insert(recent_[have - 1 - i]);
+    }
+  }
+}
+
+std::vector<Item> TsSworSampler::Sample() {
+  for (auto& s : structures_) s.AdvanceTime(now_);  // idempotent restructure
+
+  // Small-window case: if D_{k-1} (active excluding the k-1 newest
+  // arrivals) is empty, every active element is one of the last k-1
+  // arrivals, all of which sit in the auxiliary array: return them exactly.
+  if (!structures_[k_ - 1].has_active()) {
+    std::vector<Item> all;
+    for (const Item& item : recent_) {
+      if (now_ - item.timestamp < t0_) all.push_back(item);
+    }
+    return all;
+  }
+
+  // Lemma 4.3 chain. S starts as a 1-sample of D_{k-1} and absorbs one
+  // domain element per step.
+  std::vector<Item> s;
+  s.reserve(k_);
+  {
+    auto r = structures_[k_ - 1].Sample();
+    SWS_CHECK(r.has_value());
+    s.push_back(*r);
+  }
+  for (uint64_t j = 2; j <= k_; ++j) {
+    const uint64_t idx = k_ - j;  // structure index feeding this step
+    auto r = structures_[idx].Sample();
+    SWS_CHECK(r.has_value());  // D_idx contains non-empty D_{k-1}
+    // Newest element of D_idx: the (idx+1)-th most recent arrival. It is
+    // active because D_{idx+1} (older elements) is non-empty and
+    // timestamps are monotone.
+    SWS_DCHECK(recent_.size() > idx);
+    const Item& newest = recent_[recent_.size() - 1 - idx];
+    SWS_DCHECK(now_ - newest.timestamp < t0_);
+    const bool collision =
+        std::any_of(s.begin(), s.end(), [&](const Item& it) {
+          return it.index == r->index;
+        });
+    s.push_back(collision ? newest : *r);
+  }
+  return s;
+}
+
+void TsSworSampler::SaveState(std::string* out) const {
+  SWS_CHECK(out != nullptr);
+  BinaryWriter w;
+  w.PutU64(kTsSworMagic);
+  w.PutI64(t0_);
+  w.PutU64(k_);
+  w.PutI64(now_);
+  for (const auto& s : structures_) s.Save(&w);
+  w.PutU64(recent_.size());
+  for (const Item& item : recent_) SaveItem(item, &w);
+  *out = w.Release();
+}
+
+Result<std::unique_ptr<TsSworSampler>> TsSworSampler::Restore(
+    const std::string& data) {
+  BinaryReader r(data);
+  uint64_t magic = 0, k = 0, recent_size = 0;
+  Timestamp t0 = 0, now = 0;
+  if (!r.GetU64(&magic) || magic != kTsSworMagic) {
+    return Status::InvalidArgument("TsSworSampler: bad checkpoint magic");
+  }
+  if (!r.GetI64(&t0) || !r.GetU64(&k) || !r.GetI64(&now) || t0 < 1 ||
+      k < 1) {
+    return Status::InvalidArgument(
+        "TsSworSampler: truncated or invalid checkpoint header");
+  }
+  auto sampler = std::unique_ptr<TsSworSampler>(new TsSworSampler(t0, k, 0));
+  sampler->now_ = now;
+  for (auto& s : sampler->structures_) {
+    if (!s.Load(&r) || s.t0() != t0) {
+      return Status::InvalidArgument(
+          "TsSworSampler: truncated or inconsistent checkpoint structure");
+    }
+  }
+  if (!r.GetU64(&recent_size) || recent_size > k) {
+    return Status::InvalidArgument(
+        "TsSworSampler: invalid checkpoint aux array");
+  }
+  sampler->recent_.clear();
+  for (uint64_t i = 0; i < recent_size; ++i) {
+    Item item;
+    if (!LoadItem(&r, &item)) {
+      return Status::InvalidArgument(
+          "TsSworSampler: truncated checkpoint item");
+    }
+    sampler->recent_.push_back(item);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "TsSworSampler: trailing bytes in checkpoint");
+  }
+  return sampler;
+}
+
+uint64_t TsSworSampler::MemoryWords() const {
+  uint64_t words = 2 + recent_.size() * kWordsPerItem;  // t0, clock, aux
+  for (const auto& s : structures_) words += s.MemoryWords();
+  return words;
+}
+
+}  // namespace swsample

@@ -1,0 +1,102 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "core/ts_swr.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/serial.h"
+
+namespace swsample {
+namespace {
+constexpr uint64_t kTsSwrMagic = 0x33525753'53545333ULL;
+}  // namespace
+
+Result<std::unique_ptr<TsSwrSampler>> TsSwrSampler::Create(Timestamp t0,
+                                                           uint64_t k,
+                                                           uint64_t seed) {
+  if (t0 < 1) {
+    return Status::InvalidArgument("TsSwrSampler: t0 must be >= 1");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("TsSwrSampler: k must be >= 1");
+  }
+  return std::unique_ptr<TsSwrSampler>(new TsSwrSampler(t0, k, seed));
+}
+
+TsSwrSampler::TsSwrSampler(Timestamp t0, uint64_t k, uint64_t seed)
+    : t0_(t0) {
+  Rng seeder(seed);
+  units_.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    units_.push_back(std::move(TsSingleSampler::Create(t0, seeder.NextU64()))
+                         .ValueOrDie());
+  }
+}
+
+void TsSwrSampler::Observe(const Item& item) {
+  for (auto& unit : units_) unit.Observe(item);
+}
+
+void TsSwrSampler::AdvanceTime(Timestamp now) {
+  for (auto& unit : units_) unit.AdvanceTime(now);
+}
+
+std::vector<Item> TsSwrSampler::Sample() {
+  std::vector<Item> out;
+  out.reserve(units_.size());
+  for (auto& unit : units_) {
+    if (auto s = unit.Sample()) out.push_back(*s);
+  }
+  return out;
+}
+
+uint64_t TsSwrSampler::MemoryWords() const {
+  uint64_t words = 1;  // t0
+  for (const auto& unit : units_) words += unit.MemoryWords();
+  return words;
+}
+
+void TsSwrSampler::SaveState(std::string* out) const {
+  SWS_CHECK(out != nullptr);
+  BinaryWriter w;
+  w.PutU64(kTsSwrMagic);
+  w.PutI64(t0_);
+  w.PutU64(units_.size());
+  for (const auto& unit : units_) unit.Save(&w);
+  *out = w.Release();
+}
+
+Result<std::unique_ptr<TsSwrSampler>> TsSwrSampler::Restore(
+    const std::string& data) {
+  BinaryReader r(data);
+  uint64_t magic = 0, k = 0;
+  Timestamp t0 = 0;
+  if (!r.GetU64(&magic) || magic != kTsSwrMagic) {
+    return Status::InvalidArgument("TsSwrSampler: bad checkpoint magic");
+  }
+  if (!r.GetI64(&t0) || !r.GetU64(&k) || t0 < 1 || k < 1) {
+    return Status::InvalidArgument(
+        "TsSwrSampler: truncated or invalid checkpoint header");
+  }
+  auto sampler = std::unique_ptr<TsSwrSampler>(new TsSwrSampler(t0, k, 0));
+  for (auto& unit : sampler->units_) {
+    if (!unit.Load(&r) || unit.t0() != t0) {
+      return Status::InvalidArgument(
+          "TsSwrSampler: truncated or inconsistent checkpoint unit");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "TsSwrSampler: trailing bytes in checkpoint");
+  }
+  return sampler;
+}
+
+uint64_t TsSwrSampler::MaxStructureCount() const {
+  uint64_t m = 0;
+  for (const auto& unit : units_) m = std::max(m, unit.StructureCount());
+  return m;
+}
+
+}  // namespace swsample

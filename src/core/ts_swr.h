@@ -1,0 +1,58 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// k-sample WITH replacement for timestamp-based windows: k independent
+// copies of the Section 3 single-sample structure ("To create a k-random
+// sample, we repeat the procedure k times, independently"), O(k log n)
+// words deterministic, matching the Gemulla-Lehner Omega(k log n) lower
+// bound.
+
+#ifndef SWSAMPLE_CORE_TS_SWR_H_
+#define SWSAMPLE_CORE_TS_SWR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/api.h"
+#include "core/ts_single.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// k-sample with replacement over a timestamp window of length t0.
+class TsSwrSampler final : public WindowSampler {
+ public:
+  /// Creates a sampler; requires t0 >= 1 and k >= 1.
+  static Result<std::unique_ptr<TsSwrSampler>> Create(Timestamp t0,
+                                                      uint64_t k,
+                                                      uint64_t seed);
+
+  void Observe(const Item& item) override;
+  void AdvanceTime(Timestamp now) override;
+  std::vector<Item> Sample() override;
+  uint64_t MemoryWords() const override;
+  uint64_t k() const override { return units_.size(); }
+  const char* name() const override { return "bop-ts-swr"; }
+
+  /// Window parameter.
+  Timestamp t0() const { return t0_; }
+
+  /// Max bucket structures across units (O(log n) claim, experiment E3).
+  uint64_t MaxStructureCount() const;
+
+  /// Serializes the full sampler state (config, clocks, RNGs, structures).
+  void SaveState(std::string* out) const;
+
+  /// Rebuilds a sampler from SaveState() output.
+  static Result<std::unique_ptr<TsSwrSampler>> Restore(
+      const std::string& data);
+
+ private:
+  TsSwrSampler(Timestamp t0, uint64_t k, uint64_t seed);
+
+  Timestamp t0_;
+  std::vector<TsSingleSampler> units_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_CORE_TS_SWR_H_

@@ -1,0 +1,51 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "reservoir/algorithm_l.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+SkipReservoir::SkipReservoir(uint64_t k) : k_(k) {
+  SWS_CHECK(k >= 1);
+  slots_.reserve(k);
+}
+
+void SkipReservoir::ScheduleNextAcceptance(Rng& rng) {
+  // w is the product of k-th roots of uniforms; the skip is geometric with
+  // success probability (1 - w) per element.
+  double u = rng.Uniform01();
+  if (u <= 0.0) u = 1e-300;
+  w_ *= std::exp(std::log(u) / static_cast<double>(k_));
+  double u2 = rng.Uniform01();
+  if (u2 <= 0.0) u2 = 1e-300;
+  double skip = std::floor(std::log(u2) / std::log(1.0 - w_));
+  if (!(skip >= 0.0) || skip > 1e18) skip = 1e18;  // degenerate w ~ 1
+  // Li: i := i + floor(log(u)/log(1-W)) + 1 -- the next accepted item is
+  // `skip` items after the current one.
+  next_accept_ = count_ + static_cast<uint64_t>(skip) + 1;
+}
+
+void SkipReservoir::Observe(const Item& item, Rng& rng) {
+  ++count_;
+  if (slots_.size() < k_) {
+    slots_.push_back(item);
+    if (slots_.size() == k_) ScheduleNextAcceptance(rng);
+    return;
+  }
+  if (count_ == next_accept_) {
+    slots_[rng.UniformIndex(k_)] = item;
+    ScheduleNextAcceptance(rng);
+  }
+}
+
+void SkipReservoir::Reset() {
+  slots_.clear();
+  count_ = 0;
+  next_accept_ = 0;
+  w_ = 1.0;
+}
+
+}  // namespace swsample

@@ -1,0 +1,55 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Algorithm L (Li, "Reservoir-sampling algorithms of time complexity
+// O(n(1+log(N/n)))", TOMS'94; paper reference [53]): a k-item reservoir that
+// draws O(k(1 + log(N/k))) random numbers total instead of one per element
+// by computing geometric skip lengths. Produces the same distribution as
+// Algorithm R; used by the throughput benchmarks (E6) to show the substrate
+// cost can be driven below one RNG call per element.
+
+#ifndef SWSAMPLE_RESERVOIR_ALGORITHM_L_H_
+#define SWSAMPLE_RESERVOIR_ALGORITHM_L_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/item.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Skip-based k-item reservoir without replacement. Same sampling
+/// distribution as KReservoir; amortized O(1 + k log(N/k)/N) work/element.
+class SkipReservoir {
+ public:
+  /// `k` must be >= 1.
+  explicit SkipReservoir(uint64_t k);
+
+  /// Observes one item (cheap no-op while inside a skip run).
+  void Observe(const Item& item, Rng& rng);
+
+  /// Items observed so far.
+  uint64_t count() const { return count_; }
+
+  /// The held sample: min(k, count) items, uniform subset of observed.
+  const std::vector<Item>& items() const { return slots_; }
+
+  /// Forgets everything.
+  void Reset();
+
+  /// Memory words held.
+  uint64_t MemoryWords() const { return slots_.size() * kWordsPerItem; }
+
+ private:
+  void ScheduleNextAcceptance(Rng& rng);
+
+  uint64_t k_;
+  uint64_t count_ = 0;
+  uint64_t next_accept_ = 0;  // 1-based count at which the next item enters
+  double w_ = 1.0;
+  std::vector<Item> slots_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_RESERVOIR_ALGORITHM_L_H_

@@ -1,0 +1,79 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Payload-carrying reservoirs for AMS-style estimators (paper Section 5).
+//
+// The Alon-Matias-Szegedy frequency-moment estimator and the
+// Chakrabarti-Cormode-McGregor entropy estimator need, for a uniformly
+// sampled position p, the count of occurrences of value(p) AFTER p. A
+// reservoir can maintain that online: each slot carries a payload that is
+// re-initialized when the slot is replaced and updated by every subsequent
+// arrival. On sliding windows this stays correct because every element that
+// arrives after an active position is itself active (sequence-based model),
+// so the forward count never includes expired elements.
+
+#ifndef SWSAMPLE_RESERVOIR_PAYLOAD_RESERVOIR_H_
+#define SWSAMPLE_RESERVOIR_PAYLOAD_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/item.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Single-slot reservoir whose sample carries a user payload.
+///
+/// `Payload` must be default-constructible and cheap to copy. Two hooks
+/// drive it: `OnSampled(item) -> Payload` when the slot is (re)selected and
+/// `OnArrival(payload&, item)` for every arrival observed while the slot
+/// holds a sample (including the selecting arrival is NOT reported; the AMS
+/// convention counts the sampled occurrence via the +1 in the estimator).
+template <typename Payload, typename OnSampledFn, typename OnArrivalFn>
+class PayloadReservoir {
+ public:
+  PayloadReservoir(OnSampledFn on_sampled, OnArrivalFn on_arrival)
+      : on_sampled_(std::move(on_sampled)), on_arrival_(std::move(on_arrival)) {}
+
+  /// Observes one item.
+  void Observe(const Item& item, Rng& rng) {
+    ++count_;
+    if (rng.BernoulliRational(1, count_)) {
+      item_ = item;
+      payload_ = on_sampled_(item);
+      has_ = true;
+    } else if (has_) {
+      on_arrival_(payload_, item);
+    }
+  }
+
+  bool has_sample() const { return has_; }
+  const Item& item() const {
+    SWS_DCHECK(has_);
+    return item_;
+  }
+  const Payload& payload() const {
+    SWS_DCHECK(has_);
+    return payload_;
+  }
+
+  uint64_t count() const { return count_; }
+
+  void Reset() {
+    has_ = false;
+    count_ = 0;
+  }
+
+ private:
+  OnSampledFn on_sampled_;
+  OnArrivalFn on_arrival_;
+  Item item_{};
+  Payload payload_{};
+  bool has_ = false;
+  uint64_t count_ = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_RESERVOIR_PAYLOAD_RESERVOIR_H_

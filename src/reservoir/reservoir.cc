@@ -1,0 +1,105 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "reservoir/reservoir.h"
+
+#include "stream/item_serial.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+void SingleReservoir::Observe(const Item& item, Rng& rng) {
+  ++count_;
+  if (rng.BernoulliRational(1, count_)) sample_ = item;
+}
+
+void SingleReservoir::Reset() {
+  sample_.reset();
+  count_ = 0;
+}
+
+void SingleReservoir::Save(BinaryWriter* w) const {
+  w->PutU64(count_);
+  w->PutBool(sample_.has_value());
+  if (sample_) SaveItem(*sample_, w);
+}
+
+bool SingleReservoir::Load(BinaryReader* r) {
+  Reset();
+  bool has = false;
+  if (!r->GetU64(&count_) || !r->GetBool(&has)) return false;
+  if (has) {
+    Item item;
+    if (!LoadItem(r, &item)) return false;
+    sample_ = item;
+  }
+  return true;
+}
+
+KReservoir::KReservoir(uint64_t k) : k_(k) {
+  SWS_CHECK(k >= 1);
+  slots_.reserve(k);
+}
+
+void KReservoir::Observe(const Item& item, Rng& rng) {
+  ++count_;
+  if (slots_.size() < k_) {
+    slots_.push_back(item);
+    return;
+  }
+  // Replace a uniformly random slot with probability k/count: draw a
+  // position in [0, count) and replace iff it lands inside the reservoir.
+  uint64_t pos = rng.UniformIndex(count_);
+  if (pos < k_) slots_[pos] = item;
+}
+
+void KReservoir::SubsampleInto(uint64_t i, Rng& rng,
+                               std::vector<Item>* out) const {
+  SWS_CHECK(out != nullptr);
+  SWS_CHECK(i <= slots_.size());
+  // Floyd's algorithm for a uniform i-subset of [0, m).
+  const uint64_t m = slots_.size();
+  std::vector<uint64_t> chosen;
+  chosen.reserve(i);
+  for (uint64_t j = m - i; j < m; ++j) {
+    uint64_t t = rng.UniformIndex(j + 1);
+    bool seen = false;
+    for (uint64_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  for (uint64_t c : chosen) out->push_back(slots_[c]);
+}
+
+void KReservoir::Reset() {
+  slots_.clear();
+  count_ = 0;
+}
+
+void KReservoir::Save(BinaryWriter* w) const {
+  w->PutU64(k_);
+  w->PutU64(count_);
+  w->PutU64(slots_.size());
+  for (const Item& item : slots_) SaveItem(item, w);
+}
+
+bool KReservoir::Load(BinaryReader* r) {
+  Reset();
+  uint64_t size = 0;
+  if (!r->GetU64(&k_) || !r->GetU64(&count_) || !r->GetU64(&size)) {
+    return false;
+  }
+  if (k_ < 1 || size > k_) return false;
+  slots_.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    Item item;
+    if (!LoadItem(r, &item)) return false;
+    slots_.push_back(item);
+  }
+  return true;
+}
+
+}  // namespace swsample

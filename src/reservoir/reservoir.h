@@ -1,0 +1,104 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Reservoir sampling (Vitter, "Random sampling with a reservoir", TOMS'85).
+//
+// This is the insertion-only substrate the paper builds on: every bucket of
+// the equivalent-width partition (Section 2) and every bucket structure of
+// the covering decomposition (Section 3) carries reservoir samples. Two
+// properties of Algorithm R are load-bearing for the paper:
+//
+//  * A reservoir over a prefix C of bucket B is a uniform sample of C
+//    (used for partial buckets, Section 2.1).
+//  * The sample held after i arrivals is independent of the portion of the
+//    final sample that falls in the remaining |B| - i arrivals (Section
+//    1.3.4, the independence-of-disjoint-windows argument).
+
+#ifndef SWSAMPLE_RESERVOIR_RESERVOIR_H_
+#define SWSAMPLE_RESERVOIR_RESERVOIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace swsample {
+
+/// Single-item reservoir (Algorithm R with k = 1): after observing c items,
+/// holds each of them with probability exactly 1/c.
+class SingleReservoir {
+ public:
+  SingleReservoir() = default;
+
+  /// Observes one item: it becomes the sample with probability 1/count.
+  void Observe(const Item& item, Rng& rng);
+
+  /// Number of items observed since construction/Reset.
+  uint64_t count() const { return count_; }
+
+  /// Current sample; nullopt iff count() == 0.
+  const std::optional<Item>& sample() const { return sample_; }
+
+  /// Forgets everything (fresh bucket).
+  void Reset();
+
+  /// Memory words held (paper model): the one stored item.
+  uint64_t MemoryWords() const { return sample_ ? kWordsPerItem : 0; }
+
+  /// Checkpointing (see util/serial.h).
+  void Save(BinaryWriter* w) const;
+  bool Load(BinaryReader* r);
+
+ private:
+  std::optional<Item> sample_;
+  uint64_t count_ = 0;
+};
+
+/// k-item reservoir without replacement (Algorithm R): after observing
+/// c >= k items, holds a uniformly random k-subset of them; for c < k it
+/// holds all c items. Order of the stored items is NOT random -- callers
+/// that need a random subset of the reservoir use SubsampleInto().
+class KReservoir {
+ public:
+  /// `k` must be >= 1.
+  explicit KReservoir(uint64_t k);
+
+  /// Observes one item (replaces a random slot w.p. k/count once full).
+  void Observe(const Item& item, Rng& rng);
+
+  /// Number of items observed since construction/Reset.
+  uint64_t count() const { return count_; }
+
+  /// Capacity k.
+  uint64_t k() const { return k_; }
+
+  /// The held sample: min(k, count) items, a uniform subset of observed.
+  const std::vector<Item>& items() const { return slots_; }
+
+  /// Draws a uniformly random i-subset of the held sample into `out`
+  /// (appended). Requires i <= items().size(). A uniform i-subset of a
+  /// uniform k-subset of C is a uniform i-subset of C, which is exactly the
+  /// X_V^i of paper Section 2.2.
+  void SubsampleInto(uint64_t i, Rng& rng, std::vector<Item>* out) const;
+
+  /// Forgets everything (fresh bucket).
+  void Reset();
+
+  /// Memory words held: stored items only (k is configuration).
+  uint64_t MemoryWords() const { return slots_.size() * kWordsPerItem; }
+
+  /// Checkpointing (see util/serial.h). Load replaces k, count and slots.
+  void Save(BinaryWriter* w) const;
+  bool Load(BinaryReader* r);
+
+ private:
+  uint64_t k_;
+  uint64_t count_ = 0;
+  std::vector<Item> slots_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_RESERVOIR_RESERVOIR_H_

@@ -1,0 +1,38 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stats/exact.h"
+
+#include <cmath>
+
+namespace swsample {
+
+std::unordered_map<uint64_t, uint64_t> ExactHistogram(
+    const std::vector<uint64_t>& values) {
+  std::unordered_map<uint64_t, uint64_t> hist;
+  hist.reserve(values.size());
+  for (uint64_t v : values) ++hist[v];
+  return hist;
+}
+
+double ExactFrequencyMoment(const std::vector<uint64_t>& values, uint32_t k) {
+  double fk = 0.0;
+  for (const auto& [value, count] : ExactHistogram(values)) {
+    (void)value;
+    fk += std::pow(static_cast<double>(count), static_cast<double>(k));
+  }
+  return fk;
+}
+
+double ExactEntropy(const std::vector<uint64_t>& values) {
+  if (values.empty()) return 0.0;
+  const double n = static_cast<double>(values.size());
+  double h = 0.0;
+  for (const auto& [value, count] : ExactHistogram(values)) {
+    (void)value;
+    double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace swsample

@@ -1,0 +1,29 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Exact (non-streaming) aggregates over a window's contents. These are the
+// ground-truth oracles for the application experiments (Corollaries 5.2 and
+// 5.4): the streaming estimators built on our samplers are compared against
+// exact values computed from a full buffer of the window.
+
+#ifndef SWSAMPLE_STATS_EXACT_H_
+#define SWSAMPLE_STATS_EXACT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace swsample {
+
+/// Frequency histogram of a value multiset.
+std::unordered_map<uint64_t, uint64_t> ExactHistogram(
+    const std::vector<uint64_t>& values);
+
+/// Exact k-th frequency moment F_k = sum_i x_i^k of the multiset.
+double ExactFrequencyMoment(const std::vector<uint64_t>& values, uint32_t k);
+
+/// Exact empirical (Shannon) entropy H = -sum (x_i/N) log2(x_i/N).
+double ExactEntropy(const std::vector<uint64_t>& values);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STATS_EXACT_H_

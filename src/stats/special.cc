@@ -1,0 +1,81 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stats/special.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace swsample {
+namespace {
+
+// Series expansion of the regularized LOWER incomplete gamma P(a, x),
+// convergent for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for the regularized UPPER incomplete gamma Q(a, x),
+// convergent for x >= a + 1 (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  SWS_CHECK(a > 0.0);
+  SWS_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareTail(double x, double df) {
+  SWS_CHECK(df >= 1.0);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double KolmogorovTail(double t) {
+  if (t <= 0.0) return 1.0;
+  // P(sqrt(n) D > t) ~ 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 t^2).
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = std::exp(-2.0 * j * j * t * t);
+    sum += (j % 2 == 1) ? term : -term;
+    if (term < 1e-16) break;
+  }
+  double p = 2.0 * sum;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  return p;
+}
+
+}  // namespace swsample

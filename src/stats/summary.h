@@ -1,0 +1,60 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Running summaries (mean/variance/min/max) and percentile extraction used
+// by the memory-bound experiments: the paper's headline is deterministic
+// worst-case memory, so the harness reports max and high percentiles of the
+// per-step memory footprint, not just averages.
+
+#ifndef SWSAMPLE_STATS_SUMMARY_H_
+#define SWSAMPLE_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+/// Welford running summary over doubles.
+class RunningSummary {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile (nearest-rank) of a sample set; `q` in [0, 1]. Copies and
+/// sorts; intended for post-run reporting, not hot paths.
+inline double Percentile(std::vector<double> xs, double q) {
+  SWS_CHECK(!xs.empty());
+  SWS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(xs.size() - 1));
+  return xs[rank];
+}
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STATS_SUMMARY_H_

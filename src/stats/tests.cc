@@ -1,0 +1,87 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+ChiSquareResult ChiSquareUniform(const std::vector<uint64_t>& counts) {
+  SWS_CHECK(!counts.empty());
+  std::vector<double> probs(counts.size(),
+                            1.0 / static_cast<double>(counts.size()));
+  return ChiSquareExpected(counts, probs);
+}
+
+ChiSquareResult ChiSquareExpected(const std::vector<uint64_t>& counts,
+                                  const std::vector<double>& expected_probs) {
+  SWS_CHECK(counts.size() == expected_probs.size());
+  SWS_CHECK(!counts.empty());
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  SWS_CHECK(total > 0);
+  double prob_sum = 0.0;
+  for (double p : expected_probs) prob_sum += p;
+  SWS_CHECK(std::fabs(prob_sum - 1.0) < 1e-9);
+
+  double stat = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double expected = expected_probs[i] * static_cast<double>(total);
+    SWS_CHECK(expected > 0.0);
+    double diff = static_cast<double>(counts[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  ChiSquareResult result;
+  result.statistic = stat;
+  result.df = static_cast<double>(counts.size()) - 1.0;
+  result.p_value = result.df >= 1.0 ? ChiSquareTail(stat, result.df) : 1.0;
+  return result;
+}
+
+KsResult KsUniform(std::vector<double> samples) {
+  SWS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double cdf = samples[i];  // U(0,1) CDF
+    double hi = (static_cast<double>(i) + 1.0) / n - cdf;
+    double lo = cdf - static_cast<double>(i) / n;
+    d = std::max({d, hi, lo});
+  }
+  KsResult result;
+  result.statistic = d;
+  double t = d * (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n));
+  result.p_value = KolmogorovTail(t);
+  return result;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  SWS_CHECK(xs.size() == ys.size());
+  SWS_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace swsample

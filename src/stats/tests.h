@@ -1,0 +1,50 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Goodness-of-fit tests used by the uniformity experiments (E4/E5/E11) and
+// by property-style unit tests: a sampler's output over many trials must be
+// statistically indistinguishable from the uniform distribution over the
+// window it claims to sample.
+
+#ifndef SWSAMPLE_STATS_TESTS_H_
+#define SWSAMPLE_STATS_TESTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace swsample {
+
+/// Result of a chi-square goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;
+};
+
+/// Chi-square test of observed counts against a uniform distribution over
+/// `categories` cells. `counts` must have exactly `categories` entries and a
+/// positive total. Callers should ensure expected counts >= ~5 for validity.
+ChiSquareResult ChiSquareUniform(const std::vector<uint64_t>& counts);
+
+/// Chi-square test against arbitrary expected probabilities (must sum to 1
+/// within 1e-9 and match counts.size()).
+ChiSquareResult ChiSquareExpected(const std::vector<uint64_t>& counts,
+                                  const std::vector<double>& expected_probs);
+
+/// Result of a one-sample Kolmogorov-Smirnov test against U(0, 1).
+struct KsResult {
+  double statistic = 0.0;  // D_n
+  double p_value = 1.0;
+};
+
+/// KS test of samples (each in [0,1]) against the uniform distribution.
+/// `samples` is sorted internally; requires at least 1 sample.
+KsResult KsUniform(std::vector<double> samples);
+
+/// Pearson correlation of paired observations (requires equal sizes >= 2).
+/// Used by the disjoint-window independence experiment (E11).
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STATS_TESTS_H_

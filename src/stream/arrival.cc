@@ -1,0 +1,68 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/arrival.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace swsample {
+
+Result<std::unique_ptr<PoissonBurstArrivals>> PoissonBurstArrivals::Create(
+    double lambda) {
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument(
+        "PoissonBurstArrivals: lambda must be finite and > 0");
+  }
+  return std::unique_ptr<PoissonBurstArrivals>(
+      new PoissonBurstArrivals(lambda));
+}
+
+uint64_t PoissonBurstArrivals::CountAt(Timestamp, Rng& rng) {
+  if (lambda_ <= 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double limit = std::exp(-lambda_);
+    uint64_t count = 0;
+    double prod = rng.Uniform01();
+    while (prod > limit) {
+      ++count;
+      prod *= rng.Uniform01();
+    }
+    return count;
+  }
+  // Normal approximation N(lambda, lambda), rounded and clamped at zero.
+  // Box-Muller from two uniforms.
+  double u1 = rng.Uniform01();
+  double u2 = rng.Uniform01();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double x = lambda_ + std::sqrt(lambda_) * z;
+  if (x < 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(x));
+}
+
+Result<std::unique_ptr<DoublingBurstArrivals>> DoublingBurstArrivals::Create(
+    int64_t t0, uint64_t max_burst) {
+  if (t0 < 1 || t0 > 30) {
+    return Status::InvalidArgument(
+        "DoublingBurstArrivals: t0 must be in [1, 30]");
+  }
+  if (max_burst < 1) {
+    return Status::InvalidArgument(
+        "DoublingBurstArrivals: max_burst must be >= 1");
+  }
+  return std::unique_ptr<DoublingBurstArrivals>(
+      new DoublingBurstArrivals(t0, max_burst));
+}
+
+uint64_t DoublingBurstArrivals::CountAt(Timestamp t, Rng&) {
+  if (t < 0) return 0;
+  if (t <= 2 * t0_) {
+    uint64_t exponent = static_cast<uint64_t>(2 * t0_ - t);
+    uint64_t burst = exponent >= 63 ? max_burst_ : Pow2(static_cast<uint32_t>(exponent));
+    return burst > max_burst_ ? max_burst_ : burst;
+  }
+  return 1;
+}
+
+}  // namespace swsample

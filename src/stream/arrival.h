@@ -1,0 +1,90 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Arrival processes: how many items arrive at each timestamp.
+//
+// Sequence-based windows only need one-item-per-step arrivals, but the
+// timestamp-based algorithms (Sections 3-4 of the paper) exist precisely
+// because arrivals can be bursty, making the number of active elements n(t)
+// unknowable in sublinear space. We therefore provide:
+//  * ConstantRateArrivals  - r items every step (r = 1 reproduces the
+//    sequence-based regime on the timestamp algorithms);
+//  * PoissonBurstArrivals  - Poisson(lambda) items per step, the standard
+//    asynchronous-network model;
+//  * DoublingBurstArrivals - the adversarial stream of Lemma 3.10
+//    (2^(2*t0 - i) items at timestamp i for i <= 2*t0, then one per step),
+//    which forces ANY single-sample algorithm to hold Omega(log n) words.
+
+#ifndef SWSAMPLE_STREAM_ARRIVAL_H_
+#define SWSAMPLE_STREAM_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Interface: number of items arriving at a given timestamp.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Number of arrivals at timestamp `t` (t increases by 1 per call site
+  /// step). May be zero (empty steps are legal and exercised in tests).
+  virtual uint64_t CountAt(Timestamp t, Rng& rng) = 0;
+};
+
+/// Exactly `rate` items per step.
+class ConstantRateArrivals final : public ArrivalProcess {
+ public:
+  /// `rate` may be zero only if you want an empty stream; requires >= 0.
+  explicit ConstantRateArrivals(uint64_t rate) : rate_(rate) {}
+
+  uint64_t CountAt(Timestamp, Rng&) override { return rate_; }
+
+ private:
+  uint64_t rate_;
+};
+
+/// Poisson(lambda) items per step; lambda <= 30 uses Knuth's product method,
+/// larger lambda a rounded normal approximation (documented substitution:
+/// exact tail shape of the arrival counts is irrelevant to the samplers,
+/// only burstiness is).
+class PoissonBurstArrivals final : public ArrivalProcess {
+ public:
+  /// Requires lambda > 0 and finite.
+  static Result<std::unique_ptr<PoissonBurstArrivals>> Create(double lambda);
+
+  uint64_t CountAt(Timestamp, Rng& rng) override;
+
+ private:
+  explicit PoissonBurstArrivals(double lambda) : lambda_(lambda) {}
+  double lambda_;
+};
+
+/// The Lemma 3.10 lower-bound stream: for 0 <= t <= 2*t0 there are
+/// 2^(2*t0 - t) arrivals at timestamp t; afterwards exactly one per step.
+/// `t0` is the window parameter the lemma is stated for; t0 <= 30 keeps
+/// the first burst below 2^60 items only notionally -- callers cap bursts
+/// with `max_burst` to keep runs tractable while preserving the doubling
+/// shape (the lemma only needs ratios between consecutive steps).
+class DoublingBurstArrivals final : public ArrivalProcess {
+ public:
+  /// Requires 1 <= t0 <= 30 and max_burst >= 1.
+  static Result<std::unique_ptr<DoublingBurstArrivals>> Create(
+      int64_t t0, uint64_t max_burst);
+
+  uint64_t CountAt(Timestamp t, Rng&) override;
+
+ private:
+  DoublingBurstArrivals(int64_t t0, uint64_t max_burst)
+      : t0_(t0), max_burst_(max_burst) {}
+  int64_t t0_;
+  uint64_t max_burst_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_ARRIVAL_H_

@@ -1,0 +1,87 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/exp_histogram.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<ExpHistogram> ExpHistogram::Create(Timestamp t0, double eps) {
+  if (t0 < 1) {
+    return Status::InvalidArgument("ExpHistogram: t0 must be >= 1");
+  }
+  if (!(eps > 0.0 && eps <= 1.0)) {
+    return Status::InvalidArgument("ExpHistogram: eps must be in (0, 1]");
+  }
+  const uint64_t k = static_cast<uint64_t>(std::ceil(1.0 / eps));
+  return ExpHistogram(t0, k / 2 + 2);
+}
+
+void ExpHistogram::EvictExpired() {
+  // A bucket is dropped once even its NEWEST element expired; the oldest
+  // surviving bucket may straddle the window boundary, which is where the
+  // eps error comes from.
+  while (!buckets_.empty() && now_ - buckets_.front().newest >= t0_) {
+    buckets_.pop_front();
+  }
+}
+
+void ExpHistogram::Merge() {
+  // Walk sizes from small (back) to large (front); whenever a size class
+  // exceeds max_per_size_, merge its two OLDEST buckets. A merge can
+  // cascade into the next size class, hence the loop.
+  for (;;) {
+    uint64_t size = buckets_.empty() ? 0 : buckets_.back().count;
+    bool merged = false;
+    // Scan from the back (newest, smallest sizes first).
+    uint64_t count_of_size = 0;
+    for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+      if (it->count != size) {
+        size = it->count;
+        count_of_size = 0;
+      }
+      ++count_of_size;
+      if (count_of_size > max_per_size_) {
+        // Merge this bucket (older) with the previous same-size one (the
+        // next one toward the back is newer; we want the two oldest of the
+        // class, which are exactly this one and the one before it in
+        // reverse order -- i.e. the element after `it` going forward).
+        auto fwd = it.base() - 1;        // points at *it
+        auto older = fwd;                 // the two oldest of this class
+        auto newer = fwd + 1;
+        older->count *= 2;
+        older->newest = newer->newest;
+        buckets_.erase(newer);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) return;
+  }
+}
+
+void ExpHistogram::Add(Timestamp ts) {
+  SWS_CHECK(ts >= now_);
+  AdvanceTime(ts);
+  buckets_.push_back(Bucket{ts, 1});
+  Merge();
+}
+
+void ExpHistogram::AdvanceTime(Timestamp now) {
+  SWS_CHECK(now >= now_);
+  now_ = now;
+  EvictExpired();
+}
+
+uint64_t ExpHistogram::Estimate() {
+  EvictExpired();
+  if (buckets_.empty()) return 0;
+  uint64_t total = 0;
+  for (const Bucket& b : buckets_) total += b.count;
+  // Count the straddling oldest bucket at half weight.
+  return total - buckets_.front().count / 2;
+}
+
+}  // namespace swsample

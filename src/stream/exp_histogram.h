@@ -1,0 +1,71 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Exponential histograms -- Datar, Gionis, Indyk, Motwani (SODA'02), the
+// paper's reference [31] and the companion substrate for its negative
+// result: the EXACT number of active elements in a timestamp window cannot
+// be maintained in sublinear space, but a (1 +/- eps) approximation can,
+// in O(eps^-1 log^2 n) bits. swsample uses it to run count-consuming
+// estimators (AMS frequency moments, entropy) over TIMESTAMP windows,
+// where the window size n(t) that the sequence-based estimators take for
+// granted is unknowable.
+//
+// Structure: per arrival a size-1 bucket (timestamp, count) is appended;
+// whenever more than ceil(1/eps)/2 + 2 buckets of one size exist, the two
+// oldest of that size merge into one of double size. The window count is
+// the sum of all non-expired buckets, counting the oldest (straddling)
+// bucket at half weight -- relative error at most eps.
+
+#ifndef SWSAMPLE_STREAM_EXP_HISTOGRAM_H_
+#define SWSAMPLE_STREAM_EXP_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "stream/item.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// (1 +/- eps)-approximate count of arrivals within the last t0 time units.
+class ExpHistogram {
+ public:
+  /// Creates a histogram for window length `t0` >= 1 with relative error
+  /// `eps` in (0, 1].
+  static Result<ExpHistogram> Create(Timestamp t0, double eps);
+
+  /// Records one arrival at time `ts` (non-decreasing).
+  void Add(Timestamp ts);
+
+  /// Advances the clock without arrivals.
+  void AdvanceTime(Timestamp now);
+
+  /// (1 +/- eps) estimate of the number of active arrivals.
+  uint64_t Estimate();
+
+  /// Number of buckets held (O(eps^-1 log n)).
+  uint64_t BucketCount() const { return buckets_.size(); }
+
+  /// Live memory words (one timestamp + one count per bucket).
+  uint64_t MemoryWords() const { return 3 + buckets_.size() * 2; }
+
+ private:
+  ExpHistogram(Timestamp t0, uint64_t max_per_size)
+      : t0_(t0), max_per_size_(max_per_size) {}
+
+  struct Bucket {
+    Timestamp newest;  ///< timestamp of the newest arrival in the bucket
+    uint64_t count;    ///< power of two
+  };
+
+  void EvictExpired();
+  void Merge();
+
+  Timestamp t0_;
+  uint64_t max_per_size_;  // k/2 + 2 with k = ceil(1/eps)
+  Timestamp now_ = 0;
+  std::deque<Bucket> buckets_;  // front = oldest
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_EXP_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// The stream element model (paper Section 1.4).
+//
+// A stream D is a sequence p_0, p_1, ... of items. Every item carries its
+// 0-based arrival index and an integer timestamp. In the sequence-based
+// window model only the index matters (the last n items are active); in the
+// timestamp-based model an item p is active at time t iff t - T(p) < t0.
+// Many items may share one timestamp (bursts), which is exactly what makes
+// the timestamp model hard: the number of active elements is not derivable
+// from the current time.
+
+#ifndef SWSAMPLE_STREAM_ITEM_H_
+#define SWSAMPLE_STREAM_ITEM_H_
+
+#include <cstdint>
+
+namespace swsample {
+
+/// Arrival index of an item within the stream (0-based).
+using StreamIndex = uint64_t;
+
+/// Integer timestamp ("step" in the paper). Monotone non-decreasing across
+/// the stream.
+using Timestamp = int64_t;
+
+/// One stream element. A "memory word" in the paper's accounting stores one
+/// value, one index, or one timestamp; an Item therefore costs 3 words.
+struct Item {
+  /// Application payload (e.g. a key, a measurement, an encoded edge).
+  uint64_t value = 0;
+  /// Arrival position in the stream, 0-based.
+  StreamIndex index = 0;
+  /// Arrival timestamp; equal for all items of one burst.
+  Timestamp timestamp = 0;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.value == b.value && a.index == b.index &&
+           a.timestamp == b.timestamp;
+  }
+};
+
+/// Number of memory words an Item occupies under the paper's word model.
+inline constexpr uint64_t kWordsPerItem = 3;
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_ITEM_H_

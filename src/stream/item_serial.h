@@ -1,0 +1,43 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Item (de)serialization helpers shared by the sampler checkpoints.
+
+#ifndef SWSAMPLE_STREAM_ITEM_SERIAL_H_
+#define SWSAMPLE_STREAM_ITEM_SERIAL_H_
+
+#include <array>
+
+#include "stream/item.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace swsample {
+
+inline void SaveItem(const Item& item, BinaryWriter* w) {
+  w->PutU64(item.value);
+  w->PutU64(item.index);
+  w->PutI64(item.timestamp);
+}
+
+inline bool LoadItem(BinaryReader* r, Item* item) {
+  return r->GetU64(&item->value) && r->GetU64(&item->index) &&
+         r->GetI64(&item->timestamp);
+}
+
+/// Rng state helpers (kept beside the Item helpers for one include).
+inline void SaveRngState(const Rng& rng, BinaryWriter* w) {
+  for (uint64_t word : rng.SaveState()) w->PutU64(word);
+}
+
+inline bool LoadRngState(BinaryReader* r, Rng* rng) {
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    if (!r->GetU64(&word)) return false;
+  }
+  *rng = Rng::FromState(state);
+  return true;
+}
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_ITEM_SERIAL_H_

@@ -1,0 +1,28 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/stream_gen.h"
+
+#include "util/macros.h"
+
+namespace swsample {
+
+SyntheticStream::SyntheticStream(std::unique_ptr<ValueGenerator> values,
+                                 std::unique_ptr<ArrivalProcess> arrivals,
+                                 uint64_t seed)
+    : values_(std::move(values)), arrivals_(std::move(arrivals)), rng_(seed) {
+  SWS_CHECK(values_ != nullptr);
+  SWS_CHECK(arrivals_ != nullptr);
+}
+
+const std::vector<Item>& SyntheticStream::Step() {
+  ++now_;
+  burst_.clear();
+  uint64_t count = arrivals_->CountAt(now_, rng_);
+  burst_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    burst_.push_back(Item{values_->Next(rng_), next_index_++, now_});
+  }
+  return burst_;
+}
+
+}  // namespace swsample

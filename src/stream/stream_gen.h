@@ -1,0 +1,53 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// SyntheticStream composes a ValueGenerator with an ArrivalProcess into the
+// Item sequence consumed by the samplers: per timestamp step it emits a
+// (possibly empty) burst of items with consecutive indices.
+
+#ifndef SWSAMPLE_STREAM_STREAM_GEN_H_
+#define SWSAMPLE_STREAM_STREAM_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "stream/arrival.h"
+#include "stream/item.h"
+#include "stream/value_gen.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Generates a synthetic stream step by step.
+///
+/// Typical use:
+///   SyntheticStream stream(std::move(values), std::move(arrivals), seed);
+///   for (Timestamp t = 0; t < horizon; ++t)
+///     for (const Item& item : stream.Step()) sampler.Observe(item);
+class SyntheticStream {
+ public:
+  /// Takes ownership of the two process objects. Neither may be null.
+  SyntheticStream(std::unique_ptr<ValueGenerator> values,
+                  std::unique_ptr<ArrivalProcess> arrivals, uint64_t seed);
+
+  /// Advances the clock by one step and returns the burst arriving at the
+  /// new timestamp. The returned reference is invalidated by the next call.
+  const std::vector<Item>& Step();
+
+  /// Timestamp of the most recently generated burst (-1 before first Step).
+  Timestamp now() const { return now_; }
+
+  /// Total items generated so far.
+  uint64_t total_items() const { return next_index_; }
+
+ private:
+  std::unique_ptr<ValueGenerator> values_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Rng rng_;
+  Timestamp now_ = -1;
+  StreamIndex next_index_ = 0;
+  std::vector<Item> burst_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_STREAM_GEN_H_

@@ -1,0 +1,50 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/value_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swsample {
+
+Result<std::unique_ptr<UniformValues>> UniformValues::Create(uint64_t domain) {
+  if (domain < 1) {
+    return Status::InvalidArgument("UniformValues: domain must be >= 1");
+  }
+  return std::unique_ptr<UniformValues>(new UniformValues(domain));
+}
+
+Result<std::unique_ptr<ZipfValues>> ZipfValues::Create(uint64_t domain,
+                                                       double alpha) {
+  if (domain < 1) {
+    return Status::InvalidArgument("ZipfValues: domain must be >= 1");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("ZipfValues: alpha must be finite, >= 0");
+  }
+  std::vector<double> cdf(domain);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < domain; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf[i] = acc;
+  }
+  for (auto& c : cdf) c /= acc;
+  cdf.back() = 1.0;  // guard against rounding
+  return std::unique_ptr<ZipfValues>(new ZipfValues(std::move(cdf)));
+}
+
+uint64_t ZipfValues::Next(Rng& rng) {
+  double u = rng.Uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+Result<std::unique_ptr<SequentialValues>> SequentialValues::Create(
+    uint64_t domain) {
+  if (domain < 1) {
+    return Status::InvalidArgument("SequentialValues: domain must be >= 1");
+  }
+  return std::unique_ptr<SequentialValues>(new SequentialValues(domain));
+}
+
+}  // namespace swsample

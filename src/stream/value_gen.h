@@ -1,0 +1,91 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Value distributions for synthetic workloads.
+//
+// The paper's motivating applications (sensor feeds, stock ticks, network
+// traces) are not published datasets; per DESIGN.md Section 5 we substitute
+// synthetic distributions that exercise the same code paths. Zipf is the
+// standard skewed-key model for the frequency-moment / entropy corollaries
+// (Section 5 of the paper); uniform is the unstructured control.
+
+#ifndef SWSAMPLE_STREAM_VALUE_GEN_H_
+#define SWSAMPLE_STREAM_VALUE_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Interface for value distributions over the domain [0, m).
+class ValueGenerator {
+ public:
+  virtual ~ValueGenerator() = default;
+
+  /// Draws the next value.
+  virtual uint64_t Next(Rng& rng) = 0;
+
+  /// Domain size m (values are in [0, m)).
+  virtual uint64_t domain() const = 0;
+};
+
+/// Uniform values over [0, m).
+class UniformValues final : public ValueGenerator {
+ public:
+  /// Creates a uniform generator; `domain` must be >= 1.
+  static Result<std::unique_ptr<UniformValues>> Create(uint64_t domain);
+
+  uint64_t Next(Rng& rng) override { return rng.UniformIndex(domain_); }
+  uint64_t domain() const override { return domain_; }
+
+ private:
+  explicit UniformValues(uint64_t domain) : domain_(domain) {}
+  uint64_t domain_;
+};
+
+/// Zipf(alpha) values over [0, m): P(v = i) proportional to 1/(i+1)^alpha.
+///
+/// Implemented by inverse-CDF binary search over a precomputed table, which
+/// is exact and fast enough for workload generation (domain sizes up to a
+/// few million); the table costs O(m) doubles and is paid once per workload,
+/// not per sampler.
+class ZipfValues final : public ValueGenerator {
+ public:
+  /// Creates a Zipf generator. Requires domain >= 1 and alpha >= 0
+  /// (alpha == 0 degenerates to uniform).
+  static Result<std::unique_ptr<ZipfValues>> Create(uint64_t domain,
+                                                    double alpha);
+
+  uint64_t Next(Rng& rng) override;
+  uint64_t domain() const override { return cdf_.size(); }
+
+ private:
+  ZipfValues(std::vector<double> cdf) : cdf_(std::move(cdf)) {}
+  std::vector<double> cdf_;  // cdf_[i] = P(v <= i); cdf_.back() == 1.0
+};
+
+/// Deterministic round-robin values 0,1,2,...,m-1,0,1,... Useful in tests
+/// where the exact multiset of window values must be known.
+class SequentialValues final : public ValueGenerator {
+ public:
+  static Result<std::unique_ptr<SequentialValues>> Create(uint64_t domain);
+
+  uint64_t Next(Rng&) override {
+    uint64_t v = next_;
+    next_ = (next_ + 1) % domain_;
+    return v;
+  }
+  uint64_t domain() const override { return domain_; }
+
+ private:
+  explicit SequentialValues(uint64_t domain) : domain_(domain) {}
+  uint64_t domain_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_VALUE_GEN_H_

@@ -1,0 +1,41 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Small integer/bit helpers used by the covering decomposition (Section 3 of
+// the paper), whose bucket widths are powers of two derived from
+// floor(log2(width)) computations.
+
+#ifndef SWSAMPLE_UTIL_BITS_H_
+#define SWSAMPLE_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+/// floor(log2(x)) for x >= 1. This is the paper's notation
+/// `floor(log(b + 1 - a))` used to size covering-decomposition buckets.
+inline uint32_t FloorLog2(uint64_t x) {
+  SWS_DCHECK(x >= 1);
+  return 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline uint32_t CeilLog2(uint64_t x) {
+  SWS_DCHECK(x >= 1);
+  return (x == 1) ? 0u : FloorLog2(x - 1) + 1u;
+}
+
+/// True iff x is a power of two (x >= 1).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// 2^e as uint64_t, e < 64.
+inline uint64_t Pow2(uint32_t e) {
+  SWS_DCHECK(e < 64);
+  return uint64_t{1} << e;
+}
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_UTIL_BITS_H_

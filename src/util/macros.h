@@ -1,0 +1,33 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Assertion macros used across the library.
+//
+// SWS_CHECK is always on and aborts with a message: used to guard API
+// misuse that would otherwise corrupt sampler state (cheap predicates only).
+// SWS_DCHECK compiles away in release builds: used for internal invariants
+// on hot paths (e.g. covering-decomposition structure checks).
+
+#ifndef SWSAMPLE_UTIL_MACROS_H_
+#define SWSAMPLE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SWS_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SWS_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define SWS_DCHECK(cond) SWS_CHECK(cond)
+#else
+#define SWS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // SWSAMPLE_UTIL_MACROS_H_

@@ -1,0 +1,80 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// SplitMix64 step; used for seeding so that even adjacent integer seeds
+/// yield well-separated xoshiro states.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformIndex(uint64_t bound) {
+  SWS_DCHECK(bound >= 1);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  SWS_DCHECK(lo <= hi);
+  return lo + UniformIndex(hi - lo + 1);
+}
+
+double Rng::Uniform01() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform01() < p;
+}
+
+bool Rng::BernoulliRational(uint64_t num, uint64_t den) {
+  SWS_DCHECK(den >= 1);
+  if (num >= den) return true;
+  return UniformIndex(den) < num;
+}
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
+}  // namespace swsample

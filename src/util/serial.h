@@ -1,0 +1,81 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Minimal binary serialization for sampler checkpointing.
+//
+// Streaming deployments checkpoint operator state to survive restarts; a
+// sampler that cannot be persisted mid-stream is not adoptable. The format
+// is fixed-width little-endian (samplers hold O(k log n) words, so varint
+// savings are irrelevant) with a magic/version prefix per top-level blob.
+// Readers are fail-soft: every Get returns false on truncation and the
+// sampler Restore() factories turn that into Status.
+
+#ifndef SWSAMPLE_UTIL_SERIAL_H_
+#define SWSAMPLE_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace swsample {
+
+/// Appends fixed-width little-endian fields to a byte string.
+class BinaryWriter {
+ public:
+  void PutU64(uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+    out_.append(buf, 8);
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutBool(bool b) { out_.push_back(b ? 1 : 0); }
+
+  const std::string& str() const { return out_; }
+  std::string Release() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads fields written by BinaryWriter; all getters are truncation-safe.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& data) : data_(data) {}
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetBool(bool* b) {
+    if (pos_ >= data_.size()) return false;
+    *b = data_[pos_++] != 0;
+    return true;
+  }
+
+  /// True iff every byte has been consumed (catches trailing garbage).
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_UTIL_SERIAL_H_

@@ -1,0 +1,268 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the Section 5 applications: frequency moments (Cor 5.2),
+// entropy (Cor 5.4), triangle counting (Cor 5.3), step-biased sampling.
+// Estimators are checked against exact window aggregates on streams whose
+// window contents we replay exactly.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/biased.h"
+#include "apps/entropy.h"
+#include "apps/freq_moments.h"
+#include "apps/triangles.h"
+#include "stats/exact.h"
+#include "stats/tests.h"
+#include "stream/value_gen.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+// Replays a value stream through an estimator and an exact window buffer.
+template <typename Estimator>
+double RunOnStream(Estimator& est, const std::vector<uint64_t>& values,
+                   uint64_t n, std::vector<uint64_t>* window_out) {
+  std::deque<uint64_t> window;
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    est.Observe(Item{values[i], i, static_cast<Timestamp>(i)});
+    window.push_back(values[i]);
+    if (window.size() > n) window.pop_front();
+  }
+  window_out->assign(window.begin(), window.end());
+  return est.Estimate();
+}
+
+std::vector<uint64_t> ZipfStream(uint64_t len, uint64_t domain, double alpha,
+                                 uint64_t seed) {
+  auto gen = ZipfValues::Create(domain, alpha).ValueOrDie();
+  Rng rng(seed);
+  std::vector<uint64_t> values(len);
+  for (auto& v : values) v = gen->Next(rng);
+  return values;
+}
+
+TEST(FkEstimatorTest, CreateValidation) {
+  EXPECT_FALSE(SlidingFkEstimator::Create(0, 2, 10, 1).ok());
+  EXPECT_FALSE(SlidingFkEstimator::Create(8, 0, 10, 1).ok());
+  EXPECT_FALSE(SlidingFkEstimator::Create(8, 2, 0, 1).ok());
+}
+
+TEST(FkEstimatorTest, F1IsWindowSize) {
+  // F_1 = sum of frequencies = window size; the AMS estimate with k=1 is
+  // n * (c - (c-1)) = n exactly, with zero variance.
+  auto est = SlidingFkEstimator::Create(16, 1, 4, 2).ValueOrDie();
+  std::vector<uint64_t> window;
+  double estimate =
+      RunOnStream(*est, ZipfStream(100, 10, 1.0, 3), 16, &window);
+  EXPECT_DOUBLE_EQ(estimate, 16.0);
+}
+
+TEST(FkEstimatorTest, F2CloseToExactOnSkewedWindow) {
+  const uint64_t n = 256;
+  auto est = SlidingFkEstimator::Create(n, 2, 2000, 4).ValueOrDie();
+  std::vector<uint64_t> window;
+  double estimate =
+      RunOnStream(*est, ZipfStream(3 * n, 8, 1.5, 5), n, &window);
+  double exact = ExactFrequencyMoment(window, 2);
+  EXPECT_NEAR(estimate / exact, 1.0, 0.15)
+      << "estimate=" << estimate << " exact=" << exact;
+}
+
+TEST(FkEstimatorTest, F3CloseToExact) {
+  const uint64_t n = 256;
+  auto est = SlidingFkEstimator::Create(n, 3, 4000, 6).ValueOrDie();
+  std::vector<uint64_t> window;
+  double estimate =
+      RunOnStream(*est, ZipfStream(3 * n, 6, 1.5, 7), n, &window);
+  double exact = ExactFrequencyMoment(window, 3);
+  EXPECT_NEAR(estimate / exact, 1.0, 0.2)
+      << "estimate=" << estimate << " exact=" << exact;
+}
+
+TEST(FkEstimatorTest, UnbiasedOverManyRuns) {
+  // Average the estimate over independent runs of the SAME stream: the
+  // mean must converge to the exact value (unbiasedness).
+  const uint64_t n = 32;
+  auto values = ZipfStream(2 * n + 7, 5, 1.2, 8);
+  std::vector<uint64_t> window;
+  double mean = 0.0;
+  const int runs = 400;
+  double exact = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    auto est = SlidingFkEstimator::Create(n, 2, 32, 100 + r).ValueOrDie();
+    mean += RunOnStream(*est, values, n, &window);
+  }
+  exact = ExactFrequencyMoment(window, 2);
+  mean /= runs;
+  EXPECT_NEAR(mean / exact, 1.0, 0.08)
+      << "mean=" << mean << " exact=" << exact;
+}
+
+TEST(EntropyEstimatorTest, CreateValidation) {
+  EXPECT_FALSE(SlidingEntropyEstimator::Create(0, 10, 1).ok());
+  EXPECT_FALSE(SlidingEntropyEstimator::Create(8, 0, 1).ok());
+}
+
+TEST(EntropyEstimatorTest, ConstantStreamHasZeroEntropy) {
+  // Per-unit estimates are nonzero (c log(n/c) terms), but the estimator is
+  // unbiased with H = 0, so a large unit average must be near zero.
+  auto est = SlidingEntropyEstimator::Create(32, 4000, 9).ValueOrDie();
+  std::vector<uint64_t> values(100, 7);
+  std::vector<uint64_t> window;
+  double estimate = RunOnStream(*est, values, 32, &window);
+  EXPECT_NEAR(estimate, 0.0, 0.15);
+}
+
+TEST(EntropyEstimatorTest, CloseToExactOnZipfWindow) {
+  const uint64_t n = 256;
+  auto est = SlidingEntropyEstimator::Create(n, 3000, 10).ValueOrDie();
+  std::vector<uint64_t> window;
+  double estimate =
+      RunOnStream(*est, ZipfStream(3 * n, 16, 1.0, 11), n, &window);
+  double exact = ExactEntropy(window);
+  EXPECT_NEAR(estimate, exact, 0.15 * exact + 0.05)
+      << "estimate=" << estimate << " exact=" << exact;
+}
+
+TEST(EntropyEstimatorTest, UniformWindowApproachesLogDomain) {
+  const uint64_t n = 512;
+  auto est = SlidingEntropyEstimator::Create(n, 3000, 12).ValueOrDie();
+  // Round-robin over 16 values -> exactly uniform window -> H = 4 bits.
+  std::vector<uint64_t> values(3 * n);
+  for (uint64_t i = 0; i < values.size(); ++i) values[i] = i % 16;
+  std::vector<uint64_t> window;
+  double estimate = RunOnStream(*est, values, n, &window);
+  EXPECT_NEAR(estimate, 4.0, 0.3);
+}
+
+TEST(TriangleTest, EdgeCodec) {
+  uint32_t a, b;
+  DecodeEdge(EncodeEdge(5, 3), &a, &b);
+  EXPECT_EQ(a, 3u);
+  EXPECT_EQ(b, 5u);
+  EXPECT_EQ(EncodeEdge(3, 5), EncodeEdge(5, 3));
+}
+
+TEST(TriangleTest, CreateValidation) {
+  EXPECT_FALSE(SlidingTriangleEstimator::Create(0, 10, 5, 1).ok());
+  EXPECT_FALSE(SlidingTriangleEstimator::Create(8, 2, 5, 1).ok());
+  EXPECT_FALSE(SlidingTriangleEstimator::Create(8, 10, 0, 1).ok());
+}
+
+TEST(TriangleTest, NoTrianglesEstimatesZero) {
+  // A star graph has no triangles.
+  const uint32_t v = 32;
+  auto est = SlidingTriangleEstimator::Create(64, v, 500, 13).ValueOrDie();
+  uint64_t idx = 0;
+  for (uint32_t leaf = 1; leaf < v; ++leaf) {
+    est->Observe(Item{EncodeEdge(0, leaf), idx++, 0});
+  }
+  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+}
+
+TEST(TriangleTest, PlantedTrianglesExactExpectation) {
+  // Distinct-edge window: 10 disjoint triangles, each edge streamed once
+  // (grouped per triangle). The estimator detects a triangle exactly via
+  // its first edge, so E[estimate] = T3 = 10; a large unit count must land
+  // in a comfortable band around it.
+  const uint32_t v = 30;
+  const uint64_t n = 300;  // window larger than the 30 streamed edges
+  auto est = SlidingTriangleEstimator::Create(n, v, 20000, 14).ValueOrDie();
+  uint64_t idx = 0;
+  for (uint32_t t = 0; t < v / 3; ++t) {
+    est->Observe(Item{EncodeEdge(3 * t, 3 * t + 1), idx++, 0});
+    est->Observe(Item{EncodeEdge(3 * t + 1, 3 * t + 2), idx++, 0});
+    est->Observe(Item{EncodeEdge(3 * t, 3 * t + 2), idx++, 0});
+  }
+  double estimate = est->Estimate();
+  EXPECT_GT(estimate, 5.0);
+  EXPECT_LT(estimate, 18.0);
+}
+
+TEST(TriangleTest, UnbiasedOverManyRuns) {
+  // Mean of the estimate over independent runs converges to T3 on a
+  // distinct-edge window (3 disjoint triangles + non-closing background).
+  const uint32_t v = 24;
+  const uint64_t n = 64;
+  std::vector<uint64_t> edge_stream;
+  for (uint32_t t = 0; t < 3; ++t) {
+    edge_stream.push_back(EncodeEdge(3 * t, 3 * t + 1));
+    edge_stream.push_back(EncodeEdge(3 * t + 1, 3 * t + 2));
+    edge_stream.push_back(EncodeEdge(3 * t, 3 * t + 2));
+  }
+  // Star background from vertex 20: no extra triangles.
+  for (uint32_t leaf = 9; leaf < 20; ++leaf) {
+    edge_stream.push_back(EncodeEdge(20, leaf));
+  }
+  double mean = 0.0;
+  const int runs = 300;
+  for (int r = 0; r < runs; ++r) {
+    auto est =
+        SlidingTriangleEstimator::Create(n, v, 64, 900 + r).ValueOrDie();
+    uint64_t idx = 0;
+    for (uint64_t e : edge_stream) est->Observe(Item{e, idx++, 0});
+    mean += est->Estimate();
+  }
+  mean /= runs;
+  EXPECT_NEAR(mean, 3.0, 1.0);
+}
+
+TEST(BiasedTest, CreateValidation) {
+  EXPECT_FALSE(StepBiasedSampler::Create({}, 1).ok());
+  EXPECT_FALSE(
+      StepBiasedSampler::Create({{8, 1.0}, {8, 1.0}}, 1).ok());  // not increasing
+  EXPECT_FALSE(StepBiasedSampler::Create({{8, 0.0}}, 1).ok());  // zero weight
+  EXPECT_TRUE(StepBiasedSampler::Create({{8, 1.0}, {32, 1.0}}, 1).ok());
+}
+
+TEST(BiasedTest, InclusionProbabilitiesFormStaircase) {
+  auto s =
+      StepBiasedSampler::Create({{4, 1.0}, {16, 1.0}}, 2).ValueOrDie();
+  // Normalized weights: 0.5 each. Age < 4: 0.5/4 + 0.5/16; age in [4,16):
+  // 0.5/16; age >= 16: 0.
+  EXPECT_NEAR(s->InclusionProbability(0), 0.5 / 4 + 0.5 / 16, 1e-12);
+  EXPECT_NEAR(s->InclusionProbability(3), 0.5 / 4 + 0.5 / 16, 1e-12);
+  EXPECT_NEAR(s->InclusionProbability(4), 0.5 / 16, 1e-12);
+  EXPECT_NEAR(s->InclusionProbability(15), 0.5 / 16, 1e-12);
+  EXPECT_DOUBLE_EQ(s->InclusionProbability(16), 0.0);
+}
+
+TEST(BiasedTest, EmpiricalDistributionMatchesStaircase) {
+  const int trials = 60000;
+  std::vector<uint64_t> counts(16, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = StepBiasedSampler::Create({{4, 1.0}, {16, 1.0}}, 300 + t)
+                 .ValueOrDie();
+    const uint64_t len = 40;
+    for (uint64_t i = 0; i < len; ++i) {
+      s->Observe(Item{i, i, static_cast<Timestamp>(i)});
+    }
+    auto sample = s->Sample();
+    ASSERT_TRUE(sample.has_value());
+    ++counts[len - 1 - sample->index];  // age
+  }
+  std::vector<double> probs(16);
+  auto s = StepBiasedSampler::Create({{4, 1.0}, {16, 1.0}}, 1).ValueOrDie();
+  double total = 0.0;
+  for (uint64_t age = 0; age < 16; ++age) {
+    probs[age] = s->InclusionProbability(age);
+    total += probs[age];
+  }
+  ASSERT_NEAR(total, 1.0, 1e-9);
+  auto result = ChiSquareExpected(counts, probs);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(BiasedTest, RecentElementsMoreLikely) {
+  auto s = StepBiasedSampler::Create({{8, 2.0}, {64, 1.0}}, 4).ValueOrDie();
+  EXPECT_GT(s->InclusionProbability(0), s->InclusionProbability(20));
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,251 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the baseline samplers. They must be CORRECT (uniform) -- the
+// paper's criticism is their randomized memory, not their distribution --
+// so the same uniformity bar applies, plus checks of their characteristic
+// weaknesses (random chain length, over-sampling failures).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/bounded_priority_sampler.h"
+#include "baseline/chain_sampler.h"
+#include "baseline/exact_window.h"
+#include "baseline/oversampler.h"
+#include "baseline/priority_sampler.h"
+#include "stats/tests.h"
+
+namespace swsample {
+namespace {
+
+Item MakeItem(uint64_t i) { return Item{i, i, static_cast<Timestamp>(i)}; }
+
+TEST(ChainSamplerTest, CreateValidation) {
+  EXPECT_FALSE(ChainSampler::Create(0, 1, 1).ok());
+  EXPECT_FALSE(ChainSampler::Create(8, 0, 1).ok());
+}
+
+TEST(ChainSamplerTest, SampleAlwaysInWindow) {
+  const uint64_t n = 16;
+  auto s = ChainSampler::Create(n, 3, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 20 * n; ++i) {
+    s->Observe(MakeItem(i));
+    const uint64_t lo = (i + 1 > n) ? i + 1 - n : 0;
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 3u);
+    for (const Item& item : sample) {
+      EXPECT_GE(item.index, lo);
+      EXPECT_LE(item.index, i);
+    }
+  }
+}
+
+TEST(ChainSamplerTest, Uniform) {
+  const uint64_t n = 10;
+  const int trials = 30000;
+  const uint64_t len = 37;
+  std::vector<uint64_t> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = ChainSampler::Create(n, 1, 100 + t).ValueOrDie();
+    for (uint64_t i = 0; i < len; ++i) s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++counts[sample[0].index - (len - n)];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(ChainSamplerTest, ChainLengthIsRandomVariable) {
+  // The paper's disadvantage (b): with many units over a long run, chain
+  // lengths fluctuate; record that maxima above 3 occur (they do whp).
+  auto s = ChainSampler::Create(256, 16, 3).ValueOrDie();
+  uint64_t max_chain = 0;
+  for (uint64_t i = 0; i < 1 << 14; ++i) {
+    s->Observe(MakeItem(i));
+    max_chain = std::max(max_chain, s->MaxChainLength());
+  }
+  EXPECT_GE(max_chain, 3u);
+}
+
+TEST(PrioritySamplerTest, SampleAlwaysActive) {
+  auto s = PrioritySampler::Create(12, 2, 4).ValueOrDie();
+  for (Timestamp t = 0; t < 300; ++t) {
+    s->Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
+    for (const Item& item : s->Sample()) EXPECT_LT(t - item.timestamp, 12);
+  }
+}
+
+TEST(PrioritySamplerTest, Uniform) {
+  const Timestamp t0 = 9;
+  const int trials = 30000;
+  std::vector<uint64_t> counts(t0, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = PrioritySampler::Create(t0, 1, 500 + t).ValueOrDie();
+    for (Timestamp i = 0; i < 25; ++i) {
+      s->Observe(Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
+    }
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++counts[sample[0].index - (25 - t0)];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(PrioritySamplerTest, StaircaseDescending) {
+  auto s = PrioritySampler::Create(50, 1, 6).ValueOrDie();
+  for (Timestamp t = 0; t < 200; ++t) {
+    s->Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
+  }
+  // Indirect check: memory stays small-ish (expected O(log n)).
+  EXPECT_LT(s->MaxListLength(), 50u);
+  EXPECT_GE(s->MaxListLength(), 1u);
+}
+
+TEST(BoundedPriorityTest, KDistinctActive) {
+  auto s = BoundedPrioritySampler::Create(20, 5, 7).ValueOrDie();
+  for (Timestamp t = 0; t < 200; ++t) {
+    s->Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
+    if (t < 4) continue;
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), std::min<uint64_t>(5, t + 1));
+    std::set<uint64_t> idx;
+    for (const Item& item : sample) {
+      EXPECT_LT(t - item.timestamp, 20);
+      idx.insert(item.index);
+    }
+    EXPECT_EQ(idx.size(), sample.size());
+  }
+}
+
+TEST(BoundedPriorityTest, SubsetsUniform) {
+  const Timestamp t0 = 6;
+  const int trials = 60000;
+  std::map<std::vector<uint64_t>, uint64_t> counts;
+  for (int t = 0; t < trials; ++t) {
+    auto s = BoundedPrioritySampler::Create(t0, 2, 900 + t).ValueOrDie();
+    for (Timestamp i = 0; i < 17; ++i) {
+      s->Observe(Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
+    }
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 2u);
+    std::vector<uint64_t> key;
+    for (const Item& item : sample) key.push_back(item.index);
+    std::sort(key.begin(), key.end());
+    ++counts[key];
+  }
+  ASSERT_EQ(counts.size(), 15u);
+  std::vector<uint64_t> flat;
+  for (const auto& [key, c] : counts) flat.push_back(c);
+  auto result = ChiSquareUniform(flat);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(BoundedPriorityTest, RetainedSetBounded) {
+  auto s = BoundedPrioritySampler::Create(1 << 12, 4, 8).ValueOrDie();
+  uint64_t max_len = 0;
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < (1 << 13); ++t) {
+    s->Observe(Item{index, index, t});
+    ++index;
+    max_len = std::max(max_len, s->ListLength());
+  }
+  // E[len] = O(k log(n/k)); generous deterministic-looking cap for the test.
+  EXPECT_LT(max_len, 400u);
+}
+
+TEST(OverSamplerTest, CreateValidation) {
+  EXPECT_FALSE(OverSampler::Create(4, 5, 2, 1).ok());  // k > n
+  EXPECT_FALSE(OverSampler::Create(8, 2, 0, 1).ok());  // factor 0
+}
+
+TEST(OverSamplerTest, ProducesDistinctSamples) {
+  auto s = OverSampler::Create(32, 4, 8, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 256; ++i) s->Observe(MakeItem(i));
+  auto sample = s->Sample();
+  std::set<uint64_t> idx;
+  for (const Item& item : sample) idx.insert(item.index);
+  EXPECT_EQ(idx.size(), sample.size());
+  EXPECT_LE(sample.size(), 4u);
+}
+
+TEST(OverSamplerTest, SmallFactorFails) {
+  // factor=1 with k close to n: duplicates among k with-replacement draws
+  // are common, so failures must occur -- disadvantage (b). Query after
+  // every arrival so the underlying samples re-randomize between queries.
+  auto s = OverSampler::Create(4, 3, 1, 3).ValueOrDie();
+  for (uint64_t i = 0; i < 300; ++i) {
+    s->Observe(MakeItem(i));
+    s->Sample();
+  }
+  EXPECT_GT(s->failure_count(), 0u);
+  EXPECT_EQ(s->query_count(), 300u);
+}
+
+TEST(OverSamplerTest, LargeFactorRarelyFails) {
+  auto s = OverSampler::Create(64, 2, 10, 4).ValueOrDie();
+  for (uint64_t i = 0; i < 256; ++i) s->Observe(MakeItem(i));
+  for (int q = 0; q < 300; ++q) s->Sample();
+  EXPECT_LT(s->failure_count(), 5u);
+}
+
+TEST(ExactWindowTest, SequenceEviction) {
+  auto w = ExactWindow::CreateSequence(4, 1, true, 5).ValueOrDie();
+  for (uint64_t i = 0; i < 10; ++i) w->Observe(MakeItem(i));
+  ASSERT_EQ(w->size(), 4u);
+  EXPECT_EQ(w->contents().front().index, 6u);
+  EXPECT_EQ(w->contents().back().index, 9u);
+}
+
+TEST(ExactWindowTest, TimestampEviction) {
+  auto w = ExactWindow::CreateTimestamp(5, 1, true, 6).ValueOrDie();
+  w->Observe(Item{0, 0, 0});
+  w->Observe(Item{1, 1, 3});
+  w->Observe(Item{2, 2, 4});
+  w->AdvanceTime(5);  // item at t=0 expires (5-0 >= 5)
+  EXPECT_EQ(w->size(), 2u);
+  w->AdvanceTime(8);
+  EXPECT_EQ(w->size(), 1u);
+  w->AdvanceTime(9);
+  EXPECT_EQ(w->size(), 0u);
+}
+
+TEST(ExactWindowTest, WithReplacementUniform) {
+  auto w = ExactWindow::CreateSequence(8, 1, true, 7).ValueOrDie();
+  for (uint64_t i = 0; i < 20; ++i) w->Observe(MakeItem(i));
+  std::vector<uint64_t> counts(8, 0);
+  for (int t = 0; t < 40000; ++t) {
+    auto sample = w->Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++counts[sample[0].index - 12];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(ExactWindowTest, WithoutReplacementDistinct) {
+  auto w = ExactWindow::CreateSequence(10, 4, false, 8).ValueOrDie();
+  for (uint64_t i = 0; i < 25; ++i) w->Observe(MakeItem(i));
+  for (int t = 0; t < 200; ++t) {
+    auto sample = w->Sample();
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<uint64_t> idx;
+    for (const Item& item : sample) idx.insert(item.index);
+    EXPECT_EQ(idx.size(), 4u);
+  }
+}
+
+TEST(ExactWindowTest, MemoryIsLinear) {
+  auto w = ExactWindow::CreateSequence(1 << 10, 1, true, 9).ValueOrDie();
+  for (uint64_t i = 0; i < 1 << 12; ++i) w->Observe(MakeItem(i));
+  EXPECT_GE(w->MemoryWords(), (uint64_t{1} << 10) * kWordsPerItem);
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,216 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the covering decomposition (Definition 3.1, Lemma 3.4):
+//  * Lemma 3.4 as a property test: incremental Incr() must produce bucket
+//    boundaries structurally equal to the from-definition construction at
+//    every length;
+//  * size bound O(log(b - a));
+//  * merge correctness: merged samples stay uniform over the merged bucket;
+//  * front-dropping leaves a valid decomposition of the suffix.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/covering_decomposition.h"
+#include "stats/tests.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+Item MakeItem(uint64_t i) { return Item{i, i, static_cast<Timestamp>(i)}; }
+
+/// From-definition reference: the bucket boundaries of zeta(a, b).
+std::vector<std::pair<uint64_t, uint64_t>> ReferenceBoundaries(uint64_t a,
+                                                               uint64_t b) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  while (a < b) {
+    uint64_t c = a + Pow2(FloorLog2(b + 1 - a) - 1);
+    out.emplace_back(a, c);
+    a = c;
+  }
+  out.emplace_back(b, b + 1);
+  return out;
+}
+
+TEST(CoveringTest, Lemma34IncrMatchesDefinition) {
+  // Build incrementally from a = 0 and compare boundaries at every step.
+  Rng rng(1);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b <= 300; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    auto ref = ReferenceBoundaries(0, b);
+    ASSERT_EQ(zeta.size(), ref.size()) << "b=" << b;
+    for (uint64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(zeta.bucket(i).x, ref[i].first) << "b=" << b << " i=" << i;
+      EXPECT_EQ(zeta.bucket(i).y, ref[i].second) << "b=" << b << " i=" << i;
+    }
+    ASSERT_TRUE(zeta.CheckInvariants()) << "b=" << b;
+  }
+}
+
+TEST(CoveringTest, Lemma34FromNonZeroOrigin) {
+  Rng rng(2);
+  const uint64_t a = 1000;
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(a));
+  for (uint64_t b = a + 1; b <= a + 200; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    auto ref = ReferenceBoundaries(a, b);
+    ASSERT_EQ(zeta.size(), ref.size()) << "b=" << b;
+    for (uint64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(zeta.bucket(i).x, ref[i].first);
+      EXPECT_EQ(zeta.bucket(i).y, ref[i].second);
+    }
+  }
+}
+
+TEST(CoveringTest, SizeIsLogarithmic) {
+  Rng rng(3);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  uint64_t max_size = 1;
+  const uint64_t len = 1 << 16;
+  for (uint64_t b = 1; b < len; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    max_size = std::max(max_size, zeta.size());
+  }
+  // |zeta(a,b)| = O(log(b - a)): allow 2*log2 + 2 slack.
+  EXPECT_LE(max_size, 2 * FloorLog2(len) + 2);
+  EXPECT_GE(max_size, FloorLog2(len) / 2);  // and it's genuinely Theta(log)
+}
+
+TEST(CoveringTest, CoverageIsContiguous) {
+  Rng rng(4);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(5));
+  for (uint64_t b = 6; b < 400; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    EXPECT_EQ(zeta.a(), 5u);
+    EXPECT_EQ(zeta.b(), b);
+    EXPECT_EQ(zeta.covered_width(), b + 1 - 5);
+  }
+}
+
+TEST(CoveringTest, SamplesStayInsideBuckets) {
+  Rng rng(5);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b < 2000; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    for (uint64_t i = 0; i < zeta.size(); ++i) {
+      const BucketStructure& bs = zeta.bucket(i);
+      EXPECT_GE(bs.r.index, bs.x);
+      EXPECT_LT(bs.r.index, bs.y);
+      EXPECT_GE(bs.q.index, bs.x);
+      EXPECT_LT(bs.q.index, bs.y);
+    }
+  }
+}
+
+TEST(CoveringTest, BucketSamplesUniformWithinBucket) {
+  // After many arrivals, the FIRST bucket has width >= 2 and its R sample
+  // must be uniform over its range (merging with fair coins preserves it).
+  const uint64_t len = 64;  // zeta(0,63): first bucket is [0,32)
+  const int trials = 30000;
+  std::vector<uint64_t> counts(32, 0);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(1000 + t);
+    CoveringDecomposition zeta;
+    zeta.InitFromItem(MakeItem(0));
+    for (uint64_t b = 1; b < len; ++b) zeta.Incr(MakeItem(b), rng);
+    ASSERT_EQ(zeta.bucket(0).width(), 32u);
+    ++counts[zeta.bucket(0).r.index];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(CoveringTest, RAndQIndependentWithinBucket) {
+  // Joint distribution of (R, Q) of the first bucket must factorize;
+  // chi-square the pair distribution over an 8-wide bucket.
+  const uint64_t len = 16;  // first bucket [0, 8)
+  const int trials = 64000;
+  std::vector<uint64_t> counts(64, 0);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(5000 + t);
+    CoveringDecomposition zeta;
+    zeta.InitFromItem(MakeItem(0));
+    for (uint64_t b = 1; b < len; ++b) zeta.Incr(MakeItem(b), rng);
+    ASSERT_EQ(zeta.bucket(0).width(), 8u);
+    ++counts[zeta.bucket(0).r.index * 8 + zeta.bucket(0).q.index];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(CoveringTest, SampleCoveredUniformOverRange) {
+  const uint64_t len = 48;
+  const int trials = 30000;
+  std::vector<uint64_t> counts(len, 0);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(9000 + t);
+    CoveringDecomposition zeta;
+    zeta.InitFromItem(MakeItem(0));
+    for (uint64_t b = 1; b < len; ++b) zeta.Incr(MakeItem(b), rng);
+    ++counts[zeta.SampleCovered(rng).index];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(CoveringTest, DropFrontLeavesValidSuffix) {
+  Rng rng(6);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b < 500; ++b) zeta.Incr(MakeItem(b), rng);
+  while (zeta.size() > 1) {
+    zeta.DropFront(1);
+    ASSERT_TRUE(zeta.CheckInvariants());
+    // Suffix still extends correctly.
+  }
+}
+
+TEST(CoveringTest, IncrAfterDropFrontStillMatchesDefinition) {
+  Rng rng(7);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b < 100; ++b) zeta.Incr(MakeItem(b), rng);
+  zeta.DropFront(2);
+  const uint64_t suffix_a = zeta.a();
+  for (uint64_t b = 100; b < 200; ++b) {
+    zeta.Incr(MakeItem(b), rng);
+    auto ref = ReferenceBoundaries(suffix_a, b);
+    ASSERT_EQ(zeta.size(), ref.size()) << "b=" << b;
+    for (uint64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(zeta.bucket(i).x, ref[i].first);
+      EXPECT_EQ(zeta.bucket(i).y, ref[i].second);
+    }
+  }
+}
+
+TEST(CoveringTest, PopFrontReturnsOldest) {
+  Rng rng(8);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b < 32; ++b) zeta.Incr(MakeItem(b), rng);
+  const uint64_t old_a = zeta.a();
+  BucketStructure bs = zeta.PopFront();
+  EXPECT_EQ(bs.x, old_a);
+  EXPECT_EQ(bs.y, zeta.a());
+}
+
+TEST(CoveringTest, MemoryWordsMatchesStructureCount) {
+  Rng rng(9);
+  CoveringDecomposition zeta;
+  zeta.InitFromItem(MakeItem(0));
+  for (uint64_t b = 1; b < 100; ++b) zeta.Incr(MakeItem(b), rng);
+  EXPECT_EQ(zeta.MemoryWords(), zeta.size() * BucketStructure::kWords);
+}
+
+}  // namespace
+}  // namespace swsample

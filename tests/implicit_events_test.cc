@@ -1,0 +1,119 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the implicit-event generator (Lemmas 3.6-3.8): the synthetic
+// coin X must hit with probability alpha/(beta+gamma) for every gamma --
+// the unknown number of active elements in the straddling bucket -- even
+// though the generator never sees gamma.
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/implicit_events.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+// Builds a straddling bucket structure BS(a, b) over elements with
+// one-per-timestamp arrivals, where exactly `gamma` of its alpha elements
+// are active at `now` with window length t0. Q1 is placed uniformly by the
+// caller via `q_index`.
+BucketStructure MakeStraddler(uint64_t a, uint64_t alpha, uint64_t q_index,
+                              Timestamp now, Timestamp t0, uint64_t gamma) {
+  // Elements p_a .. p_{a+alpha-1}; the last `gamma` must be active:
+  // timestamp of p_j = now - t0 + 1 - (a + alpha - gamma) + j ... simpler:
+  // give p_j timestamp ts_j such that p_j active <=> j >= a + alpha - gamma.
+  auto ts_of = [&](uint64_t j) -> Timestamp {
+    // Active <=> now - ts < t0 <=> ts > now - t0.
+    return (j >= a + alpha - gamma) ? now - t0 + 1 : now - t0;
+  };
+  BucketStructure bs;
+  bs.x = a;
+  bs.y = a + alpha;
+  bs.first_ts = ts_of(a);
+  bs.r = Item{q_index, a, ts_of(a)};  // r unused by the generator
+  bs.q = Item{q_index, q_index, ts_of(q_index)};
+  return bs;
+}
+
+// Empirical check of P(X = 1) = alpha/(beta+gamma).
+void CheckX(uint64_t alpha, uint64_t beta, uint64_t gamma, uint64_t seed) {
+  ASSERT_LE(gamma, alpha - 1);  // head of straddler must be expired
+  const Timestamp t0 = 1000;
+  const Timestamp now = 5000;
+  const uint64_t a = 17;
+  const int trials = 200000;
+  Rng rng(seed);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Q1 uniform over the straddler per the bucket-structure contract.
+    const uint64_t q_index = a + rng.UniformIndex(alpha);
+    BucketStructure bs = MakeStraddler(a, alpha, q_index, now, t0, gamma);
+    hits += DrawImplicitEvent(bs, beta, now, t0, rng).x;
+  }
+  const double want =
+      static_cast<double>(alpha) / static_cast<double>(beta + gamma);
+  const double got = static_cast<double>(hits) / trials;
+  // 4-sigma band for a Bernoulli(want) estimate.
+  const double sigma = std::sqrt(want * (1 - want) / trials);
+  EXPECT_NEAR(got, want, 4 * sigma + 1e-9)
+      << "alpha=" << alpha << " beta=" << beta << " gamma=" << gamma;
+}
+
+TEST(ImplicitEventsTest, GammaZero) { CheckX(8, 16, 0, 1); }
+TEST(ImplicitEventsTest, GammaSmall) { CheckX(8, 16, 3, 2); }
+TEST(ImplicitEventsTest, GammaMax) { CheckX(8, 16, 7, 3); }
+TEST(ImplicitEventsTest, AlphaEqualsBeta) { CheckX(16, 16, 5, 4); }
+TEST(ImplicitEventsTest, AlphaOne) { CheckX(1, 7, 0, 5); }
+TEST(ImplicitEventsTest, WideBucket) { CheckX(64, 100, 33, 6); }
+TEST(ImplicitEventsTest, NarrowSuffix) { CheckX(3, 3, 2, 7); }
+
+TEST(ImplicitEventsTest, YExpiredProbabilityMatchesLemma37) {
+  // P(Y expired) = beta/(beta+gamma), independent of alpha.
+  const uint64_t alpha = 16, beta = 24, gamma = 10;
+  const Timestamp t0 = 1000, now = 5000;
+  const uint64_t a = 3;
+  const int trials = 200000;
+  Rng rng(8);
+  int expired = 0;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t q_index = a + rng.UniformIndex(alpha);
+    BucketStructure bs = MakeStraddler(a, alpha, q_index, now, t0, gamma);
+    expired += DrawImplicitEvent(bs, beta, now, t0, rng).y_expired;
+  }
+  const double want =
+      static_cast<double>(beta) / static_cast<double>(beta + gamma);
+  EXPECT_NEAR(static_cast<double>(expired) / trials, want, 0.005);
+}
+
+TEST(ImplicitEventsTest, SCoinMatchesAlphaOverBeta) {
+  const uint64_t alpha = 6, beta = 15, gamma = 2;
+  const Timestamp t0 = 100, now = 500;
+  const int trials = 200000;
+  Rng rng(9);
+  int s_hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t q_index = 0 + rng.UniformIndex(alpha);
+    BucketStructure bs = MakeStraddler(0, alpha, q_index, now, t0, gamma);
+    s_hits += DrawImplicitEvent(bs, beta, now, t0, rng).s;
+  }
+  EXPECT_NEAR(static_cast<double>(s_hits) / trials, 6.0 / 15.0, 0.005);
+}
+
+TEST(ImplicitEventsTest, DrawIsDeterministicGivenRngState) {
+  const Timestamp t0 = 100, now = 500;
+  BucketStructure bs = MakeStraddler(0, 8, 4, now, t0, 3);
+  Rng r1(42), r2(42);
+  for (int i = 0; i < 1000; ++i) {
+    auto d1 = DrawImplicitEvent(bs, 12, now, t0, r1);
+    auto d2 = DrawImplicitEvent(bs, 12, now, t0, r2);
+    EXPECT_EQ(d1.x, d2.x);
+    EXPECT_EQ(d1.s, d2.s);
+    EXPECT_EQ(d1.y_expired, d2.y_expired);
+  }
+}
+
+}  // namespace
+}  // namespace swsample

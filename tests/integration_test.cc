@@ -1,0 +1,209 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Integration tests: full pipelines (generator -> sampler -> statistics)
+// exercising several modules together, the ExactWindow oracle as a
+// membership checker for every sampler, the disjoint-window independence
+// property (Section 1.3.4), and the Theorem 5.1 adapter.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/chain_sampler.h"
+#include "baseline/exact_window.h"
+#include "baseline/priority_sampler.h"
+#include "core/seq_swor.h"
+#include "core/seq_swr.h"
+#include "core/sliding_adapter.h"
+#include "core/ts_swor.h"
+#include "core/ts_swr.h"
+#include "stats/tests.h"
+#include "stream/arrival.h"
+#include "stream/stream_gen.h"
+#include "stream/value_gen.h"
+
+namespace swsample {
+namespace {
+
+// Every sampler's output must lie inside the exact window at all times,
+// under a bursty timestamped stream with silent gaps.
+TEST(IntegrationTest, AllSamplersAgreeWithOracleOnMembership) {
+  auto stream = SyntheticStream(
+      UniformValues::Create(1 << 16).ValueOrDie(),
+      std::move(PoissonBurstArrivals::Create(2.0)).ValueOrDie(), 99);
+  const Timestamp t0 = 20;
+  const uint64_t seq_n = 64, k = 4;
+
+  std::vector<std::unique_ptr<WindowSampler>> ts_samplers;
+  ts_samplers.push_back(TsSwrSampler::Create(t0, k, 1).ValueOrDie());
+  ts_samplers.push_back(TsSworSampler::Create(t0, k, 2).ValueOrDie());
+  ts_samplers.push_back(PrioritySampler::Create(t0, k, 3).ValueOrDie());
+  auto ts_oracle = ExactWindow::CreateTimestamp(t0, 1, true, 4).ValueOrDie();
+
+  std::vector<std::unique_ptr<WindowSampler>> seq_samplers;
+  seq_samplers.push_back(SequenceSwrSampler::Create(seq_n, k, 5).ValueOrDie());
+  seq_samplers.push_back(
+      SequenceSworSampler::Create(seq_n, k, 6).ValueOrDie());
+  seq_samplers.push_back(ChainSampler::Create(seq_n, k, 7).ValueOrDie());
+  auto seq_oracle = ExactWindow::CreateSequence(seq_n, 1, true, 8).ValueOrDie();
+
+  for (Timestamp t = 0; t < 1500; ++t) {
+    for (const Item& item : stream.Step()) {
+      for (auto& s : ts_samplers) s->Observe(item);
+      for (auto& s : seq_samplers) s->Observe(item);
+      ts_oracle->Observe(item);
+      seq_oracle->Observe(item);
+    }
+    for (auto& s : ts_samplers) s->AdvanceTime(t);
+    ts_oracle->AdvanceTime(t);
+
+    // Membership sets from the oracles.
+    std::set<uint64_t> ts_active, seq_active;
+    for (const Item& item : ts_oracle->contents()) ts_active.insert(item.index);
+    for (const Item& item : seq_oracle->contents())
+      seq_active.insert(item.index);
+
+    for (auto& s : ts_samplers) {
+      for (const Item& item : s->Sample()) {
+        EXPECT_TRUE(ts_active.count(item.index))
+            << s->name() << " sampled non-active index " << item.index
+            << " at t=" << t;
+      }
+    }
+    for (auto& s : seq_samplers) {
+      for (const Item& item : s->Sample()) {
+        EXPECT_TRUE(seq_active.count(item.index))
+            << s->name() << " sampled non-active index " << item.index
+            << " at t=" << t;
+      }
+    }
+  }
+}
+
+// Section 1.3.4: samples for disjoint (non-overlapping) windows are
+// independent. Sample the window ending at bucket boundary 2n and the
+// window ending at 4n; both windows are disjoint; the joint distribution
+// over (age1, age2) must be uniform on n x n cells.
+TEST(IntegrationTest, DisjointWindowSamplesIndependent) {
+  const uint64_t n = 4;
+  const int trials = 80000;
+  std::vector<uint64_t> joint(n * n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSwrSampler::Create(n, 1, 7000 + t).ValueOrDie();
+    uint64_t first = 0, second = 0;
+    for (uint64_t i = 0; i < 4 * n; ++i) {
+      s->Observe(Item{i, i, static_cast<Timestamp>(i)});
+      if (i + 1 == 2 * n) first = s->Sample()[0].index - n;
+      if (i + 1 == 4 * n) second = s->Sample()[0].index - 3 * n;
+    }
+    ++joint[first * n + second];
+  }
+  auto result = ChiSquareUniform(joint);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+// The same independence claim for the timestamp sampler.
+TEST(IntegrationTest, DisjointWindowIndependenceTimestamp) {
+  const Timestamp t0 = 4;
+  const int trials = 80000;
+  std::vector<uint64_t> joint(t0 * t0, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = TsSwrSampler::Create(t0, 1, 90000 + t).ValueOrDie();
+    uint64_t first = 0, second = 0;
+    for (Timestamp i = 0; i < 8; ++i) {
+      s->Observe(Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
+      if (i == 3) first = s->Sample()[0].index;           // window {0..3}
+      if (i == 7) second = s->Sample()[0].index - 4;      // window {4..7}
+    }
+    ++joint[first * t0 + second];
+  }
+  auto result = ChiSquareUniform(joint);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+// Correlation-based independence check on values over a long bursty run.
+TEST(IntegrationTest, SampleValuesUncorrelatedAcrossDisjointWindows) {
+  const uint64_t n = 32;
+  const int trials = 4000;
+  std::vector<double> xs, ys;
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSworSampler::Create(n, 1, 333 + t).ValueOrDie();
+    Rng value_rng(5555 + t);
+    std::vector<uint64_t> values(2 * n);
+    for (auto& v : values) v = value_rng.UniformIndex(1000);
+    double first = 0, second = 0;
+    for (uint64_t i = 0; i < 2 * n; ++i) {
+      s->Observe(Item{values[i], i, static_cast<Timestamp>(i)});
+      if (i + 1 == n) first = static_cast<double>(s->Sample()[0].value);
+      if (i + 1 == 2 * n) second = static_cast<double>(s->Sample()[0].value);
+    }
+    xs.push_back(first);
+    ys.push_back(second);
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(xs, ys)), 0.06);
+}
+
+// Theorem 5.1 adapter: windowed mean via sampling tracks the exact
+// windowed mean of a drifting signal.
+TEST(IntegrationTest, SlidingAdapterTracksWindowedMean) {
+  const uint64_t n = 256, k = 64;
+  auto sampler = SequenceSwrSampler::Create(n, k, 11).ValueOrDie();
+  auto estimator = [](const std::vector<Item>& sample) {
+    double acc = 0;
+    for (const Item& item : sample) acc += static_cast<double>(item.value);
+    return sample.empty() ? 0.0 : acc / static_cast<double>(sample.size());
+  };
+  SlidingAdapter adapter(std::move(sampler), estimator);
+  auto oracle = ExactWindow::CreateSequence(n, 1, true, 12).ValueOrDie();
+
+  // Signal drifts: values around i/4.
+  Rng rng(13);
+  for (uint64_t i = 0; i < 4 * n; ++i) {
+    Item item{i / 4 + rng.UniformIndex(8), i, static_cast<Timestamp>(i)};
+    adapter.Observe(item);
+    oracle->Observe(item);
+  }
+  double exact_mean = 0;
+  for (const Item& item : oracle->contents()) {
+    exact_mean += static_cast<double>(item.value);
+  }
+  exact_mean /= static_cast<double>(oracle->size());
+  double est = adapter.Estimate();
+  EXPECT_NEAR(est / exact_mean, 1.0, 0.1);
+}
+
+// End-to-end determinism: identical seeds yield identical sample streams.
+TEST(IntegrationTest, FullyDeterministic) {
+  auto run = [] {
+    auto stream = SyntheticStream(
+        ZipfValues::Create(100, 1.1).ValueOrDie(),
+        std::move(PoissonBurstArrivals::Create(1.7)).ValueOrDie(), 21);
+    auto s = TsSworSampler::Create(9, 3, 22).ValueOrDie();
+    std::vector<uint64_t> trace;
+    for (Timestamp t = 0; t < 300; ++t) {
+      for (const Item& item : stream.Step()) s->Observe(item);
+      s->AdvanceTime(t);
+      for (const Item& item : s->Sample()) trace.push_back(item.index);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Seq samplers must tolerate items whose timestamps are nonsense (they
+// ignore time entirely).
+TEST(IntegrationTest, SequenceSamplersIgnoreTimestamps) {
+  auto s = SequenceSwrSampler::Create(8, 2, 31).ValueOrDie();
+  for (uint64_t i = 0; i < 40; ++i) {
+    s->Observe(Item{i, i, static_cast<Timestamp>(1000 - i)});
+    s->AdvanceTime(0);  // no-op
+  }
+  EXPECT_EQ(s->Sample().size(), 2u);
+}
+
+}  // namespace
+}  // namespace swsample

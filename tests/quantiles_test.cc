@@ -1,0 +1,162 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the sliding quantile estimator (Theorem 5.1 client): DKW sizing,
+// rank-error bounds against exact window order statistics, and behaviour on
+// both window models.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/quantiles.h"
+#include "core/seq_swor.h"
+#include "core/ts_swor.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+TEST(QuantilesTest, CreateValidation) {
+  EXPECT_FALSE(SlidingQuantileEstimator::Create(nullptr).ok());
+  auto sampler = SequenceSworSampler::Create(64, 8, 1).ValueOrDie();
+  EXPECT_TRUE(SlidingQuantileEstimator::Create(std::move(sampler)).ok());
+}
+
+TEST(QuantilesTest, RequiredSampleSizeDkw) {
+  // k = ln(2/delta) / (2 eps^2).
+  auto k = SlidingQuantileEstimator::RequiredSampleSize(0.1, 0.05);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k.value(),
+            static_cast<uint64_t>(std::ceil(std::log(40.0) / 0.02)));
+  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.0, 0.5).ok());
+  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(1.5, 0.5).ok());
+  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.1, 0.0).ok());
+  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.1, 1.0).ok());
+}
+
+TEST(QuantilesTest, EmptyWindowReturnsZero) {
+  auto est = SlidingQuantileEstimator::Create(
+                 SequenceSworSampler::Create(16, 4, 2).ValueOrDie())
+                 .ValueOrDie();
+  EXPECT_EQ(est->Quantile(0.5), 0u);
+}
+
+// Rank error of the estimated quantile vs the exact window order statistic.
+double RankError(uint64_t estimate, const std::vector<uint64_t>& window,
+                 double q) {
+  std::vector<uint64_t> sorted = window;
+  std::sort(sorted.begin(), sorted.end());
+  // Normalized rank of the estimate within the window.
+  auto lo = std::lower_bound(sorted.begin(), sorted.end(), estimate);
+  auto hi = std::upper_bound(sorted.begin(), sorted.end(), estimate);
+  double rank_lo = static_cast<double>(lo - sorted.begin()) /
+                   static_cast<double>(sorted.size());
+  double rank_hi = static_cast<double>(hi - sorted.begin()) /
+                   static_cast<double>(sorted.size());
+  if (q < rank_lo) return rank_lo - q;
+  if (q > rank_hi) return q - rank_hi;
+  return 0.0;
+}
+
+TEST(QuantilesTest, MedianWithinDkwBound) {
+  const uint64_t n = 4096;
+  const double eps = 0.05, delta = 0.01;
+  const uint64_t k =
+      SlidingQuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
+  auto est = SlidingQuantileEstimator::Create(
+                 SequenceSworSampler::Create(n, k, 3).ValueOrDie())
+                 .ValueOrDie();
+  Rng rng(4);
+  std::deque<uint64_t> window;
+  for (uint64_t i = 0; i < 3 * n; ++i) {
+    uint64_t value = rng.UniformIndex(1 << 20);
+    est->Observe(Item{value, i, static_cast<Timestamp>(i)});
+    window.push_back(value);
+    if (window.size() > n) window.pop_front();
+  }
+  std::vector<uint64_t> win(window.begin(), window.end());
+  // A single draw at fixed seed: rank error within ~2x the eps bound.
+  EXPECT_LE(RankError(est->Quantile(0.5), win, 0.5), 2 * eps);
+  EXPECT_LE(RankError(est->Quantile(0.9), win, 0.9), 2 * eps);
+  EXPECT_LE(RankError(est->Quantile(0.1), win, 0.1), 2 * eps);
+}
+
+TEST(QuantilesTest, FailureRateRespectsDelta) {
+  // Over many independent runs, the fraction of median estimates breaking
+  // the eps rank bound must be at most ~delta.
+  const uint64_t n = 512;
+  const double eps = 0.1, delta = 0.05;
+  const uint64_t k =
+      SlidingQuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
+  // One fixed window of values 0..n-1 shuffled implicitly by insertion.
+  int breaches = 0;
+  const int runs = 400;
+  for (int r = 0; r < runs; ++r) {
+    auto est = SlidingQuantileEstimator::Create(
+                   SequenceSworSampler::Create(n, k, 50 + r).ValueOrDie())
+                   .ValueOrDie();
+    std::vector<uint64_t> win;
+    for (uint64_t i = 0; i < n; ++i) {
+      est->Observe(Item{i * 7 % n, i, static_cast<Timestamp>(i)});
+      win.push_back(i * 7 % n);
+    }
+    if (RankError(est->Quantile(0.5), win, 0.5) > eps) ++breaches;
+  }
+  EXPECT_LE(static_cast<double>(breaches) / runs, 2 * delta);
+}
+
+TEST(QuantilesTest, MultipleQuantilesMonotone) {
+  auto est = SlidingQuantileEstimator::Create(
+                 SequenceSworSampler::Create(256, 64, 5).ValueOrDie())
+                 .ValueOrDie();
+  Rng rng(6);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    est->Observe(Item{rng.UniformIndex(10000), i, static_cast<Timestamp>(i)});
+  }
+  auto qs = est->Quantiles({0.1, 0.25, 0.5, 0.75, 0.9});
+  ASSERT_EQ(qs.size(), 5u);
+  for (size_t i = 1; i < qs.size(); ++i) EXPECT_LE(qs[i - 1], qs[i]);
+}
+
+TEST(QuantilesTest, WorksOnTimestampWindows) {
+  // Same estimator over a timestamp k-SWOR: window = last 64 ticks.
+  auto est = SlidingQuantileEstimator::Create(
+                 TsSworSampler::Create(64, 32, 7).ValueOrDie())
+                 .ValueOrDie();
+  // Values equal timestamps: the median of the last 64 ticks is near
+  // now - 32.
+  for (Timestamp t = 0; t < 500; ++t) {
+    est->Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
+  }
+  uint64_t median = est->Quantile(0.5);
+  EXPECT_GE(median, 500u - 64u);
+  EXPECT_NEAR(static_cast<double>(median), 500.0 - 32.0, 16.0);
+}
+
+TEST(QuantilesTest, TracksDriftingDistribution) {
+  // Distribution shifts +1000 mid-stream; the windowed median must follow
+  // once the window slides past the shift.
+  const uint64_t n = 1024;
+  auto est = SlidingQuantileEstimator::Create(
+                 SequenceSworSampler::Create(n, 128, 8).ValueOrDie())
+                 .ValueOrDie();
+  Rng rng(9);
+  for (uint64_t i = 0; i < 2 * n; ++i) {
+    est->Observe(Item{rng.UniformIndex(100), i, static_cast<Timestamp>(i)});
+  }
+  uint64_t before = est->Quantile(0.5);
+  for (uint64_t i = 2 * n; i < 4 * n; ++i) {
+    est->Observe(
+        Item{1000 + rng.UniformIndex(100), i, static_cast<Timestamp>(i)});
+  }
+  uint64_t after = est->Quantile(0.5);
+  EXPECT_LT(before, 100u);
+  EXPECT_GE(after, 1000u);
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,149 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Robustness and failure-injection tests: API misuse must be caught by
+// SWS_CHECK (death tests), factories must reject every invalid
+// configuration, and the samplers must survive pathological stream shapes
+// (giant bursts, long silences, clock jumps, single-element windows).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "baseline/exact_window.h"
+#include "baseline/priority_sampler.h"
+#include "core/seq_swor.h"
+#include "core/seq_swr.h"
+#include "core/ts_single.h"
+#include "core/ts_swor.h"
+#include "core/ts_swr.h"
+
+namespace swsample {
+namespace {
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, ClockMovingBackwardAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto s = TsSwrSampler::Create(10, 1, 1).ValueOrDie();
+  s->Observe(Item{0, 0, 100});
+  EXPECT_DEATH(s->AdvanceTime(99), "SWS_CHECK");
+}
+
+TEST(RobustnessDeathTest, TsSworClockBackwardAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto s = TsSworSampler::Create(10, 2, 1).ValueOrDie();
+  s->Observe(Item{0, 0, 100});
+  EXPECT_DEATH(s->Observe(Item{1, 1, 50}), "SWS_CHECK");
+}
+
+TEST(RobustnessDeathTest, PrioritySamplerClockBackwardAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto s = PrioritySampler::Create(10, 1, 1).ValueOrDie();
+  s->Observe(Item{0, 0, 100});
+  EXPECT_DEATH(s->AdvanceTime(10), "SWS_CHECK");
+}
+
+TEST(RobustnessTest, FactoriesRejectAllInvalidConfigs) {
+  EXPECT_FALSE(SequenceSwrSampler::Create(0, 1, 1).ok());
+  EXPECT_FALSE(SequenceSwrSampler::Create(4, 0, 1).ok());
+  EXPECT_FALSE(SequenceSworSampler::Create(4, 5, 1).ok());
+  EXPECT_FALSE(TsSwrSampler::Create(0, 1, 1).ok());
+  EXPECT_FALSE(TsSworSampler::Create(4, 0, 1).ok());
+  EXPECT_FALSE(TsSingleSampler::Create(-5, 1).ok());
+  EXPECT_FALSE(ExactWindow::CreateSequence(8, 9, false, 1).ok());
+  EXPECT_TRUE(ExactWindow::CreateSequence(8, 9, true, 1).ok());
+}
+
+TEST(RobustnessTest, GiantSingleBurst) {
+  // 200k items at one timestamp, then silence until all expire.
+  auto s = TsSworSampler::Create(4, 8, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 200000; ++i) s->Observe(Item{i, i, 0});
+  auto sample = s->Sample();
+  EXPECT_EQ(sample.size(), 8u);
+  s->AdvanceTime(3);
+  EXPECT_EQ(s->Sample().size(), 8u);
+  s->AdvanceTime(4);
+  EXPECT_TRUE(s->Sample().empty());
+}
+
+TEST(RobustnessTest, LongSilenceThenResume) {
+  auto s = TsSwrSampler::Create(8, 4, 3).ValueOrDie();
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 10; ++t) s->Observe(Item{index, index++, t});
+  // Clock jumps forward by a million ticks.
+  s->AdvanceTime(1000000);
+  EXPECT_TRUE(s->Sample().empty());
+  for (Timestamp t = 1000000; t < 1000010; ++t) {
+    s->Observe(Item{index, index++, t});
+  }
+  EXPECT_EQ(s->Sample().size(), 4u);
+}
+
+TEST(RobustnessTest, RepeatedExpireResumeCycles) {
+  auto s = TsSworSampler::Create(3, 3, 4).ValueOrDie();
+  uint64_t index = 0;
+  Timestamp t = 0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    for (int i = 0; i < 5; ++i) s->Observe(Item{index, index++, t});
+    auto sample = s->Sample();
+    EXPECT_FALSE(sample.empty());
+    t += 10;  // everything expires
+    s->AdvanceTime(t);
+    EXPECT_TRUE(s->Sample().empty());
+    ++t;
+  }
+}
+
+TEST(RobustnessTest, WindowOfOneTimestampTick) {
+  // t0 = 1: only the current tick's burst is active.
+  auto s = TsSwrSampler::Create(1, 2, 5).ValueOrDie();
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 50; ++t) {
+    for (int i = 0; i < 3; ++i) s->Observe(Item{index, index++, t});
+    for (const Item& item : s->Sample()) EXPECT_EQ(item.timestamp, t);
+  }
+}
+
+TEST(RobustnessTest, AlternatingEmptyBursts) {
+  auto s = TsSworSampler::Create(2, 2, 6).ValueOrDie();
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 300; ++t) {
+    if (t % 3 == 0) {
+      s->Observe(Item{index, index++, t});
+    } else {
+      s->AdvanceTime(t);
+    }
+    // Window of 2 ticks at 1-in-3 arrival rate: sometimes empty, never
+    // stale.
+    for (const Item& item : s->Sample()) EXPECT_LT(t - item.timestamp, 2);
+  }
+}
+
+TEST(RobustnessTest, SequenceSamplersHandleLongStreams) {
+  // Tiny window, very long stream: indices far beyond n, no drift.
+  auto swr = SequenceSwrSampler::Create(3, 2, 7).ValueOrDie();
+  auto swor = SequenceSworSampler::Create(3, 2, 8).ValueOrDie();
+  for (uint64_t i = 0; i < 500000; ++i) {
+    Item item{i, i, static_cast<Timestamp>(i)};
+    swr->Observe(item);
+    swor->Observe(item);
+  }
+  for (const Item& item : swr->Sample()) EXPECT_GE(item.index, 499997u);
+  for (const Item& item : swor->Sample()) EXPECT_GE(item.index, 499997u);
+}
+
+TEST(RobustnessTest, ManySamplesWithoutObservation) {
+  // Query storms between arrivals must not corrupt state.
+  auto s = TsSworSampler::Create(5, 3, 9).ValueOrDie();
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 20; ++t) {
+    s->Observe(Item{index, index++, t});
+    for (int q = 0; q < 50; ++q) {
+      auto sample = s->Sample();
+      for (const Item& item : sample) EXPECT_LT(t - item.timestamp, 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,171 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for Theorem 2.2: sequence-based sampling without replacement.
+// Core claim: at every position P(Z = Q) = 1/C(n, k) for every k-subset Q
+// of the window; plus distinctness, window membership, O(k) memory.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/seq_swor.h"
+#include "stats/tests.h"
+
+namespace swsample {
+namespace {
+
+Item MakeItem(uint64_t i) { return Item{i, i, static_cast<Timestamp>(i)}; }
+
+TEST(SeqSworTest, CreateValidation) {
+  EXPECT_FALSE(SequenceSworSampler::Create(0, 1, 1).ok());
+  EXPECT_FALSE(SequenceSworSampler::Create(8, 0, 1).ok());
+  EXPECT_FALSE(SequenceSworSampler::Create(8, 9, 1).ok());  // k > n
+  EXPECT_TRUE(SequenceSworSampler::Create(8, 8, 1).ok());
+}
+
+TEST(SeqSworTest, EmptyStreamEmptySample) {
+  auto s = SequenceSworSampler::Create(8, 3, 1).ValueOrDie();
+  EXPECT_TRUE(s->Sample().empty());
+}
+
+TEST(SeqSworTest, StartupReturnsAllArrived) {
+  auto s = SequenceSworSampler::Create(16, 4, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 3; ++i) {
+    s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    EXPECT_EQ(sample.size(), i + 1);
+  }
+}
+
+TEST(SeqSworTest, AlwaysKDistinctInWindow) {
+  const uint64_t n = 12, k = 5;
+  auto s = SequenceSworSampler::Create(n, k, 3).ValueOrDie();
+  for (uint64_t i = 0; i < 8 * n; ++i) {
+    s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    if (i + 1 >= k) {
+      ASSERT_EQ(sample.size(), k) << "at i=" << i;
+    }
+    std::set<uint64_t> idx;
+    const uint64_t lo = (i + 1 > n) ? i + 1 - n : 0;
+    for (const Item& item : sample) {
+      EXPECT_GE(item.index, lo);
+      EXPECT_LE(item.index, i);
+      idx.insert(item.index);
+    }
+    EXPECT_EQ(idx.size(), sample.size()) << "duplicates at i=" << i;
+  }
+}
+
+// All C(n, k) subsets equiprobable at a given stream length.
+void CheckSubsetsUniform(uint64_t n, uint64_t k, uint64_t stream_len,
+                         uint64_t seed) {
+  const int trials = 60000;
+  std::map<std::vector<uint64_t>, uint64_t> counts;
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSworSampler::Create(n, k, seed + t).ValueOrDie();
+    for (uint64_t i = 0; i < stream_len; ++i) s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), k);
+    std::vector<uint64_t> key;
+    for (const Item& item : sample) key.push_back(item.index);
+    std::sort(key.begin(), key.end());
+    ++counts[key];
+  }
+  // Expected number of distinct subsets: C(n, k).
+  uint64_t binom = 1;
+  for (uint64_t j = 0; j < k; ++j) binom = binom * (n - j) / (j + 1);
+  ASSERT_EQ(counts.size(), binom);
+  std::vector<uint64_t> flat;
+  for (const auto& [key, c] : counts) flat.push_back(c);
+  auto result = ChiSquareUniform(flat);
+  EXPECT_GT(result.p_value, 1e-4)
+      << "n=" << n << " k=" << k << " len=" << stream_len
+      << " stat=" << result.statistic;
+}
+
+TEST(SeqSworTest, SubsetsUniformAtBoundary) {
+  CheckSubsetsUniform(/*n=*/6, /*k=*/2, /*stream_len=*/12, /*seed=*/100);
+}
+
+TEST(SeqSworTest, SubsetsUniformMidBucket) {
+  CheckSubsetsUniform(/*n=*/6, /*k=*/2, /*stream_len=*/15, /*seed=*/200);
+}
+
+TEST(SeqSworTest, SubsetsUniformK3) {
+  CheckSubsetsUniform(/*n=*/6, /*k=*/3, /*stream_len=*/16, /*seed=*/300);
+}
+
+TEST(SeqSworTest, SubsetsUniformKEqualsHalfWindow) {
+  CheckSubsetsUniform(/*n=*/8, /*k=*/4, /*stream_len=*/21, /*seed=*/400);
+}
+
+TEST(SeqSworTest, KEqualsNReturnsWholeWindow) {
+  const uint64_t n = 6;
+  auto s = SequenceSworSampler::Create(n, n, 5).ValueOrDie();
+  for (uint64_t i = 0; i < 4 * n + 3; ++i) {
+    s->Observe(MakeItem(i));
+    if (i + 1 < n) continue;
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), n);
+    std::set<uint64_t> idx;
+    for (const Item& item : sample) idx.insert(item.index);
+    // Must be exactly the window.
+    EXPECT_EQ(*idx.begin(), i + 1 - n);
+    EXPECT_EQ(*idx.rbegin(), i);
+    EXPECT_EQ(idx.size(), n);
+  }
+}
+
+TEST(SeqSworTest, PerElementInclusionUniform) {
+  // Marginal inclusion probability must be k/n for every window position.
+  const uint64_t n = 10, k = 3;
+  const int trials = 30000;
+  const uint64_t len = 27;
+  std::vector<uint64_t> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSworSampler::Create(n, k, 600 + t).ValueOrDie();
+    for (uint64_t i = 0; i < len; ++i) s->Observe(MakeItem(i));
+    for (const Item& item : s->Sample()) ++counts[item.index - (len - n)];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(SeqSworTest, MemoryIndependentOfWindowSize) {
+  auto words_for = [](uint64_t n) {
+    auto s = SequenceSworSampler::Create(n, 4, 7).ValueOrDie();
+    uint64_t m = 0;
+    for (uint64_t i = 0; i < 4 * n; ++i) {
+      s->Observe(MakeItem(i));
+      m = std::max(m, s->MemoryWords());
+    }
+    return m;
+  };
+  EXPECT_EQ(words_for(1 << 4), words_for(1 << 12));
+}
+
+TEST(SeqSworTest, RepeatedQueriesAllValid) {
+  // Sample() consumes randomness; repeated queries at one instant must each
+  // be valid (k distinct, in-window).
+  const uint64_t n = 9, k = 4;
+  auto s = SequenceSworSampler::Create(n, k, 8).ValueOrDie();
+  for (uint64_t i = 0; i < 25; ++i) s->Observe(MakeItem(i));
+  for (int q = 0; q < 100; ++q) {
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), k);
+    std::set<uint64_t> idx;
+    for (const Item& item : sample) {
+      EXPECT_GE(item.index, 25u - n);
+      idx.insert(item.index);
+    }
+    EXPECT_EQ(idx.size(), k);
+  }
+}
+
+}  // namespace
+}  // namespace swsample

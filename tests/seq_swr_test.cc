@@ -1,0 +1,183 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for Theorem 2.1: sequence-based sampling with replacement.
+// The load-bearing claims: (1) every query returns a uniform sample of the
+// window at EVERY stream position, including positions straddling bucket
+// boundaries; (2) memory is O(k) and independent of n; (3) samples of the
+// k units behave independently.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/seq_swr.h"
+#include "stats/tests.h"
+
+namespace swsample {
+namespace {
+
+Item MakeItem(uint64_t i) {
+  return Item{i, i, static_cast<Timestamp>(i)};
+}
+
+TEST(SeqSwrTest, CreateValidation) {
+  EXPECT_FALSE(SequenceSwrSampler::Create(0, 1, 1).ok());
+  EXPECT_FALSE(SequenceSwrSampler::Create(8, 0, 1).ok());
+  EXPECT_TRUE(SequenceSwrSampler::Create(8, 3, 1).ok());
+}
+
+TEST(SeqSwrTest, EmptyStreamEmptySample) {
+  auto s = SequenceSwrSampler::Create(8, 3, 1).ValueOrDie();
+  EXPECT_TRUE(s->Sample().empty());
+}
+
+TEST(SeqSwrTest, ReturnsKSamples) {
+  auto s = SequenceSwrSampler::Create(8, 5, 2).ValueOrDie();
+  for (uint64_t i = 0; i < 20; ++i) s->Observe(MakeItem(i));
+  EXPECT_EQ(s->Sample().size(), 5u);
+}
+
+TEST(SeqSwrTest, SampleAlwaysInWindow) {
+  const uint64_t n = 16;
+  auto s = SequenceSwrSampler::Create(n, 4, 3).ValueOrDie();
+  for (uint64_t i = 0; i < 10 * n; ++i) {
+    s->Observe(MakeItem(i));
+    const uint64_t lo = (i + 1 > n) ? i + 1 - n : 0;
+    for (const Item& item : s->Sample()) {
+      EXPECT_GE(item.index, lo);
+      EXPECT_LE(item.index, i);
+    }
+  }
+}
+
+TEST(SeqSwrTest, StartupReturnsSampleOfArrived) {
+  auto s = SequenceSwrSampler::Create(100, 1, 4).ValueOrDie();
+  s->Observe(MakeItem(0));
+  auto sample = s->Sample();
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(sample[0].index, 0u);
+}
+
+// Uniformity at a fixed stream position: chi-square over the window.
+void CheckUniformAt(uint64_t n, uint64_t stream_len, uint64_t seed) {
+  const int trials = 30000;
+  std::vector<uint64_t> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSwrSampler::Create(n, 1, seed + t).ValueOrDie();
+    for (uint64_t i = 0; i < stream_len; ++i) s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ASSERT_GE(sample[0].index, stream_len - n);
+    ++counts[sample[0].index - (stream_len - n)];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4)
+      << "n=" << n << " len=" << stream_len << " stat=" << result.statistic;
+}
+
+TEST(SeqSwrTest, UniformAtBucketBoundary) {
+  // Window exactly equals a completed bucket.
+  CheckUniformAt(/*n=*/8, /*stream_len=*/16, /*seed=*/100);
+}
+
+TEST(SeqSwrTest, UniformMidBucket) {
+  // Window straddles two buckets (the equivalent-width combination rule).
+  CheckUniformAt(/*n=*/8, /*stream_len=*/19, /*seed=*/200);
+}
+
+TEST(SeqSwrTest, UniformJustAfterBoundary) {
+  CheckUniformAt(/*n=*/8, /*stream_len=*/17, /*seed=*/300);
+}
+
+TEST(SeqSwrTest, UniformJustBeforeBoundary) {
+  CheckUniformAt(/*n=*/8, /*stream_len=*/23, /*seed=*/400);
+}
+
+TEST(SeqSwrTest, UniformOddWindow) {
+  CheckUniformAt(/*n=*/7, /*stream_len=*/25, /*seed=*/500);
+}
+
+TEST(SeqSwrTest, QueriesAtEveryOffsetStayUniform) {
+  // Aggregate over all offsets within a bucket: the sample's AGE (distance
+  // from the newest element) must be uniform on [0, n).
+  const uint64_t n = 10;
+  const int trials = 20000;
+  std::vector<uint64_t> age_counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSwrSampler::Create(n, 1, 1000 + t).ValueOrDie();
+    const uint64_t len = 2 * n + static_cast<uint64_t>(t) % n;
+    for (uint64_t i = 0; i < len; ++i) s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++age_counts[len - 1 - sample[0].index];
+  }
+  auto result = ChiSquareUniform(age_counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(SeqSwrTest, MemoryIndependentOfWindowSize) {
+  // Theorem 2.1: O(k) words regardless of n. Measure max over a long run.
+  uint64_t words_small = 0, words_large = 0;
+  {
+    auto s = SequenceSwrSampler::Create(1 << 4, 8, 5).ValueOrDie();
+    for (uint64_t i = 0; i < 1 << 8; ++i) {
+      s->Observe(MakeItem(i));
+      words_small = std::max(words_small, s->MemoryWords());
+    }
+  }
+  {
+    auto s = SequenceSwrSampler::Create(1 << 14, 8, 5).ValueOrDie();
+    for (uint64_t i = 0; i < 1 << 16; ++i) {
+      s->Observe(MakeItem(i));
+      words_large = std::max(words_large, s->MemoryWords());
+    }
+  }
+  EXPECT_EQ(words_small, words_large);
+}
+
+TEST(SeqSwrTest, MemoryLinearInK) {
+  auto words_for = [](uint64_t k) {
+    auto s = SequenceSwrSampler::Create(64, k, 6).ValueOrDie();
+    uint64_t m = 0;
+    for (uint64_t i = 0; i < 512; ++i) {
+      s->Observe(MakeItem(i));
+      m = std::max(m, s->MemoryWords());
+    }
+    return m;
+  };
+  const uint64_t w1 = words_for(1), w4 = words_for(4), w16 = words_for(16);
+  EXPECT_LT(w4, 8 * w1);
+  EXPECT_LT(w16, 8 * w4);
+  EXPECT_GT(w16, w4);
+  EXPECT_GT(w4, w1);
+}
+
+TEST(SeqSwrTest, UnitsAreIndependent) {
+  // Joint distribution of two units over a window of 4 must be uniform on
+  // the 16 pairs.
+  const uint64_t n = 4;
+  const int trials = 64000;
+  std::vector<uint64_t> counts(n * n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto s = SequenceSwrSampler::Create(n, 2, 9000 + t).ValueOrDie();
+    for (uint64_t i = 0; i < 11; ++i) s->Observe(MakeItem(i));
+    auto sample = s->Sample();
+    ASSERT_EQ(sample.size(), 2u);
+    const uint64_t a = sample[0].index - 7, b = sample[1].index - 7;
+    ++counts[a * n + b];
+  }
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(SeqSwrTest, WindowSizeOne) {
+  auto s = SequenceSwrSampler::Create(1, 2, 7).ValueOrDie();
+  for (uint64_t i = 0; i < 5; ++i) {
+    s->Observe(MakeItem(i));
+    for (const Item& item : s->Sample()) EXPECT_EQ(item.index, i);
+  }
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,160 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Unit tests for the statistics toolkit: special functions, goodness-of-fit
+// tests, summaries, exact window aggregates.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/exact.h"
+#include "stats/special.h"
+#include "stats/summary.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+TEST(SpecialTest, GammaQKnownValues) {
+  // Q(1, x) = e^-x.
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 0.5), std::exp(-0.5), 1e-10);
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 3.0), std::exp(-3.0), 1e-10);
+  // Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.5, 0.0), 1.0);
+  // Chi-square df=2: tail at x is e^{-x/2}.
+  EXPECT_NEAR(ChiSquareTail(4.0, 2.0), std::exp(-2.0), 1e-10);
+}
+
+TEST(SpecialTest, ChiSquareTailTableValues) {
+  // Classic table: P(chi2_1 > 3.841) ~ 0.05, P(chi2_10 > 18.307) ~ 0.05.
+  EXPECT_NEAR(ChiSquareTail(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareTail(18.307, 10.0), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareTail(23.209, 10.0), 0.01, 1e-3);
+}
+
+TEST(SpecialTest, ChiSquareTailMonotone) {
+  for (double df : {1.0, 5.0, 20.0}) {
+    double prev = 1.0;
+    for (double x = 0.0; x < 50.0; x += 0.5) {
+      double p = ChiSquareTail(x, df);
+      EXPECT_LE(p, prev + 1e-12);
+      prev = p;
+    }
+  }
+}
+
+TEST(SpecialTest, KolmogorovTailEdges) {
+  EXPECT_DOUBLE_EQ(KolmogorovTail(0.0), 1.0);
+  EXPECT_LT(KolmogorovTail(2.0), 0.001);
+  // Known value: P(sqrt(n) D > 1.36) ~ 0.05.
+  EXPECT_NEAR(KolmogorovTail(1.36), 0.05, 5e-3);
+}
+
+TEST(ChiSquareTest, UniformDataPasses) {
+  std::vector<uint64_t> counts = {100, 98, 103, 99, 101, 99};
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 0.5);
+  EXPECT_EQ(result.df, 5.0);
+}
+
+TEST(ChiSquareTest, SkewedDataFails) {
+  std::vector<uint64_t> counts = {500, 100, 100, 100, 100, 100};
+  auto result = ChiSquareUniform(counts);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquareTest, ExpectedProbsRespected) {
+  // Counts drawn to match a 2:1:1 distribution.
+  std::vector<uint64_t> counts = {2000, 1010, 990};
+  std::vector<double> probs = {0.5, 0.25, 0.25};
+  auto result = ChiSquareExpected(counts, probs);
+  EXPECT_GT(result.p_value, 0.1);
+  // Against uniform they should fail decisively.
+  auto uniform = ChiSquareUniform(counts);
+  EXPECT_LT(uniform.p_value, 1e-6);
+}
+
+TEST(KsTest, UniformSamplesPass) {
+  Rng rng(1);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.Uniform01();
+  EXPECT_GT(KsUniform(std::move(xs)).p_value, 1e-4);
+}
+
+TEST(KsTest, SquashedSamplesFail) {
+  Rng rng(2);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) {
+    double u = rng.Uniform01();
+    x = u * u;  // biased toward 0
+  }
+  EXPECT_LT(KsUniform(std::move(xs)).p_value, 1e-6);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> xs(20000), ys(20000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform01();
+    ys[i] = rng.Uniform01();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(xs, ys)), 0.03);
+}
+
+TEST(PearsonTest, PerfectCorrelationIsOne) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(RunningSummaryTest, MomentsCorrect) {
+  RunningSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(PercentileTest, NearestRank) {
+  std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 5.0);
+}
+
+TEST(ExactTest, Histogram) {
+  auto hist = ExactHistogram({1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 3u);
+}
+
+TEST(ExactTest, FrequencyMoments) {
+  std::vector<uint64_t> values = {1, 2, 2, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(ExactFrequencyMoment(values, 1), 6.0);       // stream size
+  EXPECT_DOUBLE_EQ(ExactFrequencyMoment(values, 2), 1 + 4 + 9);  // 14
+  EXPECT_DOUBLE_EQ(ExactFrequencyMoment(values, 3), 1 + 8 + 27);
+}
+
+TEST(ExactTest, EntropyUniformAndDegenerate) {
+  EXPECT_NEAR(ExactEntropy({0, 1, 2, 3}), 2.0, 1e-12);  // 4 distinct
+  EXPECT_NEAR(ExactEntropy({7, 7, 7, 7}), 0.0, 1e-12);  // constant
+  EXPECT_DOUBLE_EQ(ExactEntropy({}), 0.0);
+  // Mixed case: {a,a,b} -> H = -(2/3)log2(2/3) - (1/3)log2(1/3).
+  double h = -(2.0 / 3) * std::log2(2.0 / 3) - (1.0 / 3) * std::log2(1.0 / 3);
+  EXPECT_NEAR(ExactEntropy({1, 1, 2}), h, 1e-12);
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,177 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Unit tests for the stream substrate: value generators, arrival processes
+// and the composed SyntheticStream.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/arrival.h"
+#include "stream/stream_gen.h"
+#include "stream/value_gen.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+TEST(UniformValuesTest, RejectsEmptyDomain) {
+  EXPECT_FALSE(UniformValues::Create(0).ok());
+}
+
+TEST(UniformValuesTest, StaysInDomain) {
+  auto gen = UniformValues::Create(10).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen->Next(rng), 10u);
+}
+
+TEST(UniformValuesTest, CoversDomain) {
+  auto gen = UniformValues::Create(8).ValueOrDie();
+  Rng rng(2);
+  std::vector<uint64_t> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[gen->Next(rng)];
+  for (uint64_t c : counts) EXPECT_GT(c, 800u);
+}
+
+TEST(ZipfValuesTest, RejectsBadParams) {
+  EXPECT_FALSE(ZipfValues::Create(0, 1.0).ok());
+  EXPECT_FALSE(ZipfValues::Create(10, -1.0).ok());
+}
+
+TEST(ZipfValuesTest, SkewFavorsSmallValues) {
+  auto gen = ZipfValues::Create(100, 1.2).ValueOrDie();
+  Rng rng(3);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[gen->Next(rng)];
+  // Head value must dominate the tail value heavily under alpha=1.2.
+  EXPECT_GT(counts[0], 10 * counts[50] / 2);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(ZipfValuesTest, AlphaZeroIsUniform) {
+  auto gen = ZipfValues::Create(16, 0.0).ValueOrDie();
+  Rng rng(4);
+  std::vector<uint64_t> counts(16, 0);
+  for (int i = 0; i < 64000; ++i) ++counts[gen->Next(rng)];
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 3000u);
+    EXPECT_LT(c, 5000u);
+  }
+}
+
+TEST(ZipfValuesTest, FrequencyMatchesTheory) {
+  const double alpha = 1.0;
+  auto gen = ZipfValues::Create(50, alpha).ValueOrDie();
+  Rng rng(5);
+  const int trials = 200000;
+  uint64_t head = 0;
+  for (int i = 0; i < trials; ++i) head += (gen->Next(rng) == 0);
+  double harmonic = 0.0;
+  for (int i = 1; i <= 50; ++i) harmonic += 1.0 / i;
+  EXPECT_NEAR(static_cast<double>(head) / trials, 1.0 / harmonic, 0.01);
+}
+
+TEST(SequentialValuesTest, RoundRobin) {
+  auto gen = SequentialValues::Create(3).ValueOrDie();
+  Rng rng(6);
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 7; ++i) seen.push_back(gen->Next(rng));
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(ConstantRateArrivalsTest, ExactCount) {
+  ConstantRateArrivals arrivals(5);
+  Rng rng(7);
+  for (Timestamp t = 0; t < 100; ++t) EXPECT_EQ(arrivals.CountAt(t, rng), 5u);
+}
+
+TEST(PoissonBurstArrivalsTest, RejectsBadLambda) {
+  EXPECT_FALSE(PoissonBurstArrivals::Create(0.0).ok());
+  EXPECT_FALSE(PoissonBurstArrivals::Create(-3.0).ok());
+}
+
+TEST(PoissonBurstArrivalsTest, MeanMatchesLambdaSmall) {
+  auto arrivals = PoissonBurstArrivals::Create(4.0).ValueOrDie();
+  Rng rng(8);
+  uint64_t total = 0;
+  const int steps = 50000;
+  for (int t = 0; t < steps; ++t) total += arrivals->CountAt(t, rng);
+  EXPECT_NEAR(static_cast<double>(total) / steps, 4.0, 0.1);
+}
+
+TEST(PoissonBurstArrivalsTest, MeanMatchesLambdaLarge) {
+  auto arrivals = PoissonBurstArrivals::Create(100.0).ValueOrDie();
+  Rng rng(9);
+  uint64_t total = 0;
+  const int steps = 20000;
+  for (int t = 0; t < steps; ++t) total += arrivals->CountAt(t, rng);
+  EXPECT_NEAR(static_cast<double>(total) / steps, 100.0, 1.0);
+}
+
+TEST(DoublingBurstArrivalsTest, RejectsBadParams) {
+  EXPECT_FALSE(DoublingBurstArrivals::Create(0, 10).ok());
+  EXPECT_FALSE(DoublingBurstArrivals::Create(31, 10).ok());
+  EXPECT_FALSE(DoublingBurstArrivals::Create(5, 0).ok());
+}
+
+TEST(DoublingBurstArrivalsTest, DoublingShape) {
+  auto arrivals =
+      DoublingBurstArrivals::Create(/*t0=*/4, /*max_burst=*/1 << 20)
+          .ValueOrDie();
+  Rng rng(10);
+  // 2^(2*4 - t) for t <= 8, then 1.
+  EXPECT_EQ(arrivals->CountAt(0, rng), 256u);
+  EXPECT_EQ(arrivals->CountAt(1, rng), 128u);
+  EXPECT_EQ(arrivals->CountAt(8, rng), 1u);
+  EXPECT_EQ(arrivals->CountAt(9, rng), 1u);
+  EXPECT_EQ(arrivals->CountAt(100, rng), 1u);
+}
+
+TEST(DoublingBurstArrivalsTest, CapsAtMaxBurst) {
+  auto arrivals =
+      DoublingBurstArrivals::Create(/*t0=*/10, /*max_burst=*/64).ValueOrDie();
+  Rng rng(11);
+  EXPECT_EQ(arrivals->CountAt(0, rng), 64u);   // 2^20 capped
+  EXPECT_EQ(arrivals->CountAt(14, rng), 64u);  // 2^6 == 64
+  EXPECT_EQ(arrivals->CountAt(15, rng), 32u);
+}
+
+TEST(SyntheticStreamTest, IndicesAndTimestampsConsistent) {
+  auto stream = SyntheticStream(
+      UniformValues::Create(100).ValueOrDie(),
+      std::make_unique<ConstantRateArrivals>(3), /*seed=*/12);
+  StreamIndex expect_index = 0;
+  for (Timestamp t = 0; t < 50; ++t) {
+    const auto& burst = stream.Step();
+    EXPECT_EQ(stream.now(), t);
+    ASSERT_EQ(burst.size(), 3u);
+    for (const Item& item : burst) {
+      EXPECT_EQ(item.index, expect_index++);
+      EXPECT_EQ(item.timestamp, t);
+      EXPECT_LT(item.value, 100u);
+    }
+  }
+  EXPECT_EQ(stream.total_items(), 150u);
+}
+
+TEST(SyntheticStreamTest, EmptyStepsAreLegal) {
+  // Poisson with tiny lambda produces many empty steps; the stream must
+  // keep the clock moving and indices contiguous.
+  auto stream = SyntheticStream(UniformValues::Create(10).ValueOrDie(),
+                                std::move(PoissonBurstArrivals::Create(0.2))
+                                    .ValueOrDie(),
+                                /*seed=*/13);
+  StreamIndex expect_index = 0;
+  int empty_steps = 0;
+  for (Timestamp t = 0; t < 2000; ++t) {
+    const auto& burst = stream.Step();
+    if (burst.empty()) ++empty_steps;
+    for (const Item& item : burst) EXPECT_EQ(item.index, expect_index++);
+  }
+  EXPECT_GT(empty_steps, 1000);  // e^-0.2 ~ 0.82 of steps are empty
+}
+
+}  // namespace
+}  // namespace swsample

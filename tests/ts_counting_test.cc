@@ -1,0 +1,188 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Tests for the timestamp-window forward-count tracker and the TsFk
+// estimator (the timestamp half of Corollary 5.2): forward counts must be
+// exact for the sampled position, candidates must survive merges and
+// re-straddling, and F_k estimates must track the exact windowed value
+// with the extra (1 +/- eps) count factor.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/ts_counting.h"
+#include "stats/exact.h"
+#include "stream/value_gen.h"
+#include "util/rng.h"
+
+namespace swsample {
+namespace {
+
+TEST(TsForwardCountTest, CountsExactOnFixedStream) {
+  // One-per-step arrivals with known values; whatever position is sampled,
+  // the reported count must equal the true forward occurrence count.
+  const std::vector<uint64_t> values = {1, 2, 1, 3, 1, 2, 2, 1, 3, 1,
+                                        2, 1, 1, 3, 2, 1, 2, 3, 3, 1};
+  for (int trial = 0; trial < 300; ++trial) {
+    TsForwardCountUnit unit(/*t0=*/12, /*seed=*/100 + trial);
+    for (uint64_t i = 0; i < values.size(); ++i) {
+      unit.Observe(Item{values[i], i, static_cast<Timestamp>(i)});
+    }
+    auto s = unit.Sample();
+    ASSERT_TRUE(s.has_value());
+    uint64_t expected = 0;
+    for (uint64_t j = s->item.index; j < values.size(); ++j) {
+      expected += (values[j] == values[s->item.index]);
+    }
+    EXPECT_EQ(s->count, expected) << "sampled index " << s->item.index;
+  }
+}
+
+TEST(TsForwardCountTest, CountsSurviveExpiryRestructuring) {
+  // Bursts then silence force straddle transitions; counts stay exact.
+  Rng value_rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    TsForwardCountUnit unit(/*t0=*/6, /*seed=*/500 + trial);
+    std::vector<uint64_t> values;
+    uint64_t index = 0;
+    Timestamp t = 0;
+    for (uint64_t burst : {5u, 0u, 3u, 0u, 0u, 4u, 1u, 2u}) {
+      for (uint64_t i = 0; i < burst; ++i) {
+        uint64_t v = value_rng.UniformIndex(3);
+        values.push_back(v);
+        unit.Observe(Item{v, index++, t});
+      }
+      unit.AdvanceTime(t);
+      ++t;
+    }
+    auto s = unit.Sample();
+    if (!s) continue;
+    uint64_t expected = 0;
+    for (uint64_t j = s->item.index; j < values.size(); ++j) {
+      expected += (values[j] == values[s->item.index]);
+    }
+    EXPECT_EQ(s->count, expected);
+  }
+}
+
+TEST(TsForwardCountTest, MemoryStaysLogarithmic) {
+  TsForwardCountUnit unit(/*t0=*/1 << 12, /*seed=*/9);
+  uint64_t max_words = 0;
+  for (uint64_t i = 0; i < (1 << 13); ++i) {
+    unit.Observe(Item{i % 64, i, static_cast<Timestamp>(i)});
+    max_words = std::max(max_words, unit.MemoryWords());
+  }
+  EXPECT_LT(max_words, 1000u);  // O(log n) structures + payload map
+}
+
+TEST(TsFkEstimatorTest, CreateValidation) {
+  EXPECT_FALSE(TsFkEstimator::Create(0, 2, 8, 0.1, 1).ok());
+  EXPECT_FALSE(TsFkEstimator::Create(8, 0, 8, 0.1, 1).ok());
+  EXPECT_FALSE(TsFkEstimator::Create(8, 2, 0, 0.1, 1).ok());
+  EXPECT_FALSE(TsFkEstimator::Create(8, 2, 8, 0.0, 1).ok());
+  EXPECT_TRUE(TsFkEstimator::Create(8, 2, 8, 0.1, 1).ok());
+}
+
+TEST(TsFkEstimatorTest, EmptyWindowEstimatesZero) {
+  auto est = TsFkEstimator::Create(5, 2, 8, 0.1, 2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+  est->Observe(Item{1, 0, 0});
+  est->AdvanceTime(100);
+  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+}
+
+TEST(TsFkEstimatorTest, F1TracksWindowSize) {
+  // F1 = n; with the AMS telescoping at moment 1 the per-unit estimate is
+  // exactly the histogram's n-hat, so the error is the EH eps alone.
+  auto est = TsFkEstimator::Create(64, 1, 4, 0.05, 3).ValueOrDie();
+  Rng rng(4);
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 300; ++t) {
+    const uint64_t burst = 1 + rng.UniformIndex(4);
+    for (uint64_t i = 0; i < burst; ++i) {
+      est->Observe(Item{rng.UniformIndex(100), index++, t});
+    }
+    est->AdvanceTime(t);
+  }
+  // Exact active count: arrivals in the last 64 steps, ~2.5*64.
+  const double estimate = est->Estimate();
+  const double n_hat = static_cast<double>(est->WindowSizeEstimate());
+  EXPECT_DOUBLE_EQ(estimate, n_hat);
+  EXPECT_GT(n_hat, 100.0);
+  EXPECT_LT(n_hat, 250.0);
+}
+
+TEST(TsEntropyEstimatorTest, CreateValidation) {
+  EXPECT_FALSE(TsEntropyEstimator::Create(0, 8, 0.1, 1).ok());
+  EXPECT_FALSE(TsEntropyEstimator::Create(8, 0, 0.1, 1).ok());
+  EXPECT_FALSE(TsEntropyEstimator::Create(8, 8, 0.0, 1).ok());
+  EXPECT_TRUE(TsEntropyEstimator::Create(8, 8, 0.1, 1).ok());
+}
+
+TEST(TsEntropyEstimatorTest, ConstantStreamNearZero) {
+  auto est = TsEntropyEstimator::Create(64, 2000, 0.05, 2).ValueOrDie();
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 200; ++t) {
+    est->Observe(Item{7, index++, t});
+    est->Observe(Item{7, index++, t});
+  }
+  EXPECT_NEAR(est->Estimate(), 0.0, 0.25);
+}
+
+TEST(TsEntropyEstimatorTest, CloseToExactOnZipfWindow) {
+  const Timestamp t0 = 512;
+  auto est = TsEntropyEstimator::Create(t0, 2500, 0.05, 3).ValueOrDie();
+  auto gen = ZipfValues::Create(32, 1.0).ValueOrDie();
+  Rng rng(4);
+  std::deque<std::pair<Timestamp, uint64_t>> window;
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 3 * t0; ++t) {
+    const uint64_t burst = 1 + rng.UniformIndex(3);
+    for (uint64_t i = 0; i < burst; ++i) {
+      const uint64_t v = gen->Next(rng);
+      est->Observe(Item{v, index++, t});
+      window.emplace_back(t, v);
+    }
+    est->AdvanceTime(t);
+    while (!window.empty() && t - window.front().first >= t0) {
+      window.pop_front();
+    }
+  }
+  std::vector<uint64_t> values;
+  for (const auto& [ts, v] : window) values.push_back(v);
+  const double exact = ExactEntropy(values);
+  EXPECT_NEAR(est->Estimate(), exact, 0.15 * exact + 0.1);
+}
+
+TEST(TsFkEstimatorTest, F2CloseToExactOnSkewedWindow) {
+  const Timestamp t0 = 512;
+  auto est = TsFkEstimator::Create(t0, 2, 1500, 0.05, 5).ValueOrDie();
+  auto gen = ZipfValues::Create(8, 1.4).ValueOrDie();
+  Rng rng(6);
+  std::deque<std::pair<Timestamp, uint64_t>> window;
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 3 * t0; ++t) {
+    const uint64_t burst = 1 + rng.UniformIndex(3);
+    for (uint64_t i = 0; i < burst; ++i) {
+      const uint64_t v = gen->Next(rng);
+      est->Observe(Item{v, index++, t});
+      window.emplace_back(t, v);
+    }
+    est->AdvanceTime(t);
+    while (!window.empty() && t - window.front().first >= t0) {
+      window.pop_front();
+    }
+  }
+  std::vector<uint64_t> values;
+  for (const auto& [ts, v] : window) values.push_back(v);
+  const double exact = ExactFrequencyMoment(values, 2);
+  const double estimate = est->Estimate();
+  EXPECT_NEAR(estimate / exact, 1.0, 0.25)
+      << "estimate=" << estimate << " exact=" << exact;
+}
+
+}  // namespace
+}  // namespace swsample

@@ -1,0 +1,193 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Unit tests for the util substrate: PRNG, bit helpers, Status/Result.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/tests.h"
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace swsample {
+namespace {
+
+TEST(BitsTest, FloorLog2Exact) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(7), 2u);
+  EXPECT_EQ(FloorLog2(8), 3u);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 40), 40u);
+  EXPECT_EQ(FloorLog2((uint64_t{1} << 40) + 17), 40u);
+  EXPECT_EQ(FloorLog2(~uint64_t{0}), 63u);
+}
+
+TEST(BitsTest, CeilLog2Exact) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(uint64_t{1} << 40), 40u);
+}
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitsTest, Pow2) {
+  EXPECT_EQ(Pow2(0), 1u);
+  EXPECT_EQ(Pow2(10), 1024u);
+  EXPECT_EQ(Pow2(63), uint64_t{1} << 63);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIndexInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformIndex(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIndexOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformIndex(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.UniformRange(10, 13));
+  EXPECT_EQ(seen, (std::set<uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(RngTest, UniformIndexChiSquare) {
+  Rng rng(123);
+  std::vector<uint64_t> counts(16, 0);
+  for (int i = 0; i < 160000; ++i) ++counts[rng.UniformIndex(16)];
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(RngTest, Uniform01Range) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01KolmogorovSmirnov) {
+  Rng rng(77);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Uniform01();
+  auto result = KsUniform(std::move(xs));
+  EXPECT_GT(result.p_value, 1e-4) << "D=" << result.statistic;
+}
+
+TEST(RngTest, BernoulliRationalExactEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rng.BernoulliRational(5, 5));
+    EXPECT_TRUE(rng.BernoulliRational(7, 5));
+    EXPECT_FALSE(rng.BernoulliRational(0, 5));
+  }
+}
+
+TEST(RngTest, BernoulliRationalFrequency) {
+  Rng rng(11);
+  const int trials = 200000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) hits += rng.BernoulliRational(3, 7);
+  double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 3.0 / 7.0, 0.01);
+}
+
+TEST(RngTest, BernoulliDoubleFrequency) {
+  Rng rng(13);
+  const int trials = 200000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliDoubleEdges) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, SplitDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be >= 1");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, ValueOrDieMoves) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace swsample
