@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/seq_swr.h"
-#include "core/ts_swr.h"
+#include "core/registry.h"
 #include "stats/tests.h"
 
 namespace swsample::bench {
@@ -27,7 +26,10 @@ void Run() {
     std::vector<uint64_t> joint(n * n, 0);
     std::vector<double> xs, ys;
     for (int t = 0; t < trials; ++t) {
-      auto s = SequenceSwrSampler::Create(n, 1, 100 + t).ValueOrDie();
+      SamplerConfig config;
+      config.window_n = n;
+      config.seed = 100 + static_cast<uint64_t>(t);
+      auto s = CreateSampler("bop-seq-swr", config).ValueOrDie();
       uint64_t first = 0, second = 0;
       for (uint64_t i = 0; i < 4 * n; ++i) {
         s->Observe(Item{i, i, static_cast<Timestamp>(i)});
@@ -49,7 +51,10 @@ void Run() {
     std::vector<uint64_t> joint(t0 * t0, 0);
     std::vector<double> xs, ys;
     for (int t = 0; t < trials; ++t) {
-      auto s = TsSwrSampler::Create(t0, 1, 500000 + t).ValueOrDie();
+      SamplerConfig config;
+      config.window_t = t0;
+      config.seed = 500000 + static_cast<uint64_t>(t);
+      auto s = CreateSampler("bop-ts-swr", config).ValueOrDie();
       uint64_t first = 0, second = 0;
       for (Timestamp i = 0; i < 2 * t0; ++i) {
         s->Observe(

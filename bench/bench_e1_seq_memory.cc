@@ -9,15 +9,17 @@
 // several window lengths for each (n, k).
 
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "baseline/chain_sampler.h"
-#include "baseline/exact_window.h"
 #include "bench/bench_util.h"
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
+#include "core/registry.h"
 
 namespace swsample::bench {
 namespace {
+
+constexpr const char* kSamplers[] = {"bop-seq-swr", "bop-seq-swor",
+                                     "bdm-chain", "exact-seq"};
 
 void Run() {
   Banner("E1: max memory words vs window size n (sequence-based windows)",
@@ -28,15 +30,18 @@ void Run() {
     const uint64_t n = uint64_t{1} << log_n;
     for (uint64_t k : {1u, 16u, 64u}) {
       const uint64_t items = 4 * n;
-      auto swr = SequenceSwrSampler::Create(n, k, 1).ValueOrDie();
-      auto swor = SequenceSworSampler::Create(n, k, 2).ValueOrDie();
-      auto chain = ChainSampler::Create(n, k, 3).ValueOrDie();
-      auto exact = ExactWindow::CreateSequence(n, k, true, 4).ValueOrDie();
-      Row({U(n), U(k),
-           U(MaxMemorySequenceRun(*swr, items, 1 << 20, 10)),
-           U(MaxMemorySequenceRun(*swor, items, 1 << 20, 11)),
-           U(MaxMemorySequenceRun(*chain, items, 1 << 20, 12)),
-           U(MaxMemorySequenceRun(*exact, items, 1 << 20, 13))});
+      std::vector<std::string> cells = {U(n), U(k)};
+      uint64_t seed = 1;
+      for (const char* name : kSamplers) {
+        SamplerConfig config;
+        config.window_n = n;
+        config.k = k;
+        config.seed = seed++;
+        auto sampler = CreateSampler(name, config).ValueOrDie();
+        cells.push_back(
+            U(MaxMemorySequenceRun(*sampler, items, 1 << 20, 9 + seed)));
+      }
+      Row(cells);
     }
   }
   std::printf(

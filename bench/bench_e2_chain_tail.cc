@@ -11,9 +11,9 @@
 #include <algorithm>
 #include <vector>
 
-#include "baseline/chain_sampler.h"
+#include "baseline/chain_sampler.h"  // typed: MaxChainLength() accessor
 #include "bench/bench_util.h"
-#include "core/seq_swr.h"
+#include "core/registry.h"
 #include "stats/summary.h"
 
 namespace swsample::bench {
@@ -43,7 +43,11 @@ void Run() {
     chain_words.push_back(static_cast<double>(max_words));
     chain_len.push_back(static_cast<double>(max_len));
 
-    auto bop = SequenceSwrSampler::Create(n, k, 100 + t).ValueOrDie();
+    SamplerConfig config;
+    config.window_n = n;
+    config.k = k;
+    config.seed = 100 + static_cast<uint64_t>(t);
+    auto bop = CreateSampler("bop-seq-swr", config).ValueOrDie();
     bop_words =
         std::max(bop_words, MaxMemorySequenceRun(*bop, items, 1 << 20,
                                                  900 + t));

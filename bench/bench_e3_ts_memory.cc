@@ -10,13 +10,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "baseline/bounded_priority_sampler.h"
-#include "baseline/exact_window.h"
-#include "baseline/priority_sampler.h"
 #include "bench/bench_util.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
+#include "core/registry.h"
 #include "stream/arrival.h"
 #include "stream/stream_gen.h"
 #include "stream/value_gen.h"
@@ -50,18 +48,22 @@ void Run() {
   for (uint64_t log_t0 : {8u, 10u, 12u, 14u}) {
     const Timestamp t0 = Timestamp{1} << log_t0;
     for (uint64_t k : {1u, 16u}) {
-      auto swr = TsSwrSampler::Create(t0, k, 1).ValueOrDie();
-      auto swor = TsSworSampler::Create(t0, k, 2).ValueOrDie();
-      auto prio = PrioritySampler::Create(t0, k, 3).ValueOrDie();
-      auto bprio = BoundedPrioritySampler::Create(t0, k, 4).ValueOrDie();
-      auto exact = ExactWindow::CreateTimestamp(t0, k, true, 5).ValueOrDie();
-      Row({U(static_cast<uint64_t>(t0)),
-           U(static_cast<uint64_t>(lambda * static_cast<double>(t0))), U(k),
-           U(MaxWordsBursty(*swr, t0, lambda, 10)),
-           U(MaxWordsBursty(*swor, t0, lambda, 11)),
-           U(MaxWordsBursty(*prio, t0, lambda, 12)),
-           U(MaxWordsBursty(*bprio, t0, lambda, 13)),
-           U(MaxWordsBursty(*exact, t0, lambda, 14))});
+      constexpr const char* kSamplers[] = {"bop-ts-swr", "bop-ts-swor",
+                                           "bdm-priority",
+                                           "gl-bounded-priority", "exact-ts"};
+      std::vector<std::string> cells = {
+          U(static_cast<uint64_t>(t0)),
+          U(static_cast<uint64_t>(lambda * static_cast<double>(t0))), U(k)};
+      uint64_t seed = 1;
+      for (const char* name : kSamplers) {
+        SamplerConfig config;
+        config.window_t = t0;
+        config.k = k;
+        config.seed = seed++;
+        auto sampler = CreateSampler(name, config).ValueOrDie();
+        cells.push_back(U(MaxWordsBursty(*sampler, t0, lambda, 9 + seed)));
+      }
+      Row(cells);
     }
   }
   std::printf(

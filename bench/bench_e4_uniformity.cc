@@ -6,97 +6,79 @@
 // tens of thousands of independent trials per sampler and prints the
 // statistic, p-value and verdict. (Baselines are expected to pass too --
 // the paper's improvement is about memory determinism, not distribution.)
+//
+// The sweep covers EVERY registered sampler, so a sampler added to the
+// registry is picked up by this experiment automatically. Each sampler is
+// checked twice: item-by-item Observe and batched ObserveBatch ingestion
+// (ragged batch size straddling bucket boundaries), which must be
+// distributionally identical.
 
-#include <functional>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "baseline/bounded_priority_sampler.h"
-#include "baseline/chain_sampler.h"
-#include "baseline/exact_window.h"
-#include "baseline/priority_sampler.h"
 #include "bench/bench_util.h"
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
+#include "core/registry.h"
 #include "stats/tests.h"
 
 namespace swsample::bench {
 namespace {
 
-using Factory = std::function<std::unique_ptr<WindowSampler>(uint64_t seed)>;
-
-// Sequence-mode uniformity: stream of `len` items, window n, count the
-// sampled index over trials.
-void CheckSeq(const char* sampler_name, const Factory& factory, uint64_t n,
-              uint64_t len, int trials, uint64_t seed_base) {
-  std::vector<uint64_t> counts(n, 0);
-  for (int t = 0; t < trials; ++t) {
-    auto s = factory(seed_base + t);
-    for (uint64_t i = 0; i < len; ++i) {
-      s->Observe(Item{i, i, static_cast<Timestamp>(i)});
-    }
-    for (const Item& item : s->Sample()) ++counts[item.index - (len - n)];
+// Streams `len` rate-1 items (index == timestamp) through a fresh sampler
+// per trial, counting the sampled window position; returns the chi-square
+// against uniform. `batch` = 0 feeds item by item.
+ChiSquareResult WindowUniformity(const char* name, uint64_t window,
+                                 uint64_t len, uint64_t batch, int trials,
+                                 uint64_t seed_base) {
+  std::vector<uint64_t> counts(window, 0);
+  std::vector<Item> items;
+  items.reserve(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    items.push_back(Item{i, i, static_cast<Timestamp>(i)});
   }
-  auto r = ChiSquareUniform(counts);
-  Row({sampler_name, "seq", U(n), U(static_cast<uint64_t>(trials)),
-       F(r.statistic, 1), Sci(r.p_value), r.p_value > 1e-4 ? "PASS" : "FAIL"});
-}
-
-// Timestamp-mode uniformity at arrival rate 1 (window = last t0 items).
-void CheckTs(const char* sampler_name, const Factory& factory, Timestamp t0,
-             Timestamp horizon, int trials, uint64_t seed_base) {
-  std::vector<uint64_t> counts(t0, 0);
   for (int t = 0; t < trials; ++t) {
-    auto s = factory(seed_base + t);
-    for (Timestamp i = 0; i < horizon; ++i) {
-      s->Observe(Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
+    SamplerConfig config;
+    config.window_n = window;
+    config.window_t = static_cast<Timestamp>(window);
+    config.k = 1;
+    config.seed = seed_base + static_cast<uint64_t>(t);
+    auto s = CreateSampler(name, config).ValueOrDie();
+    if (batch == 0) {
+      for (const Item& item : items) s->Observe(item);
+    } else {
+      for (uint64_t pos = 0; pos < len; pos += batch) {
+        const uint64_t take = std::min(batch, len - pos);
+        s->ObserveBatch(std::span<const Item>(items.data() + pos, take));
+      }
     }
-    for (const Item& item : s->Sample()) {
-      ++counts[item.index - (horizon - t0)];
-    }
+    for (const Item& item : s->Sample()) ++counts[item.index - (len - window)];
   }
-  auto r = ChiSquareUniform(counts);
-  Row({sampler_name, "ts", U(static_cast<uint64_t>(t0)),
-       U(static_cast<uint64_t>(trials)), F(r.statistic, 1), Sci(r.p_value),
-       r.p_value > 1e-4 ? "PASS" : "FAIL"});
+  return ChiSquareUniform(counts);
 }
 
 void Run() {
-  Banner("E4: chi-square uniformity of every sampler over its window",
-         "all samplers produce exactly uniform window samples");
-  Row({"sampler", "model", "window", "trials", "chi2", "p-value", "verdict"});
-  const uint64_t n = 16, len = 57;
-  const Timestamp t0 = 16, horizon = 57;
+  Banner("E4: chi-square uniformity of every registered sampler",
+         "all samplers produce exactly uniform window samples, batched or "
+         "not");
+  Row({"sampler", "model", "path", "window", "trials", "chi2", "p-value",
+       "verdict"});
+  const uint64_t window = 16, len = 57;
   const int trials = 40000;
 
-  CheckSeq("bop-seq-swr", [&](uint64_t s) {
-    return SequenceSwrSampler::Create(n, 1, s).ValueOrDie();
-  }, n, len, trials, 1000000);
-  CheckSeq("bop-seq-swor", [&](uint64_t s) {
-    return SequenceSworSampler::Create(n, 1, s).ValueOrDie();
-  }, n, len, trials, 2000000);
-  CheckSeq("bdm-chain", [&](uint64_t s) {
-    return ChainSampler::Create(n, 1, s).ValueOrDie();
-  }, n, len, trials, 3000000);
-  CheckSeq("exact-window", [&](uint64_t s) {
-    return ExactWindow::CreateSequence(n, 1, true, s).ValueOrDie();
-  }, n, len, trials, 4000000);
-
-  CheckTs("bop-ts-swr", [&](uint64_t s) {
-    return TsSwrSampler::Create(t0, 1, s).ValueOrDie();
-  }, t0, horizon, trials, 5000000);
-  CheckTs("bop-ts-swor", [&](uint64_t s) {
-    return TsSworSampler::Create(t0, 1, s).ValueOrDie();
-  }, t0, horizon, trials, 6000000);
-  CheckTs("bdm-priority", [&](uint64_t s) {
-    return PrioritySampler::Create(t0, 1, s).ValueOrDie();
-  }, t0, horizon, trials, 7000000);
-  CheckTs("gl-bprio", [&](uint64_t s) {
-    return BoundedPrioritySampler::Create(t0, 1, s).ValueOrDie();
-  }, t0, horizon, trials, 8000000);
+  uint64_t seed_base = 1000000;
+  for (const SamplerSpec& spec : RegisteredSamplers()) {
+    const char* model =
+        spec.model == WindowModel::kSequence ? "seq" : "ts";
+    for (uint64_t batch : {uint64_t{0}, uint64_t{13}}) {
+      auto r = WindowUniformity(spec.name, window, len, batch, trials,
+                                seed_base);
+      seed_base += 1000000;
+      Row({spec.name, model, batch == 0 ? "item" : "batch", U(window),
+           U(static_cast<uint64_t>(trials)), F(r.statistic, 1),
+           Sci(r.p_value), r.p_value > 1e-4 ? "PASS" : "FAIL"});
+    }
+  }
 
   std::printf("\nshape check: every row PASSes (p above the 1e-4 bar).\n");
 }

@@ -14,10 +14,9 @@
 #include <map>
 #include <vector>
 
-#include "baseline/oversampler.h"
+#include "baseline/oversampler.h"  // typed: failure_count() accessor
 #include "bench/bench_util.h"
-#include "core/seq_swor.h"
-#include "core/ts_swor.h"
+#include "core/registry.h"
 #include "stats/tests.h"
 
 namespace swsample::bench {
@@ -31,7 +30,11 @@ void PartA() {
   {
     std::map<std::vector<uint64_t>, uint64_t> counts;
     for (int t = 0; t < trials; ++t) {
-      auto s = SequenceSworSampler::Create(n, k, 100 + t).ValueOrDie();
+      SamplerConfig config;
+      config.window_n = n;
+      config.k = k;
+      config.seed = 100 + static_cast<uint64_t>(t);
+      auto s = CreateSampler("bop-seq-swor", config).ValueOrDie();
       for (uint64_t i = 0; i < len; ++i) {
         s->Observe(Item{i, i, static_cast<Timestamp>(i)});
       }
@@ -50,7 +53,11 @@ void PartA() {
   {
     std::map<std::vector<uint64_t>, uint64_t> counts;
     for (int t = 0; t < trials; ++t) {
-      auto s = TsSworSampler::Create(n, k, 700000 + t).ValueOrDie();
+      SamplerConfig config;
+      config.window_t = static_cast<Timestamp>(n);
+      config.k = k;
+      config.seed = 700000 + static_cast<uint64_t>(t);
+      auto s = CreateSampler("bop-ts-swor", config).ValueOrDie();
       for (Timestamp i = 0; i < static_cast<Timestamp>(len); ++i) {
         s->Observe(
             Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
@@ -95,7 +102,11 @@ void PartB() {
          "randomized"});
   }
   {
-    auto s = SequenceSworSampler::Create(n, k, 50).ValueOrDie();
+    SamplerConfig config;
+    config.window_n = n;
+    config.k = k;
+    config.seed = 50;
+    auto s = CreateSampler("bop-seq-swor", config).ValueOrDie();
     Rng rng(8);
     uint64_t word_acc = 0, steps = 0, shortfalls = 0;
     for (uint64_t i = 0; i < 4 * n; ++i) {

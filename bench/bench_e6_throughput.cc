@@ -4,20 +4,19 @@
 // The paper's abstract criticizes over-sampling for "additional costs";
 // this experiment quantifies observe-path cost (ns/element) across all
 // implementations, plus the Sample() query cost, at n = 2^16.
+//
+// Sampler benchmarks are registered from the registry at startup — one
+// Observe and one ObserveBatch benchmark per registered name — so a new
+// sampler shows up here without editing this file. E15 (bench_e15_batch)
+// covers the batch-size sweep in the shared table format.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "baseline/bounded_priority_sampler.h"
-#include "baseline/chain_sampler.h"
-#include "baseline/exact_window.h"
-#include "baseline/oversampler.h"
-#include "baseline/priority_sampler.h"
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
+#include "core/registry.h"
 #include "reservoir/algorithm_l.h"
 #include "reservoir/reservoir.h"
 
@@ -25,6 +24,16 @@ namespace swsample {
 namespace {
 
 constexpr uint64_t kWindow = 1 << 16;
+constexpr uint64_t kBatch = 1 << 10;
+
+SamplerConfig BenchConfig(uint64_t k) {
+  SamplerConfig config;
+  config.window_n = kWindow;
+  config.window_t = static_cast<Timestamp>(kWindow);
+  config.k = k;
+  config.seed = 7;
+  return config;
+}
 
 void DriveObserve(benchmark::State& state, WindowSampler& sampler) {
   uint64_t i = 0;
@@ -36,70 +45,59 @@ void DriveObserve(benchmark::State& state, WindowSampler& sampler) {
   state.SetItemsProcessed(static_cast<int64_t>(i));
 }
 
-void BM_SeqSwrObserve(benchmark::State& state) {
-  auto s = SequenceSwrSampler::Create(kWindow,
-                                      static_cast<uint64_t>(state.range(0)),
-                                      7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
+void DriveObserveBatch(benchmark::State& state, WindowSampler& sampler) {
+  Rng rng(1);
+  std::vector<Item> batch(kBatch);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (Item& item : batch) {
+      item = Item{rng.NextU64(), i, static_cast<Timestamp>(i / 4)};
+      ++i;
+    }
+    state.ResumeTiming();
+    sampler.ObserveBatch(std::span<const Item>(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
 }
-BENCHMARK(BM_SeqSwrObserve)->Arg(1)->Arg(16)->Arg(64);
 
-void BM_SeqSworObserve(benchmark::State& state) {
-  auto s = SequenceSworSampler::Create(
-               kWindow, static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
+void SamplerObserve(benchmark::State& state, std::string name) {
+  auto sampler =
+      CreateSampler(name, BenchConfig(static_cast<uint64_t>(state.range(0))))
+          .ValueOrDie();
+  DriveObserve(state, *sampler);
 }
-BENCHMARK(BM_SeqSworObserve)->Arg(1)->Arg(16)->Arg(64);
 
-void BM_ChainObserve(benchmark::State& state) {
-  auto s = ChainSampler::Create(kWindow,
-                                static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
+void SamplerObserveBatch(benchmark::State& state, std::string name) {
+  auto sampler =
+      CreateSampler(name, BenchConfig(static_cast<uint64_t>(state.range(0))))
+          .ValueOrDie();
+  DriveObserveBatch(state, *sampler);
 }
-BENCHMARK(BM_ChainObserve)->Arg(1)->Arg(16)->Arg(64);
 
-void BM_OversampleObserve(benchmark::State& state) {
-  auto s = OverSampler::Create(kWindow, 16,
-                               static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
-}
-BENCHMARK(BM_OversampleObserve)->Arg(2)->Arg(8);
+}  // namespace
 
-void BM_TsSwrObserve(benchmark::State& state) {
-  auto s = TsSwrSampler::Create(kWindow,
-                                static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
+void RegisterSamplerBenchmarks() {
+  for (const SamplerSpec& spec : RegisteredSamplers()) {
+    const std::string name = spec.name;
+    const bool single = spec.single_sample;
+    auto* observe = benchmark::RegisterBenchmark(
+        ("BM_Observe/" + name).c_str(),
+        [name](benchmark::State& state) { SamplerObserve(state, name); });
+    auto* batch = benchmark::RegisterBenchmark(
+        ("BM_ObserveBatch/" + name).c_str(),
+        [name](benchmark::State& state) { SamplerObserveBatch(state, name); });
+    if (single) {
+      observe->Arg(1);
+      batch->Arg(1);
+    } else {
+      observe->Arg(1)->Arg(16);
+      batch->Arg(1)->Arg(16);
+    }
+  }
 }
-BENCHMARK(BM_TsSwrObserve)->Arg(1)->Arg(16);
 
-void BM_TsSworObserve(benchmark::State& state) {
-  auto s = TsSworSampler::Create(kWindow,
-                                 static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
-}
-BENCHMARK(BM_TsSworObserve)->Arg(1)->Arg(16);
-
-void BM_PriorityObserve(benchmark::State& state) {
-  auto s = PrioritySampler::Create(kWindow,
-                                   static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
-}
-BENCHMARK(BM_PriorityObserve)->Arg(1)->Arg(16);
-
-void BM_BoundedPriorityObserve(benchmark::State& state) {
-  auto s = BoundedPrioritySampler::Create(
-               kWindow, static_cast<uint64_t>(state.range(0)), 7)
-               .ValueOrDie();
-  DriveObserve(state, *s);
-}
-BENCHMARK(BM_BoundedPriorityObserve)->Arg(1)->Arg(16);
+namespace {
 
 // Substrate comparison: Algorithm R vs Algorithm L (skip-based).
 void BM_ReservoirAlgorithmR(benchmark::State& state) {
@@ -128,7 +126,7 @@ BENCHMARK(BM_ReservoirAlgorithmL);
 
 // Query-path cost.
 void BM_SeqSwrSample(benchmark::State& state) {
-  auto s = SequenceSwrSampler::Create(kWindow, 16, 7).ValueOrDie();
+  auto s = CreateSampler("bop-seq-swr", BenchConfig(16)).ValueOrDie();
   for (uint64_t i = 0; i < 2 * kWindow; ++i) {
     s->Observe(Item{i, i, static_cast<Timestamp>(i)});
   }
@@ -137,7 +135,11 @@ void BM_SeqSwrSample(benchmark::State& state) {
 BENCHMARK(BM_SeqSwrSample);
 
 void BM_TsSworSample(benchmark::State& state) {
-  auto s = TsSworSampler::Create(1 << 12, 16, 7).ValueOrDie();
+  SamplerConfig config;
+  config.window_t = 1 << 12;
+  config.k = 16;
+  config.seed = 7;
+  auto s = CreateSampler("bop-ts-swor", config).ValueOrDie();
   for (uint64_t i = 0; i < (1 << 13); ++i) {
     s->Observe(Item{i, i, static_cast<Timestamp>(i)});
   }
@@ -148,4 +150,11 @@ BENCHMARK(BM_TsSworSample);
 }  // namespace
 }  // namespace swsample
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  swsample::RegisterSamplerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <map>
 
-#include "core/ts_swor.h"
+#include "core/registry.h"
 #include "stream/arrival.h"
 #include "stream/stream_gen.h"
 #include "stream/value_gen.h"
@@ -26,8 +26,11 @@ using namespace swsample;
 int main() {
   const Timestamp window_seconds = 60;
   const uint64_t k = 64;
-  auto sampler =
-      TsSworSampler::Create(window_seconds, k, /*seed=*/7).ValueOrDie();
+  SamplerConfig config;
+  config.window_t = window_seconds;
+  config.k = k;
+  config.seed = 7;
+  auto sampler = CreateSampler("bop-ts-swor", config).ValueOrDie();
 
   // Traffic: 256 sources with Zipf popularity, bursty arrivals whose rate
   // swings over a day-night cycle (lambda 8 by "day", 0.5 by "night").

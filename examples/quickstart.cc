@@ -11,11 +11,10 @@
 // deterministic while the window holds tens of thousands of items.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
+#include "core/registry.h"
 #include "stream/value_gen.h"
 #include "util/rng.h"
 
@@ -26,29 +25,38 @@ int main() {
   const Timestamp t0 = 4096;     // timestamp window: last t0 ticks
   const uint64_t k = 8;          // samples to maintain
 
-  // Our four samplers (factories validate configuration).
-  auto seq_swr = SequenceSwrSampler::Create(n, k, /*seed=*/1).ValueOrDie();
-  auto seq_swor = SequenceSworSampler::Create(n, k, /*seed=*/2).ValueOrDie();
-  auto ts_swr = TsSwrSampler::Create(t0, k, /*seed=*/3).ValueOrDie();
-  auto ts_swor = TsSworSampler::Create(t0, k, /*seed=*/4).ValueOrDie();
+  // The paper's four k-samplers, constructed by name from the registry
+  // (the factory validates the configuration).
+  SamplerConfig config;
+  config.window_n = n;
+  config.window_t = t0;
+  config.k = k;
+  std::vector<std::unique_ptr<WindowSampler>> samplers;
+  for (const char* name :
+       {"bop-seq-swr", "bop-seq-swor", "bop-ts-swr", "bop-ts-swor"}) {
+    ++config.seed;
+    samplers.push_back(CreateSampler(name, config).ValueOrDie());
+  }
 
-  // A synthetic sensor: Zipf-skewed readings, 4 per tick.
+  // A synthetic sensor: Zipf-skewed readings, 4 per tick, ingested in
+  // batches (the fast path for the sequence samplers).
   auto values = ZipfValues::Create(1000, 1.1).ValueOrDie();
   Rng rng(42);
   const uint64_t total = 100000;
+  std::vector<Item> batch;
+  const uint64_t batch_size = 4096;
+  batch.reserve(batch_size);
   for (uint64_t i = 0; i < total; ++i) {
-    Item item{values->Next(rng), i, static_cast<Timestamp>(i / 4)};
-    seq_swr->Observe(item);
-    seq_swor->Observe(item);
-    ts_swr->Observe(item);
-    ts_swor->Observe(item);
+    batch.push_back(Item{values->Next(rng), i, static_cast<Timestamp>(i / 4)});
+    if (batch.size() == batch_size || i + 1 == total) {
+      for (auto& s : samplers) s->ObserveBatch(std::span<const Item>(batch));
+      batch.clear();
+    }
   }
 
   std::printf("streamed %lu items; window sizes: seq=%lu ts<=%lu ticks\n\n",
               (unsigned long)total, (unsigned long)n, (unsigned long)t0);
-  WindowSampler* samplers[] = {seq_swr.get(), seq_swor.get(), ts_swr.get(),
-                               ts_swor.get()};
-  for (WindowSampler* s : samplers) {
+  for (auto& s : samplers) {
     auto sample = s->Sample();
     std::printf("%-14s k=%lu memory=%4lu words  sample indices:",
                 s->name(), (unsigned long)s->k(),

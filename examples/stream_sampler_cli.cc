@@ -1,31 +1,40 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// stream_sampler_cli: sample a real stream from stdin.
+// stream_sampler_cli: sample a real stream from stdin (or a file) with any
+// registered sampler.
 //
-//   build/examples/stream_sampler_cli <mode> <window> <k> [report_every]
+//   build/examples/stream_sampler_cli [options] <window> <k>
 //
-//   mode   seq | ts        (fixed-size or timestamp-based window)
-//   window n (items) for seq, t0 (time units) for ts
-//   k      samples to maintain (without replacement)
+//   --algo=<name>     sampler to run (default bop-seq-swor); --list shows
+//                     every registered name with a one-line summary
+//   --file=<path>     read events from a file instead of stdin
+//   --batch=<n>       ingestion batch size (default 1024; 0 = per item)
+//   --report=<n>      progress report every n events to stderr (default
+//                     10000; 0 = none, stdin mode only)
+//   <window>          n (items) for sequence samplers, t0 (time units)
+//                     for timestamp samplers
+//   <k>               samples to maintain
 //
-// Input: one event per line. `seq` mode: "<value>"; `ts` mode:
-// "<timestamp> <value>" with non-decreasing integer timestamps. Every
-// `report_every` events (default 10000) the current k-sample and memory
-// footprint are printed to stderr; the final sample goes to stdout.
+// Input: one event per line. Sequence samplers: "<value>"; timestamp
+// samplers: "<timestamp> <value>" with non-decreasing integer timestamps.
+// The final k-sample, memory footprint and ingestion throughput go to
+// stdout.
 //
-//   seq 1000000 64:  a uniform 64-subset of the last million events from
-//   ~400 words of state, no matter how long the stream runs.
+//   --algo=bop-seq-swor 1000000 64:  a uniform 64-subset of the last
+//   million events from ~400 words of state, however long the stream runs.
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/api.h"
-#include "core/seq_swor.h"
-#include "core/ts_swor.h"
+#include "core/registry.h"
+#include "stream/driver.h"
 
 using namespace swsample;
 
@@ -33,16 +42,28 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <seq|ts> <window> <k> [report_every]\n"
-               "  seq input lines: <value>\n"
-               "  ts  input lines: <timestamp> <value>\n",
-               argv0);
+               "usage: %s [--algo=<name>] [--file=<path>] [--batch=<n>] "
+               "[--report=<n>] <window> <k>\n"
+               "       %s --list\n"
+               "  sequence samplers read lines \"<value>\"; timestamp\n"
+               "  samplers read \"<timestamp> <value>\"\n"
+               "  registered: %s\n",
+               argv0, argv0, RegisteredSamplerNames().c_str());
+}
+
+void ListSamplers() {
+  std::printf("registered samplers:\n");
+  for (const SamplerSpec& spec : RegisteredSamplers()) {
+    std::printf("  %-20s %-9s %s\n", spec.name,
+                spec.model == WindowModel::kSequence ? "sequence"
+                                                     : "timestamp",
+                spec.summary);
+  }
 }
 
 void Report(WindowSampler& sampler, uint64_t events, FILE* out) {
   auto sample = sampler.Sample();
-  std::fprintf(out,
-               "events=%" PRIu64 " memory=%" PRIu64 " words sample=[",
+  std::fprintf(out, "events=%" PRIu64 " memory=%" PRIu64 " words sample=[",
                events, sampler.MemoryWords());
   for (size_t i = 0; i < sample.size(); ++i) {
     std::fprintf(out, "%s%" PRIu64, i ? " " : "", sample[i].value);
@@ -50,74 +71,109 @@ void Report(WindowSampler& sampler, uint64_t events, FILE* out) {
   std::fprintf(out, "]\n");
 }
 
+// Parses a non-negative integer flag value; false on garbage, sign, or
+// trailing characters.
+bool ParseU64(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4 || argc > 5) {
+  std::string algo = "bop-seq-swor";
+  std::string file;
+  uint64_t batch = 1024;
+  uint64_t report_every = 10000;
+  std::vector<const char*> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      ListSamplers();
+      return 0;
+    } else if (std::strncmp(arg, "--algo=", 7) == 0) {
+      algo = arg + 7;
+    } else if (std::strncmp(arg, "--file=", 7) == 0) {
+      file = arg + 7;
+    } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+      if (!ParseU64(arg + 8, &batch)) {
+        std::fprintf(stderr, "error: --batch requires a non-negative "
+                             "integer, got \"%s\"\n", arg + 8);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      if (!ParseU64(arg + 9, &report_every)) {
+        std::fprintf(stderr, "error: --report requires a non-negative "
+                             "integer, got \"%s\"\n", arg + 9);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      Usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
     Usage(argv[0]);
     return 2;
   }
-  const bool seq = std::strcmp(argv[1], "seq") == 0;
-  if (!seq && std::strcmp(argv[1], "ts") != 0) {
-    Usage(argv[0]);
-    return 2;
-  }
-  const int64_t window = std::atoll(argv[2]);
-  const int64_t k = std::atoll(argv[3]);
-  const uint64_t report_every =
-      argc == 5 ? static_cast<uint64_t>(std::atoll(argv[4])) : 10000;
+  const int64_t window = std::atoll(positional[0]);
+  const int64_t k = std::atoll(positional[1]);
   if (window < 1 || k < 1) {
     Usage(argv[0]);
     return 2;
   }
-
-  std::unique_ptr<WindowSampler> sampler;
-  if (seq) {
-    auto created = SequenceSworSampler::Create(
-        static_cast<uint64_t>(window), static_cast<uint64_t>(k),
-        /*seed=*/0x5eed);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-      return 1;
-    }
-    sampler = std::move(created).ValueOrDie();
-  } else {
-    auto created = TsSworSampler::Create(window, static_cast<uint64_t>(k),
-                                         /*seed=*/0x5eed);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-      return 1;
-    }
-    sampler = std::move(created).ValueOrDie();
+  const SamplerSpec* spec = FindSamplerSpec(algo);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown --algo=%s\nregistered: %s\n", algo.c_str(),
+                 RegisteredSamplerNames().c_str());
+    return 2;
   }
+  const bool timestamped = spec->model == WindowModel::kTimestamp;
 
-  char line[256];
-  uint64_t index = 0;
-  Timestamp last_ts = 0;
-  while (std::fgets(line, sizeof(line), stdin)) {
-    uint64_t value = 0;
-    Timestamp ts = 0;
-    if (seq) {
-      if (std::sscanf(line, "%" SCNu64, &value) != 1) continue;
-      ts = static_cast<Timestamp>(index);
-    } else {
-      if (std::sscanf(line, "%" SCNd64 " %" SCNu64, &ts, &value) != 2) {
-        continue;
-      }
-      if (ts < last_ts) {
-        std::fprintf(stderr,
-                     "error: timestamps must be non-decreasing "
-                     "(%" PRId64 " after %" PRId64 ")\n",
-                     ts, last_ts);
-        return 1;
-      }
-      last_ts = ts;
-    }
-    sampler->Observe(Item{value, index++, ts});
-    if (report_every && index % report_every == 0) {
-      Report(*sampler, index, stderr);
-    }
+  SamplerConfig config;
+  config.window_n = static_cast<uint64_t>(window);
+  config.window_t = window;
+  config.k = static_cast<uint64_t>(k);
+  config.seed = 0x5eed;
+  auto created = CreateSampler(algo, config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
   }
-  Report(*sampler, index, stdout);
+  auto sampler = std::move(created).ValueOrDie();
+
+  StreamDriver::Options options;
+  options.batch_size = batch;
+  StreamDriver driver(options);
+
+  // The batched driver owns parsing and ingestion for both modes; stdin
+  // mode adds periodic progress reports.
+  auto result =
+      file.empty()
+          ? driver.DriveLines(
+                stdin, "stdin", timestamped, *sampler,
+                [](uint64_t items, WindowSampler& s) {
+                  Report(s, items, stderr);
+                },
+                report_every)
+          : driver.DriveFile(file, timestamped, *sampler);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const DriveReport& r = result.value();
+  std::fprintf(stderr,
+               "algo=%s items=%" PRIu64 " batches=%" PRIu64
+               " throughput=%.2fM items/s\n",
+               sampler->name(), r.items, r.batches, r.items_per_sec / 1e6);
+  Report(*sampler, r.items, stdout);
   return 0;
 }

@@ -42,7 +42,9 @@ class ExactWindow final : public WindowSampler {
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
   uint64_t k() const override { return k_; }
-  const char* name() const override { return "exact-window"; }
+  const char* name() const override {
+    return kind_ == WindowKind::kSequence ? "exact-seq" : "exact-ts";
+  }
 
   /// The exact window contents, oldest first (test oracle).
   const std::deque<Item>& contents() const { return window_; }

@@ -22,6 +22,7 @@
 #define SWSAMPLE_CORE_API_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stream/item.h"
@@ -37,6 +38,15 @@ class WindowSampler {
   /// Feeds one arrival. Indices must be consecutive from 0; timestamps
   /// non-decreasing. Implicitly advances the clock to item.timestamp.
   virtual void Observe(const Item& item) = 0;
+
+  /// Feeds a contiguous run of arrivals (same ordering contract as
+  /// Observe). The result is distributionally identical to observing the
+  /// items one by one — samplers override this only to amortize RNG draws
+  /// and expiry checks across the batch, never to change the sampling
+  /// distribution. The default forwards item by item.
+  virtual void ObserveBatch(std::span<const Item> items) {
+    for (const Item& item : items) Observe(item);
+  }
 
   /// Advances the clock to `now` (>= current time) without arrivals.
   /// No-op for sequence-based samplers.

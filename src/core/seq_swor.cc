@@ -2,6 +2,8 @@
 
 #include "core/seq_swor.h"
 
+#include <algorithm>
+
 #include "stream/item_serial.h"
 #include "util/macros.h"
 #include "util/serial.h"
@@ -35,6 +37,25 @@ void SequenceSworSampler::Observe(const Item& item) {
     current_.Reset();
   }
   current_.Observe(item, rng_);
+}
+
+void SequenceSworSampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
+  SWS_DCHECK(items.front().index == count_);
+  size_t pos = 0;
+  while (pos < items.size()) {
+    uint64_t in_bucket = count_ == 0 ? 0 : (count_ - 1) % n_ + 1;
+    if (in_bucket == n_) {
+      prev_sample_ = current_.items();
+      current_.Reset();
+      in_bucket = 0;
+    }
+    const size_t take =
+        std::min<size_t>(items.size() - pos, n_ - in_bucket);
+    current_.ObserveRange(items.data() + pos, take, rng_);
+    count_ += take;
+    pos += take;
+  }
 }
 
 std::vector<Item> SequenceSworSampler::Sample() {

@@ -37,6 +37,11 @@ class SequenceSworSampler final : public WindowSampler {
                                                              uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Batched fast path: splits the run at bucket boundaries and feeds each
+  /// segment through the k-reservoir's Algorithm X skip (one RNG draw per
+  /// acceptance instead of per item). Distributionally identical to
+  /// item-by-item Observe.
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

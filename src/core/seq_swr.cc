@@ -2,6 +2,8 @@
 
 #include "core/seq_swr.h"
 
+#include <algorithm>
+
 #include "stream/item_serial.h"
 #include "util/macros.h"
 #include "util/serial.h"
@@ -37,6 +39,31 @@ void SequenceSwrSampler::Observe(const Item& item) {
       unit.current.Reset();
     }
     unit.current.Observe(item, rng_);
+  }
+}
+
+void SequenceSwrSampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
+  SWS_DCHECK(items.front().index == count_);
+  size_t pos = 0;
+  while (pos < items.size()) {
+    // Items already in the partial bucket; a full bucket (in_bucket == n_)
+    // rolls over before the next arrival, exactly as in Observe.
+    uint64_t in_bucket = count_ == 0 ? 0 : (count_ - 1) % n_ + 1;
+    if (in_bucket == n_) {
+      for (Unit& unit : units_) {
+        unit.prev_sample = unit.current.sample();
+        unit.current.Reset();
+      }
+      in_bucket = 0;
+    }
+    const size_t take =
+        std::min<size_t>(items.size() - pos, n_ - in_bucket);
+    for (Unit& unit : units_) {
+      unit.current.ObserveRange(items.data() + pos, take, rng_);
+    }
+    count_ += take;
+    pos += take;
   }
 }
 

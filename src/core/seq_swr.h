@@ -38,6 +38,11 @@ class SequenceSwrSampler final : public WindowSampler {
                                                             uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Batched fast path: splits the run at bucket boundaries and feeds each
+  /// segment through the reservoirs' skip-ahead (one RNG draw per
+  /// replacement instead of per item). Distributionally identical to
+  /// item-by-item Observe.
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp) override {}  // sequence windows ignore time
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

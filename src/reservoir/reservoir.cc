@@ -2,6 +2,8 @@
 
 #include "reservoir/reservoir.h"
 
+#include <cmath>
+
 #include "stream/item_serial.h"
 #include "util/macros.h"
 
@@ -10,6 +12,34 @@ namespace swsample {
 void SingleReservoir::Observe(const Item& item, Rng& rng) {
   ++count_;
   if (rng.BernoulliRational(1, count_)) sample_ = item;
+}
+
+void SingleReservoir::ObserveRange(const Item* items, uint64_t m, Rng& rng) {
+  SWS_DCHECK(items != nullptr || m == 0);
+  uint64_t i = 0;
+  if (count_ == 0 && m > 0) {
+    sample_ = items[0];
+    count_ = 1;
+    i = 1;
+  }
+  while (i < m) {
+    const uint64_t remaining = m - i;
+    // Skip length S before the next replacement: P(S >= s) = c/(c+s), so
+    // S = floor(c/u) - c with u uniform on (0, 1]. Truncation at the range
+    // end is exact: P(S >= remaining) is the probability no replacement
+    // happens among the remaining items, and the per-item coins are
+    // independent, so a fresh draw next call loses nothing.
+    const double u = 1.0 - rng.Uniform01();  // (0, 1]
+    const double t = std::floor(static_cast<double>(count_) / u);
+    if (t - static_cast<double>(count_) >= static_cast<double>(remaining)) {
+      count_ += remaining;
+      return;
+    }
+    const uint64_t skip = static_cast<uint64_t>(t) - count_;
+    sample_ = items[i + skip];
+    count_ += skip + 1;
+    i += skip + 1;
+  }
 }
 
 void SingleReservoir::Reset() {
@@ -50,6 +80,81 @@ void KReservoir::Observe(const Item& item, Rng& rng) {
   // position in [0, count) and replace iff it lands inside the reservoir.
   uint64_t pos = rng.UniformIndex(count_);
   if (pos < k_) slots_[pos] = item;
+}
+
+namespace {
+
+// log P(S >= s) for the Algorithm R skip variable at count c with
+// reservoir size k: P(S >= s) = prod_{t=c+1}^{c+s} (1 - k/t), a ratio of
+// falling factorials evaluated through lgamma so it is O(1) regardless
+// of s.
+double LogSkipTail(uint64_t c, uint64_t k, uint64_t s) {
+  const double cd = static_cast<double>(c);
+  const double sd = static_cast<double>(s);
+  const double kd = static_cast<double>(k);
+  return (std::lgamma(cd + sd - kd + 1) - std::lgamma(cd - kd + 1)) -
+         (std::lgamma(cd + sd + 1) - std::lgamma(cd + 1));
+}
+
+}  // namespace
+
+void KReservoir::ObserveRange(const Item* items, uint64_t m, Rng& rng) {
+  SWS_DCHECK(items != nullptr || m == 0);
+  uint64_t i = 0;
+  // Fill phase: every item is kept verbatim, no randomness needed.
+  while (i < m && slots_.size() < k_) {
+    slots_.push_back(items[i++]);
+    ++count_;
+  }
+  while (i < m) {
+    const uint64_t remaining = m - i;
+    // Vitter's Algorithm X: one uniform decides the number of rejected
+    // items S before the next acceptance, by inverting
+    // P(S >= s) = prod_{t=c+1}^{c+s} (1 - k/t): S is the largest s with
+    // P(S >= s) >= u. The acceptance then replaces a uniformly random
+    // slot, exactly like Observe. Truncating the search at the range end
+    // is exact (see SingleReservoir::ObserveRange).
+    const double u = 1.0 - rng.Uniform01();  // (0, 1]
+    uint64_t s;
+    if (count_ < k_ + (k_ << 5)) {
+      // Short expected skips (count/k <~ 33): sequential multiplication is
+      // cheaper than transcendentals.
+      double keep_all = 1.0;
+      s = 0;
+      while (s < remaining) {
+        const double t = static_cast<double>(count_ + s + 1);
+        const double next = keep_all * (t - static_cast<double>(k_)) / t;
+        if (next < u) break;
+        keep_all = next;
+        ++s;
+      }
+    } else {
+      // Long skips: binary search the log-CDF, O(log remaining) lgamma
+      // evaluations per acceptance instead of O(skip) divisions.
+      const double logu = std::log(u);
+      if (LogSkipTail(count_, k_, remaining) >= logu) {
+        s = remaining;
+      } else {
+        uint64_t lo = 0, hi = remaining;  // logp(lo) >= logu > logp(hi)
+        while (hi - lo > 1) {
+          const uint64_t mid = lo + (hi - lo) / 2;
+          if (LogSkipTail(count_, k_, mid) >= logu) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        s = lo;
+      }
+    }
+    if (s == remaining) {  // no acceptance inside this range
+      count_ += remaining;
+      return;
+    }
+    slots_[rng.UniformIndex(k_)] = items[i + s];
+    count_ += s + 1;
+    i += s + 1;
+  }
 }
 
 void KReservoir::SubsampleInto(uint64_t i, Rng& rng,

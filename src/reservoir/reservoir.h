@@ -35,6 +35,14 @@ class SingleReservoir {
   /// Observes one item: it becomes the sample with probability 1/count.
   void Observe(const Item& item, Rng& rng);
 
+  /// Observes `m` consecutive items with one RNG draw per sample
+  /// REPLACEMENT instead of one per item (expected O(log) draws per
+  /// bucket). Distributionally identical to m calls to Observe: the next
+  /// replacement position T > c satisfies P(T > t) = c/t (the telescoping
+  /// product of the per-item keep probabilities), which is inverted in
+  /// closed form as T = floor(c/u) + 1 with u uniform on (0, 1].
+  void ObserveRange(const Item* items, uint64_t m, Rng& rng);
+
   /// Number of items observed since construction/Reset.
   uint64_t count() const { return count_; }
 
@@ -67,6 +75,12 @@ class KReservoir {
 
   /// Observes one item (replaces a random slot w.p. k/count once full).
   void Observe(const Item& item, Rng& rng);
+
+  /// Observes `m` consecutive items with one RNG draw per ACCEPTANCE plus
+  /// one per slot replacement (Vitter's Algorithm X skip: expected
+  /// O(k log(1 + m/count)) draws) instead of one per item.
+  /// Distributionally identical to m calls to Observe.
+  void ObserveRange(const Item* items, uint64_t m, Rng& rng);
 
   /// Number of items observed since construction/Reset.
   uint64_t count() const { return count_; }

@@ -1,0 +1,169 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+// Shared epilogue of every Drive* method: stamps timing, throughput and
+// final/peak memory into the report.
+void Finalize(Clock::time_point begin, WindowSampler& sampler,
+              DriveReport* report) {
+  report->seconds =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  report->memory_words = sampler.MemoryWords();
+  report->peak_memory_words =
+      std::max(report->peak_memory_words, report->memory_words);
+  if (report->seconds > 0) {
+    report->items_per_sec =
+        static_cast<double>(report->items) / report->seconds;
+  }
+}
+}  // namespace
+
+StreamDriver::StreamDriver(const Options& options) : options_(options) {}
+
+/// Accumulates items into batch_size runs, forwards them to the sampler,
+/// and maintains the report counters. Not reentrant; one Pump per Drive.
+class StreamDriver::Pump {
+ public:
+  Pump(const Options& options, WindowSampler& sampler, DriveReport* report)
+      : options_(options), sampler_(sampler), report_(report) {
+    if (options_.batch_size > 0) buffer_.reserve(options_.batch_size);
+  }
+
+  void Push(const Item& item) {
+    if (options_.batch_size == 0) {
+      sampler_.Observe(item);
+      ++report_->items;
+      ++report_->batches;  // a "batch" of one, for uniform reporting
+      ProbeMaybe();
+      return;
+    }
+    buffer_.push_back(item);
+    if (buffer_.size() >= options_.batch_size) Flush();
+  }
+
+  void PushBurst(const std::vector<Item>& burst) {
+    for (const Item& item : burst) Push(item);
+  }
+
+  void AdvanceTime(Timestamp now) {
+    Flush();  // keep arrival/clock order identical to unbatched feeding
+    sampler_.AdvanceTime(now);
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    sampler_.ObserveBatch(std::span<const Item>(buffer_));
+    report_->items += buffer_.size();
+    ++report_->batches;
+    buffer_.clear();
+    ProbeMaybe();
+  }
+
+ private:
+  void ProbeMaybe() {
+    if (options_.memory_probe_every == 0) return;
+    if (report_->batches % options_.memory_probe_every != 0) return;
+    report_->peak_memory_words =
+        std::max(report_->peak_memory_words, sampler_.MemoryWords());
+  }
+
+  const Options& options_;
+  WindowSampler& sampler_;
+  DriveReport* report_;
+  std::vector<Item> buffer_;
+};
+
+DriveReport StreamDriver::Drive(std::span<const Item> items,
+                                WindowSampler& sampler) const {
+  DriveReport report;
+  const auto begin = Clock::now();
+  Pump pump(options_, sampler, &report);
+  for (const Item& item : items) pump.Push(item);
+  pump.Flush();
+  Finalize(begin, sampler, &report);
+  return report;
+}
+
+DriveReport StreamDriver::DriveSynthetic(SyntheticStream& stream,
+                                         uint64_t steps,
+                                         WindowSampler& sampler) const {
+  DriveReport report;
+  const auto begin = Clock::now();
+  Pump pump(options_, sampler, &report);
+  for (uint64_t step = 0; step < steps; ++step) {
+    const std::vector<Item>& burst = stream.Step();
+    if (burst.empty()) {
+      ++report.empty_steps;
+      pump.AdvanceTime(stream.now());
+    } else {
+      pump.PushBurst(burst);
+    }
+  }
+  pump.Flush();
+  Finalize(begin, sampler, &report);
+  return report;
+}
+
+Result<DriveReport> StreamDriver::DriveLines(std::FILE* f,
+                                             const std::string& source_name,
+                                             bool timestamped,
+                                             WindowSampler& sampler,
+                                             const ProgressFn& progress,
+                                             uint64_t progress_every) const {
+  DriveReport report;
+  const auto begin = Clock::now();
+  Pump pump(options_, sampler, &report);
+  char line[256];
+  StreamIndex index = 0;
+  Timestamp last_ts = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    uint64_t value = 0;
+    Timestamp ts = 0;
+    if (timestamped) {
+      if (std::sscanf(line, "%" SCNd64 " %" SCNu64, &ts, &value) != 2) {
+        continue;
+      }
+      if (ts < last_ts) {
+        return Status::InvalidArgument(
+            "timestamps must be non-decreasing in " + source_name);
+      }
+      last_ts = ts;
+    } else {
+      if (std::sscanf(line, "%" SCNu64, &value) != 1) continue;
+      ts = static_cast<Timestamp>(index);
+    }
+    pump.Push(Item{value, index++, ts});
+    if (progress && progress_every && index % progress_every == 0) {
+      pump.Flush();
+      progress(index, sampler);
+    }
+  }
+  pump.Flush();
+  Finalize(begin, sampler, &report);
+  return report;
+}
+
+Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
+                                            bool timestamped,
+                                            WindowSampler& sampler) const {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open stream file: " + path);
+  }
+  auto result = DriveLines(f, path, timestamped, sampler);
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace swsample

@@ -1,0 +1,90 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Batched ingestion engine: feeds generated or file-backed streams through
+// any WindowSampler (usually one obtained from the registry) in batches,
+// and reports throughput and live memory. This is the one place harness
+// code pumps items from — benchmarks, examples and the CLI share it, so a
+// future sharded or asynchronous backend slots in behind this interface
+// without touching call sites.
+
+#ifndef SWSAMPLE_STREAM_DRIVER_H_
+#define SWSAMPLE_STREAM_DRIVER_H_
+
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "stream/item.h"
+#include "stream/stream_gen.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// What one Drive* call did, with wall-clock throughput.
+struct DriveReport {
+  uint64_t items = 0;            ///< arrivals delivered
+  uint64_t batches = 0;          ///< ObserveBatch (or Observe-run) calls
+  uint64_t empty_steps = 0;      ///< AdvanceTime-only steps (synthetic)
+  double seconds = 0.0;          ///< wall-clock ingestion time
+  double items_per_sec = 0.0;    ///< items / seconds (0 when instant)
+  uint64_t memory_words = 0;     ///< sampler MemoryWords() after the run
+  uint64_t peak_memory_words = 0;  ///< max MemoryWords() across probes
+};
+
+/// Drives streams through a sampler in batches.
+class StreamDriver {
+ public:
+  struct Options {
+    /// Items per ObserveBatch call; 0 means per-item Observe (the slow
+    /// path, kept selectable so benchmarks can compare the two).
+    uint64_t batch_size = 1024;
+    /// Probe MemoryWords() every this many batches for the peak statistic;
+    /// 0 probes only once at the end (probing an O(n) oracle is not free).
+    uint64_t memory_probe_every = 16;
+  };
+
+  StreamDriver() : StreamDriver(Options{}) {}
+  explicit StreamDriver(const Options& options);
+
+  /// Feeds a pre-materialized run of consecutive items.
+  DriveReport Drive(std::span<const Item> items, WindowSampler& sampler) const;
+
+  /// Steps `steps` bursts out of a synthetic stream. Empty bursts become
+  /// AdvanceTime calls (flushing any pending batch first, so the sampler
+  /// observes the same arrival/clock order as unbatched feeding).
+  DriveReport DriveSynthetic(SyntheticStream& stream, uint64_t steps,
+                             WindowSampler& sampler) const;
+
+  /// Called every `progress_every` items (pending batches are flushed
+  /// first, so the sampler state reflects everything delivered so far).
+  using ProgressFn = std::function<void(uint64_t items, WindowSampler&)>;
+
+  /// Feeds a text stream, one event per line: "<value>" when
+  /// `timestamped` is false (timestamp := arrival index) or
+  /// "<timestamp> <value>" with non-decreasing timestamps when true.
+  /// Malformed lines are skipped; decreasing timestamps are an error
+  /// (reported against `source_name`).
+  Result<DriveReport> DriveLines(std::FILE* f, const std::string& source_name,
+                                 bool timestamped, WindowSampler& sampler,
+                                 const ProgressFn& progress = nullptr,
+                                 uint64_t progress_every = 0) const;
+
+  /// DriveLines over a file path.
+  Result<DriveReport> DriveFile(const std::string& path, bool timestamped,
+                                WindowSampler& sampler) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Shared pump: delivers buffered items, tracks batches + peak memory.
+  class Pump;
+
+  Options options_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_DRIVER_H_

@@ -2,8 +2,10 @@
 //
 // Integration tests: full pipelines (generator -> sampler -> statistics)
 // exercising several modules together, the ExactWindow oracle as a
-// membership checker for every sampler, the disjoint-window independence
-// property (Section 1.3.4), and the Theorem 5.1 adapter.
+// membership checker for every registered sampler, the disjoint-window
+// independence property (Section 1.3.4), and the Theorem 5.1 adapter.
+// Samplers are constructed through the registry so the pipeline exercises
+// the same entry point production call sites use.
 
 #include <cmath>
 #include <cstdint>
@@ -13,14 +15,9 @@
 
 #include <gtest/gtest.h>
 
-#include "baseline/chain_sampler.h"
 #include "baseline/exact_window.h"
-#include "baseline/priority_sampler.h"
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
+#include "core/registry.h"
 #include "core/sliding_adapter.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
 #include "stats/tests.h"
 #include "stream/arrival.h"
 #include "stream/stream_gen.h"
@@ -29,27 +26,31 @@
 namespace swsample {
 namespace {
 
-// Every sampler's output must lie inside the exact window at all times,
-// under a bursty timestamped stream with silent gaps.
-TEST(IntegrationTest, AllSamplersAgreeWithOracleOnMembership) {
+// Every registered sampler's output must lie inside the exact window at
+// all times, under a bursty timestamped stream with silent gaps.
+TEST(IntegrationTest, AllRegisteredSamplersAgreeWithOracleOnMembership) {
   auto stream = SyntheticStream(
       UniformValues::Create(1 << 16).ValueOrDie(),
       std::move(PoissonBurstArrivals::Create(2.0)).ValueOrDie(), 99);
   const Timestamp t0 = 20;
   const uint64_t seq_n = 64, k = 4;
 
-  std::vector<std::unique_ptr<WindowSampler>> ts_samplers;
-  ts_samplers.push_back(TsSwrSampler::Create(t0, k, 1).ValueOrDie());
-  ts_samplers.push_back(TsSworSampler::Create(t0, k, 2).ValueOrDie());
-  ts_samplers.push_back(PrioritySampler::Create(t0, k, 3).ValueOrDie());
-  auto ts_oracle = ExactWindow::CreateTimestamp(t0, 1, true, 4).ValueOrDie();
-
-  std::vector<std::unique_ptr<WindowSampler>> seq_samplers;
-  seq_samplers.push_back(SequenceSwrSampler::Create(seq_n, k, 5).ValueOrDie());
-  seq_samplers.push_back(
-      SequenceSworSampler::Create(seq_n, k, 6).ValueOrDie());
-  seq_samplers.push_back(ChainSampler::Create(seq_n, k, 7).ValueOrDie());
-  auto seq_oracle = ExactWindow::CreateSequence(seq_n, 1, true, 8).ValueOrDie();
+  // One instance of every registered sampler, bucketed by window model.
+  std::vector<std::unique_ptr<WindowSampler>> ts_samplers, seq_samplers;
+  uint64_t seed = 1;
+  for (const SamplerSpec& spec : RegisteredSamplers()) {
+    SamplerConfig config;
+    config.window_n = seq_n;
+    config.window_t = t0;
+    config.k = spec.single_sample ? 1 : k;
+    config.seed = seed++;
+    auto sampler = CreateSampler(spec.name, config).ValueOrDie();
+    (spec.model == WindowModel::kTimestamp ? ts_samplers : seq_samplers)
+        .push_back(std::move(sampler));
+  }
+  auto ts_oracle = ExactWindow::CreateTimestamp(t0, 1, true, 31).ValueOrDie();
+  auto seq_oracle =
+      ExactWindow::CreateSequence(seq_n, 1, true, 32).ValueOrDie();
 
   for (Timestamp t = 0; t < 1500; ++t) {
     for (const Item& item : stream.Step()) {
@@ -93,7 +94,10 @@ TEST(IntegrationTest, DisjointWindowSamplesIndependent) {
   const int trials = 80000;
   std::vector<uint64_t> joint(n * n, 0);
   for (int t = 0; t < trials; ++t) {
-    auto s = SequenceSwrSampler::Create(n, 1, 7000 + t).ValueOrDie();
+    SamplerConfig config;
+    config.window_n = n;
+    config.seed = 7000 + static_cast<uint64_t>(t);
+    auto s = CreateSampler("bop-seq-single", config).ValueOrDie();
     uint64_t first = 0, second = 0;
     for (uint64_t i = 0; i < 4 * n; ++i) {
       s->Observe(Item{i, i, static_cast<Timestamp>(i)});
@@ -112,7 +116,10 @@ TEST(IntegrationTest, DisjointWindowIndependenceTimestamp) {
   const int trials = 80000;
   std::vector<uint64_t> joint(t0 * t0, 0);
   for (int t = 0; t < trials; ++t) {
-    auto s = TsSwrSampler::Create(t0, 1, 90000 + t).ValueOrDie();
+    SamplerConfig config;
+    config.window_t = t0;
+    config.seed = 90000 + static_cast<uint64_t>(t);
+    auto s = CreateSampler("bop-ts-single", config).ValueOrDie();
     uint64_t first = 0, second = 0;
     for (Timestamp i = 0; i < 8; ++i) {
       s->Observe(Item{static_cast<uint64_t>(i), static_cast<uint64_t>(i), i});
@@ -131,7 +138,11 @@ TEST(IntegrationTest, SampleValuesUncorrelatedAcrossDisjointWindows) {
   const int trials = 4000;
   std::vector<double> xs, ys;
   for (int t = 0; t < trials; ++t) {
-    auto s = SequenceSworSampler::Create(n, 1, 333 + t).ValueOrDie();
+    SamplerConfig config;
+    config.window_n = n;
+    config.k = 1;
+    config.seed = 333 + static_cast<uint64_t>(t);
+    auto s = CreateSampler("bop-seq-swor", config).ValueOrDie();
     Rng value_rng(5555 + t);
     std::vector<uint64_t> values(2 * n);
     for (auto& v : values) v = value_rng.UniformIndex(1000);
@@ -148,10 +159,15 @@ TEST(IntegrationTest, SampleValuesUncorrelatedAcrossDisjointWindows) {
 }
 
 // Theorem 5.1 adapter: windowed mean via sampling tracks the exact
-// windowed mean of a drifting signal.
+// windowed mean of a drifting signal. The adapter consumes any
+// registry-built sampler.
 TEST(IntegrationTest, SlidingAdapterTracksWindowedMean) {
   const uint64_t n = 256, k = 64;
-  auto sampler = SequenceSwrSampler::Create(n, k, 11).ValueOrDie();
+  SamplerConfig config;
+  config.window_n = n;
+  config.k = k;
+  config.seed = 11;
+  auto sampler = CreateSampler("bop-seq-swr", config).ValueOrDie();
   auto estimator = [](const std::vector<Item>& sample) {
     double acc = 0;
     for (const Item& item : sample) acc += static_cast<double>(item.value);
@@ -182,7 +198,11 @@ TEST(IntegrationTest, FullyDeterministic) {
     auto stream = SyntheticStream(
         ZipfValues::Create(100, 1.1).ValueOrDie(),
         std::move(PoissonBurstArrivals::Create(1.7)).ValueOrDie(), 21);
-    auto s = TsSworSampler::Create(9, 3, 22).ValueOrDie();
+    SamplerConfig config;
+    config.window_t = 9;
+    config.k = 3;
+    config.seed = 22;
+    auto s = CreateSampler("bop-ts-swor", config).ValueOrDie();
     std::vector<uint64_t> trace;
     for (Timestamp t = 0; t < 300; ++t) {
       for (const Item& item : stream.Step()) s->Observe(item);
@@ -197,7 +217,11 @@ TEST(IntegrationTest, FullyDeterministic) {
 // Seq samplers must tolerate items whose timestamps are nonsense (they
 // ignore time entirely).
 TEST(IntegrationTest, SequenceSamplersIgnoreTimestamps) {
-  auto s = SequenceSwrSampler::Create(8, 2, 31).ValueOrDie();
+  SamplerConfig config;
+  config.window_n = 8;
+  config.k = 2;
+  config.seed = 31;
+  auto s = CreateSampler("bop-seq-swr", config).ValueOrDie();
   for (uint64_t i = 0; i < 40; ++i) {
     s->Observe(Item{i, i, static_cast<Timestamp>(1000 - i)});
     s->AdvanceTime(0);  // no-op
