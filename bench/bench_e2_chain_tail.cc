@@ -31,7 +31,7 @@ void Run() {
   std::vector<double> chain_words, chain_len;
   uint64_t bop_words = 0;
   for (int t = 0; t < trials; ++t) {
-    auto chain = ChainSampler::Create(n, k, 100 + t).ValueOrDie();
+    auto chain = ChainSampler::Create(n, k, Rng::ForkSeed(100, t)).ValueOrDie();
     uint64_t max_words = 0, max_len = 0;
     Rng rng(900 + t);
     for (uint64_t i = 0; i < items; ++i) {
@@ -46,7 +46,7 @@ void Run() {
     SamplerConfig config;
     config.window_n = n;
     config.k = k;
-    config.seed = 100 + static_cast<uint64_t>(t);
+    config.seed = Rng::ForkSeed(100, static_cast<uint64_t>(t));
     auto bop = CreateSampler("bop-seq-swr", config).ValueOrDie();
     bop_words =
         std::max(bop_words, MaxMemorySequenceRun(*bop, items, 1 << 20,

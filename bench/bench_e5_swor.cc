@@ -33,7 +33,7 @@ void PartA() {
       SamplerConfig config;
       config.window_n = n;
       config.k = k;
-      config.seed = 100 + static_cast<uint64_t>(t);
+      config.seed = Rng::ForkSeed(100, static_cast<uint64_t>(t));
       auto s = CreateSampler("bop-seq-swor", config).ValueOrDie();
       for (uint64_t i = 0; i < len; ++i) {
         s->Observe(Item{i, i, static_cast<Timestamp>(i)});
@@ -56,7 +56,7 @@ void PartA() {
       SamplerConfig config;
       config.window_t = static_cast<Timestamp>(n);
       config.k = k;
-      config.seed = 700000 + static_cast<uint64_t>(t);
+      config.seed = Rng::ForkSeed(700000, static_cast<uint64_t>(t));
       auto s = CreateSampler("bop-ts-swor", config).ValueOrDie();
       for (Timestamp i = 0; i < static_cast<Timestamp>(len); ++i) {
         s->Observe(
@@ -83,7 +83,7 @@ void PartB() {
   Row({"sampler", "factor", "fail%", "avg-words", "k-guarantee"});
   const uint64_t n = 64, k = 8;
   for (uint64_t factor : {1u, 2u, 4u, 8u}) {
-    auto s = OverSampler::Create(n, k, factor, 42 + factor).ValueOrDie();
+    auto s = OverSampler::Create(n, k, factor, Rng::ForkSeed(42, factor)).ValueOrDie();
     Rng rng(7);
     uint64_t word_acc = 0, steps = 0;
     for (uint64_t i = 0; i < 4 * n; ++i) {

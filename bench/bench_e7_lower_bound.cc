@@ -40,7 +40,7 @@ void Run() {
   uint64_t max_structures = 0;
   uint64_t n_at_t0 = 0;
   for (int run = 0; run < runs; ++run) {
-    auto s = TsSingleSampler::Create(t0, 100 + run).ValueOrDie();
+    auto s = TsSingleSampler::Create(t0, Rng::ForkSeed(100, run)).ValueOrDie();
     Rng rng(1);  // arrivals are deterministic for this process
     uint64_t index = 0;
     std::set<Timestamp> picked;

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,21 @@
 #include "stream/item.h"
 
 namespace swsample::bench {
+
+/// True when SWSAMPLE_BENCH_SMOKE is set non-empty and not "0": benches
+/// shrink their workloads to a tiny budget so CI can smoke-run every
+/// binary and catch bench bit-rot without paying full experiment time.
+inline bool SmokeMode() {
+  const char* v = std::getenv("SWSAMPLE_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// Divides a trial/unit/length budget by `divisor` in smoke mode (>= 1).
+inline uint64_t Scaled(uint64_t full, uint64_t divisor = 16) {
+  if (!SmokeMode()) return full;
+  const uint64_t scaled = full / divisor;
+  return scaled < 1 ? 1 : scaled;
+}
 
 /// Prints a header band for an experiment.
 inline void Banner(const char* experiment, const char* claim) {

@@ -14,6 +14,7 @@
 #include <set>
 #include <vector>
 
+#include "apps/estimator_registry.h"
 #include "apps/triangles.h"
 #include "util/rng.h"
 
@@ -47,7 +48,13 @@ int main() {
   const uint32_t v = 40;          // vertex universe (community = 0..9)
   const uint64_t n = 4096;        // edge window
   const uint64_t total = 6 * n;
-  auto est = SlidingTriangleEstimator::Create(n, v, 8192, 5).ValueOrDie();
+  EstimatorConfig config;
+  config.substrate = "bop-seq-single";
+  config.window_n = n;
+  config.r = 8192;
+  config.seed = 5;
+  config.num_vertices = v;
+  auto est = CreateEstimator("buriol-triangles", config).ValueOrDie();
 
   Rng rng(21);
   std::deque<uint64_t> window;
@@ -79,7 +86,8 @@ int main() {
       std::printf("edge %6lu %s estimate=%8.1f exact(distinct)=%5lu\n",
                   (unsigned long)(i + 1),
                   community_active ? "[community]" : "           ",
-                  est->Estimate(), (unsigned long)ExactTriangles(window, v));
+                  est->Estimate().value,
+                  (unsigned long)ExactTriangles(window, v));
     }
   }
   std::printf(

@@ -1,27 +1,42 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// stream_sampler_cli: sample a real stream from stdin (or a file) with any
-// registered sampler.
+// stream_sampler_cli: pump a real stream from stdin (or a file) through
+// any registered sampler OR any registered estimator over any compatible
+// sampling substrate (Theorem 5.1 at the command line).
 //
 //   build/examples/stream_sampler_cli [options] <window> <k>
 //
-//   --algo=<name>     sampler to run (default bop-seq-swor); --list shows
-//                     every registered name with a one-line summary
-//   --file=<path>     read events from a file instead of stdin
-//   --batch=<n>       ingestion batch size (default 1024; 0 = per item)
-//   --report=<n>      progress report every n events to stderr (default
-//                     10000; 0 = none, stdin mode only)
-//   <window>          n (items) for sequence samplers, t0 (time units)
-//                     for timestamp samplers
-//   <k>               samples to maintain
+//   --algo=<name>        sampler to run (default bop-seq-swor)
+//   --estimator=<name>   run an estimator instead of a raw sampler
+//   --substrate=<name>   sampling substrate for --estimator (default:
+//                        the estimator's registered default)
+//   --list               every registered sampler with a summary
+//   --list-estimators    every registered estimator with its compatible
+//                        substrates
+//   --file=<path>        read events from a file instead of stdin
+//   --batch=<n>          ingestion batch size (default 1024; 0 = per item)
+//   --seed=<n>           RNG seed (default 0x5eed); equal seeds reproduce
+//                        runs exactly
+//   --moment=<k>         frequency moment for --estimator=ams-fk (default 2)
+//   --vertices=<v>       vertex universe for --estimator=buriol-triangles
+//   --q=<q>              quantile for --estimator=dkw-quantile (default 0.5)
+//   --report=<n>         progress report every n events to stderr (default
+//                        10000; 0 = none, stdin mode only)
+//   <window>             n (items) for sequence samplers/substrates, t0
+//                        (time units) for timestamp ones
+//   <k>                  samples to maintain / estimator units r
 //
-// Input: one event per line. Sequence samplers: "<value>"; timestamp
-// samplers: "<timestamp> <value>" with non-decreasing integer timestamps.
-// The final k-sample, memory footprint and ingestion throughput go to
-// stdout.
+// Input: one event per line. Sequence mode: "<value>"; timestamp mode:
+// "<timestamp> <value>" with non-decreasing integer timestamps. Blank
+// lines are skipped; malformed lines abort with the offending line number.
+// The final sample (or estimate), memory footprint and ingestion
+// throughput go to stdout.
 //
 //   --algo=bop-seq-swor 1000000 64:  a uniform 64-subset of the last
 //   million events from ~400 words of state, however long the stream runs.
+//
+//   --estimator=ams-fk --substrate=bop-ts-single 60 256:  the self-join
+//   size F2 of the last 60 seconds, window size unknowable, O(r log n).
 
 #include <cerrno>
 #include <cinttypes>
@@ -32,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/estimator_registry.h"
 #include "core/api.h"
 #include "core/registry.h"
 #include "stream/driver.h"
@@ -42,13 +58,17 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--algo=<name>] [--file=<path>] [--batch=<n>] "
+               "usage: %s [--algo=<name> | --estimator=<name> "
+               "[--substrate=<name>]] [--file=<path>] [--batch=<n>] "
+               "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
                "[--report=<n>] <window> <k>\n"
-               "       %s --list\n"
-               "  sequence samplers read lines \"<value>\"; timestamp\n"
-               "  samplers read \"<timestamp> <value>\"\n"
-               "  registered: %s\n",
-               argv0, argv0, RegisteredSamplerNames().c_str());
+               "       %s --list | --list-estimators\n"
+               "  sequence mode reads lines \"<value>\"; timestamp mode\n"
+               "  reads \"<timestamp> <value>\"\n"
+               "  samplers:   %s\n"
+               "  estimators: %s\n",
+               argv0, argv0, RegisteredSamplerNames().c_str(),
+               RegisteredEstimatorNames().c_str());
 }
 
 void ListSamplers() {
@@ -61,7 +81,20 @@ void ListSamplers() {
   }
 }
 
-void Report(WindowSampler& sampler, uint64_t events, FILE* out) {
+void ListEstimators() {
+  std::printf("registered estimators:\n");
+  for (const EstimatorSpec& spec : RegisteredEstimators()) {
+    std::printf("  %-17s %-10s %s\n", spec.name, spec.metric, spec.summary);
+    std::printf("  %-17s   default substrate %s; compatible:", "",
+                spec.default_substrate);
+    for (const char* substrate : spec.substrates) {
+      std::printf(" %s", substrate);
+    }
+    std::printf("\n");
+  }
+}
+
+void ReportSample(WindowSampler& sampler, uint64_t events, FILE* out) {
   auto sample = sampler.Sample();
   std::fprintf(out, "events=%" PRIu64 " memory=%" PRIu64 " words sample=[",
                events, sampler.MemoryWords());
@@ -69,6 +102,15 @@ void Report(WindowSampler& sampler, uint64_t events, FILE* out) {
     std::fprintf(out, "%s%" PRIu64, i ? " " : "", sample[i].value);
   }
   std::fprintf(out, "]\n");
+}
+
+void ReportEstimate(WindowEstimator& estimator, uint64_t events, FILE* out) {
+  EstimateReport report = estimator.Estimate();
+  std::fprintf(out,
+               "events=%" PRIu64 " memory=%" PRIu64
+               " words %s=%.6g window=%.6g support=%" PRIu64 "\n",
+               events, estimator.MemoryWords(), report.metric.c_str(),
+               report.value, report.window_size, report.support);
 }
 
 // Parses a non-negative integer flag value; false on garbage, sign, or
@@ -83,41 +125,81 @@ bool ParseU64(const char* s, uint64_t* out) {
   return true;
 }
 
+bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string algo = "bop-seq-swor";
+  std::string estimator_name;
+  std::string substrate;
   std::string file;
   uint64_t batch = 1024;
+  uint64_t seed = 0x5eed;
+  uint64_t moment = 2;
+  uint64_t vertices = 0;
+  double q = 0.5;
   uint64_t report_every = 10000;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    uint64_t* u64_flag = nullptr;
+    const char* u64_value = nullptr;
     if (std::strcmp(arg, "--list") == 0) {
       ListSamplers();
       return 0;
+    } else if (std::strcmp(arg, "--list-estimators") == 0) {
+      ListEstimators();
+      return 0;
     } else if (std::strncmp(arg, "--algo=", 7) == 0) {
       algo = arg + 7;
+    } else if (std::strncmp(arg, "--estimator=", 12) == 0) {
+      estimator_name = arg + 12;
+    } else if (std::strncmp(arg, "--substrate=", 12) == 0) {
+      substrate = arg + 12;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
       file = arg + 7;
     } else if (std::strncmp(arg, "--batch=", 8) == 0) {
-      if (!ParseU64(arg + 8, &batch)) {
-        std::fprintf(stderr, "error: --batch requires a non-negative "
-                             "integer, got \"%s\"\n", arg + 8);
+      u64_flag = &batch;
+      u64_value = arg + 8;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      u64_flag = &seed;
+      u64_value = arg + 7;
+    } else if (std::strncmp(arg, "--moment=", 9) == 0) {
+      u64_flag = &moment;
+      u64_value = arg + 9;
+    } else if (std::strncmp(arg, "--vertices=", 11) == 0) {
+      u64_flag = &vertices;
+      u64_value = arg + 11;
+    } else if (std::strncmp(arg, "--q=", 4) == 0) {
+      if (!ParseDouble(arg + 4, &q)) {
+        std::fprintf(stderr, "error: --q requires a number, got \"%s\"\n",
+                     arg + 4);
         return 2;
       }
     } else if (std::strncmp(arg, "--report=", 9) == 0) {
-      if (!ParseU64(arg + 9, &report_every)) {
-        std::fprintf(stderr, "error: --report requires a non-negative "
-                             "integer, got \"%s\"\n", arg + 9);
-        return 2;
-      }
+      u64_flag = &report_every;
+      u64_value = arg + 9;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       Usage(argv[0]);
       return 2;
     } else {
       positional.push_back(arg);
+    }
+    if (u64_flag != nullptr && !ParseU64(u64_value, u64_flag)) {
+      std::fprintf(stderr,
+                   "error: %.*s expects a non-negative integer, got \"%s\"\n",
+                   static_cast<int>(u64_value - arg - 1), arg, u64_value);
+      return 2;
     }
   }
   if (positional.size() != 2) {
@@ -130,50 +212,92 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
-  const SamplerSpec* spec = FindSamplerSpec(algo);
-  if (spec == nullptr) {
-    std::fprintf(stderr, "unknown --algo=%s\nregistered: %s\n", algo.c_str(),
-                 RegisteredSamplerNames().c_str());
-    return 2;
-  }
-  const bool timestamped = spec->model == WindowModel::kTimestamp;
-
-  SamplerConfig config;
-  config.window_n = static_cast<uint64_t>(window);
-  config.window_t = window;
-  config.k = static_cast<uint64_t>(k);
-  config.seed = 0x5eed;
-  auto created = CreateSampler(algo, config);
-  if (!created.ok()) {
-    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-    return 1;
-  }
-  auto sampler = std::move(created).ValueOrDie();
 
   StreamDriver::Options options;
   options.batch_size = batch;
   StreamDriver driver(options);
 
-  // The batched driver owns parsing and ingestion for both modes; stdin
-  // mode adds periodic progress reports.
-  auto result =
-      file.empty()
-          ? driver.DriveLines(
-                stdin, "stdin", timestamped, *sampler,
-                [](uint64_t items, WindowSampler& s) {
-                  Report(s, items, stderr);
-                },
-                report_every)
-          : driver.DriveFile(file, timestamped, *sampler);
+  // Resolve the sink — a raw sampler or an estimator over a substrate —
+  // then let the batched driver own parsing and ingestion for both modes;
+  // stdin mode adds periodic progress reports.
+  std::unique_ptr<WindowSampler> sampler;
+  std::unique_ptr<WindowEstimator> estimator;
+  bool timestamped = false;
+  if (!estimator_name.empty()) {
+    const EstimatorSpec* spec = FindEstimatorSpec(estimator_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown --estimator=%s\nregistered: %s\n",
+                   estimator_name.c_str(),
+                   RegisteredEstimatorNames().c_str());
+      return 2;
+    }
+    EstimatorConfig config;
+    config.substrate = substrate.empty() ? spec->default_substrate
+                                         : substrate;
+    config.window_n = static_cast<uint64_t>(window);
+    config.window_t = window;
+    config.r = static_cast<uint64_t>(k);
+    config.seed = seed;
+    config.moment = static_cast<uint32_t>(moment);
+    config.num_vertices = static_cast<uint32_t>(vertices);
+    config.q = q;
+    const SamplerSpec* substrate_spec = FindSamplerSpec(config.substrate);
+    if (substrate_spec != nullptr) {
+      timestamped = substrate_spec->model == WindowModel::kTimestamp;
+    }
+    auto created = CreateEstimator(estimator_name, config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    estimator = std::move(created).ValueOrDie();
+  } else {
+    const SamplerSpec* spec = FindSamplerSpec(algo);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown --algo=%s\nregistered: %s\n",
+                   algo.c_str(), RegisteredSamplerNames().c_str());
+      return 2;
+    }
+    timestamped = spec->model == WindowModel::kTimestamp;
+    SamplerConfig config;
+    config.window_n = static_cast<uint64_t>(window);
+    config.window_t = window;
+    config.k = static_cast<uint64_t>(k);
+    config.seed = seed;
+    auto created = CreateSampler(algo, config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    sampler = std::move(created).ValueOrDie();
+  }
+  StreamSink& sink = estimator ? static_cast<StreamSink&>(*estimator)
+                               : static_cast<StreamSink&>(*sampler);
+
+  auto progress = [&](uint64_t items) {
+    if (estimator) {
+      ReportEstimate(*estimator, items, stderr);
+    } else {
+      ReportSample(*sampler, items, stderr);
+    }
+  };
+  auto result = file.empty()
+                    ? driver.DriveLines(stdin, "stdin", timestamped, sink,
+                                        progress, report_every)
+                    : driver.DriveFile(file, timestamped, sink);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   const DriveReport& r = result.value();
   std::fprintf(stderr,
-               "algo=%s items=%" PRIu64 " batches=%" PRIu64
+               "sink=%s items=%" PRIu64 " batches=%" PRIu64
                " throughput=%.2fM items/s\n",
-               sampler->name(), r.items, r.batches, r.items_per_sec / 1e6);
-  Report(*sampler, r.items, stdout);
+               sink.name(), r.items, r.batches, r.items_per_sec / 1e6);
+  if (estimator) {
+    ReportEstimate(*estimator, r.items, stdout);
+  } else {
+    ReportSample(*sampler, r.items, stdout);
+  }
   return 0;
 }

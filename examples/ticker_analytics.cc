@@ -14,8 +14,7 @@
 
 #include <cstdio>
 
-#include "apps/entropy.h"
-#include "apps/freq_moments.h"
+#include "apps/estimator_registry.h"
 #include "core/seq_swr.h"
 #include "core/sliding_adapter.h"
 #include "stream/value_gen.h"
@@ -37,8 +36,16 @@ int main() {
                                          : acc / static_cast<double>(
                                                      sample.size());
                             });
-  auto repeat_rate = SlidingFkEstimator::Create(n, 2, 512, 2).ValueOrDie();
-  auto entropy = SlidingEntropyEstimator::Create(n, 512, 3).ValueOrDie();
+  // Both symbol estimators come from the estimator registry; swap the
+  // substrate string to run them over any other compatible sampler.
+  EstimatorConfig config;
+  config.substrate = "bop-seq-single";
+  config.window_n = n;
+  config.r = 512;
+  config.seed = 2;
+  auto repeat_rate = CreateEstimator("ams-fk", config).ValueOrDie();
+  config.seed = 3;
+  auto entropy = CreateEstimator("ccm-entropy", config).ValueOrDie();
 
   auto symbols = ZipfValues::Create(64, 0.9).ValueOrDie();
   Rng rng(11);
@@ -60,8 +67,8 @@ int main() {
           "trade %6lu %s  mean-price=%6.1f  F2(symbols)=%10.0f  "
           "H(symbols)=%5.2f bits\n",
           (unsigned long)(i + 1), flash ? "[flash]" : "       ",
-          price_mean.Estimate(), repeat_rate->Estimate(),
-          entropy->Estimate());
+          price_mean.Estimate(), repeat_rate->Estimate().value,
+          entropy->Estimate().value);
     }
   }
   std::printf(

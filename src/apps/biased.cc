@@ -3,11 +3,15 @@
 #include "apps/biased.h"
 
 #include <cmath>
+#include <utility>
+
+#include "core/registry.h"
 
 namespace swsample {
 
 Result<std::unique_ptr<StepBiasedSampler>> StepBiasedSampler::Create(
-    std::vector<BiasLevel> levels, uint64_t seed) {
+    std::vector<BiasLevel> levels, uint64_t seed,
+    const std::string& substrate, uint64_t level_k) {
   if (levels.empty()) {
     return Status::InvalidArgument("StepBiasedSampler: need >= 1 level");
   }
@@ -27,24 +31,39 @@ Result<std::unique_ptr<StepBiasedSampler>> StepBiasedSampler::Create(
     }
     total += levels[i].weight;
   }
+  const SamplerSpec* spec = FindSamplerSpec(substrate);
+  if (spec == nullptr || spec->model != WindowModel::kSequence) {
+    return Status::InvalidArgument(
+        "StepBiasedSampler: substrate must be a registered sequence-model "
+        "sampler, got \"" + substrate + "\"");
+  }
   for (auto& level : levels) level.weight /= total;
-  return std::unique_ptr<StepBiasedSampler>(
+  auto sampler = std::unique_ptr<StepBiasedSampler>(
       new StepBiasedSampler(std::move(levels), seed));
+  for (size_t i = 0; i < sampler->levels_.size(); ++i) {
+    SamplerConfig config;
+    config.window_n = sampler->levels_[i].window;
+    config.k = spec->single_sample ? 1 : level_k;
+    config.seed = Rng::ForkSeed(seed, i + 1);
+    auto level_sampler = CreateSampler(substrate, config);
+    if (!level_sampler.ok()) return level_sampler.status();
+    sampler->samplers_.push_back(std::move(level_sampler).ValueOrDie());
+  }
+  return sampler;
 }
 
 StepBiasedSampler::StepBiasedSampler(std::vector<BiasLevel> levels,
                                      uint64_t seed)
-    : levels_(std::move(levels)), rng_(seed) {
+    : levels_(std::move(levels)), rng_(Rng::ForkSeed(seed, 0)) {
   samplers_.reserve(levels_.size());
-  for (const BiasLevel& level : levels_) {
-    samplers_.push_back(
-        SequenceSwrSampler::Create(level.window, /*k=*/1, rng_.NextU64())
-            .ValueOrDie());
-  }
 }
 
 void StepBiasedSampler::Observe(const Item& item) {
   for (auto& sampler : samplers_) sampler->Observe(item);
+}
+
+void StepBiasedSampler::ObserveBatch(std::span<const Item> items) {
+  for (auto& sampler : samplers_) sampler->ObserveBatch(items);
 }
 
 std::optional<Item> StepBiasedSampler::Sample() {
@@ -73,10 +92,45 @@ double StepBiasedSampler::InclusionProbability(uint64_t age) const {
   return p;
 }
 
+std::pair<double, uint64_t> StepBiasedSampler::WeightedMeanEstimate() {
+  double value = 0.0;
+  uint64_t support = 0;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    auto sample = samplers_[i]->Sample();
+    if (sample.empty()) continue;
+    double acc = 0.0;
+    for (const Item& item : sample) {
+      acc += static_cast<double>(item.value);
+    }
+    value += levels_[i].weight * acc / static_cast<double>(sample.size());
+    support += sample.size();
+  }
+  return {value, support};
+}
+
 uint64_t StepBiasedSampler::MemoryWords() const {
   uint64_t words = 0;
   for (const auto& sampler : samplers_) words += sampler->MemoryWords();
   return words;
+}
+
+Result<std::unique_ptr<BiasedMeanEstimator>> BiasedMeanEstimator::Create(
+    std::unique_ptr<StepBiasedSampler> sampler) {
+  if (sampler == nullptr) {
+    return Status::InvalidArgument(
+        "biased-mean: sampler must not be null");
+  }
+  return std::unique_ptr<BiasedMeanEstimator>(
+      new BiasedMeanEstimator(std::move(sampler)));
+}
+
+EstimateReport BiasedMeanEstimator::Estimate() {
+  EstimateReport report;
+  report.metric = "biased-mean";
+  auto [value, support] = sampler_->WeightedMeanEstimate();
+  report.value = value;
+  report.support = support;
+  return report;
 }
 
 }  // namespace swsample

@@ -1,6 +1,6 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Step-biased sampling -- the Section 5 extension: "Our algorithms can be
+// Step-biased sampling — the Section 5 extension: "Our algorithms can be
 // naturally extended to some biased functions ... We can apply our methods
 // to implement step biased functions, maintaining samples over each window
 // with different lengths and combining the samples with corresponding
@@ -10,8 +10,12 @@
 // n_1 < n_2 < ... < n_L and assigns each level a weight. Sampling picks a
 // level with probability proportional to its weight and returns that
 // level's uniform window sample, so more recent elements (members of more
-// levels) are proportionally more likely -- a staircase approximation of
+// levels) are proportionally more likely — a staircase approximation of
 // any monotone bias function.
+//
+// The per-level samplers are any SEQUENCE-model substrate from the sampler
+// registry; the estimator wrapper ("biased-mean") reports the step-bias-
+// weighted window mean  sum_l w_l * mean(W_l).
 
 #ifndef SWSAMPLE_APPS_BIASED_H_
 #define SWSAMPLE_APPS_BIASED_H_
@@ -19,9 +23,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "core/seq_swr.h"
+#include "apps/estimator.h"
+#include "core/api.h"
 #include "stream/item.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -38,12 +45,18 @@ struct BiasLevel {
 class StepBiasedSampler {
  public:
   /// Creates a sampler from strictly increasing window lengths with
-  /// positive weights (weights are normalized internally).
+  /// positive weights (weights are normalized internally). Each level runs
+  /// one single-sample copy of the sequence-model sampler registered under
+  /// `substrate` ("bop-seq-swr" by default, matching the paper scheme).
   static Result<std::unique_ptr<StepBiasedSampler>> Create(
-      std::vector<BiasLevel> levels, uint64_t seed);
+      std::vector<BiasLevel> levels, uint64_t seed,
+      const std::string& substrate = "bop-seq-swr", uint64_t level_k = 1);
 
   /// Feeds one arrival.
   void Observe(const Item& item);
+
+  /// Feeds a contiguous run of arrivals through each level's fast path.
+  void ObserveBatch(std::span<const Item> items);
 
   /// Draws one biased sample; nullopt iff nothing observed. An element in
   /// the j-th-but-not-(j-1)-th window is returned with probability
@@ -54,6 +67,11 @@ class StepBiasedSampler {
   /// before the newest (age 0 = newest). The staircase bias function.
   double InclusionProbability(uint64_t age) const;
 
+  /// The step-bias-weighted window mean sum_l w_l * mean(W_l), estimated
+  /// from one fresh per-level sample draw; (value, total sample size).
+  /// Value 0 before the first arrival.
+  std::pair<double, uint64_t> WeightedMeanEstimate();
+
   /// Total memory words across levels.
   uint64_t MemoryWords() const;
 
@@ -62,7 +80,34 @@ class StepBiasedSampler {
 
   std::vector<BiasLevel> levels_;
   Rng rng_;
-  std::vector<std::unique_ptr<SequenceSwrSampler>> samplers_;
+  std::vector<std::unique_ptr<WindowSampler>> samplers_;
+};
+
+/// WindowEstimator wrapper over StepBiasedSampler ("biased-mean"): the
+/// recency-weighted window mean, a staircase approximation of any monotone
+/// bias function over the last n arrivals.
+class BiasedMeanEstimator final : public WindowEstimator {
+ public:
+  /// Takes ownership of a configured step-biased sampler.
+  static Result<std::unique_ptr<BiasedMeanEstimator>> Create(
+      std::unique_ptr<StepBiasedSampler> sampler);
+
+  void Observe(const Item& item) override { sampler_->Observe(item); }
+  void ObserveBatch(std::span<const Item> items) override {
+    sampler_->ObserveBatch(items);
+  }
+  void AdvanceTime(Timestamp) override {}  // sequence windows only
+  EstimateReport Estimate() override;
+  uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
+  const char* name() const override { return "biased-mean"; }
+
+  StepBiasedSampler& sampler() { return *sampler_; }
+
+ private:
+  explicit BiasedMeanEstimator(std::unique_ptr<StepBiasedSampler> sampler)
+      : sampler_(std::move(sampler)) {}
+
+  std::unique_ptr<StepBiasedSampler> sampler_;
 };
 
 }  // namespace swsample

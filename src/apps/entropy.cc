@@ -2,54 +2,44 @@
 
 #include "apps/entropy.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace swsample {
 
-Result<std::unique_ptr<SlidingEntropyEstimator>>
-SlidingEntropyEstimator::Create(uint64_t n, uint64_t r, uint64_t seed) {
-  if (n < 1) {
-    return Status::InvalidArgument("SlidingEntropyEstimator: n must be >= 1");
-  }
-  if (r < 1) {
-    return Status::InvalidArgument("SlidingEntropyEstimator: r must be >= 1");
-  }
-  return std::unique_ptr<SlidingEntropyEstimator>(
-      new SlidingEntropyEstimator(n, r, seed));
+Result<std::unique_ptr<EntropyEstimator>> EntropyEstimator::Create(
+    const Substrate::Params& params) {
+  auto substrate =
+      Substrate::Create(params, CountOnSampled{}, CountOnArrival{});
+  if (!substrate.ok()) return substrate.status();
+  return std::unique_ptr<EntropyEstimator>(
+      new EntropyEstimator(std::move(substrate).ValueOrDie()));
 }
 
-SlidingEntropyEstimator::SlidingEntropyEstimator(uint64_t n, uint64_t r,
-                                                 uint64_t seed)
-    : rng_(seed) {
-  units_.reserve(r);
-  for (uint64_t i = 0; i < r; ++i) {
-    units_.emplace_back(n, OnSampled{}, OnArrival{});
-  }
-}
-
-void SlidingEntropyEstimator::Observe(const Item& item) {
-  for (Unit& unit : units_) unit.Observe(item, rng_);
-}
-
-double SlidingEntropyEstimator::Estimate() const {
-  if (units_.front().count() == 0) return 0.0;
-  const double n = static_cast<double>(units_.front().WindowSize());
+EstimateReport EntropyEstimator::Estimate() {
+  EstimateReport report;
+  report.metric = "H-bits";
+  const double n = substrate_.WindowSizeEstimate();
+  report.window_size = n;
+  if (n <= 0.0) return report;
   double acc = 0.0;
-  uint64_t live = 0;
-  for (const Unit& unit : units_) {
-    const auto& s = unit.Current();
-    if (!s) continue;
-    const double c = static_cast<double>(s->payload.count);
-    double est = c * std::log2(n / c);
-    if (c > 1.0) est -= (c - 1.0) * std::log2(n / (c - 1.0));
-    acc += est;
-    ++live;
+  report.support = substrate_.ForEachSample(
+      [&](const Item&, const CountPayload& payload) {
+        const double c = static_cast<double>(payload.count);
+        // CCM basic estimator; the timestamp n-hat may dip below c under
+        // EH error, so clamp the log arguments at 1 (the estimator stays
+        // consistent as eps -> 0; the clamp is a no-op when n is exact).
+        double est = c * std::log2(std::max(n / c, 1.0));
+        if (c > 1.0) {
+          est -= (c - 1.0) * std::log2(std::max(n / (c - 1.0), 1.0));
+        }
+        acc += est;
+      });
+  if (report.support > 0) {
+    report.value = acc / static_cast<double>(report.support);
   }
-  return live ? acc / static_cast<double>(live) : 0.0;
-}
-
-uint64_t SlidingEntropyEstimator::WindowSize() const {
-  return units_.front().WindowSize();
+  return report;
 }
 
 }  // namespace swsample

@@ -1,6 +1,6 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Empirical-entropy estimation over sliding windows -- Corollary 5.4.
+// Empirical-entropy estimation over sliding windows — Corollary 5.4.
 //
 // The Chakrabarti-Cormode-McGregor (SODA'07) basic estimator: for a uniform
 // window position p with forward occurrence count c in a window of size n,
@@ -10,62 +10,49 @@
 // telescopes to E[Est] = H = -sum (x_i/n) log2(x_i/n). CCM's full algorithm
 // adds a max-frequency split to control variance at tiny entropies; we
 // implement the basic unbiased estimator (documented simplification in
-// DESIGN.md) -- the point reproduced here is Corollary 5.4's claim that the
+// DESIGN.md) — the point reproduced here is Corollary 5.4's claim that the
 // sampling substrate transfers to sliding windows with worst-case memory
-// preserved, unlike the priority-sampling variant CCM had to use.
+// preserved, unlike the priority-sampling variant CCM had to use. Registry
+// name "ccm-entropy", over any payload-capable substrate.
 
 #ifndef SWSAMPLE_APPS_ENTROPY_H_
 #define SWSAMPLE_APPS_ENTROPY_H_
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "apps/payload_window.h"
+#include "apps/estimator.h"
+#include "apps/payload_substrate.h"
 #include "stream/item.h"
-#include "util/rng.h"
 #include "util/status.h"
 
 namespace swsample {
 
-/// Streaming empirical-entropy (base-2) estimator over a fixed-size window.
-class SlidingEntropyEstimator {
+/// Streaming empirical-entropy (base-2) estimator ("ccm-entropy").
+class EntropyEstimator final : public WindowEstimator {
  public:
-  /// Creates an estimator over windows of `n` arrivals averaging `r`
-  /// independent units.
-  static Result<std::unique_ptr<SlidingEntropyEstimator>> Create(
-      uint64_t n, uint64_t r, uint64_t seed);
+  using Substrate =
+      PayloadSubstrate<CountPayload, CountOnSampled, CountOnArrival>;
 
-  /// Feeds one arrival.
-  void Observe(const Item& item);
+  /// Creates an estimator averaging `params.r` independent units over the
+  /// substrate family `params.kind`.
+  static Result<std::unique_ptr<EntropyEstimator>> Create(
+      const Substrate::Params& params);
 
-  /// Current entropy estimate over the active window (0 if empty).
-  double Estimate() const;
-
-  /// Window fill level.
-  uint64_t WindowSize() const;
+  void Observe(const Item& item) override { substrate_.Observe(item); }
+  void ObserveBatch(std::span<const Item> items) override {
+    substrate_.ObserveBatch(items);
+  }
+  void AdvanceTime(Timestamp now) override { substrate_.AdvanceTime(now); }
+  EstimateReport Estimate() override;
+  uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
+  const char* name() const override { return "ccm-entropy"; }
 
  private:
-  struct CountPayload {
-    uint64_t value = 0;
-    uint64_t count = 0;
-  };
-  struct OnSampled {
-    CountPayload operator()(const Item& item) const {
-      return CountPayload{item.value, 1};
-    }
-  };
-  struct OnArrival {
-    void operator()(CountPayload& p, const Item& item) const {
-      if (item.value == p.value) ++p.count;
-    }
-  };
-  using Unit = PayloadWindowUnit<CountPayload, OnSampled, OnArrival>;
+  explicit EntropyEstimator(Substrate substrate)
+      : substrate_(std::move(substrate)) {}
 
-  SlidingEntropyEstimator(uint64_t n, uint64_t r, uint64_t seed);
-
-  Rng rng_;
-  std::vector<Unit> units_;
+  Substrate substrate_;
 };
 
 }  // namespace swsample

@@ -1,0 +1,55 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Common interface of all sliding-window estimators — the Theorem 5.1
+// products. The theorem is a black-box translation: a sampling-based
+// streaming estimator becomes a sliding-window estimator by swapping its
+// sampling substrate for a window sampler. A WindowEstimator is one such
+// translated algorithm: it ingests the stream like a sampler (it IS a
+// StreamSink, so the batched StreamDriver pumps it unchanged) and answers
+// queries with a typed EstimateReport instead of a raw sample set.
+//
+// Estimators are constructed by name through the estimator registry
+// (apps/estimator_registry.h), which pairs each estimator with a sampling
+// substrate named by its sampler-registry string.
+
+#ifndef SWSAMPLE_APPS_ESTIMATOR_H_
+#define SWSAMPLE_APPS_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "stream/item.h"
+
+namespace swsample {
+
+/// One point estimate with its provenance.
+struct EstimateReport {
+  /// The point estimate of the windowed quantity (0 on an empty window).
+  double value = 0.0;
+  /// What `value` estimates, e.g. "F2", "H-bits", "T3", "q0.50", "count".
+  std::string metric;
+  /// The window size the estimate was scaled by: exact for sequence and
+  /// oracle substrates, the (1 +/- eps) n-hat for timestamp substrates,
+  /// 0 when the estimator does not track it.
+  double window_size = 0.0;
+  /// Live sampling units / sample points behind the estimate.
+  uint64_t support = 0;
+};
+
+/// Abstract sliding-window estimator.
+///
+/// Inherits the full ingestion contract of StreamSink: consecutive indices,
+/// non-decreasing timestamps, ObserveBatch distributionally identical to
+/// item-wise Observe, AdvanceTime moving the clock across empty steps.
+class WindowEstimator : public StreamSink {
+ public:
+  /// Computes the current estimate over the active window. May consume
+  /// fresh randomness (substrates redraw samples per query); the guarantee
+  /// is on the per-call estimate distribution.
+  virtual EstimateReport Estimate() = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_ESTIMATOR_H_

@@ -1,0 +1,111 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Estimator registry: every sliding-window estimator in the library is
+// constructible from a string name, a sampling substrate named by its
+// SAMPLER-registry string, and one common configuration struct. This is
+// Theorem 5.1 realized as code: the theorem turns any sampling-based
+// streaming estimator into a sliding-window estimator by swapping its
+// sampling substrate, and here the swap is a config field. Harnesses,
+// examples, benchmarks and the CLI drive estimators through this single
+// entry point; benches E8-E12 sweep the estimator x substrate grid.
+//
+// Registered names:
+//
+//   name              metric   paper section / source
+//   ----------------  -------  ---------------------------------------
+//   ams-fk            F_k      Cor 5.2, Alon-Matias-Szegedy STOC'96
+//   ccm-entropy       H        Cor 5.4, Chakrabarti-Cormode-McGregor
+//   buriol-triangles  T3       Cor 5.3, Buriol et al. PODS'06
+//   dkw-quantile      q-quant  Thm 5.1 + Dvoretzky-Kiefer-Wolfowitz
+//   biased-mean       mean     Sec 5 step-biased extension
+//   window-count      n(t)     Sec 1.3.2 boundary via DGIM [31]
+//
+// Substrate compatibility is part of each spec: the payload estimators
+// (ams-fk, ccm-entropy, buriol-triangles) accept the payload-capable
+// families (bop-seq-single/swr, bop-ts-single/swr, exact-seq/exact-ts) —
+// the with-replacement k-samples are k independent single-sample copies
+// (Thms 2.1/3.9), so both names build the same payload structure;
+// dkw-quantile and window-count accept every registered sampler;
+// biased-mean accepts every sequence-model sampler. Incompatible pairs
+// are rejected with the compatible list in the error.
+
+#ifndef SWSAMPLE_APPS_ESTIMATOR_REGISTRY_H_
+#define SWSAMPLE_APPS_ESTIMATOR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/biased.h"
+#include "apps/estimator.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// One configuration for every registered estimator. Only the fields the
+/// named estimator (and substrate model) uses are validated; the rest are
+/// ignored.
+struct EstimatorConfig {
+  /// Sampler-registry name of the sampling substrate; "" selects the
+  /// estimator's default substrate.
+  std::string substrate;
+  /// Sequence window size n (sequence-model substrates; >= 1 there).
+  uint64_t window_n = 0;
+  /// Timestamp window length t0 (timestamp-model substrates; >= 1 there).
+  Timestamp window_t = 0;
+  /// Independent sampling units to average / sample size to draw (>= 1).
+  uint64_t r = 64;
+  /// RNG seed; equal configs construct identically-behaving estimators.
+  uint64_t seed = 0;
+  /// Frequency moment k (ams-fk only; >= 1).
+  uint32_t moment = 2;
+  /// Vertex universe size (buriol-triangles only; >= 3).
+  uint32_t num_vertices = 0;
+  /// Relative error of the DGIM window-size estimate used by timestamp
+  /// substrates (in (0, 1]).
+  double count_eps = 0.05;
+  /// Quantile reported by dkw-quantile's Estimate() (in [0, 1]).
+  double q = 0.5;
+  /// Recency levels (biased-mean only); empty derives a two-level
+  /// staircase {window_n / 4, window_n} with equal weights.
+  std::vector<BiasLevel> bias_levels;
+  /// Over-sampling factor passed through to an oversample-swor substrate.
+  uint64_t oversample_factor = 3;
+};
+
+/// Static description of one registered estimator.
+struct EstimatorSpec {
+  const char* name;               ///< registry key; equals name()
+  const char* metric;             ///< what Estimate().value approximates
+  const char* default_substrate;  ///< used when config.substrate is ""
+  std::vector<const char*> substrates;  ///< compatible sampler names
+  const char* summary;            ///< one-line description for --help
+};
+
+/// All registered estimators, in the order of the table above.
+const std::vector<EstimatorSpec>& RegisteredEstimators();
+
+/// The spec registered under `name`, or nullptr if unknown.
+const EstimatorSpec* FindEstimatorSpec(std::string_view name);
+
+/// True iff `name` is a registered estimator name.
+bool IsRegisteredEstimator(std::string_view name);
+
+/// True iff the estimator registered under `name` runs over the sampler
+/// registered under `substrate`. False for unknown names.
+bool EstimatorSupportsSubstrate(std::string_view name,
+                                std::string_view substrate);
+
+/// Constructs the estimator registered under `name` over the configured
+/// substrate. Unknown names, unknown or incompatible substrates, and
+/// invalid configurations come back as InvalidArgument.
+Result<std::unique_ptr<WindowEstimator>> CreateEstimator(
+    std::string_view name, const EstimatorConfig& config);
+
+/// "name1, name2, ..." — for CLI usage/error text.
+std::string RegisteredEstimatorNames();
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_ESTIMATOR_REGISTRY_H_

@@ -1,0 +1,98 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Exact-window oracle substrate for payload estimators. Buffers the whole
+// active window (O(n) words — this is the ground-truth comparator, the
+// estimator-layer analogue of the exact-seq / exact-ts samplers) and at
+// query time draws uniform positions, replaying the arrivals after each
+// sampled position to build its payload. Estimates produced over this
+// substrate have exact sampling marginals and exact window sizes, which is
+// what the benches sweep against the O(1)/O(log n) paper substrates.
+
+#ifndef SWSAMPLE_APPS_EXACT_PAYLOAD_H_
+#define SWSAMPLE_APPS_EXACT_PAYLOAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <utility>
+
+#include "stream/item.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace swsample {
+
+/// Full-window payload oracle over either window model.
+template <typename Payload, typename OnSampledFn, typename OnArrivalFn>
+class ExactPayloadOracle {
+ public:
+  /// Sequence model when `window_n` > 0 (last window_n arrivals active),
+  /// else timestamp model with window length `window_t`.
+  ExactPayloadOracle(uint64_t window_n, Timestamp window_t, uint64_t seed,
+                     OnSampledFn on_sampled, OnArrivalFn on_arrival)
+      : window_n_(window_n),
+        window_t_(window_t),
+        rng_(seed),
+        on_sampled_(std::move(on_sampled)),
+        on_arrival_(std::move(on_arrival)) {
+    SWS_CHECK(window_n_ >= 1 || window_t_ >= 1);
+  }
+
+  void Observe(const Item& item) {
+    buffer_.push_back(item);
+    if (window_n_ > 0) {
+      if (buffer_.size() > window_n_) buffer_.pop_front();
+    } else {
+      Expire(item.timestamp);
+    }
+  }
+
+  void ObserveBatch(std::span<const Item> items) {
+    for (const Item& item : items) buffer_.push_back(item);
+    if (window_n_ > 0) {
+      while (buffer_.size() > window_n_) buffer_.pop_front();
+    } else if (!items.empty()) {
+      Expire(items.back().timestamp);
+    }
+  }
+
+  void AdvanceTime(Timestamp now) {
+    if (window_n_ == 0) Expire(now);
+  }
+
+  /// Active window size (exact).
+  uint64_t WindowSize() const { return buffer_.size(); }
+
+  /// Draws one uniform window position with its exact forward payload.
+  /// O(window) per draw — the oracle's price. Requires a non-empty window.
+  std::pair<Item, Payload> Draw() {
+    SWS_DCHECK(!buffer_.empty());
+    const uint64_t pos = rng_.UniformIndex(buffer_.size());
+    Payload payload = on_sampled_(buffer_[pos]);
+    for (uint64_t j = pos + 1; j < buffer_.size(); ++j) {
+      on_arrival_(payload, buffer_[j]);
+    }
+    return {buffer_[pos], std::move(payload)};
+  }
+
+  /// Live memory words: the buffered window.
+  uint64_t MemoryWords() const { return buffer_.size() * kWordsPerItem + 2; }
+
+ private:
+  void Expire(Timestamp now) {
+    while (!buffer_.empty() && now - buffer_.front().timestamp >= window_t_) {
+      buffer_.pop_front();
+    }
+  }
+
+  uint64_t window_n_;
+  Timestamp window_t_;
+  Rng rng_;
+  OnSampledFn on_sampled_;
+  OnArrivalFn on_arrival_;
+  std::deque<Item> buffer_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_EXACT_PAYLOAD_H_

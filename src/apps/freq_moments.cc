@@ -3,57 +3,38 @@
 #include "apps/freq_moments.h"
 
 #include <cmath>
+#include <utility>
 
 namespace swsample {
 
-Result<std::unique_ptr<SlidingFkEstimator>> SlidingFkEstimator::Create(
-    uint64_t n, uint32_t moment, uint64_t r, uint64_t seed) {
-  if (n < 1) {
-    return Status::InvalidArgument("SlidingFkEstimator: n must be >= 1");
-  }
+Result<std::unique_ptr<FkEstimator>> FkEstimator::Create(
+    const Substrate::Params& params, uint32_t moment) {
   if (moment < 1) {
-    return Status::InvalidArgument(
-        "SlidingFkEstimator: moment must be >= 1");
+    return Status::InvalidArgument("ams-fk: moment must be >= 1");
   }
-  if (r < 1) {
-    return Status::InvalidArgument("SlidingFkEstimator: r must be >= 1");
-  }
-  return std::unique_ptr<SlidingFkEstimator>(
-      new SlidingFkEstimator(n, moment, r, seed));
+  auto substrate =
+      Substrate::Create(params, CountOnSampled{}, CountOnArrival{});
+  if (!substrate.ok()) return substrate.status();
+  return std::unique_ptr<FkEstimator>(
+      new FkEstimator(std::move(substrate).ValueOrDie(), moment));
 }
 
-SlidingFkEstimator::SlidingFkEstimator(uint64_t n, uint32_t moment,
-                                       uint64_t r, uint64_t seed)
-    : moment_(moment), rng_(seed) {
-  units_.reserve(r);
-  for (uint64_t i = 0; i < r; ++i) {
-    units_.emplace_back(n, OnSampled{}, OnArrival{});
-  }
-}
-
-void SlidingFkEstimator::Observe(const Item& item) {
-  for (Unit& unit : units_) unit.Observe(item, rng_);
-}
-
-double SlidingFkEstimator::Estimate() const {
-  if (units_.front().count() == 0) return 0.0;
-  const double n = static_cast<double>(units_.front().WindowSize());
+EstimateReport FkEstimator::Estimate() {
+  EstimateReport report;
+  report.metric = "F" + std::to_string(moment_);
+  const double n = substrate_.WindowSizeEstimate();
+  report.window_size = n;
+  if (n <= 0.0) return report;
   double acc = 0.0;
-  uint64_t live = 0;
-  for (const Unit& unit : units_) {
-    const auto& s = unit.Current();
-    if (!s) continue;
-    const double c = static_cast<double>(s->payload.count);
-    const double x =
-        n * (std::pow(c, moment_) - std::pow(c - 1.0, moment_));
-    acc += x;
-    ++live;
+  report.support = substrate_.ForEachSample(
+      [&](const Item&, const CountPayload& payload) {
+        const double c = static_cast<double>(payload.count);
+        acc += n * (std::pow(c, moment_) - std::pow(c - 1.0, moment_));
+      });
+  if (report.support > 0) {
+    report.value = acc / static_cast<double>(report.support);
   }
-  return live ? acc / static_cast<double>(live) : 0.0;
-}
-
-uint64_t SlidingFkEstimator::WindowSize() const {
-  return units_.front().WindowSize();
+  return report;
 }
 
 }  // namespace swsample

@@ -1,6 +1,6 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Frequency-moment estimation over sliding windows -- Corollary 5.2.
+// Frequency-moment estimation over sliding windows — Corollary 5.2.
 //
 // The Alon-Matias-Szegedy (STOC'96) estimator: sample a uniform position p
 // of the window, let c be the number of occurrences of value(p) at or
@@ -8,63 +8,50 @@
 // estimate of F_k = sum_i x_i^k. The paper's point (Theorem 5.1) is that
 // replacing AMS's reservoir with a sliding-window sampler transfers the
 // algorithm to windows with no loss in the memory guarantee; this class is
-// that transfer, using PayloadWindowUnit to maintain the forward counts.
+// that transfer over any payload-capable substrate (registry name
+// "ams-fk"): sequence units, timestamp units with the DGIM n-hat, or the
+// exact-window oracle.
 
 #ifndef SWSAMPLE_APPS_FREQ_MOMENTS_H_
 #define SWSAMPLE_APPS_FREQ_MOMENTS_H_
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "apps/payload_window.h"
+#include "apps/estimator.h"
+#include "apps/payload_substrate.h"
 #include "stream/item.h"
-#include "util/rng.h"
 #include "util/status.h"
 
 namespace swsample {
 
-/// Streaming F_k estimator over a fixed-size sliding window.
-class SlidingFkEstimator {
+/// Streaming F_k estimator over a sliding window ("ams-fk").
+class FkEstimator final : public WindowEstimator {
  public:
+  using Substrate =
+      PayloadSubstrate<CountPayload, CountOnSampled, CountOnArrival>;
+
   /// Creates an estimator of the `moment`-th frequency moment (moment >= 1)
-  /// over windows of `n` arrivals, averaging `r` independent AMS units.
-  static Result<std::unique_ptr<SlidingFkEstimator>> Create(uint64_t n,
-                                                            uint32_t moment,
-                                                            uint64_t r,
-                                                            uint64_t seed);
+  /// averaging `params.r` independent AMS units over the substrate family
+  /// `params.kind`.
+  static Result<std::unique_ptr<FkEstimator>> Create(
+      const Substrate::Params& params, uint32_t moment);
 
-  /// Feeds one arrival.
-  void Observe(const Item& item);
-
-  /// Current estimate of F_moment over the active window (0 if empty).
-  double Estimate() const;
-
-  /// Window fill level.
-  uint64_t WindowSize() const;
+  void Observe(const Item& item) override { substrate_.Observe(item); }
+  void ObserveBatch(std::span<const Item> items) override {
+    substrate_.ObserveBatch(items);
+  }
+  void AdvanceTime(Timestamp now) override { substrate_.AdvanceTime(now); }
+  EstimateReport Estimate() override;
+  uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
+  const char* name() const override { return "ams-fk"; }
 
  private:
-  struct CountPayload {
-    uint64_t value = 0;
-    uint64_t count = 0;  // occurrences at/after the sampled position
-  };
-  struct OnSampled {
-    CountPayload operator()(const Item& item) const {
-      return CountPayload{item.value, 1};
-    }
-  };
-  struct OnArrival {
-    void operator()(CountPayload& p, const Item& item) const {
-      if (item.value == p.value) ++p.count;
-    }
-  };
-  using Unit = PayloadWindowUnit<CountPayload, OnSampled, OnArrival>;
+  FkEstimator(Substrate substrate, uint32_t moment)
+      : substrate_(std::move(substrate)), moment_(moment) {}
 
-  SlidingFkEstimator(uint64_t n, uint32_t moment, uint64_t r, uint64_t seed);
-
+  Substrate substrate_;
   uint32_t moment_;
-  Rng rng_;
-  std::vector<Unit> units_;
 };
 
 }  // namespace swsample

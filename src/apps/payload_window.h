@@ -22,8 +22,11 @@
 #ifndef SWSAMPLE_APPS_PAYLOAD_WINDOW_H_
 #define SWSAMPLE_APPS_PAYLOAD_WINDOW_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "stream/item.h"
 #include "util/macros.h"
@@ -72,6 +75,53 @@ class PayloadWindowUnit {
     }
   }
 
+  /// Feeds a contiguous run of arrivals; distributionally identical to
+  /// item-by-item Observe. Payload updates are inherently per item (every
+  /// arrival must reach the live payloads), but the per-item Bernoulli is
+  /// replaced by a skip-ahead draw of the next replacement position: from
+  /// bucket fill m the next selection lands j >= 1 arrivals ahead with
+  /// P(j > s) = m / (m + s), so one Uniform01 per replacement (plus one
+  /// per bucket/batch boundary) replaces one draw per item.
+  void ObserveBatch(std::span<const Item> items, Rng& rng) {
+    size_t i = 0;
+    while (i < items.size()) {
+      if (cur_count_ == n_) {
+        prev_ = cur_;
+        cur_.reset();
+        cur_count_ = 0;
+      }
+      if (cur_count_ == 0) {
+        // The first arrival of a bucket is selected with probability 1.
+        Select(items[i]);
+        ++i;
+        continue;
+      }
+      const uint64_t m = cur_count_;
+      const uint64_t jump = SkipToNextSelection(m, rng);
+      // Arrivals before the selection point update payloads only; the run
+      // is capped by the bucket boundary and the end of the batch.
+      const uint64_t run = std::min(
+          {jump - 1, n_ - m, static_cast<uint64_t>(items.size() - i)});
+      for (uint64_t s = 0; s < run; ++s) {
+        const Item& item = items[i + s];
+        SWS_DCHECK(item.index == count_);
+        ++count_;
+        if (cur_) on_arrival_(cur_->payload, item);
+        if (prev_) on_arrival_(prev_->payload, item);
+      }
+      cur_count_ += run;
+      i += run;
+      if (run == jump - 1 && jump <= n_ - m && i < items.size()) {
+        Select(items[i]);
+        ++i;
+      }
+      // Otherwise the skip was cut short by the bucket boundary or the end
+      // of the batch. Discarding the remainder and redrawing is exact: the
+      // consumed arrivals were decided non-selections, and the trials past
+      // a boundary are independent of the discarded draw.
+    }
+  }
+
   /// The unit's current window sample (Section 2.1 combination rule);
   /// nullopt iff nothing observed.
   const std::optional<Sampled>& Current() const {
@@ -88,7 +138,37 @@ class PayloadWindowUnit {
   /// Total arrivals observed.
   uint64_t count() const { return count_; }
 
+  /// Live memory words: up to two payload-carrying slots plus counters.
+  uint64_t MemoryWords() const {
+    constexpr uint64_t kPayloadWords = (sizeof(Payload) + 7) / 8;
+    const uint64_t slots = (cur_ ? 1 : 0) + (prev_ ? 1 : 0);
+    return slots * (kWordsPerItem + kPayloadWords) + 3;
+  }
+
  private:
+  /// Makes `item` the newest bucket's sample with a fresh payload; the
+  /// previous bucket's payload still sees the arrival.
+  void Select(const Item& item) {
+    SWS_DCHECK(item.index == count_);
+    ++count_;
+    ++cur_count_;
+    cur_ = Sampled{item, on_sampled_(item)};
+    if (prev_) on_arrival_(prev_->payload, item);
+  }
+
+  /// Draws the 1-based offset of the next reservoir replacement after
+  /// bucket fill m, distributed as the first success of independent
+  /// Bernoulli(1/(m+1)), 1/(m+2), ... trials: P(j <= s) = s / (m + s).
+  static uint64_t SkipToNextSelection(uint64_t m, Rng& rng) {
+    const double u = rng.Uniform01();
+    if (u <= 0.0) return 1;
+    const double x =
+        u * static_cast<double>(m) / (1.0 - u);  // inverse CDF
+    if (x >= 1e18) return uint64_t{1} << 62;
+    const uint64_t j = static_cast<uint64_t>(std::ceil(x));
+    return j < 1 ? 1 : j;
+  }
+
   uint64_t n_;
   OnSampledFn on_sampled_;
   OnArrivalFn on_arrival_;

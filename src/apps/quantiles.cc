@@ -4,23 +4,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/macros.h"
 
 namespace swsample {
 
-Result<std::unique_ptr<SlidingQuantileEstimator>>
-SlidingQuantileEstimator::Create(std::unique_ptr<WindowSampler> sampler) {
+Result<std::unique_ptr<QuantileEstimator>> QuantileEstimator::Create(
+    std::unique_ptr<WindowSampler> sampler, double q) {
   if (sampler == nullptr) {
     return Status::InvalidArgument(
-        "SlidingQuantileEstimator: sampler must not be null");
+        "dkw-quantile: sampler must not be null");
   }
-  return std::unique_ptr<SlidingQuantileEstimator>(
-      new SlidingQuantileEstimator(std::move(sampler)));
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("dkw-quantile: q must be in [0, 1]");
+  }
+  return std::unique_ptr<QuantileEstimator>(
+      new QuantileEstimator(std::move(sampler), q));
 }
 
-Result<uint64_t> SlidingQuantileEstimator::RequiredSampleSize(double eps,
-                                                              double delta) {
+Result<uint64_t> QuantileEstimator::RequiredSampleSize(double eps,
+                                                       double delta) {
   if (!(eps > 0.0 && eps < 1.0)) {
     return Status::InvalidArgument("RequiredSampleSize: eps in (0,1)");
   }
@@ -31,30 +35,53 @@ Result<uint64_t> SlidingQuantileEstimator::RequiredSampleSize(double eps,
       std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
 }
 
-uint64_t SlidingQuantileEstimator::Quantile(double q) {
-  return Quantiles({q}).front();
-}
+namespace {
 
-std::vector<uint64_t> SlidingQuantileEstimator::Quantiles(
-    const std::vector<double>& qs) {
-  SWS_CHECK(!qs.empty());
-  auto sample = sampler_->Sample();
+// One fresh sample draw, as sorted values.
+std::vector<uint64_t> SortedSampleValues(WindowSampler& sampler) {
+  auto sample = sampler.Sample();
   std::vector<uint64_t> values;
   values.reserve(sample.size());
   for (const Item& item : sample) values.push_back(item.value);
   std::sort(values.begin(), values.end());
+  return values;
+}
+
+// The sampled q-quantile: nearest-rank order statistic (0 if empty).
+uint64_t RankValue(const std::vector<uint64_t>& values, double q) {
+  SWS_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+EstimateReport QuantileEstimator::Estimate() {
+  EstimateReport report;
+  char metric[16];
+  std::snprintf(metric, sizeof(metric), "q%.2f", q_);
+  report.metric = metric;
+  const auto values = SortedSampleValues(*sampler_);
+  report.support = values.size();
+  if (!values.empty()) {
+    report.value = static_cast<double>(RankValue(values, q_));
+  }
+  return report;
+}
+
+uint64_t QuantileEstimator::Quantile(double q) {
+  return Quantiles({q}).front();
+}
+
+std::vector<uint64_t> QuantileEstimator::Quantiles(
+    const std::vector<double>& qs) {
+  SWS_CHECK(!qs.empty());
+  const auto values = SortedSampleValues(*sampler_);
   std::vector<uint64_t> out;
   out.reserve(qs.size());
-  for (double q : qs) {
-    SWS_CHECK(q >= 0.0 && q <= 1.0);
-    if (values.empty()) {
-      out.push_back(0);
-      continue;
-    }
-    const size_t rank = static_cast<size_t>(
-        q * static_cast<double>(values.size() - 1) + 0.5);
-    out.push_back(values[std::min(rank, values.size() - 1)]);
-  }
+  for (double q : qs) out.push_back(RankValue(values, q));
   return out;
 }
 

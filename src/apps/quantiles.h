@@ -1,18 +1,19 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Windowed quantile estimation -- a direct Theorem 5.1 client.
+// Windowed quantile estimation — a direct Theorem 5.1 client.
 //
 // Quantile estimation from a uniform sample is the textbook sampling-based
 // algorithm: the q-quantile of a k-sample WITHOUT replacement of the window
 // approximates the window's q-quantile with rank error at most eps*n with
 // probability 1-delta once k >= ln(2/delta)/(2 eps^2) (Dvoretzky-Kiefer-
 // Wolfowitz). Theorem 5.1 says exactly this transfers to sliding windows by
-// swapping in our window samplers -- with deterministic O(k) words on
+// swapping in our window samplers — with deterministic O(k) words on
 // sequence windows (Theorem 2.2) or O(k log n) on timestamp windows
 // (Theorem 4.4), where previous methods paid randomized bounds.
 //
-// The class is sampler-agnostic: construct it with ANY WindowSampler that
-// produces (preferably without-replacement) samples.
+// The class is sampler-agnostic: registry name "dkw-quantile" pairs it
+// with EVERY registered sampler substrate; construct it directly with ANY
+// WindowSampler (preferably without-replacement).
 
 #ifndef SWSAMPLE_APPS_QUANTILES_H_
 #define SWSAMPLE_APPS_QUANTILES_H_
@@ -21,30 +22,39 @@
 #include <memory>
 #include <vector>
 
+#include "apps/estimator.h"
 #include "core/api.h"
 #include "stream/item.h"
 #include "util/status.h"
 
 namespace swsample {
 
-/// Streaming quantile estimator over a sliding window.
-class SlidingQuantileEstimator {
+/// Streaming quantile estimator over a sliding window ("dkw-quantile").
+class QuantileEstimator final : public WindowEstimator {
  public:
   /// Wraps an existing window sampler (takes ownership). The sampler's k
-  /// determines the rank-error guarantee; see RequiredSampleSize().
-  static Result<std::unique_ptr<SlidingQuantileEstimator>> Create(
-      std::unique_ptr<WindowSampler> sampler);
+  /// determines the rank-error guarantee (see RequiredSampleSize); `q` in
+  /// [0, 1] is the quantile Estimate() reports.
+  static Result<std::unique_ptr<QuantileEstimator>> Create(
+      std::unique_ptr<WindowSampler> sampler, double q = 0.5);
 
   /// DKW bound: the k for which the sampled q-quantile has rank error at
   /// most eps*n with probability 1-delta. Requires 0 < eps < 1,
   /// 0 < delta < 1.
   static Result<uint64_t> RequiredSampleSize(double eps, double delta);
 
-  /// Feeds one arrival.
-  void Observe(const Item& item) { sampler_->Observe(item); }
+  void Observe(const Item& item) override { sampler_->Observe(item); }
+  void ObserveBatch(std::span<const Item> items) override {
+    sampler_->ObserveBatch(items);  // inherits the sampler's fast path
+  }
+  void AdvanceTime(Timestamp now) override { sampler_->AdvanceTime(now); }
 
-  /// Advances the clock (timestamp windows).
-  void AdvanceTime(Timestamp now) { sampler_->AdvanceTime(now); }
+  /// The configured q-quantile of the active window from one fresh sample
+  /// draw; value 0 on an empty window, support = sample size.
+  EstimateReport Estimate() override;
+
+  uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
+  const char* name() const override { return "dkw-quantile"; }
 
   /// Estimates the q-quantile (by value) of the active window, q in [0, 1].
   /// Returns the sampled order statistic; 0 if the window is empty.
@@ -58,10 +68,11 @@ class SlidingQuantileEstimator {
   WindowSampler& sampler() { return *sampler_; }
 
  private:
-  explicit SlidingQuantileEstimator(std::unique_ptr<WindowSampler> sampler)
-      : sampler_(std::move(sampler)) {}
+  QuantileEstimator(std::unique_ptr<WindowSampler> sampler, double q)
+      : sampler_(std::move(sampler)), q_(q) {}
 
   std::unique_ptr<WindowSampler> sampler_;
+  double q_;
 };
 
 }  // namespace swsample

@@ -2,6 +2,8 @@
 
 #include "apps/triangles.h"
 
+#include <utility>
+
 #include "util/macros.h"
 
 namespace swsample {
@@ -18,8 +20,8 @@ void DecodeEdge(uint64_t value, uint32_t* a, uint32_t* b) {
   *b = static_cast<uint32_t>(value & 0xffffffffu);
 }
 
-SlidingTriangleEstimator::WatchPayload
-SlidingTriangleEstimator::OnSampled::operator()(const Item& item) const {
+TriangleEstimator::WatchPayload TriangleEstimator::OnSampled::operator()(
+    const Item& item) const {
   WatchPayload p;
   DecodeEdge(item.value, &p.a, &p.b);
   // Uniform third vertex from V \ {a, b} by rejection (universe >= 3).
@@ -29,61 +31,44 @@ SlidingTriangleEstimator::OnSampled::operator()(const Item& item) const {
   return p;
 }
 
-void SlidingTriangleEstimator::OnArrival::operator()(WatchPayload& p,
-                                                     const Item& item) const {
+void TriangleEstimator::OnArrival::operator()(WatchPayload& p,
+                                              const Item& item) const {
   uint32_t x, y;
   DecodeEdge(item.value, &x, &y);
   if (EncodeEdge(p.a, p.v) == EncodeEdge(x, y)) p.found_av = true;
   if (EncodeEdge(p.b, p.v) == EncodeEdge(x, y)) p.found_bv = true;
 }
 
-Result<std::unique_ptr<SlidingTriangleEstimator>>
-SlidingTriangleEstimator::Create(uint64_t n, uint32_t num_vertices,
-                                 uint64_t r, uint64_t seed) {
-  if (n < 1) {
-    return Status::InvalidArgument(
-        "SlidingTriangleEstimator: n must be >= 1");
-  }
+Result<std::unique_ptr<TriangleEstimator>> TriangleEstimator::Create(
+    const Substrate::Params& params, uint32_t num_vertices) {
   if (num_vertices < 3) {
     return Status::InvalidArgument(
-        "SlidingTriangleEstimator: num_vertices must be >= 3");
+        "buriol-triangles: num_vertices must be >= 3");
   }
-  if (r < 1) {
-    return Status::InvalidArgument(
-        "SlidingTriangleEstimator: r must be >= 1");
-  }
-  return std::unique_ptr<SlidingTriangleEstimator>(
-      new SlidingTriangleEstimator(n, num_vertices, r, seed));
+  auto est = std::unique_ptr<TriangleEstimator>(
+      new TriangleEstimator(num_vertices, params.seed));
+  auto substrate = Substrate::Create(
+      params, OnSampled{&est->vertex_rng_, num_vertices}, OnArrival{});
+  if (!substrate.ok()) return substrate.status();
+  est->substrate_ = std::make_unique<Substrate>(
+      std::move(substrate).ValueOrDie());
+  return est;
 }
 
-SlidingTriangleEstimator::SlidingTriangleEstimator(uint64_t n,
-                                                   uint32_t num_vertices,
-                                                   uint64_t r, uint64_t seed)
-    : num_vertices_(num_vertices), rng_(seed), vertex_rng_(seed ^ 0x5bd1e995) {
-  units_.reserve(r);
-  for (uint64_t i = 0; i < r; ++i) {
-    units_.emplace_back(n, OnSampled{&vertex_rng_, num_vertices_},
-                        OnArrival{});
-  }
-}
-
-void SlidingTriangleEstimator::Observe(const Item& item) {
-  for (Unit& unit : units_) unit.Observe(item, rng_);
-}
-
-double SlidingTriangleEstimator::Estimate() const {
-  if (units_.front().count() == 0) return 0.0;
-  uint64_t success = 0, live = 0;
-  for (const Unit& unit : units_) {
-    const auto& s = unit.Current();
-    if (!s) continue;
-    ++live;
-    if (s->payload.found_av && s->payload.found_bv) ++success;
-  }
-  if (live == 0) return 0.0;
+EstimateReport TriangleEstimator::Estimate() {
+  EstimateReport report;
+  report.metric = "T3";
+  const double edges = substrate_->WindowSizeEstimate();
+  report.window_size = edges;
+  if (edges <= 0.0) return report;
+  uint64_t success = 0;
+  report.support = substrate_->ForEachSample(
+      [&](const Item&, const WatchPayload& payload) {
+        if (payload.found_av && payload.found_bv) ++success;
+      });
+  if (report.support == 0) return report;
   const double beta =
-      static_cast<double>(success) / static_cast<double>(live);
-  const double edges = static_cast<double>(units_.front().WindowSize());
+      static_cast<double>(success) / static_cast<double>(report.support);
   // One-pass watching detects a triangle only via its FIRST-arriving edge
   // (the closing pair must appear after the sampled position), so each
   // window triangle contributes exactly one good (position, apex) pair and
@@ -91,11 +76,8 @@ double SlidingTriangleEstimator::Estimate() const {
   // edges add one detection opportunity per extra copy whose closers
   // reappear later, inflating the estimate by the mean triangle-edge
   // multiplicity (documented in bench_e10).
-  return beta * edges * static_cast<double>(num_vertices_ - 2);
-}
-
-uint64_t SlidingTriangleEstimator::WindowSize() const {
-  return units_.front().WindowSize();
+  report.value = beta * edges * static_cast<double>(num_vertices_ - 2);
+  return report;
 }
 
 }  // namespace swsample

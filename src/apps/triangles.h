@@ -1,6 +1,6 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Triangle counting over sliding edge windows -- Corollary 5.3.
+// Triangle counting over sliding edge windows — Corollary 5.3.
 //
 // Buriol-Frahling-Leonardi-Marchetti-Spaccamela-Sohler (PODS'06) style
 // one-pass estimator: sample a uniform edge (a, b) of the window, a
@@ -15,7 +15,9 @@
 // Corollary 5.3 transfers this to sliding windows by swapping the reservoir
 // for a window sampler; the "watch afterwards" state is again a forward
 // payload, valid on windows because arrivals after an active edge are
-// active.
+// active. Registry name "buriol-triangles", over any payload-capable
+// substrate — including, via the generalized timestamp payload unit, edge
+// windows defined by TIME rather than edge count.
 //
 // Edges are encoded into Item::value as (min(a,b) << 32) | max(a,b).
 
@@ -24,9 +26,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "apps/payload_window.h"
+#include "apps/estimator.h"
+#include "apps/payload_substrate.h"
 #include "stream/item.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -39,25 +41,12 @@ uint64_t EncodeEdge(uint32_t a, uint32_t b);
 /// Decodes an Item value into its two endpoints (lo, hi).
 void DecodeEdge(uint64_t value, uint32_t* a, uint32_t* b);
 
-/// Streaming triangle-count estimator over a fixed-size window of edges.
-class SlidingTriangleEstimator {
+/// Streaming triangle-count estimator over a window of edges
+/// ("buriol-triangles").
+class TriangleEstimator final : public WindowEstimator {
  public:
-  /// Creates an estimator over windows of `n` edges on a vertex universe of
-  /// size `num_vertices` (>= 3), averaging `r` independent units.
-  static Result<std::unique_ptr<SlidingTriangleEstimator>> Create(
-      uint64_t n, uint32_t num_vertices, uint64_t r, uint64_t seed);
-
-  /// Feeds one edge arrival (value must be an EncodeEdge() encoding of two
-  /// distinct vertices below num_vertices).
-  void Observe(const Item& item);
-
-  /// Current estimate of the number of triangles among the window's edges.
-  double Estimate() const;
-
-  /// Window fill level (edges).
-  uint64_t WindowSize() const;
-
- private:
+  /// The watch state of one sampled edge: a chosen apex vertex and which
+  /// of the two closing edges have been seen since.
   struct WatchPayload {
     uint32_t a = 0, b = 0, v = 0;
     bool found_av = false, found_bv = false;
@@ -70,15 +59,35 @@ class SlidingTriangleEstimator {
   struct OnArrival {
     void operator()(WatchPayload& p, const Item& item) const;
   };
-  using Unit = PayloadWindowUnit<WatchPayload, OnSampled, OnArrival>;
+  using Substrate = PayloadSubstrate<WatchPayload, OnSampled, OnArrival>;
 
-  SlidingTriangleEstimator(uint64_t n, uint32_t num_vertices, uint64_t r,
-                           uint64_t seed);
+  /// Creates an estimator over a vertex universe of size `num_vertices`
+  /// (>= 3), averaging `params.r` independent units. Edge values must be
+  /// EncodeEdge() encodings of two distinct vertices below num_vertices.
+  static Result<std::unique_ptr<TriangleEstimator>> Create(
+      const Substrate::Params& params, uint32_t num_vertices);
+
+  void Observe(const Item& item) override { substrate_->Observe(item); }
+  void ObserveBatch(std::span<const Item> items) override {
+    substrate_->ObserveBatch(items);
+  }
+  void AdvanceTime(Timestamp now) override { substrate_->AdvanceTime(now); }
+  EstimateReport Estimate() override;
+  uint64_t MemoryWords() const override { return substrate_->MemoryWords(); }
+  const char* name() const override { return "buriol-triangles"; }
+
+ private:
+  TriangleEstimator(uint32_t num_vertices, uint64_t seed)
+      : num_vertices_(num_vertices),
+        // Top-bit stream id: disjoint from the substrate's unit streams
+        // (ForkSeed(seed, 2 + i)) for any realistic unit count r.
+        vertex_rng_(Rng::ForkSeed(seed, uint64_t{1} << 63)) {}
 
   uint32_t num_vertices_;
-  Rng rng_;        // drives the reservoirs
-  Rng vertex_rng_; // drives the third-vertex choices (kept independent)
-  std::vector<Unit> units_;
+  Rng vertex_rng_;  // drives the apex choices (independent of reservoirs)
+  // Built after vertex_rng_ so the functors can point at it; the estimator
+  // lives behind a unique_ptr, so the pointer stays valid.
+  std::unique_ptr<Substrate> substrate_;
 };
 
 }  // namespace swsample

@@ -1,0 +1,136 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Payload-carrying single-sample unit for TIMESTAMP windows — the
+// timestamp half of the Theorem 5.1 bridge (generalizing the forward-count
+// tracker Corollaries 5.2/5.4 need to arbitrary payloads, which is what
+// lets triangle watching run on timestamp windows too).
+//
+// The candidate set of a TsSingleSampler is the O(log n) bucket R-samples
+// plus the straddler's, and a new candidate can only be the arriving
+// element (fresh single-element bucket); merges and re-straddling select
+// among EXISTING candidates. Payloads therefore survive restructuring by
+// carrying a map keyed by candidate index:
+//
+//  * when a candidate enters (it is the arriving element),
+//    `OnSampled(item)` builds a fresh payload;
+//  * every subsequent arrival is reported to every candidate's payload via
+//    `OnArrival(payload, item)` — whichever candidate Sample() returns,
+//    its payload has seen exactly the arrivals after its position.
+//
+// ObserveBatch amortizes the per-item candidate-map rebuild: payloads are
+// updated in place per arrival, and the map is reconciled once per batch;
+// candidates adopted mid-batch replay the arrivals after their position
+// from the batch span, which reproduces the item-wise state exactly.
+
+#ifndef SWSAMPLE_APPS_TS_PAYLOAD_H_
+#define SWSAMPLE_APPS_TS_PAYLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "core/ts_single.h"
+#include "stream/item.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+/// One independent single-sample unit with payload tracking over a
+/// timestamp window of length t0.
+template <typename Payload, typename OnSampledFn, typename OnArrivalFn>
+class TsPayloadUnit {
+ public:
+  /// A sampled position with its forward-accumulated payload.
+  struct Sampled {
+    Item item;
+    Payload payload;
+  };
+
+  /// Builds a unit over window length t0 (>= 1; validated upstream).
+  TsPayloadUnit(Timestamp t0, uint64_t seed, OnSampledFn on_sampled,
+                OnArrivalFn on_arrival)
+      : sampler_(std::move(TsSingleSampler::Create(t0, seed)).ValueOrDie()),
+        on_sampled_(std::move(on_sampled)),
+        on_arrival_(std::move(on_arrival)) {}
+
+  /// Feeds one arrival.
+  void Observe(const Item& item) {
+    // Forward payloads first: the arrival is "after" every candidate.
+    for (auto& [index, payload] : payloads_) on_arrival_(payload, item);
+    sampler_.Observe(item);
+    SyncCandidates(std::span<const Item>(&item, 1));
+  }
+
+  /// Feeds a contiguous run of arrivals; state identical to item-wise.
+  void ObserveBatch(std::span<const Item> items) {
+    if (items.empty()) return;
+    for (const Item& item : items) {
+      for (auto& [index, payload] : payloads_) on_arrival_(payload, item);
+      sampler_.Observe(item);
+    }
+    SyncCandidates(items);
+  }
+
+  /// Advances the clock.
+  void AdvanceTime(Timestamp now) {
+    sampler_.AdvanceTime(now);
+    SyncCandidates(std::span<const Item>());
+  }
+
+  /// A sampled (item, payload) of the active window; nullopt if empty.
+  /// Fresh sampling randomness per call; the payload is exact.
+  std::optional<Sampled> Sample() {
+    auto item = sampler_.Sample();
+    if (!item) return std::nullopt;
+    auto it = payloads_.find(item->index);
+    SWS_CHECK(it != payloads_.end());
+    return Sampled{*item, it->second};
+  }
+
+  /// Live memory words incl. the payload map (O(log n) entries).
+  uint64_t MemoryWords() const {
+    constexpr uint64_t kPayloadWords = (sizeof(Payload) + 7) / 8;
+    return sampler_.MemoryWords() + payloads_.size() * (1 + kPayloadWords);
+  }
+
+ private:
+  /// Reconciles the payload map with the sampler's candidate set. Every
+  /// candidate is an old candidate or an element of `batch` (the arrivals
+  /// since the last sync); new candidates replay the batch suffix after
+  /// their position to catch up on OnArrival updates.
+  void SyncCandidates(std::span<const Item> batch) {
+    std::unordered_map<StreamIndex, Payload> next;
+    next.reserve(sampler_.zeta().size() + 1);
+    auto adopt = [&](const Item& candidate) {
+      auto it = payloads_.find(candidate.index);
+      if (it != payloads_.end()) {
+        next.emplace(candidate.index, it->second);
+        return;
+      }
+      SWS_DCHECK(!batch.empty() && candidate.index >= batch.front().index);
+      const uint64_t offset = candidate.index - batch.front().index;
+      SWS_DCHECK(offset < batch.size());
+      Payload payload = on_sampled_(batch[offset]);
+      for (uint64_t j = offset + 1; j < batch.size(); ++j) {
+        on_arrival_(payload, batch[j]);
+      }
+      next.emplace(candidate.index, std::move(payload));
+    };
+    for (uint64_t i = 0; i < sampler_.zeta().size(); ++i) {
+      adopt(sampler_.zeta().bucket(i).r);
+    }
+    if (sampler_.straddler()) adopt(sampler_.straddler()->r);
+    payloads_ = std::move(next);
+  }
+
+  TsSingleSampler sampler_;
+  OnSampledFn on_sampled_;
+  OnArrivalFn on_arrival_;
+  std::unordered_map<StreamIndex, Payload> payloads_;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_TS_PAYLOAD_H_

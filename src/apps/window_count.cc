@@ -1,0 +1,103 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/window_count.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace swsample {
+
+Result<std::unique_ptr<WindowCountEstimator>> WindowCountEstimator::Create(
+    Mode mode, uint64_t window_n, Timestamp window_t, double count_eps) {
+  if (mode == Mode::kSequence && window_n < 1) {
+    return Status::InvalidArgument("window-count: window_n must be >= 1");
+  }
+  if (mode != Mode::kSequence && window_t < 1) {
+    return Status::InvalidArgument("window-count: window_t must be >= 1");
+  }
+  auto est = std::unique_ptr<WindowCountEstimator>(
+      new WindowCountEstimator(mode, window_n, window_t));
+  if (mode == Mode::kTsHistogram) {
+    auto histogram = ExpHistogram::Create(window_t, count_eps);
+    if (!histogram.ok()) return histogram.status();
+    est->histogram_.emplace(std::move(histogram).ValueOrDie());
+  }
+  return est;
+}
+
+void WindowCountEstimator::Observe(const Item& item) {
+  switch (mode_) {
+    case Mode::kSequence:
+      ++count_;
+      break;
+    case Mode::kTsHistogram:
+      histogram_->Add(item.timestamp);
+      break;
+    case Mode::kTsExact:
+      timestamps_.push_back(item.timestamp);
+      AdvanceTime(item.timestamp);
+      break;
+  }
+}
+
+void WindowCountEstimator::ObserveBatch(std::span<const Item> items) {
+  switch (mode_) {
+    case Mode::kSequence:
+      count_ += items.size();
+      break;
+    case Mode::kTsHistogram:
+      for (const Item& item : items) histogram_->Add(item.timestamp);
+      break;
+    case Mode::kTsExact:
+      for (const Item& item : items) timestamps_.push_back(item.timestamp);
+      if (!items.empty()) AdvanceTime(items.back().timestamp);
+      break;
+  }
+}
+
+void WindowCountEstimator::AdvanceTime(Timestamp now) {
+  switch (mode_) {
+    case Mode::kSequence:
+      break;
+    case Mode::kTsHistogram:
+      histogram_->AdvanceTime(now);
+      break;
+    case Mode::kTsExact:
+      while (!timestamps_.empty() && now - timestamps_.front() >= window_t_) {
+        timestamps_.pop_front();
+      }
+      break;
+  }
+}
+
+EstimateReport WindowCountEstimator::Estimate() {
+  EstimateReport report;
+  report.metric = "count";
+  switch (mode_) {
+    case Mode::kSequence:
+      report.value = static_cast<double>(std::min(count_, window_n_));
+      break;
+    case Mode::kTsHistogram:
+      report.value = static_cast<double>(histogram_->Estimate());
+      break;
+    case Mode::kTsExact:
+      report.value = static_cast<double>(timestamps_.size());
+      break;
+  }
+  report.window_size = report.value;
+  return report;
+}
+
+uint64_t WindowCountEstimator::MemoryWords() const {
+  switch (mode_) {
+    case Mode::kSequence:
+      return 2;
+    case Mode::kTsHistogram:
+      return histogram_->MemoryWords();
+    case Mode::kTsExact:
+      return timestamps_.size() + 2;
+  }
+  return 0;
+}
+
+}  // namespace swsample

@@ -1,0 +1,64 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Active-element counting — the Section 1.3.2 boundary made queryable.
+//
+// In the sequence model the window size is trivially known (min(count, n)).
+// In the timestamp model it is unknowable exactly in o(n) memory (the
+// paper's negative result), so the estimator substitutes the (1 +/- eps)
+// DGIM exponential-histogram estimate (reference [31]) — the same n-hat
+// every timestamp-substrate payload estimator is scaled by, exposed here
+// as an estimator in its own right ("window-count"). Over the exact-ts
+// oracle substrate it instead buffers timestamps and reports the exact
+// count, serving as the sweep baseline.
+
+#ifndef SWSAMPLE_APPS_WINDOW_COUNT_H_
+#define SWSAMPLE_APPS_WINDOW_COUNT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "apps/estimator.h"
+#include "stream/exp_histogram.h"
+#include "stream/item.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Streaming window-size estimator ("window-count").
+class WindowCountEstimator final : public WindowEstimator {
+ public:
+  enum class Mode {
+    kSequence,     ///< exact: min(arrivals, window_n), O(1) words
+    kTsHistogram,  ///< DGIM (1 +/- eps) n-hat, O(log^2 n / eps) words
+    kTsExact,      ///< buffered timestamps, O(n) words (oracle)
+  };
+
+  /// Sequence mode needs window_n >= 1; timestamp modes need window_t >= 1
+  /// (and, for kTsHistogram, a valid count_eps).
+  static Result<std::unique_ptr<WindowCountEstimator>> Create(
+      Mode mode, uint64_t window_n, Timestamp window_t, double count_eps);
+
+  void Observe(const Item& item) override;
+  void ObserveBatch(std::span<const Item> items) override;
+  void AdvanceTime(Timestamp now) override;
+  EstimateReport Estimate() override;
+  uint64_t MemoryWords() const override;
+  const char* name() const override { return "window-count"; }
+
+ private:
+  WindowCountEstimator(Mode mode, uint64_t window_n, Timestamp window_t)
+      : mode_(mode), window_n_(window_n), window_t_(window_t) {}
+
+  Mode mode_;
+  uint64_t window_n_;
+  Timestamp window_t_;
+  uint64_t count_ = 0;                     // kSequence
+  std::optional<ExpHistogram> histogram_;  // kTsHistogram
+  std::deque<Timestamp> timestamps_;       // kTsExact
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_WINDOW_COUNT_H_

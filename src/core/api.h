@@ -30,10 +30,13 @@
 
 namespace swsample {
 
-/// Abstract sliding-window sampler maintaining k samples.
-class WindowSampler {
+/// Anything a stream can be pumped into: the common surface of samplers
+/// (core/baseline) and estimators (apps). The StreamDriver, benches and the
+/// CLI feed items through this interface only, so the same batched pump
+/// serves both layers.
+class StreamSink {
  public:
-  virtual ~WindowSampler() = default;
+  virtual ~StreamSink() = default;
 
   /// Feeds one arrival. Indices must be consecutive from 0; timestamps
   /// non-decreasing. Implicitly advances the clock to item.timestamp.
@@ -41,28 +44,35 @@ class WindowSampler {
 
   /// Feeds a contiguous run of arrivals (same ordering contract as
   /// Observe). The result is distributionally identical to observing the
-  /// items one by one — samplers override this only to amortize RNG draws
-  /// and expiry checks across the batch, never to change the sampling
+  /// items one by one — implementations override this only to amortize RNG
+  /// draws and expiry checks across the batch, never to change the sampling
   /// distribution. The default forwards item by item.
   virtual void ObserveBatch(std::span<const Item> items) {
     for (const Item& item : items) Observe(item);
   }
 
   /// Advances the clock to `now` (>= current time) without arrivals.
-  /// No-op for sequence-based samplers.
+  /// No-op for sequence-based sinks.
   virtual void AdvanceTime(Timestamp now) = 0;
-
-  /// Draws the current sample set of the active window.
-  virtual std::vector<Item> Sample() = 0;
 
   /// Live memory in paper words (values + indices + timestamps stored).
   virtual uint64_t MemoryWords() const = 0;
 
+  /// Human-readable algorithm name for harness output; for registered
+  /// sinks this equals the registry key.
+  virtual const char* name() const = 0;
+};
+
+/// Abstract sliding-window sampler maintaining k samples.
+class WindowSampler : public StreamSink {
+ public:
+  /// Draws the current sample set of the active window. May be called at
+  /// ANY moment and must return a uniform random sample of the currently
+  /// active elements; each call may consume fresh randomness.
+  virtual std::vector<Item> Sample() = 0;
+
   /// Number of samples maintained.
   virtual uint64_t k() const = 0;
-
-  /// Human-readable algorithm name for harness output.
-  virtual const char* name() const = 0;
 };
 
 }  // namespace swsample

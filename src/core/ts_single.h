@@ -84,8 +84,8 @@ class TsSingleSampler {
   void Save(BinaryWriter* w) const;
   bool Load(BinaryReader* r);
 
-  /// Read access to the internal structures. Used by the forward-count
-  /// tracker (apps/ts_counting.h) that attaches AMS payloads to the O(log n)
+  /// Read access to the internal structures. Used by the payload tracker
+  /// (apps/ts_payload.h) that attaches estimator payloads to the O(log n)
   /// candidate samples, and by white-box tests.
   const CoveringDecomposition& zeta() const { return zeta_; }
   const std::optional<BucketStructure>& straddler() const {

@@ -3,8 +3,10 @@
 #include "stream/driver.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cinttypes>
+#include <cstring>
 
 #include "util/macros.h"
 
@@ -15,11 +17,11 @@ using Clock = std::chrono::steady_clock;
 
 // Shared epilogue of every Drive* method: stamps timing, throughput and
 // final/peak memory into the report.
-void Finalize(Clock::time_point begin, WindowSampler& sampler,
+void Finalize(Clock::time_point begin, StreamSink& sink,
               DriveReport* report) {
   report->seconds =
       std::chrono::duration<double>(Clock::now() - begin).count();
-  report->memory_words = sampler.MemoryWords();
+  report->memory_words = sink.MemoryWords();
   report->peak_memory_words =
       std::max(report->peak_memory_words, report->memory_words);
   if (report->seconds > 0) {
@@ -27,22 +29,29 @@ void Finalize(Clock::time_point begin, WindowSampler& sampler,
         static_cast<double>(report->items) / report->seconds;
   }
 }
+
+bool IsBlank(const char* line) {
+  for (; *line; ++line) {
+    if (!std::isspace(static_cast<unsigned char>(*line))) return false;
+  }
+  return true;
+}
 }  // namespace
 
 StreamDriver::StreamDriver(const Options& options) : options_(options) {}
 
-/// Accumulates items into batch_size runs, forwards them to the sampler,
+/// Accumulates items into batch_size runs, forwards them to the sink,
 /// and maintains the report counters. Not reentrant; one Pump per Drive.
 class StreamDriver::Pump {
  public:
-  Pump(const Options& options, WindowSampler& sampler, DriveReport* report)
-      : options_(options), sampler_(sampler), report_(report) {
+  Pump(const Options& options, StreamSink& sink, DriveReport* report)
+      : options_(options), sink_(sink), report_(report) {
     if (options_.batch_size > 0) buffer_.reserve(options_.batch_size);
   }
 
   void Push(const Item& item) {
     if (options_.batch_size == 0) {
-      sampler_.Observe(item);
+      sink_.Observe(item);
       ++report_->items;
       ++report_->batches;  // a "batch" of one, for uniform reporting
       ProbeMaybe();
@@ -58,12 +67,12 @@ class StreamDriver::Pump {
 
   void AdvanceTime(Timestamp now) {
     Flush();  // keep arrival/clock order identical to unbatched feeding
-    sampler_.AdvanceTime(now);
+    sink_.AdvanceTime(now);
   }
 
   void Flush() {
     if (buffer_.empty()) return;
-    sampler_.ObserveBatch(std::span<const Item>(buffer_));
+    sink_.ObserveBatch(std::span<const Item>(buffer_));
     report_->items += buffer_.size();
     ++report_->batches;
     buffer_.clear();
@@ -75,32 +84,32 @@ class StreamDriver::Pump {
     if (options_.memory_probe_every == 0) return;
     if (report_->batches % options_.memory_probe_every != 0) return;
     report_->peak_memory_words =
-        std::max(report_->peak_memory_words, sampler_.MemoryWords());
+        std::max(report_->peak_memory_words, sink_.MemoryWords());
   }
 
   const Options& options_;
-  WindowSampler& sampler_;
+  StreamSink& sink_;
   DriveReport* report_;
   std::vector<Item> buffer_;
 };
 
 DriveReport StreamDriver::Drive(std::span<const Item> items,
-                                WindowSampler& sampler) const {
+                                StreamSink& sink) const {
   DriveReport report;
   const auto begin = Clock::now();
-  Pump pump(options_, sampler, &report);
+  Pump pump(options_, sink, &report);
   for (const Item& item : items) pump.Push(item);
   pump.Flush();
-  Finalize(begin, sampler, &report);
+  Finalize(begin, sink, &report);
   return report;
 }
 
 DriveReport StreamDriver::DriveSynthetic(SyntheticStream& stream,
                                          uint64_t steps,
-                                         WindowSampler& sampler) const {
+                                         StreamSink& sink) const {
   DriveReport report;
   const auto begin = Clock::now();
-  Pump pump(options_, sampler, &report);
+  Pump pump(options_, sink, &report);
   for (uint64_t step = 0; step < steps; ++step) {
     const std::vector<Item>& burst = stream.Step();
     if (burst.empty()) {
@@ -111,57 +120,74 @@ DriveReport StreamDriver::DriveSynthetic(SyntheticStream& stream,
     }
   }
   pump.Flush();
-  Finalize(begin, sampler, &report);
+  Finalize(begin, sink, &report);
   return report;
 }
 
 Result<DriveReport> StreamDriver::DriveLines(std::FILE* f,
                                              const std::string& source_name,
                                              bool timestamped,
-                                             WindowSampler& sampler,
+                                             StreamSink& sink,
                                              const ProgressFn& progress,
                                              uint64_t progress_every) const {
   DriveReport report;
   const auto begin = Clock::now();
-  Pump pump(options_, sampler, &report);
+  Pump pump(options_, sink, &report);
   char line[256];
   StreamIndex index = 0;
   Timestamp last_ts = 0;
+  uint64_t line_no = 0;
   while (std::fgets(line, sizeof(line), f)) {
+    ++line_no;
+    const size_t len = std::strlen(line);
+    if (len + 1 == sizeof(line) && line[len - 1] != '\n') {
+      return Status::InvalidArgument(
+          source_name + ":" + std::to_string(line_no) +
+          ": event line too long (limit " +
+          std::to_string(sizeof(line) - 2) + " characters)");
+    }
+    if (IsBlank(line)) continue;
     uint64_t value = 0;
     Timestamp ts = 0;
     if (timestamped) {
       if (std::sscanf(line, "%" SCNd64 " %" SCNu64, &ts, &value) != 2) {
-        continue;
+        return Status::InvalidArgument(
+            source_name + ":" + std::to_string(line_no) +
+            ": malformed event line (expected \"<timestamp> <value>\")");
       }
       if (ts < last_ts) {
         return Status::InvalidArgument(
-            "timestamps must be non-decreasing in " + source_name);
+            source_name + ":" + std::to_string(line_no) +
+            ": timestamps must be non-decreasing");
       }
       last_ts = ts;
     } else {
-      if (std::sscanf(line, "%" SCNu64, &value) != 1) continue;
+      if (std::sscanf(line, "%" SCNu64, &value) != 1) {
+        return Status::InvalidArgument(
+            source_name + ":" + std::to_string(line_no) +
+            ": malformed event line (expected \"<value>\")");
+      }
       ts = static_cast<Timestamp>(index);
     }
     pump.Push(Item{value, index++, ts});
     if (progress && progress_every && index % progress_every == 0) {
       pump.Flush();
-      progress(index, sampler);
+      progress(index);
     }
   }
   pump.Flush();
-  Finalize(begin, sampler, &report);
+  Finalize(begin, sink, &report);
   return report;
 }
 
 Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
                                             bool timestamped,
-                                            WindowSampler& sampler) const {
+                                            StreamSink& sink) const {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open stream file: " + path);
   }
-  auto result = DriveLines(f, path, timestamped, sampler);
+  auto result = DriveLines(f, path, timestamped, sink);
   std::fclose(f);
   return result;
 }

@@ -1,11 +1,12 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
 // Batched ingestion engine: feeds generated or file-backed streams through
-// any WindowSampler (usually one obtained from the registry) in batches,
-// and reports throughput and live memory. This is the one place harness
-// code pumps items from — benchmarks, examples and the CLI share it, so a
-// future sharded or asynchronous backend slots in behind this interface
-// without touching call sites.
+// any StreamSink — a sampler from the sampler registry or an estimator
+// from the estimator registry — in batches, and reports throughput and
+// live memory. This is the one place harness code pumps items from —
+// benchmarks, examples and the CLI share it, so a future sharded or
+// asynchronous backend slots in behind this interface without touching
+// call sites.
 
 #ifndef SWSAMPLE_STREAM_DRIVER_H_
 #define SWSAMPLE_STREAM_DRIVER_H_
@@ -30,11 +31,11 @@ struct DriveReport {
   uint64_t empty_steps = 0;      ///< AdvanceTime-only steps (synthetic)
   double seconds = 0.0;          ///< wall-clock ingestion time
   double items_per_sec = 0.0;    ///< items / seconds (0 when instant)
-  uint64_t memory_words = 0;     ///< sampler MemoryWords() after the run
+  uint64_t memory_words = 0;     ///< sink MemoryWords() after the run
   uint64_t peak_memory_words = 0;  ///< max MemoryWords() across probes
 };
 
-/// Drives streams through a sampler in batches.
+/// Drives streams through a sampler or estimator in batches.
 class StreamDriver {
  public:
   struct Options {
@@ -50,31 +51,32 @@ class StreamDriver {
   explicit StreamDriver(const Options& options);
 
   /// Feeds a pre-materialized run of consecutive items.
-  DriveReport Drive(std::span<const Item> items, WindowSampler& sampler) const;
+  DriveReport Drive(std::span<const Item> items, StreamSink& sink) const;
 
   /// Steps `steps` bursts out of a synthetic stream. Empty bursts become
-  /// AdvanceTime calls (flushing any pending batch first, so the sampler
+  /// AdvanceTime calls (flushing any pending batch first, so the sink
   /// observes the same arrival/clock order as unbatched feeding).
   DriveReport DriveSynthetic(SyntheticStream& stream, uint64_t steps,
-                             WindowSampler& sampler) const;
+                             StreamSink& sink) const;
 
   /// Called every `progress_every` items (pending batches are flushed
-  /// first, so the sampler state reflects everything delivered so far).
-  using ProgressFn = std::function<void(uint64_t items, WindowSampler&)>;
+  /// first, so the sink state reflects everything delivered so far).
+  using ProgressFn = std::function<void(uint64_t items)>;
 
   /// Feeds a text stream, one event per line: "<value>" when
   /// `timestamped` is false (timestamp := arrival index) or
   /// "<timestamp> <value>" with non-decreasing timestamps when true.
-  /// Malformed lines are skipped; decreasing timestamps are an error
-  /// (reported against `source_name`).
+  /// Blank (whitespace-only) lines are skipped; a malformed line, an
+  /// over-long line, or a decreasing timestamp is an InvalidArgument
+  /// error reported against `source_name` with its line number.
   Result<DriveReport> DriveLines(std::FILE* f, const std::string& source_name,
-                                 bool timestamped, WindowSampler& sampler,
+                                 bool timestamped, StreamSink& sink,
                                  const ProgressFn& progress = nullptr,
                                  uint64_t progress_every = 0) const;
 
   /// DriveLines over a file path.
   Result<DriveReport> DriveFile(const std::string& path, bool timestamped,
-                                WindowSampler& sampler) const;
+                                StreamSink& sink) const;
 
   const Options& options() const { return options_; }
 

@@ -77,4 +77,18 @@ bool Rng::BernoulliRational(uint64_t num, uint64_t den) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+uint64_t Rng::ForkSeed(uint64_t seed, uint64_t stream_id) {
+  // Two SplitMix64 rounds over a mix of both inputs: one round already
+  // decorrelates adjacent integers; the second decouples the (seed,
+  // stream_id) lanes from each other.
+  uint64_t state = seed ^ (stream_id * 0xbf58476d1ce4e5b9ULL);
+  state = SplitMix64(state);
+  state ^= stream_id + 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  return Rng(ForkSeed(s_[0] ^ Rotl(s_[2], 29) ^ Rotl(s_[3], 47), stream_id));
+}
+
 }  // namespace swsample

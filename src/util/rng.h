@@ -51,8 +51,23 @@ class Rng {
   /// like alpha/beta or 1/2 that we want bit-exact.
   bool BernoulliRational(uint64_t num, uint64_t den);
 
-  /// Derives an independently seeded child generator.
+  /// Derives an independently seeded child generator, consuming one draw
+  /// from this generator's sequence.
   Rng Split();
+
+  /// Deterministically derives the seed of an independent stream from a
+  /// base seed: well-separated SplitMix64 mixing of (seed, stream_id), so
+  /// adjacent stream ids (and adjacent base seeds) yield unrelated
+  /// generators. This is the library-wide replacement for ad-hoc
+  /// `seed + i` arithmetic, whose adjacent xoshiro states would otherwise
+  /// only be decorrelated by the seeding scrambler.
+  static uint64_t ForkSeed(uint64_t seed, uint64_t stream_id);
+
+  /// Child generator for stream `stream_id`, derived from this
+  /// generator's current state WITHOUT consuming from its sequence:
+  /// Fork(0), Fork(1), ... are mutually independent streams and leave the
+  /// parent's own draw sequence untouched.
+  Rng Fork(uint64_t stream_id) const;
 
   /// Raw state words, for checkpointing. Restoring via FromState resumes
   /// the exact bit stream.

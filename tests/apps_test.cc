@@ -1,9 +1,10 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Tests for the Section 5 applications: frequency moments (Cor 5.2),
-// entropy (Cor 5.4), triangle counting (Cor 5.3), step-biased sampling.
-// Estimators are checked against exact window aggregates on streams whose
-// window contents we replay exactly.
+// Tests for the Section 5 applications behind the WindowEstimator
+// interface: frequency moments (Cor 5.2), entropy (Cor 5.4), triangle
+// counting (Cor 5.3), step-biased sampling. Estimators are built through
+// the estimator registry and checked against exact window aggregates on
+// streams whose window contents we replay exactly.
 
 #include <cmath>
 #include <cstdint>
@@ -13,8 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/biased.h"
-#include "apps/entropy.h"
-#include "apps/freq_moments.h"
+#include "apps/estimator_registry.h"
 #include "apps/triangles.h"
 #include "stats/exact.h"
 #include "stats/tests.h"
@@ -25,8 +25,7 @@ namespace swsample {
 namespace {
 
 // Replays a value stream through an estimator and an exact window buffer.
-template <typename Estimator>
-double RunOnStream(Estimator& est, const std::vector<uint64_t>& values,
+double RunOnStream(WindowEstimator& est, const std::vector<uint64_t>& values,
                    uint64_t n, std::vector<uint64_t>* window_out) {
   std::deque<uint64_t> window;
   for (uint64_t i = 0; i < values.size(); ++i) {
@@ -35,7 +34,7 @@ double RunOnStream(Estimator& est, const std::vector<uint64_t>& values,
     if (window.size() > n) window.pop_front();
   }
   window_out->assign(window.begin(), window.end());
-  return est.Estimate();
+  return est.Estimate().value;
 }
 
 std::vector<uint64_t> ZipfStream(uint64_t len, uint64_t domain, double alpha,
@@ -47,16 +46,29 @@ std::vector<uint64_t> ZipfStream(uint64_t len, uint64_t domain, double alpha,
   return values;
 }
 
+EstimatorConfig SeqConfig(uint64_t n, uint64_t r, uint64_t seed) {
+  EstimatorConfig config;
+  config.substrate = "bop-seq-single";
+  config.window_n = n;
+  config.r = r;
+  config.seed = seed;
+  return config;
+}
+
 TEST(FkEstimatorTest, CreateValidation) {
-  EXPECT_FALSE(SlidingFkEstimator::Create(0, 2, 10, 1).ok());
-  EXPECT_FALSE(SlidingFkEstimator::Create(8, 0, 10, 1).ok());
-  EXPECT_FALSE(SlidingFkEstimator::Create(8, 2, 0, 1).ok());
+  EXPECT_FALSE(CreateEstimator("ams-fk", SeqConfig(0, 10, 1)).ok());
+  EstimatorConfig bad_moment = SeqConfig(8, 10, 1);
+  bad_moment.moment = 0;
+  EXPECT_FALSE(CreateEstimator("ams-fk", bad_moment).ok());
+  EXPECT_FALSE(CreateEstimator("ams-fk", SeqConfig(8, 0, 1)).ok());
 }
 
 TEST(FkEstimatorTest, F1IsWindowSize) {
   // F_1 = sum of frequencies = window size; the AMS estimate with k=1 is
   // n * (c - (c-1)) = n exactly, with zero variance.
-  auto est = SlidingFkEstimator::Create(16, 1, 4, 2).ValueOrDie();
+  EstimatorConfig config = SeqConfig(16, 4, 2);
+  config.moment = 1;
+  auto est = CreateEstimator("ams-fk", config).ValueOrDie();
   std::vector<uint64_t> window;
   double estimate =
       RunOnStream(*est, ZipfStream(100, 10, 1.0, 3), 16, &window);
@@ -65,7 +77,7 @@ TEST(FkEstimatorTest, F1IsWindowSize) {
 
 TEST(FkEstimatorTest, F2CloseToExactOnSkewedWindow) {
   const uint64_t n = 256;
-  auto est = SlidingFkEstimator::Create(n, 2, 2000, 4).ValueOrDie();
+  auto est = CreateEstimator("ams-fk", SeqConfig(n, 2000, 4)).ValueOrDie();
   std::vector<uint64_t> window;
   double estimate =
       RunOnStream(*est, ZipfStream(3 * n, 8, 1.5, 5), n, &window);
@@ -76,7 +88,9 @@ TEST(FkEstimatorTest, F2CloseToExactOnSkewedWindow) {
 
 TEST(FkEstimatorTest, F3CloseToExact) {
   const uint64_t n = 256;
-  auto est = SlidingFkEstimator::Create(n, 3, 4000, 6).ValueOrDie();
+  EstimatorConfig config = SeqConfig(n, 4000, 6);
+  config.moment = 3;
+  auto est = CreateEstimator("ams-fk", config).ValueOrDie();
   std::vector<uint64_t> window;
   double estimate =
       RunOnStream(*est, ZipfStream(3 * n, 6, 1.5, 7), n, &window);
@@ -95,7 +109,9 @@ TEST(FkEstimatorTest, UnbiasedOverManyRuns) {
   const int runs = 400;
   double exact = 0.0;
   for (int r = 0; r < runs; ++r) {
-    auto est = SlidingFkEstimator::Create(n, 2, 32, 100 + r).ValueOrDie();
+    auto est = CreateEstimator(
+                   "ams-fk", SeqConfig(n, 32, Rng::ForkSeed(100, r)))
+                   .ValueOrDie();
     mean += RunOnStream(*est, values, n, &window);
   }
   exact = ExactFrequencyMoment(window, 2);
@@ -104,15 +120,29 @@ TEST(FkEstimatorTest, UnbiasedOverManyRuns) {
       << "mean=" << mean << " exact=" << exact;
 }
 
+TEST(FkEstimatorTest, ExactOracleSubstrateMatches) {
+  // The exact-seq substrate draws positions from the buffered window; at
+  // moment 1 it reports the window size exactly, like the paper substrate.
+  EstimatorConfig config = SeqConfig(16, 4, 2);
+  config.substrate = "exact-seq";
+  config.moment = 1;
+  auto est = CreateEstimator("ams-fk", config).ValueOrDie();
+  std::vector<uint64_t> window;
+  double estimate =
+      RunOnStream(*est, ZipfStream(100, 10, 1.0, 3), 16, &window);
+  EXPECT_DOUBLE_EQ(estimate, 16.0);
+}
+
 TEST(EntropyEstimatorTest, CreateValidation) {
-  EXPECT_FALSE(SlidingEntropyEstimator::Create(0, 10, 1).ok());
-  EXPECT_FALSE(SlidingEntropyEstimator::Create(8, 0, 1).ok());
+  EXPECT_FALSE(CreateEstimator("ccm-entropy", SeqConfig(0, 10, 1)).ok());
+  EXPECT_FALSE(CreateEstimator("ccm-entropy", SeqConfig(8, 0, 1)).ok());
 }
 
 TEST(EntropyEstimatorTest, ConstantStreamHasZeroEntropy) {
   // Per-unit estimates are nonzero (c log(n/c) terms), but the estimator is
   // unbiased with H = 0, so a large unit average must be near zero.
-  auto est = SlidingEntropyEstimator::Create(32, 4000, 9).ValueOrDie();
+  auto est =
+      CreateEstimator("ccm-entropy", SeqConfig(32, 4000, 9)).ValueOrDie();
   std::vector<uint64_t> values(100, 7);
   std::vector<uint64_t> window;
   double estimate = RunOnStream(*est, values, 32, &window);
@@ -121,7 +151,8 @@ TEST(EntropyEstimatorTest, ConstantStreamHasZeroEntropy) {
 
 TEST(EntropyEstimatorTest, CloseToExactOnZipfWindow) {
   const uint64_t n = 256;
-  auto est = SlidingEntropyEstimator::Create(n, 3000, 10).ValueOrDie();
+  auto est =
+      CreateEstimator("ccm-entropy", SeqConfig(n, 3000, 10)).ValueOrDie();
   std::vector<uint64_t> window;
   double estimate =
       RunOnStream(*est, ZipfStream(3 * n, 16, 1.0, 11), n, &window);
@@ -132,7 +163,8 @@ TEST(EntropyEstimatorTest, CloseToExactOnZipfWindow) {
 
 TEST(EntropyEstimatorTest, UniformWindowApproachesLogDomain) {
   const uint64_t n = 512;
-  auto est = SlidingEntropyEstimator::Create(n, 3000, 12).ValueOrDie();
+  auto est =
+      CreateEstimator("ccm-entropy", SeqConfig(n, 3000, 12)).ValueOrDie();
   // Round-robin over 16 values -> exactly uniform window -> H = 4 bits.
   std::vector<uint64_t> values(3 * n);
   for (uint64_t i = 0; i < values.size(); ++i) values[i] = i % 16;
@@ -149,21 +181,33 @@ TEST(TriangleTest, EdgeCodec) {
   EXPECT_EQ(EncodeEdge(3, 5), EncodeEdge(5, 3));
 }
 
+EstimatorConfig TriangleConfig(uint64_t n, uint32_t v, uint64_t r,
+                               uint64_t seed) {
+  EstimatorConfig config = SeqConfig(n, r, seed);
+  config.num_vertices = v;
+  return config;
+}
+
 TEST(TriangleTest, CreateValidation) {
-  EXPECT_FALSE(SlidingTriangleEstimator::Create(0, 10, 5, 1).ok());
-  EXPECT_FALSE(SlidingTriangleEstimator::Create(8, 2, 5, 1).ok());
-  EXPECT_FALSE(SlidingTriangleEstimator::Create(8, 10, 0, 1).ok());
+  EXPECT_FALSE(
+      CreateEstimator("buriol-triangles", TriangleConfig(0, 10, 5, 1)).ok());
+  EXPECT_FALSE(
+      CreateEstimator("buriol-triangles", TriangleConfig(8, 2, 5, 1)).ok());
+  EXPECT_FALSE(
+      CreateEstimator("buriol-triangles", TriangleConfig(8, 10, 0, 1)).ok());
 }
 
 TEST(TriangleTest, NoTrianglesEstimatesZero) {
   // A star graph has no triangles.
   const uint32_t v = 32;
-  auto est = SlidingTriangleEstimator::Create(64, v, 500, 13).ValueOrDie();
+  auto est = CreateEstimator("buriol-triangles",
+                             TriangleConfig(64, v, 500, 13))
+                 .ValueOrDie();
   uint64_t idx = 0;
   for (uint32_t leaf = 1; leaf < v; ++leaf) {
     est->Observe(Item{EncodeEdge(0, leaf), idx++, 0});
   }
-  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(est->Estimate().value, 0.0);
 }
 
 TEST(TriangleTest, PlantedTrianglesExactExpectation) {
@@ -173,14 +217,16 @@ TEST(TriangleTest, PlantedTrianglesExactExpectation) {
   // in a comfortable band around it.
   const uint32_t v = 30;
   const uint64_t n = 300;  // window larger than the 30 streamed edges
-  auto est = SlidingTriangleEstimator::Create(n, v, 20000, 14).ValueOrDie();
+  auto est = CreateEstimator("buriol-triangles",
+                             TriangleConfig(n, v, 20000, 14))
+                 .ValueOrDie();
   uint64_t idx = 0;
   for (uint32_t t = 0; t < v / 3; ++t) {
     est->Observe(Item{EncodeEdge(3 * t, 3 * t + 1), idx++, 0});
     est->Observe(Item{EncodeEdge(3 * t + 1, 3 * t + 2), idx++, 0});
     est->Observe(Item{EncodeEdge(3 * t, 3 * t + 2), idx++, 0});
   }
-  double estimate = est->Estimate();
+  double estimate = est->Estimate().value;
   EXPECT_GT(estimate, 5.0);
   EXPECT_LT(estimate, 18.0);
 }
@@ -203,11 +249,13 @@ TEST(TriangleTest, UnbiasedOverManyRuns) {
   double mean = 0.0;
   const int runs = 300;
   for (int r = 0; r < runs; ++r) {
-    auto est =
-        SlidingTriangleEstimator::Create(n, v, 64, 900 + r).ValueOrDie();
+    auto est = CreateEstimator(
+                   "buriol-triangles",
+                   TriangleConfig(n, v, 64, Rng::ForkSeed(900, r)))
+                   .ValueOrDie();
     uint64_t idx = 0;
     for (uint64_t e : edge_stream) est->Observe(Item{e, idx++, 0});
-    mean += est->Estimate();
+    mean += est->Estimate().value;
   }
   mean /= runs;
   EXPECT_NEAR(mean, 3.0, 1.0);
@@ -218,6 +266,8 @@ TEST(BiasedTest, CreateValidation) {
   EXPECT_FALSE(
       StepBiasedSampler::Create({{8, 1.0}, {8, 1.0}}, 1).ok());  // not increasing
   EXPECT_FALSE(StepBiasedSampler::Create({{8, 0.0}}, 1).ok());  // zero weight
+  EXPECT_FALSE(StepBiasedSampler::Create({{8, 1.0}}, 1, "bop-ts-swr").ok());
+  EXPECT_FALSE(StepBiasedSampler::Create({{8, 1.0}}, 1, "no-such").ok());
   EXPECT_TRUE(StepBiasedSampler::Create({{8, 1.0}, {32, 1.0}}, 1).ok());
 }
 
@@ -237,7 +287,8 @@ TEST(BiasedTest, EmpiricalDistributionMatchesStaircase) {
   const int trials = 60000;
   std::vector<uint64_t> counts(16, 0);
   for (int t = 0; t < trials; ++t) {
-    auto s = StepBiasedSampler::Create({{4, 1.0}, {16, 1.0}}, 300 + t)
+    auto s = StepBiasedSampler::Create({{4, 1.0}, {16, 1.0}},
+                                       Rng::ForkSeed(300, t))
                  .ValueOrDie();
     const uint64_t len = 40;
     for (uint64_t i = 0; i < len; ++i) {
@@ -262,6 +313,28 @@ TEST(BiasedTest, EmpiricalDistributionMatchesStaircase) {
 TEST(BiasedTest, RecentElementsMoreLikely) {
   auto s = StepBiasedSampler::Create({{8, 2.0}, {64, 1.0}}, 4).ValueOrDie();
   EXPECT_GT(s->InclusionProbability(0), s->InclusionProbability(20));
+}
+
+TEST(BiasedTest, MeanEstimatorTracksRecencyWeightedMean) {
+  // Old half of the window holds value 0, recent quarter holds 1000: the
+  // biased mean must sit between the plain window mean and the recent
+  // mean, reflecting the staircase's recency weighting.
+  EstimatorConfig config;
+  config.substrate = "bop-seq-swr";
+  config.window_n = 64;
+  config.r = 64;
+  config.seed = 6;
+  auto est = CreateEstimator("biased-mean", config).ValueOrDie();
+  uint64_t i = 0;
+  for (; i < 48; ++i) est->Observe(Item{0, i, static_cast<Timestamp>(i)});
+  for (; i < 64; ++i) est->Observe(Item{1000, i, static_cast<Timestamp>(i)});
+  EstimateReport report = est->Estimate();
+  // Plain window mean = 250; recent-16 mean = 1000; the default two-level
+  // staircase averages the full window (mean 250) and the last 16 (1000)
+  // at weight 1/2 each -> expectation 625.
+  EXPECT_GT(report.value, 400.0);
+  EXPECT_LT(report.value, 850.0);
+  EXPECT_GT(report.support, 0u);
 }
 
 }  // namespace

@@ -21,25 +21,25 @@ namespace swsample {
 namespace {
 
 TEST(QuantilesTest, CreateValidation) {
-  EXPECT_FALSE(SlidingQuantileEstimator::Create(nullptr).ok());
+  EXPECT_FALSE(QuantileEstimator::Create(nullptr).ok());
   auto sampler = SequenceSworSampler::Create(64, 8, 1).ValueOrDie();
-  EXPECT_TRUE(SlidingQuantileEstimator::Create(std::move(sampler)).ok());
+  EXPECT_TRUE(QuantileEstimator::Create(std::move(sampler)).ok());
 }
 
 TEST(QuantilesTest, RequiredSampleSizeDkw) {
   // k = ln(2/delta) / (2 eps^2).
-  auto k = SlidingQuantileEstimator::RequiredSampleSize(0.1, 0.05);
+  auto k = QuantileEstimator::RequiredSampleSize(0.1, 0.05);
   ASSERT_TRUE(k.ok());
   EXPECT_EQ(k.value(),
             static_cast<uint64_t>(std::ceil(std::log(40.0) / 0.02)));
-  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.0, 0.5).ok());
-  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(1.5, 0.5).ok());
-  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.1, 0.0).ok());
-  EXPECT_FALSE(SlidingQuantileEstimator::RequiredSampleSize(0.1, 1.0).ok());
+  EXPECT_FALSE(QuantileEstimator::RequiredSampleSize(0.0, 0.5).ok());
+  EXPECT_FALSE(QuantileEstimator::RequiredSampleSize(1.5, 0.5).ok());
+  EXPECT_FALSE(QuantileEstimator::RequiredSampleSize(0.1, 0.0).ok());
+  EXPECT_FALSE(QuantileEstimator::RequiredSampleSize(0.1, 1.0).ok());
 }
 
 TEST(QuantilesTest, EmptyWindowReturnsZero) {
-  auto est = SlidingQuantileEstimator::Create(
+  auto est = QuantileEstimator::Create(
                  SequenceSworSampler::Create(16, 4, 2).ValueOrDie())
                  .ValueOrDie();
   EXPECT_EQ(est->Quantile(0.5), 0u);
@@ -66,8 +66,8 @@ TEST(QuantilesTest, MedianWithinDkwBound) {
   const uint64_t n = 4096;
   const double eps = 0.05, delta = 0.01;
   const uint64_t k =
-      SlidingQuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
-  auto est = SlidingQuantileEstimator::Create(
+      QuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
+  auto est = QuantileEstimator::Create(
                  SequenceSworSampler::Create(n, k, 3).ValueOrDie())
                  .ValueOrDie();
   Rng rng(4);
@@ -91,12 +91,12 @@ TEST(QuantilesTest, FailureRateRespectsDelta) {
   const uint64_t n = 512;
   const double eps = 0.1, delta = 0.05;
   const uint64_t k =
-      SlidingQuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
+      QuantileEstimator::RequiredSampleSize(eps, delta).ValueOrDie();
   // One fixed window of values 0..n-1 shuffled implicitly by insertion.
   int breaches = 0;
   const int runs = 400;
   for (int r = 0; r < runs; ++r) {
-    auto est = SlidingQuantileEstimator::Create(
+    auto est = QuantileEstimator::Create(
                    SequenceSworSampler::Create(n, k, 50 + r).ValueOrDie())
                    .ValueOrDie();
     std::vector<uint64_t> win;
@@ -110,7 +110,7 @@ TEST(QuantilesTest, FailureRateRespectsDelta) {
 }
 
 TEST(QuantilesTest, MultipleQuantilesMonotone) {
-  auto est = SlidingQuantileEstimator::Create(
+  auto est = QuantileEstimator::Create(
                  SequenceSworSampler::Create(256, 64, 5).ValueOrDie())
                  .ValueOrDie();
   Rng rng(6);
@@ -124,7 +124,7 @@ TEST(QuantilesTest, MultipleQuantilesMonotone) {
 
 TEST(QuantilesTest, WorksOnTimestampWindows) {
   // Same estimator over a timestamp k-SWOR: window = last 64 ticks.
-  auto est = SlidingQuantileEstimator::Create(
+  auto est = QuantileEstimator::Create(
                  TsSworSampler::Create(64, 32, 7).ValueOrDie())
                  .ValueOrDie();
   // Values equal timestamps: the median of the last 64 ticks is near
@@ -141,7 +141,7 @@ TEST(QuantilesTest, TracksDriftingDistribution) {
   // Distribution shifts +1000 mid-stream; the windowed median must follow
   // once the window slides past the shift.
   const uint64_t n = 1024;
-  auto est = SlidingQuantileEstimator::Create(
+  auto est = QuantileEstimator::Create(
                  SequenceSworSampler::Create(n, 128, 8).ValueOrDie())
                  .ValueOrDie();
   Rng rng(9);

@@ -254,6 +254,61 @@ TEST(RegistryTest, DriverAdvancesClockOnEmptySyntheticSteps) {
   }
 }
 
+// Writes `text` to a temp stream and drives it through a fresh sampler.
+Result<DriveReport> DriveText(const char* text, bool timestamped,
+                              WindowSampler& sampler) {
+  std::FILE* f = std::tmpfile();
+  std::fputs(text, f);
+  std::rewind(f);
+  auto result = StreamDriver().DriveLines(f, "test-input", timestamped,
+                                          sampler);
+  std::fclose(f);
+  return result;
+}
+
+TEST(RegistryTest, DriverSkipsBlankLines) {
+  auto sampler = CreateSampler("bop-seq-swr", BasicConfig(11)).ValueOrDie();
+  auto result = DriveText("1\n\n2\n   \n\t\n3\n", /*timestamped=*/false,
+                          *sampler);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().items, 3u);
+}
+
+TEST(RegistryTest, DriverRejectsMalformedLineWithLineNumber) {
+  auto sampler = CreateSampler("bop-seq-swr", BasicConfig(12)).ValueOrDie();
+  auto result = DriveText("1\n2\nnot-a-number\n4\n", /*timestamped=*/false,
+                          *sampler);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("test-input:3"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(RegistryTest, DriverRejectsMalformedTimestampedLine) {
+  auto sampler = CreateSampler("bop-ts-swr", BasicConfig(13)).ValueOrDie();
+  auto result = DriveText("1 10\n2\n", /*timestamped=*/true, *sampler);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("test-input:2"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, DriverRejectsDecreasingTimestamps) {
+  auto sampler = CreateSampler("bop-ts-swr", BasicConfig(14)).ValueOrDie();
+  auto result = DriveText("5 10\n3 11\n", /*timestamped=*/true, *sampler);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-decreasing"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, DriverRejectsOverlongLine) {
+  auto sampler = CreateSampler("bop-seq-swr", BasicConfig(15)).ValueOrDie();
+  std::string text = "1\n" + std::string(300, '7') + "\n";
+  auto result = DriveText(text.c_str(), /*timestamped=*/false, *sampler);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("too long"), std::string::npos);
+}
+
 TEST(RegistryTest, DriverPerItemModeMatchesBatchedItemCount) {
   std::vector<Item> items;
   for (uint64_t i = 0; i < 257; ++i) items.push_back(MakeItem(i));

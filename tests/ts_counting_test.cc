@@ -1,19 +1,23 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Tests for the timestamp-window forward-count tracker and the TsFk
-// estimator (the timestamp half of Corollary 5.2): forward counts must be
-// exact for the sampled position, candidates must survive merges and
-// re-straddling, and F_k estimates must track the exact windowed value
-// with the extra (1 +/- eps) count factor.
+// Tests for the timestamp-window payload tracker and the timestamp halves
+// of Corollaries 5.2/5.4 behind the estimator registry: forward counts
+// must be exact for the sampled position, candidates must survive merges
+// and re-straddling (item-wise AND batched), and F_k / entropy estimates
+// must track the exact windowed value with the extra (1 +/- eps) count
+// factor — including under bursty arrivals with AdvanceTime-only steps.
 
 #include <cmath>
 #include <cstdint>
 #include <deque>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "apps/ts_counting.h"
+#include "apps/estimator_registry.h"
+#include "apps/payload_substrate.h"
 #include "stats/exact.h"
 #include "stream/value_gen.h"
 #include "util/rng.h"
@@ -21,13 +25,17 @@
 namespace swsample {
 namespace {
 
+TsForwardCountUnit MakeUnit(Timestamp t0, uint64_t seed) {
+  return TsForwardCountUnit(t0, seed, CountOnSampled{}, CountOnArrival{});
+}
+
 TEST(TsForwardCountTest, CountsExactOnFixedStream) {
   // One-per-step arrivals with known values; whatever position is sampled,
   // the reported count must equal the true forward occurrence count.
   const std::vector<uint64_t> values = {1, 2, 1, 3, 1, 2, 2, 1, 3, 1,
                                         2, 1, 1, 3, 2, 1, 2, 3, 3, 1};
   for (int trial = 0; trial < 300; ++trial) {
-    TsForwardCountUnit unit(/*t0=*/12, /*seed=*/100 + trial);
+    auto unit = MakeUnit(/*t0=*/12, Rng::ForkSeed(100, trial));
     for (uint64_t i = 0; i < values.size(); ++i) {
       unit.Observe(Item{values[i], i, static_cast<Timestamp>(i)});
     }
@@ -37,7 +45,39 @@ TEST(TsForwardCountTest, CountsExactOnFixedStream) {
     for (uint64_t j = s->item.index; j < values.size(); ++j) {
       expected += (values[j] == values[s->item.index]);
     }
-    EXPECT_EQ(s->count, expected) << "sampled index " << s->item.index;
+    EXPECT_EQ(s->payload.count, expected)
+        << "sampled index " << s->item.index;
+  }
+}
+
+TEST(TsForwardCountTest, BatchedCountsExactOnFixedStream) {
+  // The batched path defers the candidate-map sync to the batch end and
+  // replays new candidates from the span; the forward counts must come out
+  // identical to item-wise feeding, at every ragged batch size.
+  const std::vector<uint64_t> values = {1, 2, 1, 3, 1, 2, 2, 1, 3, 1,
+                                        2, 1, 1, 3, 2, 1, 2, 3, 3, 1};
+  std::vector<Item> items;
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    items.push_back(Item{values[i], i, static_cast<Timestamp>(i)});
+  }
+  for (uint64_t batch : {1u, 3u, 7u, 20u}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      auto unit = MakeUnit(/*t0=*/12, Rng::ForkSeed(4000 + batch, trial));
+      for (uint64_t pos = 0; pos < items.size(); pos += batch) {
+        const uint64_t take =
+            std::min<uint64_t>(batch, items.size() - pos);
+        unit.ObserveBatch(
+            std::span<const Item>(items.data() + pos, take));
+      }
+      auto s = unit.Sample();
+      ASSERT_TRUE(s.has_value());
+      uint64_t expected = 0;
+      for (uint64_t j = s->item.index; j < values.size(); ++j) {
+        expected += (values[j] == values[s->item.index]);
+      }
+      EXPECT_EQ(s->payload.count, expected)
+          << "batch " << batch << " sampled index " << s->item.index;
+    }
   }
 }
 
@@ -45,7 +85,7 @@ TEST(TsForwardCountTest, CountsSurviveExpiryRestructuring) {
   // Bursts then silence force straddle transitions; counts stay exact.
   Rng value_rng(7);
   for (int trial = 0; trial < 200; ++trial) {
-    TsForwardCountUnit unit(/*t0=*/6, /*seed=*/500 + trial);
+    auto unit = MakeUnit(/*t0=*/6, Rng::ForkSeed(500, trial));
     std::vector<uint64_t> values;
     uint64_t index = 0;
     Timestamp t = 0;
@@ -64,12 +104,12 @@ TEST(TsForwardCountTest, CountsSurviveExpiryRestructuring) {
     for (uint64_t j = s->item.index; j < values.size(); ++j) {
       expected += (values[j] == values[s->item.index]);
     }
-    EXPECT_EQ(s->count, expected);
+    EXPECT_EQ(s->payload.count, expected);
   }
 }
 
 TEST(TsForwardCountTest, MemoryStaysLogarithmic) {
-  TsForwardCountUnit unit(/*t0=*/1 << 12, /*seed=*/9);
+  auto unit = MakeUnit(/*t0=*/1 << 12, /*seed=*/9);
   uint64_t max_words = 0;
   for (uint64_t i = 0; i < (1 << 13); ++i) {
     unit.Observe(Item{i % 64, i, static_cast<Timestamp>(i)});
@@ -78,63 +118,83 @@ TEST(TsForwardCountTest, MemoryStaysLogarithmic) {
   EXPECT_LT(max_words, 1000u);  // O(log n) structures + payload map
 }
 
+EstimatorConfig TsConfig(Timestamp t0, uint64_t r, double count_eps,
+                         uint64_t seed) {
+  EstimatorConfig config;
+  config.substrate = "bop-ts-single";
+  config.window_t = t0;
+  config.r = r;
+  config.count_eps = count_eps;
+  config.seed = seed;
+  return config;
+}
+
 TEST(TsFkEstimatorTest, CreateValidation) {
-  EXPECT_FALSE(TsFkEstimator::Create(0, 2, 8, 0.1, 1).ok());
-  EXPECT_FALSE(TsFkEstimator::Create(8, 0, 8, 0.1, 1).ok());
-  EXPECT_FALSE(TsFkEstimator::Create(8, 2, 0, 0.1, 1).ok());
-  EXPECT_FALSE(TsFkEstimator::Create(8, 2, 8, 0.0, 1).ok());
-  EXPECT_TRUE(TsFkEstimator::Create(8, 2, 8, 0.1, 1).ok());
+  EXPECT_FALSE(CreateEstimator("ams-fk", TsConfig(0, 8, 0.1, 1)).ok());
+  EstimatorConfig bad_moment = TsConfig(8, 8, 0.1, 1);
+  bad_moment.moment = 0;
+  EXPECT_FALSE(CreateEstimator("ams-fk", bad_moment).ok());
+  EXPECT_FALSE(CreateEstimator("ams-fk", TsConfig(8, 0, 0.1, 1)).ok());
+  EXPECT_FALSE(CreateEstimator("ams-fk", TsConfig(8, 8, 0.0, 1)).ok());
+  EXPECT_TRUE(CreateEstimator("ams-fk", TsConfig(8, 8, 0.1, 1)).ok());
 }
 
 TEST(TsFkEstimatorTest, EmptyWindowEstimatesZero) {
-  auto est = TsFkEstimator::Create(5, 2, 8, 0.1, 2).ValueOrDie();
-  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+  auto est = CreateEstimator("ams-fk", TsConfig(5, 8, 0.1, 2)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(est->Estimate().value, 0.0);
   est->Observe(Item{1, 0, 0});
   est->AdvanceTime(100);
-  EXPECT_DOUBLE_EQ(est->Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(est->Estimate().value, 0.0);
 }
 
-TEST(TsFkEstimatorTest, F1TracksWindowSize) {
+TEST(TsFkEstimatorTest, F1TracksWindowSizeUnderBurst) {
   // F1 = n; with the AMS telescoping at moment 1 the per-unit estimate is
-  // exactly the histogram's n-hat, so the error is the EH eps alone.
-  auto est = TsFkEstimator::Create(64, 1, 4, 0.05, 3).ValueOrDie();
+  // exactly the histogram's n-hat, so the error is the EH eps alone. The
+  // bursty stream with AdvanceTime-only steps exercises expiry under the
+  // clock, the satellite correctness requirement.
+  EstimatorConfig config = TsConfig(64, 4, 0.05, 3);
+  config.moment = 1;
+  auto est = CreateEstimator("ams-fk", config).ValueOrDie();
   Rng rng(4);
   uint64_t index = 0;
+  std::deque<Timestamp> active;
   for (Timestamp t = 0; t < 300; ++t) {
-    const uint64_t burst = 1 + rng.UniformIndex(4);
+    const uint64_t burst = rng.UniformIndex(4);  // 0..3: some steps empty
     for (uint64_t i = 0; i < burst; ++i) {
       est->Observe(Item{rng.UniformIndex(100), index++, t});
+      active.push_back(t);
     }
     est->AdvanceTime(t);
+    while (!active.empty() && t - active.front() >= 64) active.pop_front();
   }
-  // Exact active count: arrivals in the last 64 steps, ~2.5*64.
-  const double estimate = est->Estimate();
-  const double n_hat = static_cast<double>(est->WindowSizeEstimate());
-  EXPECT_DOUBLE_EQ(estimate, n_hat);
-  EXPECT_GT(n_hat, 100.0);
-  EXPECT_LT(n_hat, 250.0);
+  EstimateReport report = est->Estimate();
+  EXPECT_DOUBLE_EQ(report.value, report.window_size);
+  const double exact = static_cast<double>(active.size());
+  EXPECT_NEAR(report.window_size / exact, 1.0, 0.06);
 }
 
 TEST(TsEntropyEstimatorTest, CreateValidation) {
-  EXPECT_FALSE(TsEntropyEstimator::Create(0, 8, 0.1, 1).ok());
-  EXPECT_FALSE(TsEntropyEstimator::Create(8, 0, 0.1, 1).ok());
-  EXPECT_FALSE(TsEntropyEstimator::Create(8, 8, 0.0, 1).ok());
-  EXPECT_TRUE(TsEntropyEstimator::Create(8, 8, 0.1, 1).ok());
+  EXPECT_FALSE(CreateEstimator("ccm-entropy", TsConfig(0, 8, 0.1, 1)).ok());
+  EXPECT_FALSE(CreateEstimator("ccm-entropy", TsConfig(8, 0, 0.1, 1)).ok());
+  EXPECT_FALSE(CreateEstimator("ccm-entropy", TsConfig(8, 8, 0.0, 1)).ok());
+  EXPECT_TRUE(CreateEstimator("ccm-entropy", TsConfig(8, 8, 0.1, 1)).ok());
 }
 
 TEST(TsEntropyEstimatorTest, ConstantStreamNearZero) {
-  auto est = TsEntropyEstimator::Create(64, 2000, 0.05, 2).ValueOrDie();
+  auto est =
+      CreateEstimator("ccm-entropy", TsConfig(64, 2000, 0.05, 2)).ValueOrDie();
   uint64_t index = 0;
   for (Timestamp t = 0; t < 200; ++t) {
     est->Observe(Item{7, index++, t});
     est->Observe(Item{7, index++, t});
   }
-  EXPECT_NEAR(est->Estimate(), 0.0, 0.25);
+  EXPECT_NEAR(est->Estimate().value, 0.0, 0.25);
 }
 
 TEST(TsEntropyEstimatorTest, CloseToExactOnZipfWindow) {
   const Timestamp t0 = 512;
-  auto est = TsEntropyEstimator::Create(t0, 2500, 0.05, 3).ValueOrDie();
+  auto est =
+      CreateEstimator("ccm-entropy", TsConfig(t0, 2500, 0.05, 3)).ValueOrDie();
   auto gen = ZipfValues::Create(32, 1.0).ValueOrDie();
   Rng rng(4);
   std::deque<std::pair<Timestamp, uint64_t>> window;
@@ -154,12 +214,13 @@ TEST(TsEntropyEstimatorTest, CloseToExactOnZipfWindow) {
   std::vector<uint64_t> values;
   for (const auto& [ts, v] : window) values.push_back(v);
   const double exact = ExactEntropy(values);
-  EXPECT_NEAR(est->Estimate(), exact, 0.15 * exact + 0.1);
+  EXPECT_NEAR(est->Estimate().value, exact, 0.15 * exact + 0.1);
 }
 
 TEST(TsFkEstimatorTest, F2CloseToExactOnSkewedWindow) {
   const Timestamp t0 = 512;
-  auto est = TsFkEstimator::Create(t0, 2, 1500, 0.05, 5).ValueOrDie();
+  auto est =
+      CreateEstimator("ams-fk", TsConfig(t0, 1500, 0.05, 5)).ValueOrDie();
   auto gen = ZipfValues::Create(8, 1.4).ValueOrDie();
   Rng rng(6);
   std::deque<std::pair<Timestamp, uint64_t>> window;
@@ -179,9 +240,41 @@ TEST(TsFkEstimatorTest, F2CloseToExactOnSkewedWindow) {
   std::vector<uint64_t> values;
   for (const auto& [ts, v] : window) values.push_back(v);
   const double exact = ExactFrequencyMoment(values, 2);
-  const double estimate = est->Estimate();
+  const double estimate = est->Estimate().value;
   EXPECT_NEAR(estimate / exact, 1.0, 0.25)
       << "estimate=" << estimate << " exact=" << exact;
+}
+
+TEST(WindowCountTest, TracksActiveCountUnderBurst) {
+  // window-count over the DGIM substrate vs the exact-ts oracle on the
+  // same bursty stream with AdvanceTime gaps: the oracle is exact, the
+  // histogram within eps.
+  EstimatorConfig config = TsConfig(32, 1, 0.05, 7);
+  auto dgim = CreateEstimator("window-count", config).ValueOrDie();
+  config.substrate = "exact-ts";
+  auto oracle = CreateEstimator("window-count", config).ValueOrDie();
+  Rng rng(8);
+  std::deque<Timestamp> active;
+  uint64_t index = 0;
+  for (Timestamp t = 0; t < 400; ++t) {
+    const uint64_t burst = rng.UniformIndex(5);
+    for (uint64_t i = 0; i < burst; ++i) {
+      const Item item{rng.UniformIndex(10), index++, t};
+      dgim->Observe(item);
+      oracle->Observe(item);
+      active.push_back(t);
+    }
+    dgim->AdvanceTime(t);
+    oracle->AdvanceTime(t);
+    while (!active.empty() && t - active.front() >= 32) active.pop_front();
+    const double exact = static_cast<double>(active.size());
+    EXPECT_DOUBLE_EQ(oracle->Estimate().value, exact);
+    // eps-relative plus a small additive slack: the straddling bucket's
+    // half-weight rounding costs up to ~1 element at tiny counts.
+    EXPECT_NEAR(dgim->Estimate().value, exact,
+                std::max(0.06 * exact, 1.5))
+        << "t=" << t;
+  }
 }
 
 }  // namespace
