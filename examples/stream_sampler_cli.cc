@@ -17,6 +17,15 @@
 //   --batch=<n>          ingestion batch size (default 1024; 0 = per item)
 //   --seed=<n>           RNG seed (default 0x5eed); equal seeds reproduce
 //                        runs exactly
+//   --threads=<n>        worker threads for sharded ingestion (default 1 =
+//                        the single-threaded driver)
+//   --shards=<n>         sink replicas for sharded ingestion (default:
+//                        one per thread); sequence windows must divide
+//                        evenly by the shard count
+//   --partition=<mode>   chunks | keyhash (default: keyhash for timestamp
+//                        sinks and for estimators whose merge needs
+//                        key-disjoint shards, e.g. ams-fk/ccm-entropy;
+//                        chunks otherwise)
 //   --moment=<k>         frequency moment for --estimator=ams-fk (default 2)
 //   --vertices=<v>       vertex universe for --estimator=buriol-triangles
 //   --q=<q>              quantile for --estimator=dkw-quantile (default 0.5)
@@ -51,6 +60,7 @@
 #include "core/api.h"
 #include "core/registry.h"
 #include "stream/driver.h"
+#include "stream/sharded_driver.h"
 
 using namespace swsample;
 
@@ -61,7 +71,8 @@ void Usage(const char* argv0) {
                "usage: %s [--algo=<name> | --estimator=<name> "
                "[--substrate=<name>]] [--file=<path>] [--batch=<n>] "
                "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
-               "[--report=<n>] <window> <k>\n"
+               "[--report=<n>] [--threads=<n>] [--shards=<n>] "
+               "[--partition=chunks|keyhash] <window> <k>\n"
                "       %s --list | --list-estimators\n"
                "  sequence mode reads lines \"<value>\"; timestamp mode\n"
                "  reads \"<timestamp> <value>\"\n"
@@ -113,6 +124,143 @@ void ReportEstimate(WindowEstimator& estimator, uint64_t events, FILE* out) {
                report.value, report.window_size, report.support);
 }
 
+/// Everything the sharded execution path needs from main's flag parse.
+struct ShardedRun {
+  std::string algo;
+  std::string estimator_name;
+  EstimatorConfig estimator_config;  // estimator mode
+  SamplerConfig sampler_config;      // sampler mode
+  std::string file;
+  uint64_t threads = 1;
+  uint64_t shards = 1;
+  std::string partition;  // "", "chunks", or "keyhash"
+  uint64_t batch = 1024;
+  uint64_t seed = 0;
+};
+
+/// Drives the stream through N replicas on worker threads and prints the
+/// merged sample/estimate plus per-shard throughput. Returns the process
+/// exit code.
+int RunSharded(const ShardedRun& run, bool timestamped) {
+  std::vector<std::unique_ptr<WindowSampler>> samplers;
+  std::vector<std::unique_ptr<WindowEstimator>> estimators;
+  std::vector<StreamSink*> sinks;
+  // Sharded output only exists through the merge surface, so refuse
+  // non-mergeable sinks up front instead of after ingesting the stream.
+  bool needs_key_disjoint = false;
+  if (!run.estimator_name.empty()) {
+    auto created = CreateShardedEstimators(run.estimator_name,
+                                           run.estimator_config, run.shards);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    estimators = std::move(created).ValueOrDie();
+    if (estimators[0]->merge_kind() == EstimateMergeKind::kNone) {
+      std::fprintf(stderr,
+                   "%s is not merge-capable; run it single-threaded "
+                   "(--threads=1)\n",
+                   run.estimator_name.c_str());
+      return 2;
+    }
+    needs_key_disjoint =
+        MergeNeedsKeyDisjointShards(estimators[0]->merge_kind());
+    sinks = SinkPointers(estimators);
+  } else {
+    auto created =
+        CreateShardedSamplers(run.algo, run.sampler_config, run.shards);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    samplers = std::move(created).ValueOrDie();
+    if (!samplers[0]->mergeable()) {
+      std::fprintf(stderr,
+                   "%s is not merge-capable; run it single-threaded "
+                   "(--threads=1)\n",
+                   run.algo.c_str());
+      return 2;
+    }
+    sinks = SinkPointers(samplers);
+  }
+
+  ShardedStreamDriver::Options options;
+  options.threads = run.threads;
+  // --batch=0 selects the per-item slow path in the single-threaded
+  // driver; chunks are the sharded transfer unit, so keep them batched.
+  options.chunk_items = run.batch == 0 ? 1024 : run.batch;
+  // Default partitioning: key-hash whenever the merge algebra needs
+  // key-disjoint shards (F_k, entropy) or the window model is
+  // timestamp-based; round-robin chunks otherwise. An explicit
+  // --partition wins (and owns the statistical consequences).
+  options.partition =
+      run.partition.empty()
+          ? (timestamped || needs_key_disjoint ? ShardPartition::kKeyHash
+                                               : ShardPartition::kChunks)
+          : (run.partition == "keyhash" ? ShardPartition::kKeyHash
+                                        : ShardPartition::kChunks);
+  if (options.partition == ShardPartition::kKeyHash && !timestamped) {
+    std::fprintf(stderr,
+                 "note: key-hash sharding of a sequence window assumes "
+                 "near-uniform key load; for skewed keys prefer a "
+                 "timestamp substrate (e.g. --substrate=bop-ts-single)\n");
+  }
+  ShardedStreamDriver driver(options);
+
+  auto result = run.file.empty()
+                    ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
+                    : driver.DriveFile(run.file, timestamped, sinks);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const ShardedDriveReport& report = result.value();
+  std::fprintf(stderr,
+               "sink=%s shards=%" PRIu64 " threads=%" PRIu64
+               " partition=%s items=%" PRIu64
+               " aggregate=%.2fM items/s\n",
+               sinks[0]->name(), run.shards, run.threads,
+               options.partition == ShardPartition::kKeyHash ? "keyhash"
+                                                             : "chunks",
+               report.total.items, report.total.items_per_sec / 1e6);
+  for (size_t s = 0; s < report.shards.size(); ++s) {
+    const ShardReport& shard = report.shards[s];
+    std::fprintf(stderr,
+                 "  shard %zu: items=%" PRIu64 " memory=%" PRIu64
+                 " words busy=%.2fM items/s\n",
+                 s, shard.items, shard.memory_words,
+                 shard.items_per_sec / 1e6);
+  }
+  if (!estimators.empty()) {
+    auto shard_ptrs = EstimatorPointers(estimators);
+    auto merged = MergedEstimate(shard_ptrs);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 1;
+    }
+    const EstimateReport& estimate = merged.value();
+    std::printf("events=%" PRIu64 " memory=%" PRIu64
+                " words %s=%.6g window=%.6g support=%" PRIu64 "\n",
+                report.total.items, report.total.memory_words,
+                estimate.metric.c_str(), estimate.value,
+                estimate.window_size, estimate.support);
+    return 0;
+  }
+  auto shard_ptrs = SamplerPointers(samplers);
+  auto merged = MergedSnapshot(shard_ptrs, run.seed ^ 0x5eedful);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("events=%" PRIu64 " memory=%" PRIu64 " words sample=[",
+              report.total.items, report.total.memory_words);
+  for (size_t i = 0; i < merged.value().sample.size(); ++i) {
+    std::printf("%s%" PRIu64, i ? " " : "", merged.value().sample[i].value);
+  }
+  std::printf("]\n");
+  return 0;
+}
+
 // Parses a non-negative integer flag value; false on garbage, sign, or
 // trailing characters.
 bool ParseU64(const char* s, uint64_t* out) {
@@ -148,6 +296,9 @@ int main(int argc, char** argv) {
   uint64_t vertices = 0;
   double q = 0.5;
   uint64_t report_every = 10000;
+  uint64_t threads = 1;
+  uint64_t shards = 0;
+  std::string partition;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -189,6 +340,21 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--report=", 9) == 0) {
       u64_flag = &report_every;
       u64_value = arg + 9;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      u64_flag = &threads;
+      u64_value = arg + 10;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      u64_flag = &shards;
+      u64_value = arg + 9;
+    } else if (std::strncmp(arg, "--partition=", 12) == 0) {
+      partition = arg + 12;
+      if (partition != "chunks" && partition != "keyhash") {
+        std::fprintf(stderr,
+                     "error: --partition expects chunks or keyhash, got "
+                     "\"%s\"\n",
+                     partition.c_str());
+        return 2;
+      }
     } else if (std::strncmp(arg, "--", 2) == 0) {
       Usage(argv[0]);
       return 2;
@@ -245,6 +411,18 @@ int main(int argc, char** argv) {
     if (substrate_spec != nullptr) {
       timestamped = substrate_spec->model == WindowModel::kTimestamp;
     }
+    if (threads > 1 || shards > 1) {
+      ShardedRun run;
+      run.estimator_name = estimator_name;
+      run.estimator_config = config;
+      run.file = file;
+      run.threads = threads;
+      run.shards = shards == 0 ? threads : shards;
+      run.partition = partition;
+      run.batch = batch;
+      run.seed = seed;
+      return RunSharded(run, timestamped);
+    }
     auto created = CreateEstimator(estimator_name, config);
     if (!created.ok()) {
       std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
@@ -264,6 +442,18 @@ int main(int argc, char** argv) {
     config.window_t = window;
     config.k = static_cast<uint64_t>(k);
     config.seed = seed;
+    if (threads > 1 || shards > 1) {
+      ShardedRun run;
+      run.algo = algo;
+      run.sampler_config = config;
+      run.file = file;
+      run.threads = threads;
+      run.shards = shards == 0 ? threads : shards;
+      run.partition = partition;
+      run.batch = batch;
+      run.seed = seed;
+      return RunSharded(run, timestamped);
+    }
     auto created = CreateSampler(algo, config);
     if (!created.ok()) {
       std::fprintf(stderr, "%s\n", created.status().ToString().c_str());

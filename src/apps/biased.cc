@@ -2,6 +2,7 @@
 
 #include "apps/biased.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -130,6 +131,8 @@ EstimateReport BiasedMeanEstimator::Estimate() {
   auto [value, support] = sampler_->WeightedMeanEstimate();
   report.value = value;
   report.support = support;
+  report.window_size =
+      static_cast<double>(std::min(count_, sampler_->max_window()));
   return report;
 }
 

@@ -75,6 +75,9 @@ class StepBiasedSampler {
   /// Total memory words across levels.
   uint64_t MemoryWords() const;
 
+  /// Length n_L of the largest (outermost) level window.
+  uint64_t max_window() const { return levels_.back().window; }
+
  private:
   StepBiasedSampler(std::vector<BiasLevel> levels, uint64_t seed);
 
@@ -92,14 +95,22 @@ class BiasedMeanEstimator final : public WindowEstimator {
   static Result<std::unique_ptr<BiasedMeanEstimator>> Create(
       std::unique_ptr<StepBiasedSampler> sampler);
 
-  void Observe(const Item& item) override { sampler_->Observe(item); }
+  void Observe(const Item& item) override {
+    sampler_->Observe(item);
+    ++count_;
+  }
   void ObserveBatch(std::span<const Item> items) override {
     sampler_->ObserveBatch(items);
+    count_ += items.size();
   }
   void AdvanceTime(Timestamp) override {}  // sequence windows only
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
   const char* name() const override { return "biased-mean"; }
+  /// Shard means combine as the occupancy-weighted mean of the union.
+  EstimateMergeKind merge_kind() const override {
+    return EstimateMergeKind::kWeightedMean;
+  }
 
   StepBiasedSampler& sampler() { return *sampler_; }
 
@@ -108,6 +119,7 @@ class BiasedMeanEstimator final : public WindowEstimator {
       : sampler_(std::move(sampler)) {}
 
   std::unique_ptr<StepBiasedSampler> sampler_;
+  uint64_t count_ = 0;  ///< arrivals, for the outer-window occupancy
 };
 
 }  // namespace swsample

@@ -47,6 +47,11 @@ class EntropyEstimator final : public WindowEstimator {
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
   const char* name() const override { return "ccm-entropy"; }
+  /// Shard entropies combine by the Shannon grouping rule when shards
+  /// hold disjoint key sets (key-hash partitioning).
+  EstimateMergeKind merge_kind() const override {
+    return EstimateMergeKind::kEntropy;
+  }
 
  private:
   explicit EntropyEstimator(Substrate substrate)

@@ -1,0 +1,81 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Cross-shard estimate combination (apps/estimator.h). kSum and kEntropy
+// are exact identities over disjoint shard windows: F_k and counts are
+// additive across disjoint key sets, and the entropy of a mixture obeys
+// the Shannon grouping rule H = sum_s p_s H_s + H(p_1..p_S) with
+// p_s = n_s / n.
+
+#include <cmath>
+
+#include "apps/estimator.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+Result<EstimateReport> MergeEstimates(
+    EstimateMergeKind kind, std::span<const EstimateReport> shards) {
+  if (kind == EstimateMergeKind::kNone) {
+    return Status::InvalidArgument(
+        "MergeEstimates: estimator is not merge-capable");
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("MergeEstimates: no shard reports");
+  }
+  EstimateReport merged;
+  merged.metric = shards.front().metric;
+  for (const EstimateReport& shard : shards) {
+    merged.window_size += shard.window_size;
+    merged.support += shard.support;
+  }
+  switch (kind) {
+    case EstimateMergeKind::kSum:
+    case EstimateMergeKind::kCount:
+      for (const EstimateReport& shard : shards) merged.value += shard.value;
+      break;
+    case EstimateMergeKind::kWeightedMean: {
+      double weight_total = 0.0;
+      for (const EstimateReport& shard : shards) {
+        merged.value += shard.window_size * shard.value;
+        weight_total += shard.window_size;
+      }
+      merged.value = weight_total > 0 ? merged.value / weight_total : 0.0;
+      break;
+    }
+    case EstimateMergeKind::kEntropy: {
+      const double n = merged.window_size;
+      if (n <= 0) break;  // every shard empty: entropy 0
+      for (const EstimateReport& shard : shards) {
+        const double ns = shard.window_size;
+        if (ns <= 0) continue;
+        merged.value += (ns / n) * (shard.value + std::log2(n / ns));
+      }
+      break;
+    }
+    case EstimateMergeKind::kNone:
+      SWS_CHECK(false);  // rejected above
+  }
+  return merged;
+}
+
+Result<EstimateReport> MergedEstimate(
+    std::span<WindowEstimator* const> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("MergedEstimate: no shards");
+  }
+  const EstimateMergeKind kind = shards.front()->merge_kind();
+  std::vector<EstimateReport> reports;
+  reports.reserve(shards.size());
+  for (WindowEstimator* shard : shards) {
+    SWS_CHECK(shard != nullptr);
+    if (shard->merge_kind() != kind) {
+      return Status::InvalidArgument(
+          "MergedEstimate: shards disagree on merge kind — replicas must be "
+          "constructed from one estimator configuration");
+    }
+    reports.push_back(shard->Estimate());
+  }
+  return MergeEstimates(kind, reports);
+}
+
+}  // namespace swsample

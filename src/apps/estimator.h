@@ -1,25 +1,41 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
-//
-// Common interface of all sliding-window estimators — the Theorem 5.1
-// products. The theorem is a black-box translation: a sampling-based
-// streaming estimator becomes a sliding-window estimator by swapping its
-// sampling substrate for a window sampler. A WindowEstimator is one such
-// translated algorithm: it ingests the stream like a sampler (it IS a
-// StreamSink, so the batched StreamDriver pumps it unchanged) and answers
-// queries with a typed EstimateReport instead of a raw sample set.
-//
-// Estimators are constructed by name through the estimator registry
-// (apps/estimator_registry.h), which pairs each estimator with a sampling
-// substrate named by its sampler-registry string.
+
+/// \file
+/// Common interface of all sliding-window estimators — the Theorem 5.1
+/// products. The theorem is a black-box translation: a sampling-based
+/// streaming estimator becomes a sliding-window estimator by swapping its
+/// sampling substrate for a window sampler. A WindowEstimator is one such
+/// translated algorithm: it ingests the stream like a sampler (it IS a
+/// StreamSink, so the batched StreamDriver pumps it unchanged) and answers
+/// queries with a typed EstimateReport instead of a raw sample set.
+///
+/// Estimators are constructed by name through the estimator registry
+/// (apps/estimator_registry.h), which pairs each estimator with a sampling
+/// substrate named by its sampler-registry string.
+///
+/// Ownership: estimators come out of `CreateEstimator` as
+/// `Result<std::unique_ptr<WindowEstimator>>` and are owned by the caller;
+/// an estimator owns its substrate outright.
+///
+/// Thread-safety: an estimator is NOT thread-safe — one thread per
+/// instance, like every StreamSink. The sharded driver runs one replica
+/// per shard and combines the per-shard reports through merge_kind()
+/// below.
+///
+/// Status conventions: construction and merge errors are `Status` values
+/// (InvalidArgument for bad configs or incompatible merges), never
+/// exceptions; Observe/Estimate never allocate a Status.
 
 #ifndef SWSAMPLE_APPS_ESTIMATOR_H_
 #define SWSAMPLE_APPS_ESTIMATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/api.h"
 #include "stream/item.h"
+#include "util/status.h"
 
 namespace swsample {
 
@@ -37,6 +53,28 @@ struct EstimateReport {
   uint64_t support = 0;
 };
 
+/// How per-shard estimates of one quantity combine into a global estimate
+/// when the stream is partitioned across shard replicas. kSum and kEntropy
+/// are per-KEY identities: they require shards with DISJOINT key sets
+/// (key-hash partitioning) — under round-robin chunking a key's
+/// occurrences split across shards and sum-of-shard-F_k underestimates
+/// the global moment. kCount and kWeightedMean only need the shards to
+/// partition the window's ELEMENTS, which every partition mode provides.
+enum class EstimateMergeKind {
+  kNone,          ///< not merge-capable (quantiles, triangles)
+  kSum,           ///< value adds across key-disjoint shards (F_k)
+  kCount,         ///< value adds across any element partition (counts)
+  kWeightedMean,  ///< window_size-weighted mean of shard values (means)
+  kEntropy,       ///< Shannon grouping rule over key-disjoint shards
+};
+
+/// True when `kind` is only exact over key-disjoint shards — harnesses
+/// use this to default to key-hash partitioning.
+inline bool MergeNeedsKeyDisjointShards(EstimateMergeKind kind) {
+  return kind == EstimateMergeKind::kSum ||
+         kind == EstimateMergeKind::kEntropy;
+}
+
 /// Abstract sliding-window estimator.
 ///
 /// Inherits the full ingestion contract of StreamSink: consecutive indices,
@@ -48,7 +86,26 @@ class WindowEstimator : public StreamSink {
   /// fresh randomness (substrates redraw samples per query); the guarantee
   /// is on the per-call estimate distribution.
   virtual EstimateReport Estimate() = 0;
+
+  /// How shard-level Estimate() reports combine (see EstimateMergeKind);
+  /// kNone means this estimator cannot be sharded meaningfully.
+  virtual EstimateMergeKind merge_kind() const {
+    return EstimateMergeKind::kNone;
+  }
 };
+
+/// Combines per-shard reports per `kind`. The merged window_size and
+/// support are the shard sums; the merged value is the sum (kSum), the
+/// window_size-weighted mean (kWeightedMean), or the Shannon grouping
+/// combination H = sum_s (n_s/n) * (H_s + log2(n/n_s)) over non-empty
+/// shards (kEntropy). InvalidArgument on kNone or an empty span.
+Result<EstimateReport> MergeEstimates(EstimateMergeKind kind,
+                                      std::span<const EstimateReport> shards);
+
+/// Queries every shard replica and merges the reports under the shards'
+/// common merge_kind(). Fails when shards is empty, the kinds disagree, or
+/// the kind is kNone.
+Result<EstimateReport> MergedEstimate(std::span<WindowEstimator* const> shards);
 
 }  // namespace swsample
 

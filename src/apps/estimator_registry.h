@@ -1,13 +1,26 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
-//
-// Estimator registry: every sliding-window estimator in the library is
-// constructible from a string name, a sampling substrate named by its
-// SAMPLER-registry string, and one common configuration struct. This is
-// Theorem 5.1 realized as code: the theorem turns any sampling-based
-// streaming estimator into a sliding-window estimator by swapping its
-// sampling substrate, and here the swap is a config field. Harnesses,
-// examples, benchmarks and the CLI drive estimators through this single
-// entry point; benches E8-E12 sweep the estimator x substrate grid.
+
+/// \file
+/// Estimator registry: every sliding-window estimator in the library is
+/// constructible from a string name, a sampling substrate named by its
+/// SAMPLER-registry string, and one common configuration struct. This is
+/// Theorem 5.1 realized as code: the theorem turns any sampling-based
+/// streaming estimator into a sliding-window estimator by swapping its
+/// sampling substrate, and here the swap is a config field. Harnesses,
+/// examples, benchmarks, the CLI and the sharded driver's replica factory
+/// drive estimators through this single entry point; benches E8-E12
+/// sweep the estimator x substrate grid.
+///
+/// Ownership: CreateEstimator returns a caller-owned unique_ptr that owns
+/// its substrate outright; the registry holds only static specs.
+///
+/// Thread-safety: lookups are safe from any thread (immutable tables);
+/// constructed estimators follow core/api.h's one-thread-per-instance
+/// rule.
+///
+/// Status conventions: unknown names, unknown/incompatible substrates and
+/// invalid configurations return InvalidArgument with the compatible set
+/// spelled out in the message, never exceptions.
 //
 // Registered names:
 //

@@ -45,6 +45,11 @@ class FkEstimator final : public WindowEstimator {
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
   const char* name() const override { return "ams-fk"; }
+  /// F_k is additive across disjoint shards: every occurrence of a value
+  /// lands in one shard under key-hash partitioning, so shard moments sum.
+  EstimateMergeKind merge_kind() const override {
+    return EstimateMergeKind::kSum;
+  }
 
  private:
   FkEstimator(Substrate substrate, uint32_t moment)

@@ -46,6 +46,10 @@ class WindowCountEstimator final : public WindowEstimator {
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override;
   const char* name() const override { return "window-count"; }
+  /// Active counts add up under any element partition of the window.
+  EstimateMergeKind merge_kind() const override {
+    return EstimateMergeKind::kCount;
+  }
 
  private:
   WindowCountEstimator(Mode mode, uint64_t window_n, Timestamp window_t)

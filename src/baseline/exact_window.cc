@@ -80,6 +80,15 @@ std::vector<Item> ExactWindow::Sample() {
   return out;
 }
 
+Result<SamplerSnapshot> ExactWindow::Snapshot() {
+  SamplerSnapshot snapshot;
+  snapshot.active = window_.size();
+  snapshot.k = k_;
+  snapshot.without_replacement = !with_replacement_;
+  snapshot.sample = Sample();
+  return snapshot;
+}
+
 uint64_t ExactWindow::MemoryWords() const {
   return 3 + window_.size() * kWordsPerItem;
 }

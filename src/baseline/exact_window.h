@@ -45,6 +45,10 @@ class ExactWindow final : public WindowSampler {
   const char* name() const override {
     return kind_ == WindowKind::kSequence ? "exact-seq" : "exact-ts";
   }
+  bool mergeable() const override { return true; }
+  /// Exact occupancy plus one Sample() draw — the merge-correctness
+  /// oracle for both window kinds.
+  Result<SamplerSnapshot> Snapshot() override;
 
   /// The exact window contents, oldest first (test oracle).
   const std::deque<Item>& contents() const { return window_; }

@@ -1,0 +1,128 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Cross-shard sample merging (core/api.h SamplerSnapshot). The weighted
+// selection below is exact, not approximate: a uniform sample of a shard's
+// window, reweighted by occupancy against another shard's, is a uniform
+// sample of the union — the same Section 1.3.1 composition the paper uses
+// to combine bucket reservoirs, applied across shards instead of buckets.
+
+#include <algorithm>
+#include <string>
+
+#include "core/api.h"
+#include "util/macros.h"
+
+namespace swsample {
+
+namespace {
+
+/// Appends a uniformly random `take`-subset of `from` to `out` via a
+/// partial Fisher-Yates shuffle of a scratch copy. A uniform sub-subset of
+/// a uniform subset is uniform (paper Section 2.2, the X_V^i argument), so
+/// this composes with the hypergeometric allocation below.
+void AppendUniformSubset(const std::vector<Item>& from, uint64_t take,
+                         Rng& rng, std::vector<Item>* out) {
+  SWS_DCHECK(take <= from.size());
+  if (take == from.size()) {
+    out->insert(out->end(), from.begin(), from.end());
+    return;
+  }
+  std::vector<Item> scratch = from;
+  for (uint64_t i = 0; i < take; ++i) {
+    const uint64_t j = rng.UniformRange(i, scratch.size() - 1);
+    std::swap(scratch[i], scratch[j]);
+    out->push_back(scratch[i]);
+  }
+}
+
+}  // namespace
+
+Status SamplerSnapshot::MergeFrom(const SamplerSnapshot& other, Rng& rng) {
+  if (k != other.k) {
+    return Status::InvalidArgument(
+        "SamplerSnapshot::MergeFrom: mismatched k (" + std::to_string(k) +
+        " vs " + std::to_string(other.k) + ")");
+  }
+  if (without_replacement != other.without_replacement) {
+    return Status::InvalidArgument(
+        "SamplerSnapshot::MergeFrom: cannot merge a with-replacement "
+        "snapshot with a without-replacement one");
+  }
+  if (other.active == 0) return Status::Ok();
+  if (active == 0) {
+    *this = other;
+    return Status::Ok();
+  }
+  if (!without_replacement) {
+    // With replacement: each slot is an independent uniform draw from its
+    // shard's window, so slot i of the union is slot i of either side,
+    // chosen with probability proportional to the occupancies.
+    if (sample.size() != k || other.sample.size() != k) {
+      return Status::InvalidArgument(
+          "SamplerSnapshot::MergeFrom: a with-replacement snapshot of a "
+          "non-empty window must hold exactly k samples");
+    }
+    for (uint64_t i = 0; i < k; ++i) {
+      if (rng.BernoulliRational(other.active, active + other.active)) {
+        sample[i] = other.sample[i];
+      }
+    }
+    active += other.active;
+    return Status::Ok();
+  }
+  // Without replacement: a uniform min(k, |A|+|B|)-subset of A union B
+  // contains j elements of A with multivariate hypergeometric probability;
+  // realize the allocation by |draws| sequential occupancy-weighted coins,
+  // then take uniform sub-subsets of each side's sample.
+  if (sample.size() != std::min(k, active) ||
+      other.sample.size() != std::min(k, other.active)) {
+    return Status::InvalidArgument(
+        "SamplerSnapshot::MergeFrom: a without-replacement snapshot must "
+        "hold min(k, active) samples");
+  }
+  const uint64_t draws = std::min(k, active + other.active);
+  uint64_t remaining_a = active;
+  uint64_t remaining_b = other.active;
+  uint64_t take_a = 0;
+  uint64_t take_b = 0;
+  for (uint64_t j = 0; j < draws; ++j) {
+    if (rng.BernoulliRational(remaining_a, remaining_a + remaining_b)) {
+      ++take_a;
+      --remaining_a;
+    } else {
+      ++take_b;
+      --remaining_b;
+    }
+  }
+  std::vector<Item> merged;
+  merged.reserve(draws);
+  AppendUniformSubset(sample, take_a, rng, &merged);
+  AppendUniformSubset(other.sample, take_b, rng, &merged);
+  sample = std::move(merged);
+  active += other.active;
+  return Status::Ok();
+}
+
+Result<SamplerSnapshot> MergedSnapshot(std::span<WindowSampler* const> shards,
+                                       uint64_t seed) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("MergedSnapshot: no shards");
+  }
+  Rng rng(seed);
+  SamplerSnapshot merged;
+  bool first = true;
+  for (WindowSampler* shard : shards) {
+    SWS_CHECK(shard != nullptr);
+    auto snapshot = shard->Snapshot();
+    if (!snapshot.ok()) return snapshot.status();
+    if (first) {
+      merged = std::move(snapshot.value());
+      first = false;
+      continue;
+    }
+    if (Status s = merged.MergeFrom(snapshot.value(), rng); !s.ok()) return s;
+  }
+  return merged;
+}
+
+}  // namespace swsample

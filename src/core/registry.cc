@@ -36,6 +36,8 @@ class SeqSingleSampler final : public WindowSampler {
   uint64_t MemoryWords() const override { return inner_->MemoryWords(); }
   uint64_t k() const override { return 1; }
   const char* name() const override { return "bop-seq-single"; }
+  bool mergeable() const override { return true; }
+  Result<SamplerSnapshot> Snapshot() override { return inner_->Snapshot(); }
 
  private:
   std::unique_ptr<SequenceSwrSampler> inner_;

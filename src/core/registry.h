@@ -1,11 +1,23 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
-//
-// Sampler registry: every sliding-window sampler in the library — the six
-// paper algorithms of BravermanOZ09 and the six prior-art baselines — is
-// constructible from a string name and one common configuration struct.
-// Harnesses, examples, benchmarks and the CLI drive samplers through this
-// single entry point, so adding a sampler (or a sharded/remote backend in a
-// future PR) never touches call sites.
+
+/// \file
+/// Sampler registry: every sliding-window sampler in the library — the six
+/// paper algorithms of BravermanOZ09 and the six prior-art baselines — is
+/// constructible from a string name and one common configuration struct.
+/// Harnesses, examples, benchmarks, the CLI and the sharded driver's
+/// replica factory drive samplers through this single entry point, so
+/// adding a sampler never touches call sites.
+///
+/// Ownership: CreateSampler returns a caller-owned unique_ptr; the
+/// registry holds only static specs (no constructed instances).
+///
+/// Thread-safety: the lookup tables are immutable after first use and
+/// safe to read from any thread; constructed samplers inherit the
+/// one-thread-per-instance rule of core/api.h.
+///
+/// Status conventions: unknown names and invalid configurations return
+/// InvalidArgument (with the registered-name list in the message), never
+/// exceptions; a returned sampler is always fully valid.
 //
 // Registered names:
 //

@@ -81,6 +81,15 @@ std::vector<Item> SequenceSworSampler::Sample() {
   return out;
 }
 
+Result<SamplerSnapshot> SequenceSworSampler::Snapshot() {
+  SamplerSnapshot snapshot;
+  snapshot.active = std::min(count_, n_);
+  snapshot.k = k_;
+  snapshot.without_replacement = true;
+  snapshot.sample = Sample();
+  return snapshot;
+}
+
 void SequenceSworSampler::SaveState(std::string* out) const {
   SWS_CHECK(out != nullptr);
   BinaryWriter w;

@@ -47,6 +47,10 @@ class SequenceSworSampler final : public WindowSampler {
   uint64_t MemoryWords() const override;
   uint64_t k() const override { return k_; }
   const char* name() const override { return "bop-seq-swor"; }
+  bool mergeable() const override { return true; }
+  /// Occupancy min(count, n) plus one Sample() draw (a uniform
+  /// min(k, occupancy)-subset of the window, Thm 2.2).
+  Result<SamplerSnapshot> Snapshot() override;
 
   /// Window size n.
   uint64_t n() const { return n_; }

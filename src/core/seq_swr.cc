@@ -89,6 +89,15 @@ std::vector<Item> SequenceSwrSampler::Sample() {
   return out;
 }
 
+Result<SamplerSnapshot> SequenceSwrSampler::Snapshot() {
+  SamplerSnapshot snapshot;
+  snapshot.active = std::min(count_, n_);
+  snapshot.k = units_.size();
+  snapshot.without_replacement = false;
+  snapshot.sample = Sample();
+  return snapshot;
+}
+
 void SequenceSwrSampler::SaveState(std::string* out) const {
   SWS_CHECK(out != nullptr);
   BinaryWriter w;

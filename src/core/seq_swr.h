@@ -48,6 +48,10 @@ class SequenceSwrSampler final : public WindowSampler {
   uint64_t MemoryWords() const override;
   uint64_t k() const override { return units_.size(); }
   const char* name() const override { return "bop-seq-swr"; }
+  bool mergeable() const override { return true; }
+  /// Occupancy min(count, n) plus one Sample() draw; the k units are
+  /// independent (Thm 2.1), so merged slots stay independent.
+  Result<SamplerSnapshot> Snapshot() override;
 
   /// Window size n.
   uint64_t n() const { return n_; }

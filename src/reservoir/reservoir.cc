@@ -84,6 +84,23 @@ void KReservoir::Observe(const Item& item, Rng& rng) {
 
 namespace {
 
+#if defined(__GLIBC__)
+extern "C" double lgamma_r(double, int*);  // not declared under -std=c++20
+#endif
+
+// std::lgamma writes the process-global `signgam` in glibc, which is a
+// data race when sharded-driver workers run the skip search concurrently.
+// Arguments here are always >= 1 (sign is always +), so the reentrant
+// variant is a drop-in.
+double LGammaThreadSafe(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // log P(S >= s) for the Algorithm R skip variable at count c with
 // reservoir size k: P(S >= s) = prod_{t=c+1}^{c+s} (1 - k/t), a ratio of
 // falling factorials evaluated through lgamma so it is O(1) regardless
@@ -92,8 +109,9 @@ double LogSkipTail(uint64_t c, uint64_t k, uint64_t s) {
   const double cd = static_cast<double>(c);
   const double sd = static_cast<double>(s);
   const double kd = static_cast<double>(k);
-  return (std::lgamma(cd + sd - kd + 1) - std::lgamma(cd - kd + 1)) -
-         (std::lgamma(cd + sd + 1) - std::lgamma(cd + 1));
+  return (LGammaThreadSafe(cd + sd - kd + 1) -
+          LGammaThreadSafe(cd - kd + 1)) -
+         (LGammaThreadSafe(cd + sd + 1) - LGammaThreadSafe(cd + 1));
 }
 
 }  // namespace

@@ -38,6 +38,43 @@ bool IsBlank(const char* line) {
 }
 }  // namespace
 
+Status ParseEventLine(const char* line, size_t line_cap, bool timestamped,
+                      const std::string& source_name, uint64_t line_no,
+                      Timestamp last_ts, uint64_t* value, Timestamp* ts,
+                      bool* skip) {
+  *skip = false;
+  const size_t len = std::strlen(line);
+  if (len + 1 == line_cap && line[len - 1] != '\n') {
+    return Status::InvalidArgument(
+        source_name + ":" + std::to_string(line_no) +
+        ": event line too long (limit " + std::to_string(line_cap - 2) +
+        " characters)");
+  }
+  if (IsBlank(line)) {
+    *skip = true;
+    return Status::Ok();
+  }
+  if (timestamped) {
+    if (std::sscanf(line, "%" SCNd64 " %" SCNu64, ts, value) != 2) {
+      return Status::InvalidArgument(
+          source_name + ":" + std::to_string(line_no) +
+          ": malformed event line (expected \"<timestamp> <value>\")");
+    }
+    if (*ts < last_ts) {
+      return Status::InvalidArgument(
+          source_name + ":" + std::to_string(line_no) +
+          ": timestamps must be non-decreasing");
+    }
+    return Status::Ok();
+  }
+  if (std::sscanf(line, "%" SCNu64, value) != 1) {
+    return Status::InvalidArgument(
+        source_name + ":" + std::to_string(line_no) +
+        ": malformed event line (expected \"<value>\")");
+  }
+  return Status::Ok();
+}
+
 StreamDriver::StreamDriver(const Options& options) : options_(options) {}
 
 /// Accumulates items into batch_size runs, forwards them to the sink,
@@ -139,34 +176,19 @@ Result<DriveReport> StreamDriver::DriveLines(std::FILE* f,
   uint64_t line_no = 0;
   while (std::fgets(line, sizeof(line), f)) {
     ++line_no;
-    const size_t len = std::strlen(line);
-    if (len + 1 == sizeof(line) && line[len - 1] != '\n') {
-      return Status::InvalidArgument(
-          source_name + ":" + std::to_string(line_no) +
-          ": event line too long (limit " +
-          std::to_string(sizeof(line) - 2) + " characters)");
-    }
-    if (IsBlank(line)) continue;
     uint64_t value = 0;
     Timestamp ts = 0;
+    bool skip = false;
+    if (Status s = ParseEventLine(line, sizeof(line), timestamped,
+                                  source_name, line_no, last_ts, &value, &ts,
+                                  &skip);
+        !s.ok()) {
+      return s;
+    }
+    if (skip) continue;
     if (timestamped) {
-      if (std::sscanf(line, "%" SCNd64 " %" SCNu64, &ts, &value) != 2) {
-        return Status::InvalidArgument(
-            source_name + ":" + std::to_string(line_no) +
-            ": malformed event line (expected \"<timestamp> <value>\")");
-      }
-      if (ts < last_ts) {
-        return Status::InvalidArgument(
-            source_name + ":" + std::to_string(line_no) +
-            ": timestamps must be non-decreasing");
-      }
       last_ts = ts;
     } else {
-      if (std::sscanf(line, "%" SCNu64, &value) != 1) {
-        return Status::InvalidArgument(
-            source_name + ":" + std::to_string(line_no) +
-            ": malformed event line (expected \"<value>\")");
-      }
       ts = static_cast<Timestamp>(index);
     }
     pump.Push(Item{value, index++, ts});

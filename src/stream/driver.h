@@ -1,12 +1,26 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
-//
-// Batched ingestion engine: feeds generated or file-backed streams through
-// any StreamSink — a sampler from the sampler registry or an estimator
-// from the estimator registry — in batches, and reports throughput and
-// live memory. This is the one place harness code pumps items from —
-// benchmarks, examples and the CLI share it, so a future sharded or
-// asynchronous backend slots in behind this interface without touching
-// call sites.
+
+/// \file
+/// Batched ingestion engine: feeds generated or file-backed streams through
+/// any StreamSink — a sampler from the sampler registry or an estimator
+/// from the estimator registry — in batches, and reports throughput and
+/// live memory. This is the one place single-threaded harness code pumps
+/// items from — benchmarks, examples and the CLI share it — and the
+/// sharded engine (stream/sharded_driver.h) reuses its line grammar, so
+/// the two backends stay drop-in interchangeable at call sites.
+///
+/// Ownership: a driver borrows the sink only for the duration of one
+/// Drive* call and holds no state between calls.
+///
+/// Thread-safety: a StreamDriver is immutable after construction and may
+/// be shared across threads, but each Drive* call pumps one sink from the
+/// calling thread — drive a given sink from one thread at a time.
+///
+/// Status conventions: unreadable files and malformed input return
+/// InvalidArgument through Result<DriveReport> with "source:line"-prefixed
+/// messages (e.g. `events.txt:17: malformed event line (expected
+/// "<timestamp> <value>")`); Drive/DriveSynthetic cannot fail and return
+/// plain reports.
 
 #ifndef SWSAMPLE_STREAM_DRIVER_H_
 #define SWSAMPLE_STREAM_DRIVER_H_
@@ -86,6 +100,18 @@ class StreamDriver {
 
   Options options_;
 };
+
+/// The event-line grammar shared by StreamDriver::DriveLines and the
+/// sharded driver. Parses one NUL-terminated `line` (as read into a
+/// buffer of `line_cap` bytes) into (*value, *ts), enforcing
+/// non-decreasing timestamps against `last_ts` when `timestamped`. Blank
+/// (whitespace-only) lines set *skip and touch nothing else. Over-long
+/// and malformed lines return InvalidArgument mentioning
+/// `source_name:line_no`.
+Status ParseEventLine(const char* line, size_t line_cap, bool timestamped,
+                      const std::string& source_name, uint64_t line_no,
+                      Timestamp last_ts, uint64_t* value, Timestamp* ts,
+                      bool* skip);
 
 }  // namespace swsample
 

@@ -1,0 +1,593 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// The sharded ingestion engine (see sharded_driver.h for the data-flow
+// picture). One bounded SPSC queue per worker thread carries routed
+// chunks; the producer blocks on a full queue (backpressure), workers
+// re-index each chunk into their shard's local stream before pumping it,
+// and joining the workers is the synchronization point that makes
+// post-drive shard queries race-free.
+
+#include "stream/sharded_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// SplitMix64 finalizer: the key-hash partition function. Uniform enough
+/// that per-shard loads concentrate tightly for any key distribution.
+uint64_t MixKey(uint64_t value) {
+  uint64_t z = value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One routed unit of work. kSpan references producer-owned storage (the
+/// zero-copy path of Drive over a materialized stream); kOwned moves the
+/// storage through the queue.
+struct Msg {
+  enum class Kind { kSpan, kOwned, kAdvance, kStop };
+  Kind kind = Kind::kStop;
+  uint32_t shard = 0;
+  std::span<const Item> span;
+  std::vector<Item> owned;
+  Timestamp now = 0;
+};
+
+/// Bounded FIFO with one producer and one consumer; Push blocks while the
+/// queue is at capacity, which is the engine's backpressure mechanism.
+class BoundedMsgQueue {
+ public:
+  explicit BoundedMsgQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(Msg&& msg) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(msg));
+    not_empty_.notify_one();
+  }
+
+  Msg Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !queue_.empty(); });
+    Msg msg = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return msg;
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Msg> queue_;
+};
+
+}  // namespace
+
+/// Queues + worker threads of one Drive* call. Every shard's messages go
+/// through the queue of worker (shard % workers), so per-shard order is
+/// FIFO; a shard's state (local re-index counter, report) is touched only
+/// by its owning worker until Finish() joins the threads.
+class ShardedStreamDriver::Engine {
+ public:
+  Engine(const Options& options, std::span<StreamSink* const> sinks)
+      : options_(options),
+        sinks_(sinks.begin(), sinks.end()),
+        shard_state_(sinks.size()) {
+    const uint64_t workers =
+        std::min<uint64_t>(std::max<uint64_t>(options.threads, 1),
+                           sinks_.size());
+    queues_.reserve(workers);
+    for (uint64_t w = 0; w < workers; ++w) {
+      queues_.push_back(
+          std::make_unique<BoundedMsgQueue>(options.queue_chunks));
+    }
+    threads_.reserve(workers);
+    for (uint64_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~Engine() {
+    if (!finished_) Finish();
+  }
+
+  void SendSpan(uint32_t shard, std::span<const Item> span) {
+    Msg msg;
+    msg.kind = Msg::Kind::kSpan;
+    msg.shard = shard;
+    msg.span = span;
+    QueueOf(shard).Push(std::move(msg));
+  }
+
+  void SendOwned(uint32_t shard, std::vector<Item>&& items) {
+    Msg msg;
+    msg.kind = Msg::Kind::kOwned;
+    msg.shard = shard;
+    msg.owned = std::move(items);
+    QueueOf(shard).Push(std::move(msg));
+  }
+
+  /// Moves every shard's clock to `now` (empty synthetic steps, and the
+  /// final clock sync so post-drive queries of timestamp sinks all see
+  /// the stream-end time).
+  void BroadcastAdvance(Timestamp now) {
+    for (uint32_t shard = 0; shard < sinks_.size(); ++shard) {
+      Msg msg;
+      msg.kind = Msg::Kind::kAdvance;
+      msg.shard = shard;
+      msg.now = now;
+      QueueOf(shard).Push(std::move(msg));
+    }
+  }
+
+  /// Stops and joins the workers, then stamps final/peak memory and
+  /// per-shard throughput. Idempotent; called by the destructor on error
+  /// paths so no Drive* exit leaks a thread.
+  std::vector<ShardReport> Finish() {
+    if (!finished_) {
+      finished_ = true;
+      for (auto& queue : queues_) queue->Push(Msg{});  // kStop
+      for (std::thread& thread : threads_) thread.join();
+      for (size_t shard = 0; shard < sinks_.size(); ++shard) {
+        ShardReport& report = shard_state_[shard].report;
+        report.memory_words = sinks_[shard]->MemoryWords();
+        report.peak_memory_words =
+            std::max(report.peak_memory_words, report.memory_words);
+        if (report.busy_seconds > 0) {
+          report.items_per_sec =
+              static_cast<double>(report.items) / report.busy_seconds;
+        }
+      }
+    }
+    std::vector<ShardReport> reports;
+    reports.reserve(shard_state_.size());
+    for (const ShardState& state : shard_state_) {
+      reports.push_back(state.report);
+    }
+    return reports;
+  }
+
+ private:
+  struct ShardState {
+    uint64_t local_index = 0;  ///< next index of the shard's local stream
+    ShardReport report;
+  };
+
+  BoundedMsgQueue& QueueOf(uint32_t shard) {
+    return *queues_[shard % queues_.size()];
+  }
+
+  void ObserveChunk(uint32_t shard, std::span<const Item> items) {
+    if (items.empty()) return;
+    ShardState& state = shard_state_[shard];
+    const auto begin = Clock::now();
+    sinks_[shard]->ObserveBatch(items);
+    state.report.busy_seconds +=
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    state.report.items += items.size();
+    ++state.report.batches;
+    if (options_.memory_probe_every != 0 &&
+        state.report.batches % options_.memory_probe_every == 0) {
+      state.report.peak_memory_words = std::max(
+          state.report.peak_memory_words, sinks_[shard]->MemoryWords());
+    }
+  }
+
+  void WorkerLoop(uint64_t worker) {
+    std::vector<Item> scratch;
+    scratch.reserve(options_.chunk_items);
+    BoundedMsgQueue& queue = *queues_[worker];
+    for (;;) {
+      Msg msg = queue.Pop();
+      switch (msg.kind) {
+        case Msg::Kind::kStop:
+          return;
+        case Msg::Kind::kAdvance:
+          sinks_[msg.shard]->AdvanceTime(msg.now);
+          break;
+        case Msg::Kind::kSpan: {
+          // Re-index into the shard's local stream; values and timestamps
+          // pass through. The copy runs on the worker, so it scales with
+          // the pool instead of serializing on the producer.
+          ShardState& state = shard_state_[msg.shard];
+          scratch.clear();
+          for (const Item& item : msg.span) {
+            scratch.push_back(
+                Item{item.value, state.local_index++, item.timestamp});
+          }
+          ObserveChunk(msg.shard, scratch);
+          break;
+        }
+        case Msg::Kind::kOwned: {
+          ShardState& state = shard_state_[msg.shard];
+          for (Item& item : msg.owned) item.index = state.local_index++;
+          ObserveChunk(msg.shard, msg.owned);
+          break;
+        }
+      }
+    }
+  }
+
+  const Options options_;
+  std::vector<StreamSink*> sinks_;
+  std::vector<ShardState> shard_state_;
+  std::vector<std::unique_ptr<BoundedMsgQueue>> queues_;
+  std::vector<std::thread> threads_;
+  bool finished_ = false;
+};
+
+namespace {
+
+/// Producer-side accumulator for streams that are not pre-materialized
+/// (synthetic bursts, parsed lines): buffers items into chunk_items-sized
+/// owned chunks per routing target and ships them through the engine.
+class OwnedRouter {
+ public:
+  OwnedRouter(const ShardedStreamDriver::Options& options, uint64_t shards,
+              ShardedStreamDriver::Engine& engine)
+      : options_(options), engine_(engine) {
+    const uint64_t targets =
+        options.partition == ShardPartition::kKeyHash ? shards : 1;
+    pending_.resize(targets);
+    for (auto& pending : pending_) pending.reserve(options.chunk_items);
+    shards_ = shards;
+  }
+
+  void Add(const Item& item) {
+    last_ts_ = item.timestamp;
+    if (options_.partition == ShardPartition::kKeyHash) {
+      const uint32_t shard =
+          static_cast<uint32_t>(MixKey(item.value) % shards_);
+      pending_[shard].push_back(item);
+      if (pending_[shard].size() >= options_.chunk_items) {
+        FlushTarget(shard, shard);
+      }
+      return;
+    }
+    pending_[0].push_back(item);
+    if (pending_[0].size() >= options_.chunk_items) {
+      FlushTarget(0, next_chunk_shard_);
+      next_chunk_shard_ =
+          static_cast<uint32_t>((next_chunk_shard_ + 1) % shards_);
+    }
+  }
+
+  /// Empty synthetic step: deliver buffered arrivals first so every shard
+  /// observes the same arrival/clock order as unbatched feeding, then
+  /// move all clocks.
+  void AdvanceAll(Timestamp now) {
+    FlushAll();
+    last_ts_ = now;
+    engine_.BroadcastAdvance(now);
+  }
+
+  /// End of stream: flush and sync every shard's clock to the last seen
+  /// timestamp so post-drive queries agree on "now".
+  void FinishStream() {
+    FlushAll();
+    if (saw_items_) engine_.BroadcastAdvance(last_ts_);
+  }
+
+ private:
+  bool FlushTarget(size_t target, uint32_t shard) {
+    if (pending_[target].empty()) return false;
+    saw_items_ = true;
+    std::vector<Item> chunk = std::move(pending_[target]);
+    pending_[target] = std::vector<Item>();
+    pending_[target].reserve(options_.chunk_items);
+    engine_.SendOwned(shard, std::move(chunk));
+    return true;
+  }
+
+  void FlushAll() {
+    if (options_.partition == ShardPartition::kKeyHash) {
+      for (uint32_t shard = 0; shard < pending_.size(); ++shard) {
+        FlushTarget(shard, shard);
+      }
+      return;
+    }
+    // Rotate only when a chunk actually shipped, or repeated empty steps
+    // would skip shards in the round-robin rotation.
+    if (FlushTarget(0, next_chunk_shard_)) {
+      next_chunk_shard_ =
+          static_cast<uint32_t>((next_chunk_shard_ + 1) % shards_);
+    }
+  }
+
+  const ShardedStreamDriver::Options& options_;
+  ShardedStreamDriver::Engine& engine_;
+  uint64_t shards_ = 1;
+  uint32_t next_chunk_shard_ = 0;
+  std::vector<std::vector<Item>> pending_;  // [shard] or [0] for kChunks
+  Timestamp last_ts_ = 0;
+  bool saw_items_ = false;
+};
+
+/// Sums the per-shard reports into the wall-clock total.
+ShardedDriveReport AssembleReport(Clock::time_point begin,
+                                  std::vector<ShardReport> shards,
+                                  uint64_t empty_steps) {
+  ShardedDriveReport report;
+  report.shards = std::move(shards);
+  report.total.empty_steps = empty_steps;
+  for (const ShardReport& shard : report.shards) {
+    report.total.items += shard.items;
+    report.total.batches += shard.batches;
+    report.total.memory_words += shard.memory_words;
+    report.total.peak_memory_words += shard.peak_memory_words;
+  }
+  report.total.seconds =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  if (report.total.seconds > 0) {
+    report.total.items_per_sec =
+        static_cast<double>(report.total.items) / report.total.seconds;
+  }
+  return report;
+}
+
+}  // namespace
+
+ShardedStreamDriver::ShardedStreamDriver(const Options& options)
+    : options_(options) {}
+
+Status ShardedStreamDriver::Validate(
+    std::span<StreamSink* const> shards) const {
+  if (options_.threads < 1) {
+    return Status::InvalidArgument(
+        "ShardedStreamDriver: options.threads must be >= 1");
+  }
+  if (options_.chunk_items < 1) {
+    return Status::InvalidArgument(
+        "ShardedStreamDriver: options.chunk_items must be >= 1");
+  }
+  if (options_.queue_chunks < 1) {
+    return Status::InvalidArgument(
+        "ShardedStreamDriver: options.queue_chunks must be >= 1");
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument(
+        "ShardedStreamDriver: at least one shard sink is required");
+  }
+  for (StreamSink* shard : shards) {
+    if (shard == nullptr) {
+      return Status::InvalidArgument(
+          "ShardedStreamDriver: shard sinks must be non-null");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ShardedDriveReport> ShardedStreamDriver::Drive(
+    std::span<const Item> items, std::span<StreamSink* const> shards) const {
+  if (Status s = Validate(shards); !s.ok()) return s;
+  const auto begin = Clock::now();
+  Engine engine(options_, shards);
+  const uint64_t num_shards = shards.size();
+  if (options_.partition == ShardPartition::kChunks) {
+    // Zero copy on the producer: route sub-spans of the caller's storage
+    // round-robin; workers do the per-item re-index copy in parallel.
+    uint64_t chunk = 0;
+    for (size_t offset = 0; offset < items.size();
+         offset += options_.chunk_items, ++chunk) {
+      const size_t len =
+          std::min<size_t>(options_.chunk_items, items.size() - offset);
+      engine.SendSpan(static_cast<uint32_t>(chunk % num_shards),
+                      items.subspan(offset, len));
+    }
+    if (!items.empty()) engine.BroadcastAdvance(items.back().timestamp);
+  } else {
+    OwnedRouter router(options_, num_shards, engine);
+    for (const Item& item : items) router.Add(item);
+    router.FinishStream();
+  }
+  return AssembleReport(begin, engine.Finish(), /*empty_steps=*/0);
+}
+
+Result<ShardedDriveReport> ShardedStreamDriver::DriveSynthetic(
+    SyntheticStream& stream, uint64_t steps,
+    std::span<StreamSink* const> shards) const {
+  if (Status s = Validate(shards); !s.ok()) return s;
+  const auto begin = Clock::now();
+  uint64_t empty_steps = 0;
+  Engine engine(options_, shards);
+  {
+    OwnedRouter router(options_, shards.size(), engine);
+    for (uint64_t step = 0; step < steps; ++step) {
+      const std::vector<Item>& burst = stream.Step();
+      if (burst.empty()) {
+        ++empty_steps;
+        router.AdvanceAll(stream.now());
+      } else {
+        for (const Item& item : burst) router.Add(item);
+      }
+    }
+    router.FinishStream();
+  }
+  return AssembleReport(begin, engine.Finish(), empty_steps);
+}
+
+Result<ShardedDriveReport> ShardedStreamDriver::DriveLines(
+    std::FILE* f, const std::string& source_name, bool timestamped,
+    std::span<StreamSink* const> shards) const {
+  if (Status s = Validate(shards); !s.ok()) return s;
+  const auto begin = Clock::now();
+  Engine engine(options_, shards);
+  OwnedRouter router(options_, shards.size(), engine);
+  char line[256];
+  StreamIndex index = 0;
+  Timestamp last_ts = 0;
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    ++line_no;
+    uint64_t value = 0;
+    Timestamp ts = 0;
+    bool skip = false;
+    if (Status s = ParseEventLine(line, sizeof(line), timestamped,
+                                  source_name, line_no, last_ts, &value, &ts,
+                                  &skip);
+        !s.ok()) {
+      return s;  // ~Engine stops and joins the workers
+    }
+    if (skip) continue;
+    if (timestamped) {
+      last_ts = ts;
+    } else {
+      ts = static_cast<Timestamp>(index);
+    }
+    router.Add(Item{value, index++, ts});
+  }
+  router.FinishStream();
+  return AssembleReport(begin, engine.Finish(), /*empty_steps=*/0);
+}
+
+Result<ShardedDriveReport> ShardedStreamDriver::DriveFile(
+    const std::string& path, bool timestamped,
+    std::span<StreamSink* const> shards) const {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open stream file: " + path);
+  }
+  auto result = DriveLines(f, path, timestamped, shards);
+  std::fclose(f);
+  return result;
+}
+
+namespace {
+
+/// Splits a sequence window across shards; identity for shards == 1.
+Result<uint64_t> SplitSequenceWindow(std::string_view name, uint64_t window_n,
+                                     uint64_t shards) {
+  if (shards == 1) return window_n;
+  if (window_n < shards || window_n % shards != 0) {
+    return Status::InvalidArgument(
+        std::string(name) + ": window_n (" + std::to_string(window_n) +
+        ") must be a positive multiple of the shard count (" +
+        std::to_string(shards) + ") so the shard windows union to the "
+        "global window");
+  }
+  return window_n / shards;
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
+    std::string_view name, const SamplerConfig& config, uint64_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument(
+        "CreateShardedSamplers: shards must be >= 1");
+  }
+  const SamplerSpec* spec = FindSamplerSpec(name);
+  if (spec == nullptr) {
+    return Status::InvalidArgument("unknown sampler \"" + std::string(name) +
+                                   "\"; registered: " +
+                                   RegisteredSamplerNames());
+  }
+  SamplerConfig shard_config = config;
+  if (spec->model == WindowModel::kSequence) {
+    auto window = SplitSequenceWindow(name, config.window_n, shards);
+    if (!window.ok()) return window.status();
+    shard_config.window_n = window.value();
+  }
+  std::vector<std::unique_ptr<WindowSampler>> replicas;
+  replicas.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    shard_config.seed = Rng::ForkSeed(config.seed, shard);
+    auto replica = CreateSampler(name, shard_config);
+    if (!replica.ok()) return replica.status();
+    replicas.push_back(std::move(replica).ValueOrDie());
+  }
+  return replicas;
+}
+
+Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
+    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument(
+        "CreateShardedEstimators: shards must be >= 1");
+  }
+  const EstimatorSpec* estimator_spec = FindEstimatorSpec(name);
+  if (estimator_spec == nullptr) {
+    return Status::InvalidArgument("unknown estimator \"" +
+                                   std::string(name) + "\"; registered: " +
+                                   RegisteredEstimatorNames());
+  }
+  const std::string substrate_name = config.substrate.empty()
+                                         ? estimator_spec->default_substrate
+                                         : config.substrate;
+  const SamplerSpec* substrate = FindSamplerSpec(substrate_name);
+  if (substrate == nullptr) {
+    return Status::InvalidArgument(
+        std::string(name) + ": unknown substrate \"" + substrate_name +
+        "\"; registered samplers: " + RegisteredSamplerNames());
+  }
+  EstimatorConfig shard_config = config;
+  if (substrate->model == WindowModel::kSequence) {
+    auto window = SplitSequenceWindow(name, config.window_n, shards);
+    if (!window.ok()) return window.status();
+    shard_config.window_n = window.value();
+    for (BiasLevel& level : shard_config.bias_levels) {
+      auto level_window =
+          SplitSequenceWindow("biased-mean level", level.window, shards);
+      if (!level_window.ok()) return level_window.status();
+      level.window = level_window.value();
+    }
+  }
+  std::vector<std::unique_ptr<WindowEstimator>> replicas;
+  replicas.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    shard_config.seed = Rng::ForkSeed(config.seed, shard);
+    auto replica = CreateEstimator(name, shard_config);
+    if (!replica.ok()) return replica.status();
+    replicas.push_back(std::move(replica).ValueOrDie());
+  }
+  return replicas;
+}
+
+std::vector<StreamSink*> SinkPointers(
+    const std::vector<std::unique_ptr<WindowSampler>>& shards) {
+  std::vector<StreamSink*> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(shard.get());
+  return out;
+}
+
+std::vector<StreamSink*> SinkPointers(
+    const std::vector<std::unique_ptr<WindowEstimator>>& shards) {
+  std::vector<StreamSink*> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(shard.get());
+  return out;
+}
+
+std::vector<WindowSampler*> SamplerPointers(
+    const std::vector<std::unique_ptr<WindowSampler>>& shards) {
+  std::vector<WindowSampler*> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(shard.get());
+  return out;
+}
+
+std::vector<WindowEstimator*> EstimatorPointers(
+    const std::vector<std::unique_ptr<WindowEstimator>>& shards) {
+  std::vector<WindowEstimator*> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(shard.get());
+  return out;
+}
+
+}  // namespace swsample
