@@ -80,7 +80,7 @@ void Run() {
       oracle->AdvanceTime(t);
       ++queries;
       max_words = std::max(max_words, s.MemoryWords());
-      if (!s.Sample().has_value() && oracle->size() > 0) ++true_fails;
+      if (!s.SampleOne().has_value() && oracle->size() > 0) ++true_fails;
     }
     Row({"bop-ts", "-", U(max_words), U(queries), U(true_fails), F(0.0, 3)});
   }

@@ -55,7 +55,7 @@ void Run() {
       window.emplace_back(t, burst);
       // Sample in the window [t0-1, 2t0-1] of moments, as in the lemma.
       if (t >= t0 - 1) {
-        auto sample = s.Sample();
+        auto sample = s.SampleOne();
         if (sample) picked.insert(sample->timestamp);
       }
       if (t == t0) {

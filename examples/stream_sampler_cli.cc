@@ -26,6 +26,18 @@
 //                        sinks and for estimators whose merge needs
 //                        key-disjoint shards, e.g. ams-fk/ccm-entropy;
 //                        chunks otherwise)
+//   --checkpoint-dir=<d> persist periodic checkpoints (sink state + a
+//                        manifest, atomic write-rename) into directory d
+//   --checkpoint-every=<n>  checkpoint every n ingested events (default
+//                        1000000; taken at the next batch boundary)
+//   --resume             restore from --checkpoint-dir and continue: the
+//                        input must REPLAY the stream from the beginning
+//                        (the already-ingested prefix is skipped); the
+//                        final report is bit-identical to a run that was
+//                        never interrupted
+//   --kill-after=<n>     testing hook: SIGKILL this process right after
+//                        the first checkpoint at >= n events (the CI
+//                        crash/resume smoke test drives this)
 //   --moment=<k>         frequency moment for --estimator=ams-fk (default 2)
 //   --vertices=<v>       vertex universe for --estimator=buriol-triangles
 //   --q=<q>              quantile for --estimator=dkw-quantile (default 0.5)
@@ -49,16 +61,19 @@
 
 #include <cerrno>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/estimator_registry.h"
 #include "core/api.h"
 #include "core/registry.h"
+#include "stream/checkpoint.h"
 #include "stream/driver.h"
 #include "stream/sharded_driver.h"
 
@@ -72,7 +87,8 @@ void Usage(const char* argv0) {
                "[--substrate=<name>]] [--file=<path>] [--batch=<n>] "
                "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
                "[--report=<n>] [--threads=<n>] [--shards=<n>] "
-               "[--partition=chunks|keyhash] <window> <k>\n"
+               "[--partition=chunks|keyhash] [--checkpoint-dir=<d> "
+               "[--checkpoint-every=<n>] [--resume]] <window> <k>\n"
                "       %s --list | --list-estimators\n"
                "  sequence mode reads lines \"<value>\"; timestamp mode\n"
                "  reads \"<timestamp> <value>\"\n"
@@ -124,6 +140,28 @@ void ReportEstimate(WindowEstimator& estimator, uint64_t events, FILE* out) {
                report.value, report.window_size, report.support);
 }
 
+/// Checkpoint/resume flags shared by the single and sharded paths.
+struct CheckpointRun {
+  std::string dir;            // --checkpoint-dir; empty = disabled
+  uint64_t every = 1000000;   // --checkpoint-every
+  bool resume = false;        // --resume
+  uint64_t kill_after = 0;    // --kill-after testing hook
+};
+
+/// Installs the --kill-after crash-injection hook on a writer.
+void InstallKillHook(CheckpointWriter& writer, uint64_t kill_after) {
+  if (kill_after == 0) return;
+  writer.set_after_write([kill_after](uint64_t items) {
+    if (items >= kill_after) {
+      std::fprintf(stderr,
+                   "--kill-after: SIGKILL after checkpoint at %" PRIu64
+                   " events\n",
+                   items);
+      std::raise(SIGKILL);
+    }
+  });
+}
+
 /// Everything the sharded execution path needs from main's flag parse.
 struct ShardedRun {
   std::string algo;
@@ -136,6 +174,7 @@ struct ShardedRun {
   std::string partition;  // "", "chunks", or "keyhash"
   uint64_t batch = 1024;
   uint64_t seed = 0;
+  CheckpointRun checkpoint;
 };
 
 /// Drives the stream through N replicas on worker threads and prints the
@@ -145,10 +184,47 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
   std::vector<std::unique_ptr<WindowSampler>> samplers;
   std::vector<std::unique_ptr<WindowEstimator>> estimators;
   std::vector<StreamSink*> sinks;
+  ResumedCheckpoint resumed;  // --resume: restored state + skip position
   // Sharded output only exists through the merge surface, so refuse
   // non-mergeable sinks up front instead of after ingesting the stream.
   bool needs_key_disjoint = false;
-  if (!run.estimator_name.empty()) {
+  if (run.checkpoint.resume) {
+    auto loaded = ShardedStreamDriver::ResumeFrom(run.checkpoint.dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    resumed = std::move(loaded).ValueOrDie();
+    const bool want_estimators = !run.estimator_name.empty();
+    const std::string& requested =
+        want_estimators ? run.estimator_name : run.algo;
+    if (want_estimators != !resumed.estimators.empty() ||
+        resumed.sinks.size() != run.shards) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint in %s holds %zu %s shard(s), but "
+                   "the flags request %" PRIu64 " %s shard(s)\n",
+                   run.checkpoint.dir.c_str(), resumed.sinks.size(),
+                   resumed.estimators.empty() ? "sampler" : "estimator",
+                   run.shards,
+                   want_estimators ? "estimator" : "sampler");
+      return 2;
+    }
+    if (resumed.name != requested) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint in %s holds \"%s\", but the flags "
+                   "request \"%s\"\n",
+                   run.checkpoint.dir.c_str(), resumed.name.c_str(),
+                   requested.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "resume: restored %s (%" PRIu64
+                 " shard(s)) at %" PRIu64 " events; the checkpoint's "
+                 "configuration is authoritative\n",
+                 resumed.name.c_str(), run.shards, resumed.position.items);
+    samplers = std::move(resumed.samplers);
+    estimators = std::move(resumed.estimators);
+  } else if (!run.estimator_name.empty()) {
     auto created = CreateShardedEstimators(run.estimator_name,
                                            run.estimator_config, run.shards);
     if (!created.ok()) {
@@ -156,6 +232,16 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
       return 1;
     }
     estimators = std::move(created).ValueOrDie();
+  } else {
+    auto created =
+        CreateShardedSamplers(run.algo, run.sampler_config, run.shards);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    samplers = std::move(created).ValueOrDie();
+  }
+  if (!estimators.empty()) {
     if (estimators[0]->merge_kind() == EstimateMergeKind::kNone) {
       std::fprintf(stderr,
                    "%s is not merge-capable; run it single-threaded "
@@ -167,13 +253,6 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
         MergeNeedsKeyDisjointShards(estimators[0]->merge_kind());
     sinks = SinkPointers(estimators);
   } else {
-    auto created =
-        CreateShardedSamplers(run.algo, run.sampler_config, run.shards);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-      return 1;
-    }
-    samplers = std::move(created).ValueOrDie();
     if (!samplers[0]->mergeable()) {
       std::fprintf(stderr,
                    "%s is not merge-capable; run it single-threaded "
@@ -207,14 +286,59 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
   }
   ShardedStreamDriver driver(options);
 
-  auto result = run.file.empty()
-                    ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
-                    : driver.DriveFile(run.file, timestamped, sinks);
+  Result<ShardedDriveReport> result = Status::InvalidArgument("unset");
+  if (!run.checkpoint.dir.empty()) {
+    CheckpointPolicy policy;
+    policy.dir = run.checkpoint.dir;
+    policy.every_items = run.checkpoint.every;
+    // On resume the checkpoint's own (name, config) pairs keep stamping
+    // the envelopes, so flag drift cannot corrupt later checkpoints; the
+    // resumed position also re-seeds the every-N cadence.
+    std::vector<SinkSerializer> serializers;
+    if (run.checkpoint.resume) {
+      serializers = SerializersFor(resumed);
+    } else {
+      auto made =
+          estimators.empty()
+              ? MakeSamplerSerializers(run.algo, run.sampler_config,
+                                       run.shards)
+              : MakeEstimatorSerializers(run.estimator_name,
+                                         run.estimator_config, run.shards);
+      if (!made.ok()) {
+        std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+        return 1;
+      }
+      serializers = std::move(made).ValueOrDie();
+    }
+    CheckpointWriter writer(policy, std::move(serializers),
+                            resumed.position.items);
+    InstallKillHook(writer, run.checkpoint.kill_after);
+    const CheckpointManifest* resume_pos =
+        run.checkpoint.resume ? &resumed.position : nullptr;
+    result = run.file.empty()
+                 ? driver.DriveLinesCheckpointed(stdin, "stdin", timestamped,
+                                                sinks, &writer, resume_pos)
+                 : driver.DriveFileCheckpointed(run.file, timestamped, sinks,
+                                                &writer, resume_pos);
+  } else {
+    result = run.file.empty()
+                 ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
+                 : driver.DriveFile(run.file, timestamped, sinks);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   const ShardedDriveReport& report = result.value();
+  // Stream totals include the prefix a resumed run skipped — minus the
+  // checkpoint's pending router items, which that prefix already counts
+  // but which are delivered (and counted) by this run.
+  uint64_t resumed_pending = 0;
+  for (const auto& buffer : resumed.position.pending) {
+    resumed_pending += buffer.size();
+  }
+  const uint64_t total_events =
+      report.total.items + resumed.position.items - resumed_pending;
   std::fprintf(stderr,
                "sink=%s shards=%" PRIu64 " threads=%" PRIu64
                " partition=%s items=%" PRIu64
@@ -222,7 +346,7 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                sinks[0]->name(), run.shards, run.threads,
                options.partition == ShardPartition::kKeyHash ? "keyhash"
                                                              : "chunks",
-               report.total.items, report.total.items_per_sec / 1e6);
+               total_events, report.total.items_per_sec / 1e6);
   for (size_t s = 0; s < report.shards.size(); ++s) {
     const ShardReport& shard = report.shards[s];
     std::fprintf(stderr,
@@ -241,7 +365,7 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
     const EstimateReport& estimate = merged.value();
     std::printf("events=%" PRIu64 " memory=%" PRIu64
                 " words %s=%.6g window=%.6g support=%" PRIu64 "\n",
-                report.total.items, report.total.memory_words,
+                total_events, report.total.memory_words,
                 estimate.metric.c_str(), estimate.value,
                 estimate.window_size, estimate.support);
     return 0;
@@ -253,7 +377,7 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
     return 1;
   }
   std::printf("events=%" PRIu64 " memory=%" PRIu64 " words sample=[",
-              report.total.items, report.total.memory_words);
+              total_events, report.total.memory_words);
   for (size_t i = 0; i < merged.value().sample.size(); ++i) {
     std::printf("%s%" PRIu64, i ? " " : "", merged.value().sample[i].value);
   }
@@ -299,6 +423,7 @@ int main(int argc, char** argv) {
   uint64_t threads = 1;
   uint64_t shards = 0;
   std::string partition;
+  CheckpointRun checkpoint;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -355,6 +480,16 @@ int main(int argc, char** argv) {
                      partition.c_str());
         return 2;
       }
+    } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+      checkpoint.dir = arg + 17;
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      u64_flag = &checkpoint.every;
+      u64_value = arg + 19;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      checkpoint.resume = true;
+    } else if (std::strncmp(arg, "--kill-after=", 13) == 0) {
+      u64_flag = &checkpoint.kill_after;
+      u64_value = arg + 13;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       Usage(argv[0]);
       return 2;
@@ -378,6 +513,12 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  if ((checkpoint.resume || checkpoint.kill_after > 0) &&
+      checkpoint.dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume/--kill-after require --checkpoint-dir\n");
+    return 2;
+  }
 
   StreamDriver::Options options;
   options.batch_size = batch;
@@ -388,6 +529,8 @@ int main(int argc, char** argv) {
   // stdin mode adds periodic progress reports.
   std::unique_ptr<WindowSampler> sampler;
   std::unique_ptr<WindowEstimator> estimator;
+  SamplerConfig sampler_config;      // kept for checkpoint envelopes
+  EstimatorConfig estimator_config;  // kept for checkpoint envelopes
   bool timestamped = false;
   if (!estimator_name.empty()) {
     const EstimatorSpec* spec = FindEstimatorSpec(estimator_name);
@@ -421,14 +564,18 @@ int main(int argc, char** argv) {
       run.partition = partition;
       run.batch = batch;
       run.seed = seed;
+      run.checkpoint = checkpoint;
       return RunSharded(run, timestamped);
     }
-    auto created = CreateEstimator(estimator_name, config);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-      return 1;
+    estimator_config = config;
+    if (!checkpoint.resume) {
+      auto created = CreateEstimator(estimator_name, config);
+      if (!created.ok()) {
+        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+        return 1;
+      }
+      estimator = std::move(created).ValueOrDie();
     }
-    estimator = std::move(created).ValueOrDie();
   } else {
     const SamplerSpec* spec = FindSamplerSpec(algo);
     if (spec == nullptr) {
@@ -452,42 +599,123 @@ int main(int argc, char** argv) {
       run.partition = partition;
       run.batch = batch;
       run.seed = seed;
+      run.checkpoint = checkpoint;
       return RunSharded(run, timestamped);
     }
-    auto created = CreateSampler(algo, config);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    sampler_config = config;
+    if (!checkpoint.resume) {
+      auto created = CreateSampler(algo, config);
+      if (!created.ok()) {
+        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+        return 1;
+      }
+      sampler = std::move(created).ValueOrDie();
+    }
+  }
+  ResumedCheckpoint resumed;  // --resume: restored state + skip position
+  if (checkpoint.resume) {
+    auto loaded = StreamDriver::ResumeFrom(checkpoint.dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    sampler = std::move(created).ValueOrDie();
+    resumed = std::move(loaded).ValueOrDie();
+    const bool want_estimator = !estimator_name.empty();
+    const std::string& requested = want_estimator ? estimator_name : algo;
+    if (want_estimator != !resumed.estimators.empty() ||
+        resumed.sinks.size() != 1) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint in %s holds %zu %s shard(s), but "
+                   "the flags request one %s\n",
+                   checkpoint.dir.c_str(), resumed.sinks.size(),
+                   resumed.estimators.empty() ? "sampler" : "estimator",
+                   want_estimator ? "estimator" : "sampler");
+      return 2;
+    }
+    if (resumed.name != requested) {
+      std::fprintf(stderr,
+                   "--resume: checkpoint in %s holds \"%s\", but the flags "
+                   "request \"%s\"\n",
+                   checkpoint.dir.c_str(), resumed.name.c_str(),
+                   requested.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "resume: restored %s at %" PRIu64 " events; the "
+                 "checkpoint's configuration is authoritative\n",
+                 resumed.name.c_str(), resumed.position.items);
+    if (want_estimator) {
+      estimator = std::move(resumed.estimators[0]);
+    } else {
+      sampler = std::move(resumed.samplers[0]);
+    }
   }
   StreamSink& sink = estimator ? static_cast<StreamSink&>(*estimator)
                                : static_cast<StreamSink&>(*sampler);
 
-  auto progress = [&](uint64_t items) {
-    if (estimator) {
-      ReportEstimate(*estimator, items, stderr);
+  Result<DriveReport> result = Status::InvalidArgument("unset");
+  if (!checkpoint.dir.empty()) {
+    CheckpointPolicy policy;
+    policy.dir = checkpoint.dir;
+    policy.every_items = checkpoint.every;
+    // See RunSharded: resumed runs reuse the checkpoint's own envelope
+    // configs and re-seed the every-N cadence from the resumed position.
+    std::vector<SinkSerializer> serializers;
+    if (checkpoint.resume) {
+      serializers = SerializersFor(resumed);
     } else {
-      ReportSample(*sampler, items, stderr);
+      auto made =
+          estimator
+              ? MakeEstimatorSerializers(estimator_name, estimator_config, 1)
+              : MakeSamplerSerializers(algo, sampler_config, 1);
+      if (!made.ok()) {
+        std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+        return 1;
+      }
+      serializers = std::move(made).ValueOrDie();
     }
-  };
-  auto result = file.empty()
-                    ? driver.DriveLines(stdin, "stdin", timestamped, sink,
-                                        progress, report_every)
-                    : driver.DriveFile(file, timestamped, sink);
+    CheckpointWriter writer(policy, std::move(serializers),
+                            resumed.position.items);
+    InstallKillHook(writer, checkpoint.kill_after);
+    const CheckpointManifest* resume_pos =
+        checkpoint.resume ? &resumed.position : nullptr;
+    // Progress reporting is disabled here: its mid-interval flushes would
+    // shift batch boundaries away from the checkpoint-aligned grid.
+    if (file.empty()) {
+      result = driver.DriveLinesCheckpointed(stdin, "stdin", timestamped,
+                                             sink, &writer, resume_pos);
+    } else {
+      result = driver.DriveFileCheckpointed(file, timestamped, sink, &writer,
+                                            resume_pos);
+    }
+  } else {
+    auto progress = [&](uint64_t items) {
+      if (estimator) {
+        ReportEstimate(*estimator, items, stderr);
+      } else {
+        ReportSample(*sampler, items, stderr);
+      }
+    };
+    result = file.empty()
+                 ? driver.DriveLines(stdin, "stdin", timestamped, sink,
+                                     progress, report_every)
+                 : driver.DriveFile(file, timestamped, sink);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   const DriveReport& r = result.value();
+  // Stream totals include the prefix a resumed run skipped.
+  const uint64_t total_events = r.items + resumed.position.items;
   std::fprintf(stderr,
                "sink=%s items=%" PRIu64 " batches=%" PRIu64
                " throughput=%.2fM items/s\n",
-               sink.name(), r.items, r.batches, r.items_per_sec / 1e6);
+               sink.name(), total_events, r.batches, r.items_per_sec / 1e6);
   if (estimator) {
-    ReportEstimate(*estimator, r.items, stdout);
+    ReportEstimate(*estimator, total_events, stdout);
   } else {
-    ReportSample(*sampler, r.items, stdout);
+    ReportSample(*sampler, total_events, stdout);
   }
   return 0;
 }

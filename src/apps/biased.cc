@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "stream/item_serial.h"
 
 namespace swsample {
 
@@ -107,6 +108,26 @@ std::pair<double, uint64_t> StepBiasedSampler::WeightedMeanEstimate() {
     support += sample.size();
   }
   return {value, support};
+}
+
+bool StepBiasedSampler::persistable() const {
+  for (const auto& sampler : samplers_) {
+    if (!sampler->persistable()) return false;
+  }
+  return true;
+}
+
+void StepBiasedSampler::SaveState(BinaryWriter* w) const {
+  SaveRngState(rng_, w);
+  for (const auto& sampler : samplers_) sampler->SaveState(w);
+}
+
+bool StepBiasedSampler::LoadState(BinaryReader* r) {
+  if (!LoadRngState(r, &rng_)) return false;
+  for (auto& sampler : samplers_) {
+    if (!sampler->LoadState(r)) return false;
+  }
+  return true;
 }
 
 uint64_t StepBiasedSampler::MemoryWords() const {

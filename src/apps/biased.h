@@ -78,6 +78,12 @@ class StepBiasedSampler {
   /// Length n_L of the largest (outermost) level window.
   uint64_t max_window() const { return levels_.back().window; }
 
+  /// Checkpointing: the level-pick RNG plus every per-level sampler
+  /// (levels/weights/substrate are configuration).
+  bool persistable() const;
+  void SaveState(BinaryWriter* w) const;
+  bool LoadState(BinaryReader* r);
+
  private:
   StepBiasedSampler(std::vector<BiasLevel> levels, uint64_t seed);
 
@@ -110,6 +116,14 @@ class BiasedMeanEstimator final : public WindowEstimator {
   /// Shard means combine as the occupancy-weighted mean of the union.
   EstimateMergeKind merge_kind() const override {
     return EstimateMergeKind::kWeightedMean;
+  }
+  bool persistable() const override { return sampler_->persistable(); }
+  void SaveState(BinaryWriter* w) const override {
+    w->PutU64(count_);
+    sampler_->SaveState(w);
+  }
+  bool LoadState(BinaryReader* r) override {
+    return r->GetU64(&count_) && sampler_->LoadState(r);
   }
 
   StepBiasedSampler& sampler() { return *sampler_; }

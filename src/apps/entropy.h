@@ -52,6 +52,11 @@ class EntropyEstimator final : public WindowEstimator {
   EstimateMergeKind merge_kind() const override {
     return EstimateMergeKind::kEntropy;
   }
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override { substrate_.SaveState(w); }
+  bool LoadState(BinaryReader* r) override {
+    return substrate_.LoadState(r);
+  }
 
  private:
   explicit EntropyEstimator(Substrate substrate)

@@ -1,0 +1,115 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "apps/estimator_checkpoint.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/checkpoint.h"
+
+namespace swsample {
+namespace {
+
+/// Caps a corrupt bias-level count before allocation (levels are nested
+/// windows — a handful in any real configuration).
+constexpr uint64_t kMaxBiasLevels = 1024;
+
+}  // namespace
+
+void SaveEstimatorConfig(const EstimatorConfig& config, BinaryWriter* w) {
+  w->PutString(config.substrate);
+  w->PutU64(config.window_n);
+  w->PutI64(config.window_t);
+  w->PutU64(config.r);
+  w->PutU64(config.seed);
+  w->PutU64(config.moment);
+  w->PutU64(config.num_vertices);
+  w->PutDouble(config.count_eps);
+  w->PutDouble(config.q);
+  w->PutU64(config.oversample_factor);
+  w->PutU64(config.bias_levels.size());
+  for (const BiasLevel& level : config.bias_levels) {
+    w->PutU64(level.window);
+    w->PutDouble(level.weight);
+  }
+}
+
+bool LoadEstimatorConfig(BinaryReader* r, EstimatorConfig* config) {
+  uint64_t moment = 0, vertices = 0, levels = 0;
+  if (!r->GetString(&config->substrate) || !r->GetU64(&config->window_n) ||
+      !r->GetI64(&config->window_t) || !r->GetU64(&config->r) ||
+      !r->GetU64(&config->seed) || !r->GetU64(&moment) ||
+      !r->GetU64(&vertices) || !r->GetDouble(&config->count_eps) ||
+      !r->GetDouble(&config->q) || !r->GetU64(&config->oversample_factor) ||
+      !r->GetU64(&levels)) {
+    return false;
+  }
+  if (config->r > kMaxCheckpointUnits ||
+      config->oversample_factor > kMaxCheckpointUnits ||
+      moment > 0xffffffffu || vertices > 0xffffffffu ||
+      levels > kMaxBiasLevels || !std::isfinite(config->count_eps) ||
+      !std::isfinite(config->q)) {
+    return false;
+  }
+  config->moment = static_cast<uint32_t>(moment);
+  config->num_vertices = static_cast<uint32_t>(vertices);
+  config->bias_levels.clear();
+  for (uint64_t i = 0; i < levels; ++i) {
+    BiasLevel level;
+    if (!r->GetU64(&level.window) || !r->GetDouble(&level.weight)) {
+      return false;
+    }
+    config->bias_levels.push_back(level);
+  }
+  return true;
+}
+
+Result<std::string> SaveEstimator(const WindowEstimator& estimator,
+                                  const EstimatorConfig& config) {
+  if (!estimator.persistable()) {
+    return Status::FailedPrecondition(std::string(estimator.name()) +
+                                      ": estimator is not persistable");
+  }
+  if (!IsRegisteredEstimator(estimator.name())) {
+    return Status::InvalidArgument(
+        std::string(estimator.name()) +
+        ": SaveEstimator requires a registry-constructed estimator");
+  }
+  BinaryWriter w;
+  WriteCheckpointHeader(CheckpointKind::kEstimator, &w);
+  w.PutString(estimator.name());
+  SaveEstimatorConfig(config, &w);
+  estimator.SaveState(&w);
+  return w.Release();
+}
+
+Result<std::unique_ptr<WindowEstimator>> RestoreEstimator(
+    std::string_view blob) {
+  BinaryReader r(blob);
+  CheckpointKind kind;
+  if (!ReadCheckpointHeader(&r, &kind)) {
+    return Status::InvalidArgument(
+        "RestoreEstimator: bad magic, unsupported version, or unknown kind");
+  }
+  if (kind != CheckpointKind::kEstimator) {
+    return Status::InvalidArgument(
+        "RestoreEstimator: blob does not contain an estimator checkpoint");
+  }
+  std::string name;
+  EstimatorConfig config;
+  if (!r.GetString(&name) || !LoadEstimatorConfig(&r, &config)) {
+    return Status::InvalidArgument(
+        "RestoreEstimator: truncated or invalid envelope");
+  }
+  auto estimator = CreateEstimator(name, config);
+  if (!estimator.ok()) return estimator.status();
+  std::unique_ptr<WindowEstimator> restored =
+      std::move(estimator).ValueOrDie();
+  if (!restored->LoadState(&r) || !r.AtEnd()) {
+    return Status::InvalidArgument(
+        name + ": truncated, corrupt, or trailing checkpoint state");
+  }
+  return restored;
+}
+
+}  // namespace swsample

@@ -1,0 +1,48 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+/// \file
+/// Estimator half of the checkpoint envelope (core/checkpoint.h):
+/// registry-level persistence for every WindowEstimator. A blob carries
+/// the estimator's registry name plus the full EstimatorConfig (substrate
+/// name included — the Theorem 5.1 swap survives the round trip), then
+/// the SaveState payload; RestoreEstimator reconstructs the exact object
+/// in any process by re-running CreateEstimator on the embedded config
+/// and refilling it with StreamSink::LoadState.
+///
+/// Status conventions match core/checkpoint.h: truncation, unknown
+/// names/substrates, invalid configs and trailing bytes are
+/// InvalidArgument, never a crash.
+
+#ifndef SWSAMPLE_APPS_ESTIMATOR_CHECKPOINT_H_
+#define SWSAMPLE_APPS_ESTIMATOR_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "apps/estimator.h"
+#include "apps/estimator_registry.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// EstimatorConfig wire codec (every field, fixed order).
+void SaveEstimatorConfig(const EstimatorConfig& config, BinaryWriter* w);
+bool LoadEstimatorConfig(BinaryReader* r, EstimatorConfig* config);
+
+/// Serializes a registry-constructed estimator into a self-describing
+/// blob. `config` must be the configuration the estimator was constructed
+/// from. Fails when the estimator (or its substrate) is not persistable
+/// or its name() is not a registry key.
+Result<std::string> SaveEstimator(const WindowEstimator& estimator,
+                                  const EstimatorConfig& config);
+
+/// Reconstructs the exact estimator a SaveEstimator blob describes; the
+/// result resumes the saved estimator's behaviour bit for bit.
+Result<std::unique_ptr<WindowEstimator>> RestoreEstimator(
+    std::string_view blob);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_APPS_ESTIMATOR_CHECKPOINT_H_

@@ -113,6 +113,12 @@ bool EstimatorSupportsSubstrate(std::string_view name,
 /// Constructs the estimator registered under `name` over the configured
 /// substrate. Unknown names, unknown or incompatible substrates, and
 /// invalid configurations come back as InvalidArgument.
+///
+/// Registry-level persistence lives in apps/estimator_checkpoint.h:
+/// SaveEstimator wraps a constructed estimator's state in a
+/// self-describing envelope (name + config + payload) and
+/// RestoreEstimator reconstructs the exact object from one, in any
+/// process.
 Result<std::unique_ptr<WindowEstimator>> CreateEstimator(
     std::string_view name, const EstimatorConfig& config);
 

@@ -17,8 +17,10 @@
 #include <utility>
 
 #include "stream/item.h"
+#include "stream/item_serial.h"
 #include "util/macros.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace swsample {
 
@@ -77,6 +79,37 @@ class ExactPayloadOracle {
 
   /// Live memory words: the buffered window.
   uint64_t MemoryWords() const { return buffer_.size() * kWordsPerItem + 2; }
+
+  /// Checkpointing: RNG + the buffered window (payloads are derived at
+  /// query time, so none are persisted).
+  void Save(BinaryWriter* w) const {
+    SaveRngState(rng_, w);
+    w->PutU64(buffer_.size());
+    for (const Item& item : buffer_) SaveItem(item, w);
+  }
+
+  bool Load(BinaryReader* r) {
+    uint64_t size = 0;
+    if (!LoadRngState(r, &rng_) || !r->GetU64(&size) ||
+        size > r->remaining() / 24 + 1 ||
+        (window_n_ > 0 && size > window_n_)) {
+      return false;
+    }
+    buffer_.clear();
+    for (uint64_t i = 0; i < size; ++i) {
+      Item item;
+      // Arrival-ordered with consecutive indices and non-negative
+      // timestamps (Expire()'s subtraction must not overflow).
+      if (!LoadItem(r, &item) || item.timestamp < 0 ||
+          (!buffer_.empty() &&
+           (item.index != buffer_.back().index + 1 ||
+            item.timestamp < buffer_.back().timestamp))) {
+        return false;
+      }
+      buffer_.push_back(item);
+    }
+    return true;
+  }
 
  private:
   void Expire(Timestamp now) {

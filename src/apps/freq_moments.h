@@ -50,6 +50,11 @@ class FkEstimator final : public WindowEstimator {
   EstimateMergeKind merge_kind() const override {
     return EstimateMergeKind::kSum;
   }
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override { substrate_.SaveState(w); }
+  bool LoadState(BinaryReader* r) override {
+    return substrate_.LoadState(r);
+  }
 
  private:
   FkEstimator(Substrate substrate, uint32_t moment)

@@ -65,6 +65,17 @@ struct CountOnArrival {
   }
 };
 
+/// Wire codec for CountPayload (the payload units serialize payloads
+/// through these unqualified overloads; estimators with custom payloads
+/// provide their own, e.g. apps/triangles.h).
+inline void SavePayload(const CountPayload& p, BinaryWriter* w) {
+  w->PutU64(p.value);
+  w->PutU64(p.count);
+}
+inline bool LoadPayload(BinaryReader* r, CountPayload* p) {
+  return r->GetU64(&p->value) && r->GetU64(&p->count) && p->count >= 1;
+}
+
 /// The timestamp-window forward-count tracker (white-box tested).
 using TsForwardCountUnit =
     TsPayloadUnit<CountPayload, CountOnSampled, CountOnArrival>;
@@ -238,6 +249,43 @@ class PayloadSubstrate {
         words = oracle_->MemoryWords();
     }
     return words;
+  }
+
+  /// Checkpointing: the substrate RNG plus every unit / the histogram /
+  /// the oracle, in construction order. Configuration (kind, windows, r)
+  /// lives in the owning estimator's envelope.
+  void SaveState(BinaryWriter* w) const {
+    SaveRngState(rng_, w);
+    switch (kind_) {
+      case SubstrateKind::kSeqUnits:
+        for (const auto& unit : seq_units_) unit.Save(w);
+        break;
+      case SubstrateKind::kTsUnits:
+        histogram_->Save(w);
+        for (const auto& unit : ts_units_) unit.Save(w);
+        break;
+      default:
+        oracle_->Save(w);
+    }
+  }
+
+  bool LoadState(BinaryReader* r) {
+    if (!LoadRngState(r, &rng_)) return false;
+    switch (kind_) {
+      case SubstrateKind::kSeqUnits:
+        for (auto& unit : seq_units_) {
+          if (!unit.Load(r)) return false;
+        }
+        return true;
+      case SubstrateKind::kTsUnits:
+        if (!histogram_->Load(r)) return false;
+        for (auto& unit : ts_units_) {
+          if (!unit.Load(r)) return false;
+        }
+        return true;
+      default:
+        return oracle_->Load(r);
+    }
   }
 
  private:

@@ -29,8 +29,10 @@
 #include <span>
 
 #include "stream/item.h"
+#include "stream/item_serial.h"
 #include "util/macros.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace swsample {
 
@@ -145,7 +147,49 @@ class PayloadWindowUnit {
     return slots * (kWordsPerItem + kPayloadWords) + 3;
   }
 
+  /// Checkpointing: counters plus both payload-carrying slots. Payloads
+  /// serialize through the SavePayload/LoadPayload overloads of the
+  /// instantiating estimator (apps/payload_substrate.h, apps/triangles.h).
+  void Save(BinaryWriter* w) const {
+    w->PutU64(count_);
+    w->PutU64(cur_count_);
+    SaveSlot(cur_, w);
+    SaveSlot(prev_, w);
+  }
+
+  bool Load(BinaryReader* r) {
+    if (!r->GetU64(&count_) || !r->GetU64(&cur_count_) ||
+        cur_count_ > count_ || cur_count_ > n_ ||
+        cur_count_ != (count_ == 0 ? 0 : (count_ - 1) % n_ + 1)) {
+      return false;
+    }
+    // A current slot exists iff the bucket is non-empty (its first arrival
+    // selects with probability 1); a previous one iff a bucket rolled.
+    return LoadSlot(r, &cur_, /*required=*/cur_count_ > 0) &&
+           LoadSlot(r, &prev_, /*required=*/count_ > n_);
+  }
+
  private:
+  static void SaveSlot(const std::optional<Sampled>& slot, BinaryWriter* w) {
+    w->PutBool(slot.has_value());
+    if (slot) {
+      SaveItem(slot->item, w);
+      SavePayload(slot->payload, w);
+    }
+  }
+
+  static bool LoadSlot(BinaryReader* r, std::optional<Sampled>* slot,
+                       bool required) {
+    bool present = false;
+    if (!r->GetBool(&present) || present != required) return false;
+    slot->reset();
+    if (!present) return true;
+    Sampled s;
+    if (!LoadItem(r, &s.item) || !LoadPayload(r, &s.payload)) return false;
+    *slot = std::move(s);
+    return true;
+  }
+
   /// Makes `item` the newest bucket's sample with a fresh payload; the
   /// previous bucket's payload still sees the arrival.
   void Select(const Item& item) {

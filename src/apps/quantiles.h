@@ -55,6 +55,10 @@ class QuantileEstimator final : public WindowEstimator {
 
   uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
   const char* name() const override { return "dkw-quantile"; }
+  /// Persists through the wrapped sampler (q is configuration).
+  bool persistable() const override { return sampler_->persistable(); }
+  void SaveState(BinaryWriter* w) const override { sampler_->SaveState(w); }
+  bool LoadState(BinaryReader* r) override { return sampler_->LoadState(r); }
 
   /// Estimates the q-quantile (by value) of the active window, q in [0, 1].
   /// Returns the sampled order statistic; 0 if the window is empty.

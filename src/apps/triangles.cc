@@ -33,10 +33,16 @@ TriangleEstimator::WatchPayload TriangleEstimator::OnSampled::operator()(
 
 void TriangleEstimator::OnArrival::operator()(WatchPayload& p,
                                               const Item& item) const {
+  // Compare unordered endpoint pairs directly — no re-encoding, so a
+  // degenerate arrival (x == y, possible only in corrupt input) simply
+  // matches nothing instead of tripping EncodeEdge's precondition.
   uint32_t x, y;
   DecodeEdge(item.value, &x, &y);
-  if (EncodeEdge(p.a, p.v) == EncodeEdge(x, y)) p.found_av = true;
-  if (EncodeEdge(p.b, p.v) == EncodeEdge(x, y)) p.found_bv = true;
+  const auto matches = [&](uint32_t u, uint32_t w) {
+    return (x == u && y == w) || (x == w && y == u);
+  };
+  if (matches(p.a, p.v)) p.found_av = true;
+  if (matches(p.b, p.v)) p.found_bv = true;
 }
 
 Result<std::unique_ptr<TriangleEstimator>> TriangleEstimator::Create(
@@ -53,6 +59,15 @@ Result<std::unique_ptr<TriangleEstimator>> TriangleEstimator::Create(
   est->substrate_ = std::make_unique<Substrate>(
       std::move(substrate).ValueOrDie());
   return est;
+}
+
+void TriangleEstimator::SaveState(BinaryWriter* w) const {
+  SaveRngState(vertex_rng_, w);
+  substrate_->SaveState(w);
+}
+
+bool TriangleEstimator::LoadState(BinaryReader* r) {
+  return LoadRngState(r, &vertex_rng_) && substrate_->LoadState(r);
 }
 
 EstimateReport TriangleEstimator::Estimate() {

@@ -75,6 +75,9 @@ class TriangleEstimator final : public WindowEstimator {
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_->MemoryWords(); }
   const char* name() const override { return "buriol-triangles"; }
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   TriangleEstimator(uint32_t num_vertices, uint64_t seed)
@@ -89,6 +92,30 @@ class TriangleEstimator final : public WindowEstimator {
   // lives behind a unique_ptr, so the pointer stays valid.
   std::unique_ptr<Substrate> substrate_;
 };
+
+/// Wire codec for the triangle watch payload (see
+/// apps/payload_substrate.h for the CountPayload counterpart).
+inline void SavePayload(const TriangleEstimator::WatchPayload& p,
+                        BinaryWriter* w) {
+  w->PutU64(p.a);
+  w->PutU64(p.b);
+  w->PutU64(p.v);
+  w->PutBool(p.found_av);
+  w->PutBool(p.found_bv);
+}
+inline bool LoadPayload(BinaryReader* r, TriangleEstimator::WatchPayload* p) {
+  uint64_t a = 0, b = 0, v = 0;
+  if (!r->GetU64(&a) || !r->GetU64(&b) || !r->GetU64(&v) ||
+      !r->GetBool(&p->found_av) || !r->GetBool(&p->found_bv)) {
+    return false;
+  }
+  p->a = static_cast<uint32_t>(a);
+  p->b = static_cast<uint32_t>(b);
+  p->v = static_cast<uint32_t>(v);
+  // The apex is a third vertex distinct from both endpoints.
+  return a <= 0xffffffffu && b <= 0xffffffffu && v <= 0xffffffffu &&
+         p->a != p->b && p->v != p->a && p->v != p->b;
+}
 
 }  // namespace swsample
 

@@ -25,15 +25,18 @@
 #ifndef SWSAMPLE_APPS_TS_PAYLOAD_H_
 #define SWSAMPLE_APPS_TS_PAYLOAD_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/ts_single.h"
 #include "stream/item.h"
 #include "util/macros.h"
+#include "util/serial.h"
 
 namespace swsample {
 
@@ -82,7 +85,7 @@ class TsPayloadUnit {
   /// A sampled (item, payload) of the active window; nullopt if empty.
   /// Fresh sampling randomness per call; the payload is exact.
   std::optional<Sampled> Sample() {
-    auto item = sampler_.Sample();
+    auto item = sampler_.SampleOne();
     if (!item) return std::nullopt;
     auto it = payloads_.find(item->index);
     SWS_CHECK(it != payloads_.end());
@@ -93,6 +96,52 @@ class TsPayloadUnit {
   uint64_t MemoryWords() const {
     constexpr uint64_t kPayloadWords = (sizeof(Payload) + 7) / 8;
     return sampler_.MemoryWords() + payloads_.size() * (1 + kPayloadWords);
+  }
+
+  /// Checkpointing: the embedded Section 3 sampler plus the candidate
+  /// payload map (serialized sorted by index so equal states produce
+  /// equal bytes). Load requires the map keys to be exactly the sampler's
+  /// candidate set — the invariant Sample() checks.
+  void Save(BinaryWriter* w) const {
+    sampler_.SaveState(w);
+    std::vector<StreamIndex> keys;
+    keys.reserve(payloads_.size());
+    for (const auto& [index, payload] : payloads_) keys.push_back(index);
+    std::sort(keys.begin(), keys.end());
+    w->PutU64(keys.size());
+    for (StreamIndex key : keys) {
+      w->PutU64(key);
+      SavePayload(payloads_.at(key), w);
+    }
+  }
+
+  bool Load(BinaryReader* r) {
+    uint64_t size = 0;
+    if (!sampler_.LoadState(r) || !r->GetU64(&size) ||
+        size != sampler_.StructureCount()) {
+      return false;
+    }
+    payloads_.clear();
+    for (uint64_t i = 0; i < size; ++i) {
+      StreamIndex index = 0;
+      Payload payload;
+      if (!r->GetU64(&index) || !LoadPayload(r, &payload) ||
+          payloads_.count(index) != 0) {
+        return false;
+      }
+      payloads_.emplace(index, std::move(payload));
+    }
+    // Every candidate the sampler can return must carry a payload.
+    for (uint64_t i = 0; i < sampler_.zeta().size(); ++i) {
+      if (payloads_.count(sampler_.zeta().bucket(i).r.index) == 0) {
+        return false;
+      }
+    }
+    if (sampler_.straddler() &&
+        payloads_.count(sampler_.straddler()->r.index) == 0) {
+      return false;
+    }
+    return true;
   }
 
  private:

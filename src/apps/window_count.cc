@@ -88,6 +88,47 @@ EstimateReport WindowCountEstimator::Estimate() {
   return report;
 }
 
+void WindowCountEstimator::SaveState(BinaryWriter* w) const {
+  switch (mode_) {
+    case Mode::kSequence:
+      w->PutU64(count_);
+      break;
+    case Mode::kTsHistogram:
+      histogram_->Save(w);
+      break;
+    case Mode::kTsExact:
+      w->PutU64(timestamps_.size());
+      for (Timestamp ts : timestamps_) w->PutI64(ts);
+      break;
+  }
+}
+
+bool WindowCountEstimator::LoadState(BinaryReader* r) {
+  switch (mode_) {
+    case Mode::kSequence:
+      return r->GetU64(&count_);
+    case Mode::kTsHistogram:
+      return histogram_->Load(r);
+    case Mode::kTsExact: {
+      uint64_t size = 0;
+      if (!r->GetU64(&size) || size > r->remaining() / 8) return false;
+      timestamps_.clear();
+      for (uint64_t i = 0; i < size; ++i) {
+        Timestamp ts = 0;
+        // Non-negative (AdvanceTime's expiry subtraction must not
+        // overflow on a corrupt blob) and non-decreasing.
+        if (!r->GetI64(&ts) || ts < 0 ||
+            (!timestamps_.empty() && ts < timestamps_.back())) {
+          return false;
+        }
+        timestamps_.push_back(ts);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 uint64_t WindowCountEstimator::MemoryWords() const {
   switch (mode_) {
     case Mode::kSequence:

@@ -50,6 +50,9 @@ class WindowCountEstimator final : public WindowEstimator {
   EstimateMergeKind merge_kind() const override {
     return EstimateMergeKind::kCount;
   }
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   WindowCountEstimator(Mode mode, uint64_t window_n, Timestamp window_t)

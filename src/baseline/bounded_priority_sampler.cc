@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "stream/item_serial.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -70,6 +71,42 @@ std::vector<Item> BoundedPrioritySampler::Sample() {
   out.reserve(take);
   for (uint64_t i = 0; i < take; ++i) out.push_back(sorted[i]->item);
   return out;
+}
+
+void BoundedPrioritySampler::SaveState(BinaryWriter* w) const {
+  w->PutI64(now_);
+  SaveRngState(rng_, w);
+  w->PutU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    SaveItem(entry.item, w);
+    w->PutU64(entry.priority);
+    w->PutU64(entry.dominated);
+  }
+}
+
+bool BoundedPrioritySampler::LoadState(BinaryReader* r) {
+  uint64_t size = 0;
+  if (!r->GetI64(&now_) || now_ < 0 || !LoadRngState(r, &rng_) ||
+      !r->GetU64(&size) || size > r->remaining() / 40 + 1) {
+    return false;
+  }
+  entries_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    Entry entry;
+    // Arrival-ordered, active, and never dominated k times (a k-dominated
+    // entry would have been discarded by Observe). 0 <= ts <= now_ first,
+    // so the expiry subtraction cannot overflow on a corrupt timestamp.
+    if (!LoadItem(r, &entry.item) || !r->GetU64(&entry.priority) ||
+        !r->GetU64(&entry.dominated) || entry.dominated >= k_ ||
+        entry.item.timestamp < 0 || entry.item.timestamp > now_ ||
+        now_ - entry.item.timestamp >= t0_ ||
+        (!entries_.empty() &&
+         entry.item.index <= entries_.back().item.index)) {
+      return false;
+    }
+    entries_.push_back(entry);
+  }
+  return true;
 }
 
 uint64_t BoundedPrioritySampler::MemoryWords() const {

@@ -41,6 +41,12 @@ class BoundedPrioritySampler final : public WindowSampler {
   /// Current retained-set size (the randomized memory metric).
   uint64_t ListLength() const { return entries_.size(); }
 
+  /// Interface-level persistence (clock, RNG, retained entries); restore
+  /// through the checkpoint envelope.
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
+
  private:
   struct Entry {
     Item item;

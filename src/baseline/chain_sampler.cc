@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "stream/item_serial.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -69,6 +70,37 @@ uint64_t ChainSampler::MemoryWords() const {
     words += unit.chain.size() * kWordsPerItem + 1;
   }
   return words;
+}
+
+void ChainSampler::SaveState(BinaryWriter* w) const {
+  w->PutU64(count_);
+  SaveRngState(rng_, w);
+  for (const Unit& unit : units_) {
+    w->PutU64(unit.chain.size());
+    for (const Item& item : unit.chain) SaveItem(item, w);
+    w->PutU64(unit.next_successor);
+  }
+}
+
+bool ChainSampler::LoadState(BinaryReader* r) {
+  if (!r->GetU64(&count_) || !LoadRngState(r, &rng_)) return false;
+  for (Unit& unit : units_) {
+    uint64_t len = 0;
+    // A chain holds at most one element per window position.
+    if (!r->GetU64(&len) || len > n_ || len > count_) return false;
+    unit.chain.clear();
+    for (uint64_t i = 0; i < len; ++i) {
+      Item item;
+      // Chains are ordered by arrival and only hold observed indices.
+      if (!LoadItem(r, &item) || item.index >= count_ ||
+          (!unit.chain.empty() && item.index <= unit.chain.back().index)) {
+        return false;
+      }
+      unit.chain.push_back(item);
+    }
+    if (!r->GetU64(&unit.next_successor)) return false;
+  }
+  return true;
 }
 
 uint64_t ChainSampler::MaxChainLength() const {

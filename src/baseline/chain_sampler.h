@@ -54,6 +54,12 @@ class ChainSampler final : public WindowSampler {
   /// Longest successor chain across units (E2's randomized-memory metric).
   uint64_t MaxChainLength() const;
 
+  /// Interface-level persistence (counter, RNG, chains + awaited
+  /// successors); restore through the checkpoint envelope.
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
+
  private:
   struct Unit {
     /// Front = current sample; the rest are materialized successors.

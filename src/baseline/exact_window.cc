@@ -2,6 +2,7 @@
 
 #include "baseline/exact_window.h"
 
+#include "stream/item_serial.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -87,6 +88,38 @@ Result<SamplerSnapshot> ExactWindow::Snapshot() {
   snapshot.without_replacement = !with_replacement_;
   snapshot.sample = Sample();
   return snapshot;
+}
+
+void ExactWindow::SaveState(BinaryWriter* w) const {
+  w->PutI64(now_);
+  SaveRngState(rng_, w);
+  w->PutU64(window_.size());
+  for (const Item& item : window_) SaveItem(item, w);
+}
+
+bool ExactWindow::LoadState(BinaryReader* r) {
+  uint64_t size = 0;
+  if (!r->GetI64(&now_) || now_ < 0 || !LoadRngState(r, &rng_) ||
+      !r->GetU64(&size)) {
+    return false;
+  }
+  if (kind_ == WindowKind::kSequence && size > n_) return false;
+  window_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    Item item;
+    // The buffer is arrival-ordered with consecutive indices; timestamp
+    // windows additionally only hold non-expired elements (0 <= ts <=
+    // now_ first, so the expiry subtraction cannot overflow).
+    if (!LoadItem(r, &item) || item.timestamp < 0 ||
+        (!window_.empty() && item.index != window_.back().index + 1) ||
+        (!window_.empty() && item.timestamp < window_.back().timestamp) ||
+        (kind_ == WindowKind::kTimestamp &&
+         (item.timestamp > now_ || now_ - item.timestamp >= t0_))) {
+      return false;
+    }
+    window_.push_back(item);
+  }
+  return true;
 }
 
 uint64_t ExactWindow::MemoryWords() const {

@@ -56,6 +56,12 @@ class ExactWindow final : public WindowSampler {
   /// Number of currently active elements.
   uint64_t size() const { return window_.size(); }
 
+  /// Interface-level persistence (clock, RNG, buffered window); restore
+  /// through the checkpoint envelope.
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
+
  private:
   ExactWindow(WindowKind kind, uint64_t n, Timestamp t0, uint64_t k,
               bool with_replacement, uint64_t seed)

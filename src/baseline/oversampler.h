@@ -43,6 +43,19 @@ class OverSampler final : public WindowSampler {
   /// Total queries issued.
   uint64_t query_count() const { return queries_; }
 
+  /// Interface-level persistence: the inner chain sampler plus the
+  /// failure accounting; restore through the checkpoint envelope.
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override {
+    inner_->SaveState(w);
+    w->PutU64(failures_);
+    w->PutU64(queries_);
+  }
+  bool LoadState(BinaryReader* r) override {
+    return inner_->LoadState(r) && r->GetU64(&failures_) &&
+           r->GetU64(&queries_) && failures_ <= queries_;
+  }
+
  private:
   OverSampler(uint64_t k, std::unique_ptr<ChainSampler> inner)
       : k_(k), inner_(std::move(inner)) {}

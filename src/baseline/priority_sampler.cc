@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "stream/item_serial.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -66,6 +67,45 @@ uint64_t PrioritySampler::MemoryWords() const {
     words += unit.stairs.size() * (kWordsPerItem + 1);
   }
   return words;
+}
+
+void PrioritySampler::SaveState(BinaryWriter* w) const {
+  w->PutI64(now_);
+  SaveRngState(rng_, w);
+  for (const Unit& unit : units_) {
+    w->PutU64(unit.stairs.size());
+    for (const Entry& entry : unit.stairs) {
+      SaveItem(entry.item, w);
+      w->PutU64(entry.priority);
+    }
+  }
+}
+
+bool PrioritySampler::LoadState(BinaryReader* r) {
+  if (!r->GetI64(&now_) || now_ < 0 || !LoadRngState(r, &rng_)) return false;
+  for (Unit& unit : units_) {
+    uint64_t len = 0;
+    // Each staircase entry costs >= 32 bytes on the wire, so `remaining`
+    // bounds a corrupt length before any allocation.
+    if (!r->GetU64(&len) || len > r->remaining() / 32 + 1) return false;
+    unit.stairs.clear();
+    for (uint64_t i = 0; i < len; ++i) {
+      Entry entry;
+      // Arrival-ordered, strictly descending priorities, active only
+      // (0 <= ts <= now_ first, so the expiry subtraction cannot
+      // overflow on a corrupt timestamp).
+      if (!LoadItem(r, &entry.item) || !r->GetU64(&entry.priority) ||
+          entry.item.timestamp < 0 || entry.item.timestamp > now_ ||
+          now_ - entry.item.timestamp >= t0_ ||
+          (!unit.stairs.empty() &&
+           (entry.priority >= unit.stairs.back().priority ||
+            entry.item.index <= unit.stairs.back().item.index))) {
+        return false;
+      }
+      unit.stairs.push_back(entry);
+    }
+  }
+  return true;
 }
 
 uint64_t PrioritySampler::MaxListLength() const {

@@ -45,6 +45,12 @@ class PrioritySampler final : public WindowSampler {
   /// Longest staircase across units (E3's randomized-memory metric).
   uint64_t MaxListLength() const;
 
+  /// Interface-level persistence (clock, RNG, per-unit staircases);
+  /// restore through the checkpoint envelope.
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
+
  private:
   struct Entry {
     Item item;

@@ -45,6 +45,7 @@
 
 #include "stream/item.h"
 #include "util/rng.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace swsample {
@@ -80,6 +81,29 @@ class StreamSink {
   /// Human-readable algorithm name for harness output; for registered
   /// sinks this equals the registry key.
   virtual const char* name() const = 0;
+
+  /// True when this sink implements the SaveState/LoadState pair below.
+  /// Every registry-constructible sampler and estimator is persistable;
+  /// the default is false so ad-hoc user sinks need not opt in.
+  virtual bool persistable() const { return false; }
+
+  /// Appends the sink's full MUTABLE state — counters, clocks, RNG
+  /// streams, held samples — to `w`. Configuration (window sizes, k,
+  /// substrate choice) is NOT written here: the checkpoint envelope
+  /// (core/checkpoint.h) carries the registry name plus config that
+  /// reconstruct the object shell, and LoadState then refills it. The
+  /// paper's O(k log n)-word state bound is what makes this cheap.
+  virtual void SaveState(BinaryWriter* w) const { (void)w; }
+
+  /// Restores state written by SaveState into a freshly constructed sink
+  /// of the IDENTICAL configuration. Returns false on truncated or
+  /// invalid data (the sink may then be partially overwritten and must be
+  /// discarded). After a successful load the sink resumes the exact
+  /// behaviour of the saved one, bit for bit.
+  virtual bool LoadState(BinaryReader* r) {
+    (void)r;
+    return false;
+  }
 };
 
 /// One shard's contribution to a cross-shard merged sample: the shard's

@@ -61,8 +61,15 @@ struct BucketStructure {
   }
 
   bool Load(BinaryReader* rd) {
+    // Beyond truncation, reject any state the construction cannot reach:
+    // both samples must lie inside [x, y) with timestamps at or after the
+    // head's (the implicit-event generator derives i = y - q.index and
+    // requires 1 <= i <= width), and timestamps are non-negative (stream
+    // clocks start at 0 — this also keeps `now - ts` overflow-free).
     return rd->GetU64(&x) && rd->GetU64(&y) && rd->GetI64(&first_ts) &&
-           LoadItem(rd, &r) && LoadItem(rd, &q) && y > x;
+           LoadItem(rd, &r) && LoadItem(rd, &q) && y > x && r.index >= x &&
+           r.index < y && q.index >= x && q.index < y && first_ts >= 0 &&
+           r.timestamp >= first_ts && q.timestamp >= first_ts;
   }
 };
 

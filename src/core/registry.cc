@@ -38,32 +38,12 @@ class SeqSingleSampler final : public WindowSampler {
   const char* name() const override { return "bop-seq-single"; }
   bool mergeable() const override { return true; }
   Result<SamplerSnapshot> Snapshot() override { return inner_->Snapshot(); }
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override { inner_->SaveState(w); }
+  bool LoadState(BinaryReader* r) override { return inner_->LoadState(r); }
 
  private:
   std::unique_ptr<SequenceSwrSampler> inner_;
-};
-
-/// The Section 3 single-sample structure behind the WindowSampler
-/// interface (TsSingleSampler itself predates the interface because the
-/// Section 4 reduction feeds it delayed elements directly).
-class TsSingleWindowSampler final : public WindowSampler {
- public:
-  explicit TsSingleWindowSampler(TsSingleSampler inner)
-      : inner_(std::move(inner)) {}
-
-  void Observe(const Item& item) override { inner_.Observe(item); }
-  void AdvanceTime(Timestamp now) override { inner_.AdvanceTime(now); }
-  std::vector<Item> Sample() override {
-    std::vector<Item> out;
-    if (auto s = inner_.Sample()) out.push_back(*s);
-    return out;
-  }
-  uint64_t MemoryWords() const override { return inner_.MemoryWords(); }
-  uint64_t k() const override { return 1; }
-  const char* name() const override { return "bop-ts-single"; }
-
- private:
-  TsSingleSampler inner_;
 };
 
 Status RequireSingle(const SamplerConfig& config, const char* name) {
@@ -109,10 +89,11 @@ const Entry kEntries[] = {
       "paper Sec 3 single sample, O(log n) words"},
      [](const SamplerConfig& c) -> SamplerResult {
        if (Status s = RequireSingle(c, "bop-ts-single"); !s.ok()) return s;
+       // TsSingleSampler implements WindowSampler directly; no wrapper.
        auto inner = TsSingleSampler::Create(c.window_t, c.seed);
        if (!inner.ok()) return inner.status();
        return std::unique_ptr<WindowSampler>(
-           new TsSingleWindowSampler(std::move(inner).ValueOrDie()));
+           new TsSingleSampler(std::move(inner).ValueOrDie()));
      }},
     {{"bop-ts-swr", WindowModel::kTimestamp, /*single_sample=*/false,
       "paper Thm 3.9 k-sample with replacement, O(k log n) words"},

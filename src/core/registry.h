@@ -93,6 +93,11 @@ bool IsRegisteredSampler(std::string_view name);
 /// Constructs the sampler registered under `name`. Unknown names and
 /// configurations rejected by the sampler's own factory come back as
 /// InvalidArgument through the library's usual status mechanism.
+///
+/// Registry-level persistence lives in core/checkpoint.h: SaveSampler
+/// wraps a constructed sampler's state in a self-describing envelope
+/// (name + config + payload) and RestoreSampler reconstructs the exact
+/// object from one, in any process.
 Result<std::unique_ptr<WindowSampler>> CreateSampler(
     std::string_view name, const SamplerConfig& config);
 

@@ -9,9 +9,6 @@
 #include "util/serial.h"
 
 namespace swsample {
-namespace {
-constexpr uint64_t kSeqSworMagic = 0x32525753'51455332ULL;
-}  // namespace
 
 Result<std::unique_ptr<SequenceSworSampler>> SequenceSworSampler::Create(
     uint64_t n, uint64_t k, uint64_t seed) {
@@ -90,57 +87,33 @@ Result<SamplerSnapshot> SequenceSworSampler::Snapshot() {
   return snapshot;
 }
 
-void SequenceSworSampler::SaveState(std::string* out) const {
-  SWS_CHECK(out != nullptr);
-  BinaryWriter w;
-  w.PutU64(kSeqSworMagic);
-  w.PutU64(n_);
-  w.PutU64(k_);
-  w.PutU64(count_);
-  SaveRngState(rng_, &w);
-  current_.Save(&w);
-  w.PutU64(prev_sample_.size());
-  for (const Item& item : prev_sample_) SaveItem(item, &w);
-  *out = w.Release();
+void SequenceSworSampler::SaveState(BinaryWriter* w) const {
+  w->PutU64(count_);
+  SaveRngState(rng_, w);
+  current_.Save(w);
+  w->PutU64(prev_sample_.size());
+  for (const Item& item : prev_sample_) SaveItem(item, w);
 }
 
-Result<std::unique_ptr<SequenceSworSampler>> SequenceSworSampler::Restore(
-    const std::string& data) {
-  BinaryReader r(data);
-  uint64_t magic = 0, n = 0, k = 0, count = 0, prev_size = 0;
-  Rng rng(0);
-  if (!r.GetU64(&magic) || magic != kSeqSworMagic) {
-    return Status::InvalidArgument(
-        "SequenceSworSampler: bad checkpoint magic");
+bool SequenceSworSampler::LoadState(BinaryReader* r) {
+  uint64_t prev_size = 0;
+  if (!r->GetU64(&count_) || !LoadRngState(r, &rng_)) return false;
+  // Invariants mirroring Observe: the reservoir holds exactly the current
+  // bucket fill, and the previous bucket's k-sample exists iff a bucket
+  // completed and rolled (see seq_swr.cc's matching check).
+  const uint64_t in_bucket = count_ == 0 ? 0 : (count_ - 1) % n_ + 1;
+  if (!current_.Load(r) || current_.k() != k_ ||
+      current_.count() != in_bucket || !r->GetU64(&prev_size) ||
+      prev_size != (count_ > n_ ? k_ : 0)) {
+    return false;
   }
-  if (!r.GetU64(&n) || !r.GetU64(&k) || !r.GetU64(&count) ||
-      !LoadRngState(&r, &rng) || n < 1 || k < 1 || k > n) {
-    return Status::InvalidArgument(
-        "SequenceSworSampler: truncated or invalid checkpoint header");
-  }
-  auto sampler =
-      std::unique_ptr<SequenceSworSampler>(new SequenceSworSampler(n, k, 0));
-  sampler->count_ = count;
-  sampler->rng_ = rng;
-  if (!sampler->current_.Load(&r) || sampler->current_.k() != k ||
-      !r.GetU64(&prev_size) || prev_size > k) {
-    return Status::InvalidArgument(
-        "SequenceSworSampler: truncated checkpoint body");
-  }
-  sampler->prev_sample_.clear();
+  prev_sample_.clear();
   for (uint64_t i = 0; i < prev_size; ++i) {
     Item item;
-    if (!LoadItem(&r, &item)) {
-      return Status::InvalidArgument(
-          "SequenceSworSampler: truncated checkpoint item");
-    }
-    sampler->prev_sample_.push_back(item);
+    if (!LoadItem(r, &item)) return false;
+    prev_sample_.push_back(item);
   }
-  if (!r.AtEnd()) {
-    return Status::InvalidArgument(
-        "SequenceSworSampler: trailing bytes in checkpoint");
-  }
-  return sampler;
+  return true;
 }
 
 uint64_t SequenceSworSampler::MemoryWords() const {

@@ -58,12 +58,11 @@ class SequenceSworSampler final : public WindowSampler {
   /// Total items observed.
   uint64_t count() const { return count_; }
 
-  /// Serializes the full sampler state (config, counters, RNG, samples).
-  void SaveState(std::string* out) const;
-
-  /// Rebuilds a sampler from SaveState() output.
-  static Result<std::unique_ptr<SequenceSworSampler>> Restore(
-      const std::string& data);
+  /// Interface-level persistence (counters, RNG, reservoir, prev sample);
+  /// restore through the checkpoint envelope (core/checkpoint.h).
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   SequenceSworSampler(uint64_t n, uint64_t k, uint64_t seed);

@@ -9,9 +9,6 @@
 #include "util/serial.h"
 
 namespace swsample {
-namespace {
-constexpr uint64_t kSeqSwrMagic = 0x31525753'51455331ULL;  // "1RWS QES1"
-}  // namespace
 
 Result<std::unique_ptr<SequenceSwrSampler>> SequenceSwrSampler::Create(
     uint64_t n, uint64_t k, uint64_t seed) {
@@ -98,59 +95,36 @@ Result<SamplerSnapshot> SequenceSwrSampler::Snapshot() {
   return snapshot;
 }
 
-void SequenceSwrSampler::SaveState(std::string* out) const {
-  SWS_CHECK(out != nullptr);
-  BinaryWriter w;
-  w.PutU64(kSeqSwrMagic);
-  w.PutU64(n_);
-  w.PutU64(count_);
-  SaveRngState(rng_, &w);
-  w.PutU64(units_.size());
+void SequenceSwrSampler::SaveState(BinaryWriter* w) const {
+  w->PutU64(count_);
+  SaveRngState(rng_, w);
   for (const Unit& unit : units_) {
-    unit.current.Save(&w);
-    w.PutBool(unit.prev_sample.has_value());
-    if (unit.prev_sample) SaveItem(*unit.prev_sample, &w);
+    unit.current.Save(w);
+    w->PutBool(unit.prev_sample.has_value());
+    if (unit.prev_sample) SaveItem(*unit.prev_sample, w);
   }
-  *out = w.Release();
 }
 
-Result<std::unique_ptr<SequenceSwrSampler>> SequenceSwrSampler::Restore(
-    const std::string& data) {
-  BinaryReader r(data);
-  uint64_t magic = 0, n = 0, count = 0, k = 0;
-  Rng rng(0);
-  if (!r.GetU64(&magic) || magic != kSeqSwrMagic) {
-    return Status::InvalidArgument("SequenceSwrSampler: bad checkpoint magic");
-  }
-  if (!r.GetU64(&n) || !r.GetU64(&count) || !LoadRngState(&r, &rng) ||
-      !r.GetU64(&k) || n < 1 || k < 1) {
-    return Status::InvalidArgument(
-        "SequenceSwrSampler: truncated or invalid checkpoint header");
-  }
-  auto sampler =
-      std::unique_ptr<SequenceSwrSampler>(new SequenceSwrSampler(n, k, 0));
-  sampler->count_ = count;
-  sampler->rng_ = rng;
-  for (Unit& unit : sampler->units_) {
+bool SequenceSwrSampler::LoadState(BinaryReader* r) {
+  if (!r->GetU64(&count_) || !LoadRngState(r, &rng_)) return false;
+  // Shared-counter invariants (see Observe): the newest bucket holds
+  // exactly the arrivals past the last bucket boundary, and a previous
+  // bucket sample exists iff at least one bucket completed and rolled.
+  const uint64_t in_bucket = count_ == 0 ? 0 : (count_ - 1) % n_ + 1;
+  for (Unit& unit : units_) {
     bool has_prev = false;
-    if (!unit.current.Load(&r) || !r.GetBool(&has_prev)) {
-      return Status::InvalidArgument(
-          "SequenceSwrSampler: truncated checkpoint unit");
+    if (!unit.current.Load(r) || unit.current.count() != in_bucket ||
+        !r->GetBool(&has_prev) || has_prev != (count_ > n_)) {
+      return false;
     }
+    unit.prev_sample.reset();
     if (has_prev) {
       Item item;
-      if (!LoadItem(&r, &item)) {
-        return Status::InvalidArgument(
-            "SequenceSwrSampler: truncated checkpoint item");
-      }
+      if (!LoadItem(r, &item)) return false;
       unit.prev_sample = item;
     }
   }
-  if (!r.AtEnd()) {
-    return Status::InvalidArgument(
-        "SequenceSwrSampler: trailing bytes in checkpoint");
-  }
-  return sampler;
+  return true;
 }
 
 uint64_t SequenceSwrSampler::MemoryWords() const {

@@ -59,13 +59,11 @@ class SequenceSwrSampler final : public WindowSampler {
   /// Total items observed.
   uint64_t count() const { return count_; }
 
-  /// Serializes the full sampler state (config, counters, RNG, samples).
-  void SaveState(std::string* out) const;
-
-  /// Rebuilds a sampler from SaveState() output; the restored sampler
-  /// resumes the exact same behaviour bit for bit.
-  static Result<std::unique_ptr<SequenceSwrSampler>> Restore(
-      const std::string& data);
+  /// Interface-level persistence (counters, RNG, per-unit reservoirs);
+  /// restore through the checkpoint envelope (core/checkpoint.h).
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   /// One independent single-sample pipeline (Theorem 2.1 is "repeat the

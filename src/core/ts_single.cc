@@ -82,7 +82,7 @@ bool TsSingleSampler::has_active() {
   return !zeta_.empty();
 }
 
-std::optional<Item> TsSingleSampler::Sample() {
+std::optional<Item> TsSingleSampler::SampleOne() {
   Restructure();
   if (zeta_.empty()) return std::nullopt;
   if (!straddler_) {
@@ -106,8 +106,7 @@ uint64_t TsSingleSampler::MemoryWords() const {
   return words;
 }
 
-void TsSingleSampler::Save(BinaryWriter* w) const {
-  w->PutI64(t0_);
+void TsSingleSampler::SaveState(BinaryWriter* w) const {
   w->PutI64(now_);
   SaveRngState(rng_, w);
   w->PutBool(straddler_.has_value());
@@ -115,21 +114,30 @@ void TsSingleSampler::Save(BinaryWriter* w) const {
   zeta_.Save(w);
 }
 
-bool TsSingleSampler::Load(BinaryReader* r) {
+bool TsSingleSampler::LoadState(BinaryReader* r) {
   straddler_.reset();
   zeta_.Clear();
   bool has_straddler = false;
-  if (!r->GetI64(&t0_) || !r->GetI64(&now_) || !LoadRngState(r, &rng_) ||
+  if (!r->GetI64(&now_) || now_ < 0 || !LoadRngState(r, &rng_) ||
       !r->GetBool(&has_straddler)) {
     return false;
   }
-  if (t0_ < 1) return false;
   if (has_straddler) {
     BucketStructure bs;
     if (!bs.Load(r)) return false;
     straddler_ = bs;
   }
   if (!zeta_.Load(r)) return false;
+  // No represented element postdates the clock (Expired() subtracts
+  // timestamps from now_, so this also rules out overflow on corrupt
+  // blobs; BucketStructure::Load already enforces ts >= first_ts >= 0).
+  const auto within_clock = [&](const BucketStructure& bs) {
+    return bs.r.timestamp <= now_ && bs.q.timestamp <= now_;
+  };
+  for (uint64_t i = 0; i < zeta_.size(); ++i) {
+    if (!within_clock(zeta_.bucket(i))) return false;
+  }
+  if (straddler_ && !within_clock(*straddler_)) return false;
   return CheckInvariants();
 }
 

@@ -21,13 +21,21 @@
 // the Section 4 black-box reduction feeds each structure *delayed* elements
 // whose timestamps are older than the current clock, including elements
 // that may already be expired on arrival (Lemma 4.1's "skip" case).
+//
+// The class implements the WindowSampler interface directly (registry name
+// "bop-ts-single") so it participates in registry construction and
+// interface-level persistence like every other sampler, while remaining a
+// movable concrete value type the Section 4 reduction and the payload
+// tracker (apps/ts_payload.h) embed by value.
 
 #ifndef SWSAMPLE_CORE_TS_SINGLE_H_
 #define SWSAMPLE_CORE_TS_SINGLE_H_
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "core/api.h"
 #include "core/covering_decomposition.h"
 #include "core/implicit_events.h"
 #include "stream/item.h"
@@ -38,13 +46,13 @@ namespace swsample {
 
 /// Maintains one uniform sample of the active elements of a timestamp-based
 /// window with parameter t0 (active <=> now - T(p) < t0).
-class TsSingleSampler {
+class TsSingleSampler final : public WindowSampler {
  public:
   /// Creates a sampler; requires t0 >= 1.
   static Result<TsSingleSampler> Create(Timestamp t0, uint64_t seed);
 
   /// Advances the clock (monotone) and performs expiry maintenance.
-  void AdvanceTime(Timestamp now);
+  void AdvanceTime(Timestamp now) override;
 
   /// Inserts an element with timestamp <= current clock. Consecutive calls
   /// must carry consecutive indices unless the structure emptied in
@@ -52,11 +60,21 @@ class TsSingleSampler {
   void Insert(const Item& item);
 
   /// Convenience: AdvanceTime(item.timestamp) then Insert(item).
-  void Observe(const Item& item);
+  void Observe(const Item& item) override;
 
   /// Draws a uniform sample of the active elements; nullopt iff none are
   /// represented. Fresh randomness per call.
-  std::optional<Item> Sample();
+  std::optional<Item> SampleOne();
+
+  /// WindowSampler surface over SampleOne(): zero or one item.
+  std::vector<Item> Sample() override {
+    std::vector<Item> out;
+    if (auto s = SampleOne()) out.push_back(*s);
+    return out;
+  }
+
+  uint64_t k() const override { return 1; }
+  const char* name() const override { return "bop-ts-single"; }
 
   /// True iff at least one active element is represented.
   bool has_active();
@@ -68,7 +86,7 @@ class TsSingleSampler {
   Timestamp t0() const { return t0_; }
 
   /// Live memory words (paper model).
-  uint64_t MemoryWords() const;
+  uint64_t MemoryWords() const override;
 
   /// Number of bucket structures held (straddler included); the Theorem
   /// 3.9 claim is that this is O(log n).
@@ -79,10 +97,12 @@ class TsSingleSampler {
   /// Structural invariants incl. Lemma 3.5's case-2 width inequality.
   bool CheckInvariants() const;
 
-  /// Checkpointing: serializes config, clock, RNG and both structures so a
-  /// restored sampler resumes the exact same behaviour bit for bit.
-  void Save(BinaryWriter* w) const;
-  bool Load(BinaryReader* r);
+  /// Interface-level persistence: clock, RNG and both structures. t0 is
+  /// configuration and stays with the envelope; LoadState restores into a
+  /// sampler constructed with the same t0 and validates CheckInvariants().
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
   /// Read access to the internal structures. Used by the payload tracker
   /// (apps/ts_payload.h) that attaches estimator payloads to the O(log n)

@@ -9,9 +9,6 @@
 #include "util/serial.h"
 
 namespace swsample {
-namespace {
-constexpr uint64_t kTsSworMagic = 0x34525753'53545334ULL;
-}  // namespace
 
 Result<std::unique_ptr<TsSworSampler>> TsSworSampler::Create(Timestamp t0,
                                                              uint64_t k,
@@ -77,13 +74,13 @@ std::vector<Item> TsSworSampler::Sample() {
   std::vector<Item> s;
   s.reserve(k_);
   {
-    auto r = structures_[k_ - 1].Sample();
+    auto r = structures_[k_ - 1].SampleOne();
     SWS_CHECK(r.has_value());
     s.push_back(*r);
   }
   for (uint64_t j = 2; j <= k_; ++j) {
     const uint64_t idx = k_ - j;  // structure index feeding this step
-    auto r = structures_[idx].Sample();
+    auto r = structures_[idx].SampleOne();
     SWS_CHECK(r.has_value());  // D_idx contains non-empty D_{k-1}
     // Newest element of D_idx: the (idx+1)-th most recent arrival. It is
     // active because D_{idx+1} (older elements) is non-empty and
@@ -100,58 +97,49 @@ std::vector<Item> TsSworSampler::Sample() {
   return s;
 }
 
-void TsSworSampler::SaveState(std::string* out) const {
-  SWS_CHECK(out != nullptr);
-  BinaryWriter w;
-  w.PutU64(kTsSworMagic);
-  w.PutI64(t0_);
-  w.PutU64(k_);
-  w.PutI64(now_);
-  for (const auto& s : structures_) s.Save(&w);
-  w.PutU64(recent_.size());
-  for (const Item& item : recent_) SaveItem(item, &w);
-  *out = w.Release();
+void TsSworSampler::SaveState(BinaryWriter* w) const {
+  w->PutI64(now_);
+  for (const auto& s : structures_) s.SaveState(w);
+  w->PutU64(recent_.size());
+  for (const Item& item : recent_) SaveItem(item, w);
 }
 
-Result<std::unique_ptr<TsSworSampler>> TsSworSampler::Restore(
-    const std::string& data) {
-  BinaryReader r(data);
-  uint64_t magic = 0, k = 0, recent_size = 0;
-  Timestamp t0 = 0, now = 0;
-  if (!r.GetU64(&magic) || magic != kTsSworMagic) {
-    return Status::InvalidArgument("TsSworSampler: bad checkpoint magic");
+bool TsSworSampler::LoadState(BinaryReader* r) {
+  uint64_t recent_size = 0;
+  if (!r->GetI64(&now_) || now_ < 0) return false;
+  for (auto& s : structures_) {
+    // Observe keeps every structure at the shared clock.
+    if (!s.LoadState(r) || s.now() != now_) return false;
   }
-  if (!r.GetI64(&t0) || !r.GetU64(&k) || !r.GetI64(&now) || t0 < 1 ||
-      k < 1) {
-    return Status::InvalidArgument(
-        "TsSworSampler: truncated or invalid checkpoint header");
-  }
-  auto sampler = std::unique_ptr<TsSworSampler>(new TsSworSampler(t0, k, 0));
-  sampler->now_ = now;
-  for (auto& s : sampler->structures_) {
-    if (!s.Load(&r) || s.t0() != t0) {
-      return Status::InvalidArgument(
-          "TsSworSampler: truncated or inconsistent checkpoint structure");
-    }
-  }
-  if (!r.GetU64(&recent_size) || recent_size > k) {
-    return Status::InvalidArgument(
-        "TsSworSampler: invalid checkpoint aux array");
-  }
-  sampler->recent_.clear();
+  if (!r->GetU64(&recent_size) || recent_size > k_) return false;
+  recent_.clear();
   for (uint64_t i = 0; i < recent_size; ++i) {
     Item item;
-    if (!LoadItem(&r, &item)) {
-      return Status::InvalidArgument(
-          "TsSworSampler: truncated checkpoint item");
+    // 0 <= ts <= now_ (Sample()'s activity subtraction must not
+    // overflow); arrival order with consecutive indices.
+    if (!LoadItem(r, &item) || item.timestamp < 0 ||
+        item.timestamp > now_ ||
+        (!recent_.empty() &&
+         (item.index != recent_.back().index + 1 ||
+          item.timestamp < recent_.back().timestamp))) {
+      return false;
     }
-    sampler->recent_.push_back(item);
+    recent_.push_back(item);
   }
-  if (!r.AtEnd()) {
-    return Status::InvalidArgument(
-        "TsSworSampler: trailing bytes in checkpoint");
+  // Cross-structure invariants the Lemma 4.3 chain relies on: R_i covers
+  // D_i = active \ {i newest}, so activity is monotone non-increasing in
+  // i, and a non-empty D_{k-1} implies >= k arrivals, i.e. a full
+  // auxiliary array. (has_active() restructures, which Sample() would do
+  // anyway before first use; it consumes no randomness.)
+  for (uint64_t i = 0; i + 1 < k_; ++i) {
+    if (structures_[i + 1].has_active() && !structures_[i].has_active()) {
+      return false;
+    }
   }
-  return sampler;
+  if (structures_[k_ - 1].has_active() && recent_.size() != k_) {
+    return false;
+  }
+  return true;
 }
 
 uint64_t TsSworSampler::MemoryWords() const {

@@ -49,12 +49,11 @@ class TsSworSampler final : public WindowSampler {
   /// Window parameter.
   Timestamp t0() const { return t0_; }
 
-  /// Serializes the full sampler state (config, clock, structures, aux).
-  void SaveState(std::string* out) const;
-
-  /// Rebuilds a sampler from SaveState() output.
-  static Result<std::unique_ptr<TsSworSampler>> Restore(
-      const std::string& data);
+  /// Interface-level persistence (clock, structures, auxiliary array);
+  /// restore through the checkpoint envelope (core/checkpoint.h).
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   TsSworSampler(Timestamp t0, uint64_t k, uint64_t seed);

@@ -8,9 +8,6 @@
 #include "util/serial.h"
 
 namespace swsample {
-namespace {
-constexpr uint64_t kTsSwrMagic = 0x33525753'53545333ULL;
-}  // namespace
 
 Result<std::unique_ptr<TsSwrSampler>> TsSwrSampler::Create(Timestamp t0,
                                                            uint64_t k,
@@ -46,7 +43,7 @@ std::vector<Item> TsSwrSampler::Sample() {
   std::vector<Item> out;
   out.reserve(units_.size());
   for (auto& unit : units_) {
-    if (auto s = unit.Sample()) out.push_back(*s);
+    if (auto s = unit.SampleOne()) out.push_back(*s);
   }
   return out;
 }
@@ -57,40 +54,15 @@ uint64_t TsSwrSampler::MemoryWords() const {
   return words;
 }
 
-void TsSwrSampler::SaveState(std::string* out) const {
-  SWS_CHECK(out != nullptr);
-  BinaryWriter w;
-  w.PutU64(kTsSwrMagic);
-  w.PutI64(t0_);
-  w.PutU64(units_.size());
-  for (const auto& unit : units_) unit.Save(&w);
-  *out = w.Release();
+void TsSwrSampler::SaveState(BinaryWriter* w) const {
+  for (const auto& unit : units_) unit.SaveState(w);
 }
 
-Result<std::unique_ptr<TsSwrSampler>> TsSwrSampler::Restore(
-    const std::string& data) {
-  BinaryReader r(data);
-  uint64_t magic = 0, k = 0;
-  Timestamp t0 = 0;
-  if (!r.GetU64(&magic) || magic != kTsSwrMagic) {
-    return Status::InvalidArgument("TsSwrSampler: bad checkpoint magic");
+bool TsSwrSampler::LoadState(BinaryReader* r) {
+  for (auto& unit : units_) {
+    if (!unit.LoadState(r)) return false;
   }
-  if (!r.GetI64(&t0) || !r.GetU64(&k) || t0 < 1 || k < 1) {
-    return Status::InvalidArgument(
-        "TsSwrSampler: truncated or invalid checkpoint header");
-  }
-  auto sampler = std::unique_ptr<TsSwrSampler>(new TsSwrSampler(t0, k, 0));
-  for (auto& unit : sampler->units_) {
-    if (!unit.Load(&r) || unit.t0() != t0) {
-      return Status::InvalidArgument(
-          "TsSwrSampler: truncated or inconsistent checkpoint unit");
-    }
-  }
-  if (!r.AtEnd()) {
-    return Status::InvalidArgument(
-        "TsSwrSampler: trailing bytes in checkpoint");
-  }
-  return sampler;
+  return true;
 }
 
 uint64_t TsSwrSampler::MaxStructureCount() const {

@@ -39,12 +39,11 @@ class TsSwrSampler final : public WindowSampler {
   /// Max bucket structures across units (O(log n) claim, experiment E3).
   uint64_t MaxStructureCount() const;
 
-  /// Serializes the full sampler state (config, clocks, RNGs, structures).
-  void SaveState(std::string* out) const;
-
-  /// Rebuilds a sampler from SaveState() output.
-  static Result<std::unique_ptr<TsSwrSampler>> Restore(
-      const std::string& data);
+  /// Interface-level persistence (per-unit clocks, RNGs, structures);
+  /// restore through the checkpoint envelope (core/checkpoint.h).
+  bool persistable() const override { return true; }
+  void SaveState(BinaryWriter* w) const override;
+  bool LoadState(BinaryReader* r) override;
 
  private:
   TsSwrSampler(Timestamp t0, uint64_t k, uint64_t seed);

@@ -215,7 +215,8 @@ bool KReservoir::Load(BinaryReader* r) {
   if (!r->GetU64(&k_) || !r->GetU64(&count_) || !r->GetU64(&size)) {
     return false;
   }
-  if (k_ < 1 || size > k_) return false;
+  // `remaining` bounds a corrupt size before the reserve allocates.
+  if (k_ < 1 || size > k_ || size > r->remaining() / 24 + 1) return false;
   slots_.reserve(size);
   for (uint64_t i = 0; i < size; ++i) {
     Item item;

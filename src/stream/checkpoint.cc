@@ -1,0 +1,450 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "apps/estimator_checkpoint.h"
+#include "core/checkpoint.h"
+#include "stream/driver.h"
+#include "stream/item_serial.h"
+#include "stream/sharded_driver.h"
+
+namespace swsample {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char kManifestName[] = "MANIFEST";
+
+/// Bound on untrusted element counts in a manifest (shards, pending
+/// buffers); matches the checkpoint-level unit cap.
+constexpr uint64_t kMaxManifestEntries = kMaxCheckpointUnits;
+
+std::string ShardFileName(uint64_t shard, uint64_t items) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%04" PRIu64 "-%" PRIu64 ".ckpt",
+                shard, items);
+  return buf;
+}
+
+/// Writes `data` to `path` via a temporary file + fsync + atomic rename.
+/// The fsync-before-rename matters: without it a system crash can commit
+/// the rename (metadata) before the file contents, leaving a readable
+/// name full of garbage — and Write() deletes the previous checkpoint's
+/// files, so durability of the new one is the whole game.
+Status AtomicWriteFile(const fs::path& path, const std::string& data) {
+  const fs::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("checkpoint: cannot create " +
+                                   tmp.string());
+  }
+  bool ok =
+      (data.empty() || std::fwrite(data.data(), 1, data.size(), f) ==
+                           data.size()) &&
+      std::fflush(f) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(f)) == 0;
+#endif
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("checkpoint: short write to " +
+                                   tmp.string());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("checkpoint: cannot rename " +
+                                   tmp.string());
+  }
+  return Status::Ok();
+}
+
+/// Persists the directory entries themselves (the renames above) so the
+/// MANIFEST commit survives power loss. Best-effort on filesystems that
+/// reject directory fsync.
+void SyncDirectory(const std::string& dir) {
+#ifndef _WIN32
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    fsync(fd);
+    close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("checkpoint: cannot open " +
+                                   path.string());
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    return Status::InvalidArgument("checkpoint: read error on " +
+                                   path.string());
+  }
+  return data;
+}
+
+/// Manifest wire format: envelope header (kManifest) + position fields +
+/// shard file names + pending buffers.
+std::string EncodeManifest(const CheckpointManifest& manifest,
+                           const std::vector<std::string>& shard_files) {
+  BinaryWriter w;
+  WriteCheckpointHeader(CheckpointKind::kManifest, &w);
+  w.PutU64(manifest.items);
+  w.PutI64(manifest.last_ts);
+  w.PutBool(manifest.saw_items);
+  w.PutU64(manifest.next_chunk_shard);
+  w.PutU64(manifest.chunk_items);
+  w.PutU64(manifest.partition);
+  w.PutU64(manifest.shard_items.size());
+  for (size_t s = 0; s < manifest.shard_items.size(); ++s) {
+    w.PutU64(manifest.shard_items[s]);
+    w.PutString(shard_files[s]);
+  }
+  w.PutU64(manifest.pending.size());
+  for (const std::vector<Item>& buffer : manifest.pending) {
+    w.PutU64(buffer.size());
+    for (const Item& item : buffer) SaveItem(item, &w);
+  }
+  return w.Release();
+}
+
+Result<CheckpointManifest> DecodeManifest(
+    const std::string& data, std::vector<std::string>* shard_files) {
+  BinaryReader r(data);
+  CheckpointKind kind;
+  if (!ReadCheckpointHeader(&r, &kind) ||
+      kind != CheckpointKind::kManifest) {
+    return Status::InvalidArgument(
+        "checkpoint: MANIFEST has a bad header (wrong magic, version, or "
+        "kind)");
+  }
+  CheckpointManifest manifest;
+  uint64_t next_shard = 0, shards = 0, targets = 0;
+  if (!r.GetU64(&manifest.items) || !r.GetI64(&manifest.last_ts) ||
+      !r.GetBool(&manifest.saw_items) || !r.GetU64(&next_shard) ||
+      !r.GetU64(&manifest.chunk_items) || !r.GetU64(&manifest.partition) ||
+      !r.GetU64(&shards) || next_shard > 0xffffffffu ||
+      shards < 1 || shards > kMaxManifestEntries) {
+    return Status::InvalidArgument("checkpoint: truncated MANIFEST header");
+  }
+  manifest.next_chunk_shard = static_cast<uint32_t>(next_shard);
+  shard_files->clear();
+  for (uint64_t s = 0; s < shards; ++s) {
+    uint64_t items = 0;
+    std::string file;
+    if (!r.GetU64(&items) || !r.GetString(&file) || file.empty() ||
+        file.find('/') != std::string::npos) {
+      return Status::InvalidArgument(
+          "checkpoint: truncated or invalid MANIFEST shard entry");
+    }
+    manifest.shard_items.push_back(items);
+    shard_files->push_back(std::move(file));
+  }
+  if (!r.GetU64(&targets) || targets > kMaxManifestEntries) {
+    return Status::InvalidArgument("checkpoint: truncated MANIFEST");
+  }
+  for (uint64_t t = 0; t < targets; ++t) {
+    uint64_t count = 0;
+    if (!r.GetU64(&count) || count > r.remaining() / 24 + 1) {
+      return Status::InvalidArgument(
+          "checkpoint: invalid MANIFEST pending buffer");
+    }
+    std::vector<Item> buffer;
+    buffer.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Item item;
+      if (!LoadItem(&r, &item)) {
+        return Status::InvalidArgument(
+            "checkpoint: truncated MANIFEST pending item");
+      }
+      buffer.push_back(item);
+    }
+    manifest.pending.push_back(std::move(buffer));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("checkpoint: trailing bytes in MANIFEST");
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Result<std::vector<SinkSerializer>> MakeSamplerSerializers(
+    std::string_view name, const SamplerConfig& config, uint64_t shards) {
+  std::vector<SinkSerializer> serializers;
+  serializers.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    auto shard_config = ShardSamplerConfig(name, config, shard, shards);
+    if (!shard_config.ok()) return shard_config.status();
+    serializers.push_back(
+        [config = shard_config.value()](StreamSink& sink) {
+          auto* sampler = dynamic_cast<WindowSampler*>(&sink);
+          if (sampler == nullptr) {
+            return Result<std::string>(Status::InvalidArgument(
+                "checkpoint: sink is not a WindowSampler"));
+          }
+          return SaveSampler(*sampler, config);
+        });
+  }
+  return serializers;
+}
+
+Result<std::vector<SinkSerializer>> MakeEstimatorSerializers(
+    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
+  std::vector<SinkSerializer> serializers;
+  serializers.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    auto shard_config = ShardEstimatorConfig(name, config, shard, shards);
+    if (!shard_config.ok()) return shard_config.status();
+    serializers.push_back(
+        [config = shard_config.value()](StreamSink& sink) {
+          auto* estimator = dynamic_cast<WindowEstimator*>(&sink);
+          if (estimator == nullptr) {
+            return Result<std::string>(Status::InvalidArgument(
+                "checkpoint: sink is not a WindowEstimator"));
+          }
+          return SaveEstimator(*estimator, config);
+        });
+  }
+  return serializers;
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointPolicy policy,
+                                   std::vector<SinkSerializer> serializers,
+                                   uint64_t start_items)
+    : policy_(std::move(policy)),
+      serializers_(std::move(serializers)),
+      last_items_(start_items),
+      last_write_time_(std::chrono::steady_clock::now()) {}
+
+bool CheckpointWriter::Due(uint64_t items) const {
+  if (!enabled()) return false;
+  if (policy_.every_items > 0 &&
+      items - last_items_ >= policy_.every_items) {
+    return true;
+  }
+  if (policy_.every_seconds > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_write_time_)
+            .count();
+    if (elapsed >= policy_.every_seconds) return true;
+  }
+  return false;
+}
+
+Status CheckpointWriter::Write(const CheckpointManifest& manifest,
+                               std::span<StreamSink* const> sinks) {
+  if (!enabled()) {
+    return Status::FailedPrecondition("checkpoint: writer is disabled");
+  }
+  if (sinks.size() != serializers_.size() ||
+      manifest.shard_items.size() != sinks.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: sink/serializer/manifest shard counts disagree");
+  }
+  std::error_code ec;
+  fs::create_directories(policy_.dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("checkpoint: cannot create directory " +
+                                   policy_.dir);
+  }
+  // Shard files first; the MANIFEST rename below is the commit point.
+  std::vector<std::string> shard_files;
+  shard_files.reserve(sinks.size());
+  for (size_t s = 0; s < sinks.size(); ++s) {
+    auto blob = serializers_[s](*sinks[s]);
+    if (!blob.ok()) return blob.status();
+    shard_files.push_back(ShardFileName(s, manifest.items));
+    if (Status status = AtomicWriteFile(
+            fs::path(policy_.dir) / shard_files.back(), blob.value());
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (Status status =
+          AtomicWriteFile(fs::path(policy_.dir) / kManifestName,
+                          EncodeManifest(manifest, shard_files));
+      !status.ok()) {
+    return status;
+  }
+  SyncDirectory(policy_.dir);
+  // The new checkpoint is committed; clean up files it does not reference.
+  for (const auto& entry : fs::directory_iterator(policy_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestName) continue;
+    if (name.rfind("shard-", 0) != 0) continue;
+    bool referenced = false;
+    for (const std::string& file : shard_files) {
+      if (name == file) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) fs::remove(entry.path(), ec);
+  }
+  last_items_ = manifest.items;
+  last_write_time_ = std::chrono::steady_clock::now();
+  if (after_write_) after_write_(manifest.items);
+  return Status::Ok();
+}
+
+Result<uint64_t> PumpEventLines(
+    std::FILE* f, const std::string& source_name, bool timestamped,
+    const CheckpointManifest* resume,
+    const std::function<Status(const Item& item)>& deliver) {
+  const uint64_t skip = resume == nullptr ? 0 : resume->items;
+  char line[256];
+  uint64_t index = 0;
+  Timestamp last_ts = 0;
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    ++line_no;
+    uint64_t value = 0;
+    Timestamp ts = 0;
+    bool skip_line = false;
+    if (Status s = ParseEventLine(line, sizeof(line), timestamped,
+                                  source_name, line_no, last_ts, &value, &ts,
+                                  &skip_line);
+        !s.ok()) {
+      return s;
+    }
+    if (skip_line) continue;
+    if (timestamped) last_ts = ts;
+    if (index < skip) {
+      // Already ingested before the checkpoint: re-parse (validating the
+      // replayed input) but do not deliver. The clock handoff catches a
+      // resume against a different stream.
+      ++index;
+      if (index == skip && timestamped && last_ts != resume->last_ts) {
+        return Status::InvalidArgument(
+            source_name + ":" + std::to_string(line_no) +
+            ": replayed input does not match the checkpoint (timestamp "
+            "diverges at the resume point)");
+      }
+      continue;
+    }
+    if (!timestamped) ts = static_cast<Timestamp>(index);
+    if (Status s = deliver(Item{value, index++, ts}); !s.ok()) return s;
+  }
+  if (index < skip) {
+    return Status::InvalidArgument(
+        source_name + ": replayed input ends before the checkpoint's " +
+        std::to_string(skip) + " ingested events");
+  }
+  return index;
+}
+
+Result<ResumedCheckpoint> LoadCheckpoint(const std::string& dir) {
+  auto manifest_data = ReadFile(fs::path(dir) / kManifestName);
+  if (!manifest_data.ok()) return manifest_data.status();
+  std::vector<std::string> shard_files;
+  auto manifest = DecodeManifest(manifest_data.value(), &shard_files);
+  if (!manifest.ok()) return manifest.status();
+
+  ResumedCheckpoint resumed;
+  resumed.position = std::move(manifest).ValueOrDie();
+  for (size_t s = 0; s < shard_files.size(); ++s) {
+    auto blob = ReadFile(fs::path(dir) / shard_files[s]);
+    if (!blob.ok()) return blob.status();
+    // Record the envelope metadata (name + per-shard config) alongside
+    // the restored sink; Restore* re-validates everything.
+    BinaryReader header(blob.value());
+    CheckpointKind kind;
+    std::string name;
+    if (!ReadCheckpointHeader(&header, &kind) || !header.GetString(&name)) {
+      return Status::InvalidArgument("checkpoint: shard file " +
+                                     shard_files[s] +
+                                     " has an invalid envelope");
+    }
+    if (s == 0) {
+      resumed.name = name;
+    } else if (name != resumed.name) {
+      return Status::InvalidArgument(
+          "checkpoint: shard files disagree on the registry name (\"" +
+          resumed.name + "\" vs \"" + name + "\")");
+    }
+    if (kind == CheckpointKind::kSampler) {
+      SamplerConfig config;
+      if (!resumed.estimators.empty() ||
+          !LoadSamplerConfig(&header, &config)) {
+        return Status::InvalidArgument(
+            "checkpoint: mixed or invalid sampler shard files");
+      }
+      auto sampler = RestoreSampler(blob.value());
+      if (!sampler.ok()) return sampler.status();
+      resumed.sampler_configs.push_back(config);
+      resumed.samplers.push_back(std::move(sampler).ValueOrDie());
+      resumed.sinks.push_back(resumed.samplers.back().get());
+    } else if (kind == CheckpointKind::kEstimator) {
+      EstimatorConfig config;
+      if (!resumed.samplers.empty() ||
+          !LoadEstimatorConfig(&header, &config)) {
+        return Status::InvalidArgument(
+            "checkpoint: mixed or invalid estimator shard files");
+      }
+      auto estimator = RestoreEstimator(blob.value());
+      if (!estimator.ok()) return estimator.status();
+      resumed.estimator_configs.push_back(config);
+      resumed.estimators.push_back(std::move(estimator).ValueOrDie());
+      resumed.sinks.push_back(resumed.estimators.back().get());
+    } else {
+      return Status::InvalidArgument(
+          "checkpoint: shard file " + shard_files[s] +
+          " does not hold a sampler or estimator envelope");
+    }
+  }
+  return resumed;
+}
+
+std::vector<SinkSerializer> SerializersFor(const ResumedCheckpoint& resumed) {
+  std::vector<SinkSerializer> serializers;
+  serializers.reserve(resumed.sinks.size());
+  for (size_t s = 0; s < resumed.sampler_configs.size(); ++s) {
+    serializers.push_back(
+        [config = resumed.sampler_configs[s]](StreamSink& sink) {
+          auto* sampler = dynamic_cast<WindowSampler*>(&sink);
+          if (sampler == nullptr) {
+            return Result<std::string>(Status::InvalidArgument(
+                "checkpoint: sink is not a WindowSampler"));
+          }
+          return SaveSampler(*sampler, config);
+        });
+  }
+  for (size_t s = 0; s < resumed.estimator_configs.size(); ++s) {
+    serializers.push_back(
+        [config = resumed.estimator_configs[s]](StreamSink& sink) {
+          auto* estimator = dynamic_cast<WindowEstimator*>(&sink);
+          if (estimator == nullptr) {
+            return Result<std::string>(Status::InvalidArgument(
+                "checkpoint: sink is not a WindowEstimator"));
+          }
+          return SaveEstimator(*estimator, config);
+        });
+  }
+  return serializers;
+}
+
+}  // namespace swsample

@@ -1,0 +1,185 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+/// \file
+/// Driver-level checkpointing: periodic, atomic persistence of an entire
+/// ingestion run — every shard sink plus the producer's position — so a
+/// killed process resumes bit-identically from its last checkpoint.
+///
+/// On-disk layout (one directory per run):
+///
+///   <dir>/MANIFEST             ingestion position + shard file names
+///   <dir>/shard-NNNN-I.ckpt    sink envelope of shard NNNN at item count I
+///
+/// Every file is written to a temporary name and atomically renamed; the
+/// MANIFEST rename is the commit point, and it references the shard files
+/// by exact name, so a crash mid-write always leaves the previous
+/// complete checkpoint readable. Shard files are self-describing sampler
+/// or estimator envelopes (core/checkpoint.h), so a checkpoint taken in
+/// one process restores in another with no shared state.
+///
+/// Checkpoint positions are chosen by the drivers at batch-consistent
+/// points (StreamDriver: batch boundaries; ShardedStreamDriver: any item,
+/// with un-flushed router buffers persisted in the manifest), which is
+/// what makes a resumed run's delivery segmentation — and therefore its
+/// RNG consumption — identical to an uninterrupted run's.
+///
+/// Ownership: CheckpointWriter borrows sinks per Write call;
+/// LoadCheckpoint returns caller-owned restored sinks.
+///
+/// Thread-safety: a CheckpointWriter is driven from one producer thread;
+/// the sharded driver quiesces its workers before serializing shards.
+
+#ifndef SWSAMPLE_STREAM_CHECKPOINT_H_
+#define SWSAMPLE_STREAM_CHECKPOINT_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/estimator_registry.h"
+#include "core/api.h"
+#include "core/registry.h"
+#include "stream/item.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// When to checkpoint. `dir` empty disables checkpointing entirely;
+/// otherwise a checkpoint is written whenever either threshold (items
+/// since the last write, seconds since the last write) is crossed at the
+/// next consistent point. Both thresholds 0 means "never due" (useful for
+/// a writer that only serves an explicit final Write).
+struct CheckpointPolicy {
+  std::string dir;
+  uint64_t every_items = 0;
+  double every_seconds = 0.0;
+};
+
+/// Builds the self-describing envelope blob for one sink. Bound to the
+/// (registry name, config) the harness constructed the sink from.
+using SinkSerializer = std::function<Result<std::string>(StreamSink&)>;
+
+/// The producer-side ingestion position a checkpoint captures beyond the
+/// shard envelopes; written as the MANIFEST (CheckpointKind::kManifest).
+struct CheckpointManifest {
+  /// Events delivered to the run so far (the resume skip count).
+  uint64_t items = 0;
+  /// Last parsed timestamp (validates resume input; final clock sync).
+  Timestamp last_ts = 0;
+  /// Sharded-router state: whether any chunk shipped, and the next shard
+  /// in the round-robin rotation (kChunks).
+  bool saw_items = false;
+  uint32_t next_chunk_shard = 0;
+  /// Sharded options stamped for resume validation (0 for single-sink
+  /// runs): chunk size and partition mode (ShardPartition as integer).
+  uint64_t chunk_items = 0;
+  uint64_t partition = 0;
+  /// Per-shard delivered item counts (the shard-local re-index cursors);
+  /// size 1 for single-sink runs.
+  std::vector<uint64_t> shard_items;
+  /// Un-flushed router buffers (sharded runs): items routed but not yet
+  /// shipped as chunks, per routing target. Persisting them keeps chunk
+  /// segmentation identical to an uninterrupted run.
+  std::vector<std::vector<Item>> pending;
+};
+
+/// Serializers for registry-constructed sampler shards: entry `s` binds
+/// the same derived config CreateShardedSamplers gives shard `s` (window
+/// split + forked seed). `shards` == 1 describes a single-sink run.
+Result<std::vector<SinkSerializer>> MakeSamplerSerializers(
+    std::string_view name, const SamplerConfig& config, uint64_t shards);
+
+/// Estimator counterpart of MakeSamplerSerializers.
+Result<std::vector<SinkSerializer>> MakeEstimatorSerializers(
+    std::string_view name, const EstimatorConfig& config, uint64_t shards);
+
+/// Writes atomic checkpoints for one ingestion run. Drivers call Due() at
+/// consistent points and Write() when it fires.
+class CheckpointWriter {
+ public:
+  /// `serializers[s]` must serialize the sink passed as shard `s`.
+  /// `start_items` seeds the every-N cadence for resumed runs (pass the
+  /// resumed position's item count so the first post-resume checkpoint
+  /// lands N items after the one being resumed from, not immediately).
+  CheckpointWriter(CheckpointPolicy policy,
+                   std::vector<SinkSerializer> serializers,
+                   uint64_t start_items = 0);
+
+  /// False when the policy has no directory (checkpointing disabled).
+  bool enabled() const { return !policy_.dir.empty(); }
+
+  /// True when a checkpoint should be taken at `items` delivered.
+  bool Due(uint64_t items) const;
+
+  /// Serializes every sink and atomically replaces the checkpoint set
+  /// (shard files first, MANIFEST rename as the commit point, stale files
+  /// removed after). `sinks.size()` must match the serializer count.
+  Status Write(const CheckpointManifest& manifest,
+               std::span<StreamSink* const> sinks);
+
+  /// Items recorded by the last successful Write (0 before the first).
+  uint64_t last_written_items() const { return last_items_; }
+
+  /// Test hook: invoked after each successful Write with the manifest's
+  /// item count (the CLI's --kill-after uses this to SIGKILL itself at a
+  /// deterministic point).
+  void set_after_write(std::function<void(uint64_t)> fn) {
+    after_write_ = std::move(fn);
+  }
+
+ private:
+  CheckpointPolicy policy_;
+  std::vector<SinkSerializer> serializers_;
+  uint64_t last_items_ = 0;
+  std::chrono::steady_clock::time_point last_write_time_;
+  std::function<void(uint64_t)> after_write_;
+};
+
+/// A checkpoint read back from disk: the ingestion position plus the
+/// restored sinks and the envelope metadata that reconstructed them.
+/// Exactly one of `samplers`/`estimators` is non-empty (all shard files
+/// of one run hold the same kind and registry name); `sinks` views it.
+struct ResumedCheckpoint {
+  CheckpointManifest position;
+  /// The registry name every shard envelope carried.
+  std::string name;
+  /// The per-shard envelope configs (parallel to the sink vectors) —
+  /// the ORIGINAL run's configuration, authoritative over any flags the
+  /// resuming process was started with.
+  std::vector<SamplerConfig> sampler_configs;
+  std::vector<EstimatorConfig> estimator_configs;
+  std::vector<std::unique_ptr<WindowSampler>> samplers;
+  std::vector<std::unique_ptr<WindowEstimator>> estimators;
+  std::vector<StreamSink*> sinks;
+};
+
+/// Reads the checkpoint committed in `dir` and reconstructs every shard
+/// sink. InvalidArgument on missing/corrupt files or mixed-kind shards.
+Result<ResumedCheckpoint> LoadCheckpoint(const std::string& dir);
+
+/// Serializers re-bound to the exact (name, config) pairs the resumed
+/// checkpoint's envelopes carried, so a resumed run's further
+/// checkpoints describe the restored sinks — immune to drift in the
+/// resuming process's own flags.
+std::vector<SinkSerializer> SerializersFor(const ResumedCheckpoint& resumed);
+
+/// Shared line-iteration core of both drivers' checkpointed drives:
+/// reads `f` with StreamDriver's event-line grammar, skips the first
+/// `resume->items` events of the replayed input (still parsing them, and
+/// failing if the clock diverges from the checkpoint's at the handoff or
+/// the input ends early), resolves sequence-mode timestamps to the
+/// arrival index, and calls `deliver(item)` for every event past the
+/// skip point (item.index continues the checkpoint's numbering). A
+/// non-OK `deliver` aborts the pump. Returns the total event count.
+Result<uint64_t> PumpEventLines(
+    std::FILE* f, const std::string& source_name, bool timestamped,
+    const CheckpointManifest* resume,
+    const std::function<Status(const Item& item)>& deliver);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_CHECKPOINT_H_

@@ -116,6 +116,12 @@ class StreamDriver::Pump {
     ProbeMaybe();
   }
 
+  /// Items accumulated but not yet delivered. Zero exactly at batch
+  /// boundaries — the only points where a checkpoint may be taken
+  /// without disturbing the batch segmentation an uninterrupted run
+  /// would produce.
+  size_t buffered() const { return buffer_.size(); }
+
  private:
   void ProbeMaybe() {
     if (options_.memory_probe_every == 0) return;
@@ -210,6 +216,68 @@ Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
     return Status::InvalidArgument("cannot open stream file: " + path);
   }
   auto result = DriveLines(f, path, timestamped, sink);
+  std::fclose(f);
+  return result;
+}
+
+Result<DriveReport> StreamDriver::DriveLinesCheckpointed(
+    std::FILE* f, const std::string& source_name, bool timestamped,
+    StreamSink& sink, CheckpointWriter* writer,
+    const CheckpointManifest* resume, const ProgressFn& progress,
+    uint64_t progress_every) const {
+  if (resume != nullptr) {
+    if (resume->shard_items.size() != 1 ||
+        resume->shard_items[0] != resume->items) {
+      return Status::InvalidArgument(
+          source_name +
+          ": checkpoint was written by a sharded run; resume it with "
+          "ShardedStreamDriver");
+    }
+    for (const std::vector<Item>& buffer : resume->pending) {
+      if (!buffer.empty()) {
+        return Status::InvalidArgument(
+            source_name + ": single-sink checkpoint has pending items");
+      }
+    }
+  }
+  DriveReport report;
+  const auto begin = Clock::now();
+  Pump pump(options_, sink, &report);
+  StreamSink* const sinks[] = {&sink};
+  auto deliver = [&](const Item& item) -> Status {
+    pump.Push(item);
+    const uint64_t delivered = item.index + 1;
+    // Checkpoints only at batch boundaries — see Pump::buffered().
+    if (writer != nullptr && pump.buffered() == 0 &&
+        writer->Due(delivered)) {
+      CheckpointManifest manifest;
+      manifest.items = delivered;
+      manifest.last_ts = timestamped ? item.timestamp : 0;
+      manifest.shard_items = {delivered};
+      if (Status s = writer->Write(manifest, sinks); !s.ok()) return s;
+    }
+    if (progress && progress_every && delivered % progress_every == 0) {
+      pump.Flush();
+      progress(delivered);
+    }
+    return Status::Ok();
+  };
+  auto events = PumpEventLines(f, source_name, timestamped, resume, deliver);
+  if (!events.ok()) return events.status();
+  pump.Flush();
+  Finalize(begin, sink, &report);
+  return report;
+}
+
+Result<DriveReport> StreamDriver::DriveFileCheckpointed(
+    const std::string& path, bool timestamped, StreamSink& sink,
+    CheckpointWriter* writer, const CheckpointManifest* resume) const {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open stream file: " + path);
+  }
+  auto result =
+      DriveLinesCheckpointed(f, path, timestamped, sink, writer, resume);
   std::fclose(f);
   return result;
 }

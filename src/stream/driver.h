@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/api.h"
+#include "stream/checkpoint.h"
 #include "stream/item.h"
 #include "stream/stream_gen.h"
 #include "util/status.h"
@@ -91,6 +92,32 @@ class StreamDriver {
   /// DriveLines over a file path.
   Result<DriveReport> DriveFile(const std::string& path, bool timestamped,
                                 StreamSink& sink) const;
+
+  /// DriveLines with crash recovery: writes periodic checkpoints through
+  /// `writer` (nullable = disabled) and, when `resume` is non-null,
+  /// skips the first `resume->items` events (the input must replay the
+  /// stream from the beginning) and continues indices from there into a
+  /// sink restored by ResumeFrom. Checkpoints are taken only at batch
+  /// boundaries, so a resumed run's batch segmentation — and therefore
+  /// its RNG draws — is identical to an uninterrupted run's: the final
+  /// state is bit-identical. The report counts only items delivered by
+  /// THIS call (resumed runs add resume->items for stream totals).
+  Result<DriveReport> DriveLinesCheckpointed(
+      std::FILE* f, const std::string& source_name, bool timestamped,
+      StreamSink& sink, CheckpointWriter* writer,
+      const CheckpointManifest* resume, const ProgressFn& progress = nullptr,
+      uint64_t progress_every = 0) const;
+
+  /// DriveLinesCheckpointed over a file path.
+  Result<DriveReport> DriveFileCheckpointed(
+      const std::string& path, bool timestamped, StreamSink& sink,
+      CheckpointWriter* writer, const CheckpointManifest* resume) const;
+
+  /// Reads back the checkpoint committed in `dir` (see
+  /// stream/checkpoint.h); pass its position as `resume` above.
+  static Result<ResumedCheckpoint> ResumeFrom(const std::string& dir) {
+    return LoadCheckpoint(dir);
+  }
 
   const Options& options() const { return options_; }
 

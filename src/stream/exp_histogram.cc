@@ -75,6 +75,39 @@ void ExpHistogram::AdvanceTime(Timestamp now) {
   EvictExpired();
 }
 
+void ExpHistogram::Save(BinaryWriter* w) const {
+  w->PutI64(now_);
+  w->PutU64(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    w->PutI64(b.newest);
+    w->PutU64(b.count);
+  }
+}
+
+bool ExpHistogram::Load(BinaryReader* r) {
+  uint64_t size = 0;
+  if (!r->GetI64(&now_) || now_ < 0 || !r->GetU64(&size) ||
+      size > r->remaining() / 16 + 1) {
+    return false;
+  }
+  buckets_.clear();
+  for (uint64_t i = 0; i < size; ++i) {
+    Bucket b;
+    // Counts are powers of two, non-increasing front (oldest) to back;
+    // newest-arrival timestamps are non-decreasing, non-negative (so the
+    // expiry subtraction cannot overflow) and not expired.
+    if (!r->GetI64(&b.newest) || !r->GetU64(&b.count) || b.count < 1 ||
+        (b.count & (b.count - 1)) != 0 || b.newest < 0 || b.newest > now_ ||
+        now_ - b.newest >= t0_ ||
+        (!buckets_.empty() && (b.count > buckets_.back().count ||
+                               b.newest < buckets_.back().newest))) {
+      return false;
+    }
+    buckets_.push_back(b);
+  }
+  return true;
+}
+
 uint64_t ExpHistogram::Estimate() {
   EvictExpired();
   if (buckets_.empty()) return 0;

@@ -22,6 +22,7 @@
 #include <deque>
 
 #include "stream/item.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace swsample {
@@ -47,6 +48,12 @@ class ExpHistogram {
 
   /// Live memory words (one timestamp + one count per bucket).
   uint64_t MemoryWords() const { return 3 + buckets_.size() * 2; }
+
+  /// Checkpointing: clock + buckets (t0/eps are configuration and live in
+  /// the owning estimator's envelope). Load validates bucket monotonicity
+  /// and power-of-two counts; see util/serial.h.
+  void Save(BinaryWriter* w) const;
+  bool Load(BinaryReader* r);
 
  private:
   ExpHistogram(Timestamp t0, uint64_t max_per_size)

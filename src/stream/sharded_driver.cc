@@ -36,9 +36,10 @@ uint64_t MixKey(uint64_t value) {
 
 /// One routed unit of work. kSpan references producer-owned storage (the
 /// zero-copy path of Drive over a materialized stream); kOwned moves the
-/// storage through the queue.
+/// storage through the queue; kBarrier is the checkpoint quiesce token
+/// (the worker acknowledges it after draining everything before it).
 struct Msg {
-  enum class Kind { kSpan, kOwned, kAdvance, kStop };
+  enum class Kind { kSpan, kOwned, kAdvance, kBarrier, kStop };
   Kind kind = Kind::kStop;
   uint32_t shard = 0;
   std::span<const Item> span;
@@ -84,10 +85,17 @@ class BoundedMsgQueue {
 /// by its owning worker until Finish() joins the threads.
 class ShardedStreamDriver::Engine {
  public:
-  Engine(const Options& options, std::span<StreamSink* const> sinks)
+  /// `initial_indices` (empty, or one entry per sink) seeds the shards'
+  /// local re-index cursors when resuming from a checkpoint.
+  Engine(const Options& options, std::span<StreamSink* const> sinks,
+         std::span<const uint64_t> initial_indices = {})
       : options_(options),
         sinks_(sinks.begin(), sinks.end()),
         shard_state_(sinks.size()) {
+    for (size_t s = 0; s < initial_indices.size() && s < shard_state_.size();
+         ++s) {
+      shard_state_[s].local_index = initial_indices[s];
+    }
     const uint64_t workers =
         std::min<uint64_t>(std::max<uint64_t>(options.threads, 1),
                            sinks_.size());
@@ -133,6 +141,36 @@ class ShardedStreamDriver::Engine {
       msg.now = now;
       QueueOf(shard).Push(std::move(msg));
     }
+  }
+
+  /// Drains every queue: pushes one barrier per worker and blocks until
+  /// all are acknowledged. On return the workers are idle (blocked in
+  /// Pop) and every previously routed chunk has been delivered, so the
+  /// producer may read shard sinks and cursors race-free. Checkpoints
+  /// serialize the sinks inside this window.
+  void Quiesce() {
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      barrier_acks_ = 0;
+    }
+    for (auto& queue : queues_) {
+      Msg msg;
+      msg.kind = Msg::Kind::kBarrier;
+      queue->Push(std::move(msg));
+    }
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_acks_ == queues_.size(); });
+  }
+
+  /// Per-shard local re-index cursors; call only after Quiesce().
+  std::vector<uint64_t> LocalIndices() const {
+    std::vector<uint64_t> indices;
+    indices.reserve(shard_state_.size());
+    for (const ShardState& state : shard_state_) {
+      indices.push_back(state.local_index);
+    }
+    return indices;
   }
 
   /// Stops and joins the workers, then stamps final/peak memory and
@@ -197,6 +235,12 @@ class ShardedStreamDriver::Engine {
       switch (msg.kind) {
         case Msg::Kind::kStop:
           return;
+        case Msg::Kind::kBarrier: {
+          std::lock_guard<std::mutex> lock(barrier_mu_);
+          ++barrier_acks_;
+          barrier_cv_.notify_one();
+          break;
+        }
         case Msg::Kind::kAdvance:
           sinks_[msg.shard]->AdvanceTime(msg.now);
           break;
@@ -228,6 +272,9 @@ class ShardedStreamDriver::Engine {
   std::vector<ShardState> shard_state_;
   std::vector<std::unique_ptr<BoundedMsgQueue>> queues_;
   std::vector<std::thread> threads_;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  uint64_t barrier_acks_ = 0;
   bool finished_ = false;
 };
 
@@ -238,14 +285,35 @@ namespace {
 /// owned chunks per routing target and ships them through the engine.
 class OwnedRouter {
  public:
+  /// `resume` (nullable) restores the router exactly as a checkpoint
+  /// captured it: un-flushed buffers, round-robin cursor, clock state.
   OwnedRouter(const ShardedStreamDriver::Options& options, uint64_t shards,
-              ShardedStreamDriver::Engine& engine)
+              ShardedStreamDriver::Engine& engine,
+              const CheckpointManifest* resume = nullptr)
       : options_(options), engine_(engine) {
     const uint64_t targets =
         options.partition == ShardPartition::kKeyHash ? shards : 1;
     pending_.resize(targets);
     for (auto& pending : pending_) pending.reserve(options.chunk_items);
     shards_ = shards;
+    if (resume != nullptr) {
+      for (size_t t = 0; t < resume->pending.size() && t < pending_.size();
+           ++t) {
+        pending_[t] = resume->pending[t];
+      }
+      next_chunk_shard_ = resume->next_chunk_shard % shards_;
+      last_ts_ = resume->last_ts;
+      saw_items_ = resume->saw_items;
+    }
+  }
+
+  /// Captures the producer-side state a checkpoint must persist so a
+  /// resumed run reproduces the exact chunk segmentation.
+  void ExportTo(CheckpointManifest* manifest) const {
+    manifest->last_ts = last_ts_;
+    manifest->saw_items = saw_items_;
+    manifest->next_chunk_shard = next_chunk_shard_;
+    manifest->pending = pending_;
   }
 
   void Add(const Item& item) {
@@ -467,6 +535,70 @@ Result<ShardedDriveReport> ShardedStreamDriver::DriveFile(
   return result;
 }
 
+Result<ShardedDriveReport> ShardedStreamDriver::DriveLinesCheckpointed(
+    std::FILE* f, const std::string& source_name, bool timestamped,
+    std::span<StreamSink* const> shards, CheckpointWriter* writer,
+    const CheckpointManifest* resume) const {
+  if (Status s = Validate(shards); !s.ok()) return s;
+  if (resume != nullptr) {
+    // The checkpoint is only bit-exact under the identical partitioning
+    // geometry; reject any drift instead of silently skewing windows.
+    const uint64_t targets =
+        options_.partition == ShardPartition::kKeyHash ? shards.size() : 1;
+    if (resume->shard_items.size() != shards.size() ||
+        resume->chunk_items != options_.chunk_items ||
+        resume->partition != static_cast<uint64_t>(options_.partition) ||
+        resume->pending.size() != targets) {
+      return Status::InvalidArgument(
+          source_name +
+          ": checkpoint manifest disagrees with the drive options (shard "
+          "count, chunk_items, or partition mode changed)");
+    }
+  }
+  const auto begin = Clock::now();
+  Engine engine(options_, shards,
+                resume == nullptr ? std::span<const uint64_t>()
+                                  : std::span<const uint64_t>(
+                                        resume->shard_items));
+  OwnedRouter router(options_, shards.size(), engine, resume);
+  auto deliver = [&](const Item& item) -> Status {
+    router.Add(item);
+    if (writer != nullptr && writer->Due(item.index + 1)) {
+      // Drain the workers so shard sinks are stable, then persist the
+      // sinks plus the router's un-flushed buffers.
+      engine.Quiesce();
+      CheckpointManifest manifest;
+      manifest.items = item.index + 1;
+      manifest.chunk_items = options_.chunk_items;
+      manifest.partition = static_cast<uint64_t>(options_.partition);
+      manifest.shard_items = engine.LocalIndices();
+      router.ExportTo(&manifest);
+      if (Status s = writer->Write(manifest, shards); !s.ok()) return s;
+    }
+    return Status::Ok();
+  };
+  // Parse errors and failed checkpoint writes return through here;
+  // ~Engine stops and joins the workers on every exit path.
+  auto events = PumpEventLines(f, source_name, timestamped, resume, deliver);
+  if (!events.ok()) return events.status();
+  router.FinishStream();
+  return AssembleReport(begin, engine.Finish(), /*empty_steps=*/0);
+}
+
+Result<ShardedDriveReport> ShardedStreamDriver::DriveFileCheckpointed(
+    const std::string& path, bool timestamped,
+    std::span<StreamSink* const> shards, CheckpointWriter* writer,
+    const CheckpointManifest* resume) const {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open stream file: " + path);
+  }
+  auto result = DriveLinesCheckpointed(f, path, timestamped, shards, writer,
+                                       resume);
+  std::fclose(f);
+  return result;
+}
+
 namespace {
 
 /// Splits a sequence window across shards; identity for shards == 1.
@@ -485,11 +617,12 @@ Result<uint64_t> SplitSequenceWindow(std::string_view name, uint64_t window_n,
 
 }  // namespace
 
-Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
-    std::string_view name, const SamplerConfig& config, uint64_t shards) {
-  if (shards < 1) {
+Result<SamplerConfig> ShardSamplerConfig(std::string_view name,
+                                         const SamplerConfig& config,
+                                         uint64_t shard, uint64_t shards) {
+  if (shards < 1 || shard >= shards) {
     return Status::InvalidArgument(
-        "CreateShardedSamplers: shards must be >= 1");
+        "ShardSamplerConfig: requires 0 <= shard < shards");
   }
   const SamplerSpec* spec = FindSamplerSpec(name);
   if (spec == nullptr) {
@@ -503,22 +636,17 @@ Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
     if (!window.ok()) return window.status();
     shard_config.window_n = window.value();
   }
-  std::vector<std::unique_ptr<WindowSampler>> replicas;
-  replicas.reserve(shards);
-  for (uint64_t shard = 0; shard < shards; ++shard) {
-    shard_config.seed = Rng::ForkSeed(config.seed, shard);
-    auto replica = CreateSampler(name, shard_config);
-    if (!replica.ok()) return replica.status();
-    replicas.push_back(std::move(replica).ValueOrDie());
-  }
-  return replicas;
+  shard_config.seed = Rng::ForkSeed(config.seed, shard);
+  return shard_config;
 }
 
-Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
-    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
-  if (shards < 1) {
+Result<EstimatorConfig> ShardEstimatorConfig(std::string_view name,
+                                             const EstimatorConfig& config,
+                                             uint64_t shard,
+                                             uint64_t shards) {
+  if (shards < 1 || shard >= shards) {
     return Status::InvalidArgument(
-        "CreateShardedEstimators: shards must be >= 1");
+        "ShardEstimatorConfig: requires 0 <= shard < shards");
   }
   const EstimatorSpec* estimator_spec = FindEstimatorSpec(name);
   if (estimator_spec == nullptr) {
@@ -547,11 +675,40 @@ Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
       level.window = level_window.value();
     }
   }
+  shard_config.seed = Rng::ForkSeed(config.seed, shard);
+  return shard_config;
+}
+
+Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
+    std::string_view name, const SamplerConfig& config, uint64_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument(
+        "CreateShardedSamplers: shards must be >= 1");
+  }
+  std::vector<std::unique_ptr<WindowSampler>> replicas;
+  replicas.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    auto shard_config = ShardSamplerConfig(name, config, shard, shards);
+    if (!shard_config.ok()) return shard_config.status();
+    auto replica = CreateSampler(name, shard_config.value());
+    if (!replica.ok()) return replica.status();
+    replicas.push_back(std::move(replica).ValueOrDie());
+  }
+  return replicas;
+}
+
+Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
+    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument(
+        "CreateShardedEstimators: shards must be >= 1");
+  }
   std::vector<std::unique_ptr<WindowEstimator>> replicas;
   replicas.reserve(shards);
   for (uint64_t shard = 0; shard < shards; ++shard) {
-    shard_config.seed = Rng::ForkSeed(config.seed, shard);
-    auto replica = CreateEstimator(name, shard_config);
+    auto shard_config = ShardEstimatorConfig(name, config, shard, shards);
+    if (!shard_config.ok()) return shard_config.status();
+    auto replica = CreateEstimator(name, shard_config.value());
     if (!replica.ok()) return replica.status();
     replicas.push_back(std::move(replica).ValueOrDie());
   }

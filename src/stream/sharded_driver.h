@@ -69,6 +69,7 @@
 #include "apps/estimator_registry.h"
 #include "core/api.h"
 #include "core/registry.h"
+#include "stream/checkpoint.h"
 #include "stream/driver.h"
 #include "stream/item.h"
 #include "stream/stream_gen.h"
@@ -153,6 +154,35 @@ class ShardedStreamDriver {
       const std::string& path, bool timestamped,
       std::span<StreamSink* const> shards) const;
 
+  /// DriveLines with crash recovery: writes periodic checkpoints through
+  /// `writer` (nullable = disabled) and, when `resume` is non-null,
+  /// skips the first `resume->items` events of the replayed input and
+  /// continues into shard sinks restored by ResumeFrom. A checkpoint
+  /// quiesces the workers (barrier through every queue), serializes the
+  /// shard sinks, and persists the router's un-flushed buffers in the
+  /// manifest — so the resumed run's chunk segmentation, per-shard
+  /// delivery order and RNG draws are identical to an uninterrupted
+  /// run's. Requires the same shard count, chunk_items, and partition
+  /// mode as the run that wrote the checkpoint (validated against the
+  /// manifest). The report counts only items delivered by THIS call.
+  Result<ShardedDriveReport> DriveLinesCheckpointed(
+      std::FILE* f, const std::string& source_name, bool timestamped,
+      std::span<StreamSink* const> shards, CheckpointWriter* writer,
+      const CheckpointManifest* resume) const;
+
+  /// DriveLinesCheckpointed over a file path.
+  Result<ShardedDriveReport> DriveFileCheckpointed(
+      const std::string& path, bool timestamped,
+      std::span<StreamSink* const> shards, CheckpointWriter* writer,
+      const CheckpointManifest* resume) const;
+
+  /// Reads back the checkpoint committed in `dir` (see
+  /// stream/checkpoint.h); pass its position as `resume` above and its
+  /// restored sinks as the shard span.
+  static Result<ResumedCheckpoint> ResumeFrom(const std::string& dir) {
+    return LoadCheckpoint(dir);
+  }
+
   const Options& options() const { return options_; }
 
   /// Queues + workers of one Drive* call (implementation detail; public
@@ -164,6 +194,22 @@ class ShardedStreamDriver {
 
   Options options_;
 };
+
+/// The configuration shard `shard` of `shards` replicas runs under: the
+/// seed forked with Rng::ForkSeed and, for sequence-model samplers, the
+/// window split as window_n / shards (must divide evenly). This is the
+/// derivation CreateShardedSamplers applies per replica, exposed so the
+/// checkpoint serializers (stream/checkpoint.h) can stamp each shard's
+/// envelope with the exact config that constructed it.
+Result<SamplerConfig> ShardSamplerConfig(std::string_view name,
+                                         const SamplerConfig& config,
+                                         uint64_t shard, uint64_t shards);
+
+/// Estimator counterpart of ShardSamplerConfig (splits window_n and any
+/// bias-level windows when the substrate is sequence-model).
+Result<EstimatorConfig> ShardEstimatorConfig(std::string_view name,
+                                             const EstimatorConfig& config,
+                                             uint64_t shard, uint64_t shards);
 
 /// Builds `shards` sampler replicas for sharded ingestion from one
 /// registry configuration: per-shard seeds forked with Rng::ForkSeed, and

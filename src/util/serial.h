@@ -1,22 +1,31 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Minimal binary serialization for sampler checkpointing.
+// Minimal binary serialization for checkpointing.
 //
 // Streaming deployments checkpoint operator state to survive restarts; a
 // sampler that cannot be persisted mid-stream is not adoptable. The format
-// is fixed-width little-endian (samplers hold O(k log n) words, so varint
-// savings are irrelevant) with a magic/version prefix per top-level blob.
-// Readers are fail-soft: every Get returns false on truncation and the
-// sampler Restore() factories turn that into Status.
+// is fixed-width little-endian (sinks hold O(k log n) words, so varint
+// savings are irrelevant) with a magic/version envelope per top-level blob
+// (core/checkpoint.h). Readers are fail-soft: every Get returns false on
+// truncation and the checkpoint restore factories turn that into Status.
+// Length-prefixed fields (bytes/strings) are double-guarded: the prefix
+// must fit in both the remaining input and an explicit size cap, so a
+// corrupt length can neither over-read nor over-allocate.
 
 #ifndef SWSAMPLE_UTIL_SERIAL_H_
 #define SWSAMPLE_UTIL_SERIAL_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace swsample {
+
+/// Default cap for length-prefixed fields (names, config strings). Payload
+/// sections are not length-prefixed, so this only bounds metadata.
+inline constexpr uint64_t kMaxLengthPrefixed = uint64_t{1} << 20;
 
 /// Appends fixed-width little-endian fields to a byte string.
 class BinaryWriter {
@@ -31,6 +40,19 @@ class BinaryWriter {
 
   void PutBool(bool b) { out_.push_back(b ? 1 : 0); }
 
+  /// Exact bit-cast round trip (estimator state holds doubles; a decimal
+  /// detour would break the restored-behaviour-is-bit-identical contract).
+  void PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+  /// Length-prefixed raw bytes.
+  void PutBytes(std::string_view bytes) {
+    PutU64(bytes.size());
+    out_.append(bytes.data(), bytes.size());
+  }
+
+  /// Length-prefixed string (same wire format as PutBytes).
+  void PutString(std::string_view s) { PutBytes(s); }
+
   const std::string& str() const { return out_; }
   std::string Release() { return std::move(out_); }
 
@@ -39,9 +61,15 @@ class BinaryWriter {
 };
 
 /// Reads fields written by BinaryWriter; all getters are truncation-safe.
+///
+/// Non-owning: the reader views the caller's buffer, which must outlive
+/// it. Taking std::string_view (rather than const std::string&) lets
+/// callers pass sub-ranges and avoids the silent dangling-temporary
+/// hazard of a stored reference — but do not construct one from a
+/// temporary string expression either.
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::string& data) : data_(data) {}
+  explicit BinaryReader(std::string_view data) : data_(data) {}
 
   bool GetU64(uint64_t* v) {
     if (pos_ + 8 > data_.size()) return false;
@@ -68,11 +96,38 @@ class BinaryReader {
     return true;
   }
 
+  bool GetDouble(double* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  /// Length-prefixed bytes written by PutBytes. Fails (without reading)
+  /// when the prefix exceeds `max_len` or the remaining input, so a
+  /// corrupt length cannot trigger a huge allocation.
+  bool GetBytes(std::string* out, uint64_t max_len = kMaxLengthPrefixed) {
+    uint64_t len = 0;
+    if (!GetU64(&len)) return false;
+    if (len > max_len || len > data_.size() - pos_) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// Length-prefixed string written by PutString.
+  bool GetString(std::string* out, uint64_t max_len = kMaxLengthPrefixed) {
+    return GetBytes(out, max_len);
+  }
+
   /// True iff every byte has been consumed (catches trailing garbage).
   bool AtEnd() const { return pos_ == data_.size(); }
 
+  /// Bytes not yet consumed (bounds untrusted element counts).
+  size_t remaining() const { return data_.size() - pos_; }
+
  private:
-  const std::string& data_;
+  std::string_view data_;
   size_t pos_ = 0;
 };
 

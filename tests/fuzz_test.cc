@@ -25,10 +25,8 @@
 #include <gtest/gtest.h>
 
 #include "baseline/exact_window.h"
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
+#include "core/checkpoint.h"
+#include "core/registry.h"
 #include "util/rng.h"
 
 namespace swsample {
@@ -42,8 +40,14 @@ TEST_P(FuzzSweep, TimestampSamplersAgainstOracle) {
   const Timestamp t0 = 1 + static_cast<Timestamp>(scenario.UniformIndex(40));
   const uint64_t k = 1 + scenario.UniformIndex(6);
 
-  auto swr = TsSwrSampler::Create(t0, k, seed * 3 + 1).ValueOrDie();
-  auto swor = TsSworSampler::Create(t0, k, seed * 3 + 2).ValueOrDie();
+  SamplerConfig swr_config;
+  swr_config.window_t = t0;
+  swr_config.k = k;
+  swr_config.seed = seed * 3 + 1;
+  SamplerConfig swor_config = swr_config;
+  swor_config.seed = seed * 3 + 2;
+  auto swr = CreateSampler("bop-ts-swr", swr_config).ValueOrDie();
+  auto swor = CreateSampler("bop-ts-swor", swor_config).ValueOrDie();
   auto oracle =
       ExactWindow::CreateTimestamp(t0, 1, true, seed * 3 + 3).ValueOrDie();
 
@@ -72,11 +76,11 @@ TEST_P(FuzzSweep, TimestampSamplersAgainstOracle) {
     swor->AdvanceTime(now);
     oracle->AdvanceTime(now);
 
-    // Occasionally checkpoint-cycle the SWOR sampler.
+    // Occasionally checkpoint-cycle the SWOR sampler through the
+    // self-describing envelope (a different process could do this half).
     if (scenario.UniformIndex(20) == 0) {
-      std::string blob;
-      swor->SaveState(&blob);
-      swor = TsSworSampler::Restore(blob).ValueOrDie();
+      std::string blob = SaveSampler(*swor, swor_config).ValueOrDie();
+      swor = RestoreSampler(blob).ValueOrDie();
     }
 
     // Oracle membership set.
@@ -116,8 +120,14 @@ TEST_P(FuzzSweep, SequenceSamplersAgainstOracle) {
   const uint64_t n = 1 + scenario.UniformIndex(100);
   const uint64_t k = 1 + scenario.UniformIndex(std::min<uint64_t>(n, 8));
 
-  auto swr = SequenceSwrSampler::Create(n, k, seed * 5 + 1).ValueOrDie();
-  auto swor = SequenceSworSampler::Create(n, k, seed * 5 + 2).ValueOrDie();
+  SamplerConfig swr_config;
+  swr_config.window_n = n;
+  swr_config.k = k;
+  swr_config.seed = seed * 5 + 1;
+  SamplerConfig swor_config = swr_config;
+  swor_config.seed = seed * 5 + 2;
+  auto swr = CreateSampler("bop-seq-swr", swr_config).ValueOrDie();
+  auto swor = CreateSampler("bop-seq-swor", swor_config).ValueOrDie();
   auto oracle =
       ExactWindow::CreateSequence(n, 1, true, seed * 5 + 3).ValueOrDie();
 
@@ -133,11 +143,10 @@ TEST_P(FuzzSweep, SequenceSamplersAgainstOracle) {
       oracle->Observe(item);
     }
     if (scenario.UniformIndex(15) == 0) {
-      std::string blob;
-      swr->SaveState(&blob);
-      swr = SequenceSwrSampler::Restore(blob).ValueOrDie();
-      swor->SaveState(&blob);
-      swor = SequenceSworSampler::Restore(blob).ValueOrDie();
+      swr = RestoreSampler(SaveSampler(*swr, swr_config).ValueOrDie())
+                .ValueOrDie();
+      swor = RestoreSampler(SaveSampler(*swor, swor_config).ValueOrDie())
+                 .ValueOrDie();
     }
     std::set<uint64_t> active;
     for (const Item& item : oracle->contents()) active.insert(item.index);

@@ -1,22 +1,24 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Checkpoint/restore tests. The contract is strong: a restored sampler
-// must resume the EXACT behaviour of the original -- same samples, same
-// memory, same RNG stream -- so checkpointing is invisible to downstream
-// consumers. Corrupt blobs (truncation, bad magic, trailing bytes, invalid
-// fields) must be rejected with InvalidArgument, never a crash.
+// Serialization-primitive and envelope tests. The contract is strong: a
+// restored sink must resume the EXACT behaviour of the original -- same
+// samples, same memory, same RNG stream -- so checkpointing is invisible
+// to downstream consumers. Corrupt blobs (truncation, bad magic, trailing
+// bytes, invalid fields) must be rejected with InvalidArgument, never a
+// crash. The full registry-matrix resume sweep lives in
+// tests/checkpoint_test.cc; this file covers the wire primitives and the
+// paper samplers' envelopes in depth.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "core/seq_swor.h"
-#include "core/seq_swr.h"
+#include "core/checkpoint.h"
+#include "core/registry.h"
 #include "core/ts_single.h"
-#include "core/ts_swor.h"
-#include "core/ts_swr.h"
 #include "reservoir/reservoir.h"
 #include "stream/arrival.h"
 #include "stream/stream_gen.h"
@@ -32,20 +34,45 @@ TEST(SerialTest, WriterReaderRoundTrip) {
   w.PutI64(-42);
   w.PutBool(true);
   w.PutBool(false);
+  w.PutDouble(3.25);
+  w.PutString("swsample");
+  w.PutBytes(std::string_view("\x00\x01\x02", 3));
   std::string blob = w.Release();
   BinaryReader r(blob);
   uint64_t u;
   int64_t i;
   bool b1, b2;
+  double d;
+  std::string s, bytes;
   ASSERT_TRUE(r.GetU64(&u));
   ASSERT_TRUE(r.GetI64(&i));
   ASSERT_TRUE(r.GetBool(&b1));
   ASSERT_TRUE(r.GetBool(&b2));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetString(&s));
+  ASSERT_TRUE(r.GetBytes(&bytes));
   EXPECT_EQ(u, 0xdeadbeefcafef00dULL);
   EXPECT_EQ(i, -42);
   EXPECT_TRUE(b1);
   EXPECT_FALSE(b2);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "swsample");
+  EXPECT_EQ(bytes, std::string("\x00\x01\x02", 3));
   EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, DoubleRoundTripIsBitExact) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-308, -1e308,
+                           0.1234567890123456789};
+  for (double v : values) {
+    BinaryWriter w;
+    w.PutDouble(v);
+    std::string blob = w.Release();
+    BinaryReader r(blob);
+    double out;
+    ASSERT_TRUE(r.GetDouble(&out));
+    EXPECT_EQ(std::bit_cast<uint64_t>(v), std::bit_cast<uint64_t>(out));
+  }
 }
 
 TEST(SerialTest, ReaderDetectsTruncation) {
@@ -56,6 +83,46 @@ TEST(SerialTest, ReaderDetectsTruncation) {
   BinaryReader r(blob);
   uint64_t u;
   EXPECT_FALSE(r.GetU64(&u));
+}
+
+TEST(SerialTest, LengthPrefixIsDoubleGuarded) {
+  // A length prefix larger than the remaining input must fail without
+  // allocating, as must one exceeding the explicit cap.
+  BinaryWriter w;
+  w.PutU64(uint64_t{1} << 60);  // preposterous length prefix
+  std::string blob = w.Release();
+  {
+    BinaryReader r(blob);
+    std::string out;
+    EXPECT_FALSE(r.GetBytes(&out));
+  }
+  BinaryWriter w2;
+  w2.PutString("0123456789");
+  std::string blob2 = w2.Release();
+  {
+    BinaryReader r(blob2);
+    std::string out;
+    EXPECT_FALSE(r.GetString(&out, /*max_len=*/4));
+  }
+  {
+    BinaryReader r(blob2);
+    std::string out;
+    EXPECT_TRUE(r.GetString(&out, /*max_len=*/10));
+    EXPECT_EQ(out, "0123456789");
+  }
+}
+
+TEST(SerialTest, ReaderViewsSubranges) {
+  BinaryWriter w;
+  w.PutU64(1);
+  w.PutU64(2);
+  std::string blob = w.Release();
+  BinaryReader r(std::string_view(blob).substr(8));
+  uint64_t v;
+  ASSERT_TRUE(r.GetU64(&v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.remaining(), 0u);
 }
 
 TEST(SerialTest, RngStateResumesExactStream) {
@@ -82,12 +149,14 @@ TEST(SerialTest, KReservoirRoundTrip) {
   EXPECT_EQ(restored.items(), original.items());
 }
 
-// Generic driver: run `steps` arrivals, checkpoint, keep running both the
-// original and the restored sampler in lockstep and require IDENTICAL
-// sample sequences (they share RNG state, so equality is exact).
-template <typename Sampler, typename RestoreFn>
-void CheckResumedEquivalence(std::unique_ptr<Sampler> original,
-                             RestoreFn restore, bool timestamped) {
+// Generic driver: run `steps` arrivals, checkpoint through the envelope,
+// keep running both the original and the restored sampler in lockstep and
+// require IDENTICAL sample sequences (they share RNG state, so equality
+// is exact).
+void CheckResumedEquivalence(const std::string& name,
+                             const SamplerConfig& config,
+                             bool timestamped) {
+  auto original = CreateSampler(name, config).ValueOrDie();
   auto stream = SyntheticStream(
       UniformValues::Create(1 << 16).ValueOrDie(),
       std::move(PoissonBurstArrivals::Create(2.5)).ValueOrDie(), 99);
@@ -96,9 +165,9 @@ void CheckResumedEquivalence(std::unique_ptr<Sampler> original,
     for (const Item& item : stream.Step()) original->Observe(item);
     if (timestamped) original->AdvanceTime(t);
   }
-  std::string blob;
-  original->SaveState(&blob);
-  auto restored = restore(blob);
+  std::string blob = SaveSampler(*original, config).ValueOrDie();
+  auto restored = RestoreSampler(blob).ValueOrDie();
+  EXPECT_STREQ(restored->name(), original->name());
 
   // Lockstep phase: identical inputs, identical outputs.
   for (Timestamp t = 200; t < 500; ++t) {
@@ -121,39 +190,35 @@ void CheckResumedEquivalence(std::unique_ptr<Sampler> original,
 }
 
 TEST(SerialTest, SeqSwrResumesExactly) {
-  CheckResumedEquivalence(
-      SequenceSwrSampler::Create(64, 4, 7).ValueOrDie(),
-      [](const std::string& blob) {
-        return SequenceSwrSampler::Restore(blob).ValueOrDie();
-      },
-      /*timestamped=*/false);
+  SamplerConfig config;
+  config.window_n = 64;
+  config.k = 4;
+  config.seed = 7;
+  CheckResumedEquivalence("bop-seq-swr", config, /*timestamped=*/false);
 }
 
 TEST(SerialTest, SeqSworResumesExactly) {
-  CheckResumedEquivalence(
-      SequenceSworSampler::Create(64, 8, 8).ValueOrDie(),
-      [](const std::string& blob) {
-        return SequenceSworSampler::Restore(blob).ValueOrDie();
-      },
-      /*timestamped=*/false);
+  SamplerConfig config;
+  config.window_n = 64;
+  config.k = 8;
+  config.seed = 8;
+  CheckResumedEquivalence("bop-seq-swor", config, /*timestamped=*/false);
 }
 
 TEST(SerialTest, TsSwrResumesExactly) {
-  CheckResumedEquivalence(
-      TsSwrSampler::Create(25, 3, 9).ValueOrDie(),
-      [](const std::string& blob) {
-        return TsSwrSampler::Restore(blob).ValueOrDie();
-      },
-      /*timestamped=*/true);
+  SamplerConfig config;
+  config.window_t = 25;
+  config.k = 3;
+  config.seed = 9;
+  CheckResumedEquivalence("bop-ts-swr", config, /*timestamped=*/true);
 }
 
 TEST(SerialTest, TsSworResumesExactly) {
-  CheckResumedEquivalence(
-      TsSworSampler::Create(25, 5, 10).ValueOrDie(),
-      [](const std::string& blob) {
-        return TsSworSampler::Restore(blob).ValueOrDie();
-      },
-      /*timestamped=*/true);
+  SamplerConfig config;
+  config.window_t = 25;
+  config.k = 5;
+  config.seed = 10;
+  CheckResumedEquivalence("bop-ts-swor", config, /*timestamped=*/true);
 }
 
 TEST(SerialTest, TsSingleRoundTripPreservesInvariants) {
@@ -165,11 +230,13 @@ TEST(SerialTest, TsSingleRoundTripPreservesInvariants) {
     for (const Item& item : stream.Step()) original.Observe(item);
   }
   BinaryWriter w;
-  original.Save(&w);
+  original.SaveState(&w);
   std::string blob = w.Release();
-  auto restored = TsSingleSampler::Create(1, 0).ValueOrDie();
+  // LoadState refills a sampler constructed with the SAME configuration
+  // (the envelope normally carries it).
+  auto restored = TsSingleSampler::Create(17, 0).ValueOrDie();
   BinaryReader r(blob);
-  ASSERT_TRUE(restored.Load(&r));
+  ASSERT_TRUE(restored.LoadState(&r));
   ASSERT_TRUE(r.AtEnd());
   EXPECT_TRUE(restored.CheckInvariants());
   EXPECT_EQ(restored.t0(), 17);
@@ -178,43 +245,78 @@ TEST(SerialTest, TsSingleRoundTripPreservesInvariants) {
   EXPECT_EQ(restored.StructureCount(), original.StructureCount());
 }
 
-TEST(SerialTest, RejectsBadMagic) {
-  auto s = SequenceSwrSampler::Create(8, 2, 1).ValueOrDie();
-  std::string blob;
-  s->SaveState(&blob);
-  blob[0] ^= 0xff;
-  EXPECT_FALSE(SequenceSwrSampler::Restore(blob).ok());
-  // A blob of one sampler type must not restore as another.
-  s->SaveState(&blob);
-  EXPECT_FALSE(SequenceSworSampler::Restore(blob).ok());
-  EXPECT_FALSE(TsSwrSampler::Restore(blob).ok());
-  EXPECT_FALSE(TsSworSampler::Restore(blob).ok());
+TEST(SerialTest, RejectsBadMagicAndForeignKinds) {
+  SamplerConfig config;
+  config.window_n = 8;
+  config.k = 2;
+  config.seed = 1;
+  auto s = CreateSampler("bop-seq-swr", config).ValueOrDie();
+  std::string blob = SaveSampler(*s, config).ValueOrDie();
+  std::string bad = blob;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(RestoreSampler(bad).ok());
+  // A snapshot envelope must not restore as a sampler and vice versa.
+  SamplerSnapshot snapshot;
+  std::string snap_blob = SaveSnapshot(snapshot);
+  EXPECT_FALSE(RestoreSampler(snap_blob).ok());
+  EXPECT_FALSE(RestoreSnapshot(blob).ok());
+  EXPECT_EQ(PeekCheckpointKind(blob).ValueOrDie(), CheckpointKind::kSampler);
+  EXPECT_EQ(PeekCheckpointKind(snap_blob).ValueOrDie(),
+            CheckpointKind::kSnapshot);
+}
+
+TEST(SerialTest, RejectsUnsupportedVersion) {
+  SamplerConfig config;
+  config.window_n = 8;
+  config.k = 1;
+  auto s = CreateSampler("bop-seq-single", config).ValueOrDie();
+  std::string blob = SaveSampler(*s, config).ValueOrDie();
+  blob[8] = 99;  // format-version field (bytes 8..15, little-endian)
+  EXPECT_FALSE(RestoreSampler(blob).ok());
 }
 
 TEST(SerialTest, RejectsTruncationEverywhere) {
-  auto s = TsSworSampler::Create(20, 4, 2).ValueOrDie();
+  SamplerConfig config;
+  config.window_t = 20;
+  config.k = 4;
+  config.seed = 2;
+  auto s = CreateSampler("bop-ts-swor", config).ValueOrDie();
   for (Timestamp t = 0; t < 100; ++t) {
     s->Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
   }
-  std::string blob;
-  s->SaveState(&blob);
-  ASSERT_TRUE(TsSworSampler::Restore(blob).ok());
+  std::string blob = SaveSampler(*s, config).ValueOrDie();
+  ASSERT_TRUE(RestoreSampler(blob).ok());
   // Every strict prefix must be rejected (never crash).
   for (size_t cut = 0; cut < blob.size(); cut += 7) {
-    std::string truncated = blob.substr(0, cut);
-    EXPECT_FALSE(TsSworSampler::Restore(truncated).ok()) << "cut=" << cut;
+    EXPECT_FALSE(RestoreSampler(blob.substr(0, cut)).ok()) << "cut=" << cut;
   }
 }
 
 TEST(SerialTest, RejectsTrailingGarbage) {
-  auto s = SequenceSworSampler::Create(16, 4, 3).ValueOrDie();
+  SamplerConfig config;
+  config.window_n = 16;
+  config.k = 4;
+  config.seed = 3;
+  auto s = CreateSampler("bop-seq-swor", config).ValueOrDie();
   for (uint64_t i = 0; i < 40; ++i) {
     s->Observe(Item{i, i, static_cast<Timestamp>(i)});
   }
-  std::string blob;
-  s->SaveState(&blob);
+  std::string blob = SaveSampler(*s, config).ValueOrDie();
   blob += "extra";
-  EXPECT_FALSE(SequenceSworSampler::Restore(blob).ok());
+  EXPECT_FALSE(RestoreSampler(blob).ok());
+}
+
+TEST(SerialTest, SaveRejectsUnregisteredOrForeignConfig) {
+  SamplerConfig config;
+  config.window_n = 8;
+  config.k = 2;
+  auto s = CreateSampler("bop-seq-swr", config).ValueOrDie();
+  // Envelope config is trusted input to CreateSampler on restore: an
+  // invalid one must fail the restore, not crash it.
+  SamplerConfig broken = config;
+  broken.window_n = 0;
+  std::string blob = SaveSampler(*s, broken).ValueOrDie();
+  EXPECT_FALSE(RestoreSampler(blob).ok());
 }
 
 TEST(SerialTest, RestoredSamplerStaysUniform) {
@@ -224,14 +326,16 @@ TEST(SerialTest, RestoredSamplerStaysUniform) {
   const int trials = 30000;
   std::vector<uint64_t> counts(n, 0);
   for (int t = 0; t < trials; ++t) {
-    auto s = SequenceSwrSampler::Create(n, 1, 5000 + t).ValueOrDie();
-    std::unique_ptr<SequenceSwrSampler> current = std::move(s);
+    SamplerConfig config;
+    config.window_n = n;
+    config.k = 1;
+    config.seed = 5000 + static_cast<uint64_t>(t);
+    auto current = CreateSampler("bop-seq-swr", config).ValueOrDie();
     for (uint64_t i = 0; i < 21; ++i) {
       current->Observe(Item{i, i, static_cast<Timestamp>(i)});
       if (i == 9) {  // checkpoint mid-bucket
-        std::string blob;
-        current->SaveState(&blob);
-        current = SequenceSwrSampler::Restore(blob).ValueOrDie();
+        std::string blob = SaveSampler(*current, config).ValueOrDie();
+        current = RestoreSampler(blob).ValueOrDie();
       }
     }
     auto sample = current->Sample();
@@ -247,6 +351,40 @@ TEST(SerialTest, RestoredSamplerStaysUniform) {
   // distortion from the checkpoint path).
   EXPECT_GT(min_c, trials / n * 0.9);
   EXPECT_LT(max_c, trials / n * 1.1);
+}
+
+TEST(SerialTest, SnapshotRoundTripsAndMergesAcrossProcesses) {
+  // Two shards snapshot, the blobs travel, and the restored snapshots
+  // merge exactly as the in-process originals would.
+  SamplerConfig config;
+  config.window_n = 32;
+  config.k = 4;
+  config.seed = 21;
+  auto a = CreateSampler("bop-seq-swor", config).ValueOrDie();
+  config.seed = 22;
+  auto b = CreateSampler("bop-seq-swor", config).ValueOrDie();
+  for (uint64_t i = 0; i < 100; ++i) {
+    a->Observe(Item{i, i, static_cast<Timestamp>(i)});
+    b->Observe(Item{1000 + i, i, static_cast<Timestamp>(i)});
+  }
+  auto snap_a = std::move(a->Snapshot()).ValueOrDie();
+  auto snap_b = std::move(b->Snapshot()).ValueOrDie();
+  std::string blob_a = SaveSnapshot(snap_a);
+  std::string blob_b = SaveSnapshot(snap_b);
+  auto restored_a = RestoreSnapshot(blob_a).ValueOrDie();
+  auto restored_b = RestoreSnapshot(blob_b).ValueOrDie();
+  EXPECT_EQ(restored_a.active, snap_a.active);
+  EXPECT_EQ(restored_a.k, snap_a.k);
+  EXPECT_EQ(restored_a.without_replacement, snap_a.without_replacement);
+  EXPECT_EQ(restored_a.sample, snap_a.sample);
+  Rng rng(77);
+  ASSERT_TRUE(restored_a.MergeFrom(restored_b, rng).ok());
+  EXPECT_EQ(restored_a.active, snap_a.active + snap_b.active);
+  EXPECT_EQ(restored_a.sample.size(), config.k);
+  // Corrupting the occupancy/sample consistency must be rejected.
+  std::string bad = blob_b;
+  bad.resize(bad.size() - 24);  // drop one item
+  EXPECT_FALSE(RestoreSnapshot(bad).ok());
 }
 
 }  // namespace

@@ -29,14 +29,14 @@ TEST(TsSingleTest, CreateValidation) {
 
 TEST(TsSingleTest, EmptyUntilFirstInsert) {
   auto s = TsSingleSampler::Create(10, 1).ValueOrDie();
-  EXPECT_FALSE(s.Sample().has_value());
+  EXPECT_FALSE(s.SampleOne().has_value());
   EXPECT_FALSE(s.has_active());
 }
 
 TEST(TsSingleTest, SingleElementWindow) {
   auto s = TsSingleSampler::Create(10, 2).ValueOrDie();
   s.Observe(Item{7, 0, 100});
-  auto sample = s.Sample();
+  auto sample = s.SampleOne();
   ASSERT_TRUE(sample.has_value());
   EXPECT_EQ(sample->index, 0u);
 }
@@ -45,9 +45,9 @@ TEST(TsSingleTest, ExpiryByClockAlone) {
   auto s = TsSingleSampler::Create(10, 3).ValueOrDie();
   s.Observe(Item{7, 0, 100});
   s.AdvanceTime(109);
-  EXPECT_TRUE(s.Sample().has_value());  // 109 - 100 < 10
+  EXPECT_TRUE(s.SampleOne().has_value());  // 109 - 100 < 10
   s.AdvanceTime(110);
-  EXPECT_FALSE(s.Sample().has_value());  // exactly t0 old: expired
+  EXPECT_FALSE(s.SampleOne().has_value());  // exactly t0 old: expired
 }
 
 TEST(TsSingleTest, RestartAfterEmpty) {
@@ -56,7 +56,7 @@ TEST(TsSingleTest, RestartAfterEmpty) {
   s.AdvanceTime(100);
   EXPECT_FALSE(s.has_active());
   s.Observe(Item{2, 1, 100});
-  auto sample = s.Sample();
+  auto sample = s.SampleOne();
   ASSERT_TRUE(sample.has_value());
   EXPECT_EQ(sample->index, 1u);
 }
@@ -70,7 +70,7 @@ TEST(TsSingleTest, PreExpiredInsertIsSkipped) {
   EXPECT_FALSE(s.has_active());
   s.Insert(Item{2, 1, 98});  // active
   ASSERT_TRUE(s.has_active());
-  EXPECT_EQ(s.Sample()->index, 1u);
+  EXPECT_EQ(s.SampleOne()->index, 1u);
 }
 
 TEST(TsSingleTest, SampleAlwaysActive) {
@@ -84,7 +84,7 @@ TEST(TsSingleTest, SampleAlwaysActive) {
     for (const Item& item : stream.Step()) s.Observe(item);
     s.AdvanceTime(t);
     ASSERT_TRUE(s.CheckInvariants()) << "t=" << t;
-    auto sample = s.Sample();
+    auto sample = s.SampleOne();
     if (sample) {
       EXPECT_LT(t - sample->timestamp, t0) << "expired sample at t=" << t;
     }
@@ -136,7 +136,7 @@ void CheckUniformOverWindow(double lambda, Timestamp horizon, Timestamp t0,
     auto s = TsSingleSampler::Create(t0, seed * 131 + trial).ValueOrDie();
     for (const Item& item : items) s.Observe(item);
     s.AdvanceTime(horizon - 1);
-    auto sample = s.Sample();
+    auto sample = s.SampleOne();
     ASSERT_TRUE(sample.has_value());
     ASSERT_GE(sample->index, lo);
     ++counts[sample->index - lo];
@@ -173,7 +173,7 @@ TEST(TsSingleTest, UniformOnePerStep) {
     for (Timestamp t = 0; t < horizon; ++t) {
       s.Observe(Item{static_cast<uint64_t>(t), static_cast<uint64_t>(t), t});
     }
-    auto sample = s.Sample();
+    auto sample = s.SampleOne();
     ASSERT_TRUE(sample.has_value());
     const uint64_t lo = static_cast<uint64_t>(horizon - t0);
     ASSERT_GE(sample->index, lo);
@@ -221,7 +221,7 @@ TEST(TsSingleTest, BatchSameTimestamp) {
   for (int trial = 0; trial < trials; ++trial) {
     auto s = TsSingleSampler::Create(5, 31000 + trial).ValueOrDie();
     for (uint64_t i = 0; i < burst; ++i) s.Observe(Item{i, i, 7});
-    auto sample = s.Sample();
+    auto sample = s.SampleOne();
     ASSERT_TRUE(sample.has_value());
     ++counts[sample->index];
   }
