@@ -48,11 +48,13 @@ void DriveObserve(benchmark::State& state, WindowSampler& sampler) {
 void DriveObserveBatch(benchmark::State& state, WindowSampler& sampler) {
   Rng rng(1);
   std::vector<Item> batch(kBatch);
+  std::vector<uint64_t> values(kBatch);  // pre-drawn per batch (FillU64)
   uint64_t i = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    for (Item& item : batch) {
-      item = Item{rng.NextU64(), i, static_cast<Timestamp>(i / 4)};
+    rng.FillU64(values);
+    for (uint64_t j = 0; j < kBatch; ++j) {
+      batch[j] = Item{values[j], i, static_cast<Timestamp>(i / 4)};
       ++i;
     }
     state.ResumeTiming();

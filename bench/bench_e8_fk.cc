@@ -46,7 +46,10 @@ void RunCase(uint32_t moment, double alpha, uint64_t domain) {
     if (window_q.size() > n) window_q.pop_front();
   }
   std::vector<uint64_t> window(window_q.begin(), window_q.end());
-  const double exact = ExactFrequencyMoment(window, moment);
+  // Reusable flat histogram: one table's memory serves every case.
+  static ValueHistogram hist;
+  ExactHistogramInto(window, &hist);
+  const double exact = ExactFrequencyMoment(hist, moment);
 
   StreamDriver driver;
   for (const char* substrate : {"bop-seq-single", "exact-seq"}) {
@@ -89,7 +92,9 @@ void RunTimestampCase(double alpha) {
   for (const Item& item : items) {
     if (end - item.timestamp < t0) window.push_back(item.value);
   }
-  const double exact = ExactFrequencyMoment(window, 2);
+  static ValueHistogram ts_hist;
+  ExactHistogramInto(window, &ts_hist);
+  const double exact = ExactFrequencyMoment(ts_hist, 2);
 
   StreamDriver driver;
   for (const char* substrate : {"bop-ts-single", "exact-ts"}) {

@@ -41,7 +41,10 @@ void RunCase(double alpha, uint64_t domain) {
     if (window_q.size() > n) window_q.pop_front();
   }
   std::vector<uint64_t> window(window_q.begin(), window_q.end());
-  const double exact = ExactEntropy(window);
+  // Reusable flat histogram: one table's memory serves every case.
+  static ValueHistogram hist;
+  ExactHistogramInto(window, &hist);
+  const double exact = ExactEntropy(hist);
 
   StreamDriver driver;
   for (const char* substrate : {"bop-seq-single", "exact-seq"}) {

@@ -12,7 +12,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "core/api.h"
 #include "stream/item.h"
@@ -61,6 +66,80 @@ inline std::string Sci(double v) {
   std::snprintf(buf, sizeof(buf), "%.2e", v);
   return buf;
 }
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+inline uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Machine-readable perf reporter: every bench funnels its headline
+/// numbers through Report(), and when SWSAMPLE_BENCH_JSON names a path the
+/// accumulated entries are written there as JSON at WriteJsonIfRequested()
+/// (call it at the end of main). The committed BENCH.json at the repo
+/// root is a snapshot of these entries; CI regenerates one per run and
+/// scripts/bench_check.py gates on ratio metrics (keys starting with
+/// "speedup"), which are machine-portable, treating the absolute numbers
+/// as informational.
+class BenchReporter {
+ public:
+  static BenchReporter& Global() {
+    static BenchReporter reporter;
+    return reporter;
+  }
+
+  /// Records one named row of metric -> value pairs for `bench`.
+  void Report(const std::string& bench, const std::string& name,
+              std::vector<std::pair<std::string, double>> metrics) {
+    entries_.push_back(Entry{bench, name, std::move(metrics)});
+  }
+
+  /// Writes collected entries to $SWSAMPLE_BENCH_JSON (appending to the
+  /// entries of an existing reporter file is NOT supported: each bench
+  /// binary should use its own output path or run alone). Returns true
+  /// if a file was written.
+  bool WriteJsonIfRequested() const {
+    const char* path = std::getenv("SWSAMPLE_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return false;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": 1,\n  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(PeakRssBytes()));
+    std::fprintf(f, "  \"entries\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "    {\"bench\": \"%s\", \"name\": \"%s\"",
+                   e.bench.c_str(), e.name.c_str());
+      for (const auto& [key, value] : e.metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string bench;
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Entry> entries_;
+};
 
 /// Drives a sequence-indexed stream (one item per step, timestamp = index)
 /// through a sampler, tracking the max memory words.

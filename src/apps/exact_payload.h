@@ -11,13 +11,14 @@
 #ifndef SWSAMPLE_APPS_EXACT_PAYLOAD_H_
 #define SWSAMPLE_APPS_EXACT_PAYLOAD_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <utility>
 
 #include "stream/item.h"
 #include "stream/item_serial.h"
+#include "util/arena.h"
 #include "util/macros.h"
 #include "util/rng.h"
 #include "util/serial.h"
@@ -50,10 +51,23 @@ class ExactPayloadOracle {
   }
 
   void ObserveBatch(std::span<const Item> items) {
-    for (const Item& item : items) buffer_.push_back(item);
+    if (items.empty()) return;
     if (window_n_ > 0) {
+      // Only the last window_n_ arrivals can survive the trim; skip the
+      // doomed prefix so the ring never grows past the window (a 16k
+      // batch into an 8-item window would otherwise pin ~pow2(16k) slots
+      // forever and churn push/pop for nothing).
+      if (items.size() >= window_n_) {
+        buffer_.clear();
+        items = items.subspan(items.size() - window_n_);
+      }
+      buffer_.reserve(
+          std::min<size_t>(window_n_, buffer_.size() + items.size()));
+      for (const Item& item : items) buffer_.push_back(item);
       while (buffer_.size() > window_n_) buffer_.pop_front();
-    } else if (!items.empty()) {
+    } else {
+      buffer_.reserve(buffer_.size() + items.size());
+      for (const Item& item : items) buffer_.push_back(item);
       Expire(items.back().timestamp);
     }
   }
@@ -85,7 +99,7 @@ class ExactPayloadOracle {
   void Save(BinaryWriter* w) const {
     SaveRngState(rng_, w);
     w->PutU64(buffer_.size());
-    for (const Item& item : buffer_) SaveItem(item, w);
+    for (uint64_t i = 0; i < buffer_.size(); ++i) SaveItem(buffer_[i], w);
   }
 
   bool Load(BinaryReader* r) {
@@ -123,7 +137,7 @@ class ExactPayloadOracle {
   Rng rng_;
   OnSampledFn on_sampled_;
   OnArrivalFn on_arrival_;
-  std::deque<Item> buffer_;
+  RingDeque<Item> buffer_;  // arena-backed O(n) window, zero churn
 };
 
 }  // namespace swsample

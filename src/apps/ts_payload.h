@@ -21,6 +21,11 @@
 // updated in place per arrival, and the map is reconciled once per batch;
 // candidates adopted mid-batch replay the arrivals after their position
 // from the batch span, which reproduces the item-wise state exactly.
+//
+// The map is a util/flat_map.h open-addressing table, and reconciliation
+// ping-pongs between two tables whose memory persists across syncs — the
+// steady state performs zero allocation per item (the std::unordered_map
+// predecessor rebuilt a node-based map per sync).
 
 #ifndef SWSAMPLE_APPS_TS_PAYLOAD_H_
 #define SWSAMPLE_APPS_TS_PAYLOAD_H_
@@ -29,12 +34,12 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/ts_single.h"
 #include "stream/item.h"
+#include "util/flat_map.h"
 #include "util/macros.h"
 #include "util/serial.h"
 
@@ -61,7 +66,8 @@ class TsPayloadUnit {
   /// Feeds one arrival.
   void Observe(const Item& item) {
     // Forward payloads first: the arrival is "after" every candidate.
-    for (auto& [index, payload] : payloads_) on_arrival_(payload, item);
+    payloads_.ForEach(
+        [&](StreamIndex, Payload& payload) { on_arrival_(payload, item); });
     sampler_.Observe(item);
     SyncCandidates(std::span<const Item>(&item, 1));
   }
@@ -69,9 +75,11 @@ class TsPayloadUnit {
   /// Feeds a contiguous run of arrivals; state identical to item-wise.
   void ObserveBatch(std::span<const Item> items) {
     if (items.empty()) return;
+    CoinSource coins(sampler_.rng());  // batch-scoped merge-coin cache
     for (const Item& item : items) {
-      for (auto& [index, payload] : payloads_) on_arrival_(payload, item);
-      sampler_.Observe(item);
+      payloads_.ForEach(
+          [&](StreamIndex, Payload& payload) { on_arrival_(payload, item); });
+      sampler_.ObserveWithCoins(item, coins);
     }
     SyncCandidates(items);
   }
@@ -87,15 +95,15 @@ class TsPayloadUnit {
   std::optional<Sampled> Sample() {
     auto item = sampler_.SampleOne();
     if (!item) return std::nullopt;
-    auto it = payloads_.find(item->index);
-    SWS_CHECK(it != payloads_.end());
-    return Sampled{*item, it->second};
+    Payload* payload = payloads_.Find(item->index);
+    SWS_CHECK(payload != nullptr);
+    return Sampled{*item, *payload};
   }
 
   /// Live memory words incl. the payload map (O(log n) entries).
   uint64_t MemoryWords() const {
     constexpr uint64_t kPayloadWords = (sizeof(Payload) + 7) / 8;
-    return sampler_.MemoryWords() + payloads_.size() * (1 + kPayloadWords);
+    return sampler_.MemoryWords() + payloads_.Size() * (1 + kPayloadWords);
   }
 
   /// Checkpointing: the embedded Section 3 sampler plus the candidate
@@ -105,13 +113,14 @@ class TsPayloadUnit {
   void Save(BinaryWriter* w) const {
     sampler_.SaveState(w);
     std::vector<StreamIndex> keys;
-    keys.reserve(payloads_.size());
-    for (const auto& [index, payload] : payloads_) keys.push_back(index);
+    keys.reserve(payloads_.Size());
+    payloads_.ForEach(
+        [&](StreamIndex index, const Payload&) { keys.push_back(index); });
     std::sort(keys.begin(), keys.end());
     w->PutU64(keys.size());
     for (StreamIndex key : keys) {
       w->PutU64(key);
-      SavePayload(payloads_.at(key), w);
+      SavePayload(*payloads_.Find(key), w);
     }
   }
 
@@ -121,24 +130,23 @@ class TsPayloadUnit {
         size != sampler_.StructureCount()) {
       return false;
     }
-    payloads_.clear();
+    payloads_.Clear();
     for (uint64_t i = 0; i < size; ++i) {
       StreamIndex index = 0;
       Payload payload;
       if (!r->GetU64(&index) || !LoadPayload(r, &payload) ||
-          payloads_.count(index) != 0) {
+          !payloads_.TryEmplace(index, payload).second) {
         return false;
       }
-      payloads_.emplace(index, std::move(payload));
     }
     // Every candidate the sampler can return must carry a payload.
     for (uint64_t i = 0; i < sampler_.zeta().size(); ++i) {
-      if (payloads_.count(sampler_.zeta().bucket(i).r.index) == 0) {
+      if (!payloads_.Contains(sampler_.zeta().bucket(i).r.index)) {
         return false;
       }
     }
     if (sampler_.straddler() &&
-        payloads_.count(sampler_.straddler()->r.index) == 0) {
+        !payloads_.Contains(sampler_.straddler()->r.index)) {
       return false;
     }
     return true;
@@ -148,14 +156,15 @@ class TsPayloadUnit {
   /// Reconciles the payload map with the sampler's candidate set. Every
   /// candidate is an old candidate or an element of `batch` (the arrivals
   /// since the last sync); new candidates replay the batch suffix after
-  /// their position to catch up on OnArrival updates.
+  /// their position to catch up on OnArrival updates. The rebuilt map is
+  /// written into `scratch_` and swapped in, so both tables' memory is
+  /// reused forever.
   void SyncCandidates(std::span<const Item> batch) {
-    std::unordered_map<StreamIndex, Payload> next;
-    next.reserve(sampler_.zeta().size() + 1);
+    scratch_.Clear();
     auto adopt = [&](const Item& candidate) {
-      auto it = payloads_.find(candidate.index);
-      if (it != payloads_.end()) {
-        next.emplace(candidate.index, it->second);
+      Payload* old_payload = payloads_.Find(candidate.index);
+      if (old_payload != nullptr) {
+        scratch_.TryEmplace(candidate.index, *old_payload);
         return;
       }
       SWS_DCHECK(!batch.empty() && candidate.index >= batch.front().index);
@@ -165,19 +174,20 @@ class TsPayloadUnit {
       for (uint64_t j = offset + 1; j < batch.size(); ++j) {
         on_arrival_(payload, batch[j]);
       }
-      next.emplace(candidate.index, std::move(payload));
+      scratch_.TryEmplace(candidate.index, payload);
     };
     for (uint64_t i = 0; i < sampler_.zeta().size(); ++i) {
       adopt(sampler_.zeta().bucket(i).r);
     }
     if (sampler_.straddler()) adopt(sampler_.straddler()->r);
-    payloads_ = std::move(next);
+    std::swap(payloads_, scratch_);
   }
 
   TsSingleSampler sampler_;
   OnSampledFn on_sampled_;
   OnArrivalFn on_arrival_;
-  std::unordered_map<StreamIndex, Payload> payloads_;
+  FlatMap<StreamIndex, Payload> payloads_;
+  FlatMap<StreamIndex, Payload> scratch_;  // SyncCandidates ping-pong twin
 };
 
 }  // namespace swsample

@@ -135,6 +135,11 @@ struct SamplerSnapshot {
   /// with active == 0 merge as no-ops. The merge is associative in
   /// distribution, so folding N shards in any order is valid.
   Status MergeFrom(const SamplerSnapshot& other, Rng& rng);
+
+  /// Rvalue overload: adopting a snapshot into an empty one moves the
+  /// sample vector instead of copying it (the sharded merge loop's common
+  /// first step). Identical semantics and RNG consumption otherwise.
+  Status MergeFrom(SamplerSnapshot&& other, Rng& rng);
 };
 
 /// Abstract sliding-window sampler maintaining k samples.

@@ -22,22 +22,29 @@ void CoveringDecomposition::InitFromItem(const Item& item) {
   buckets_.push_back(BucketStructure::ForItem(item));
 }
 
-void CoveringDecomposition::Incr(const Item& item, Rng& rng) {
-  SWS_DCHECK(!buckets_.empty());
-  const StreamIndex b_old = b();
+namespace {
+
+/// The two Incr overloads share one walk; `coin()` abstracts where the
+/// fair merge coins come from (direct BernoulliRational draws vs a
+/// CoinSource bit cache).
+template <typename CoinFn>
+void IncrImpl(RingDeque<BucketStructure>& buckets, const Item& item,
+              CoinFn&& coin) {
+  SWS_DCHECK(!buckets.empty());
+  const StreamIndex b_old = buckets.back().y - 1;
   SWS_DCHECK(item.index == b_old + 1);
   // Walk the nested suffixes zeta(a_i, b). The log test and the merge are
   // evaluated against the PRE-increment decomposition at every level, per
   // the recursive definition Incr(zeta(a,b)) = <BS(a,v), Incr(zeta(v,b))>.
   size_t i = 0;
   while (true) {
-    if (i + 1 == buckets_.size()) {
+    if (i + 1 == buckets.size()) {
       // Reached zeta(b, b) = <BS(b, b+1)>: its Incr appends BS(b+1, b+2).
-      SWS_DCHECK(buckets_[i].x == b_old);
-      buckets_.push_back(BucketStructure::ForItem(item));
+      SWS_DCHECK(buckets[i].x == b_old);
+      buckets.push_back(BucketStructure::ForItem(item));
       return;
     }
-    const StreamIndex a_i = buckets_[i].x;
+    const StreamIndex a_i = buckets[i].x;
     if (FloorLog2(b_old + 2 - a_i) == FloorLog2(b_old + 1 - a_i)) {
       ++i;  // v = c: first bucket unchanged, recurse into zeta(c, b)
       continue;
@@ -46,22 +53,32 @@ void CoveringDecomposition::Incr(const Item& item, Rng& rng) {
     // guarantees the two are equal-width here, so a fair coin keeps the
     // merged samples uniform; R and Q use independent coins to preserve
     // their mutual independence.
-    BucketStructure& first = buckets_[i];
-    const BucketStructure& second = buckets_[i + 1];
+    BucketStructure& first = buckets[i];
+    const BucketStructure& second = buckets[i + 1];
     SWS_DCHECK(first.y == second.x);
     SWS_DCHECK(first.width() == second.width());
-    if (!rng.BernoulliRational(1, 2)) first.r = second.r;
-    if (!rng.BernoulliRational(1, 2)) first.q = second.q;
+    if (coin()) first.r = second.r;
+    if (coin()) first.q = second.q;
     first.y = second.y;
-    buckets_.erase(buckets_.begin() + static_cast<int64_t>(i) + 1);
+    buckets.EraseAt(i + 1);
     ++i;  // recurse into zeta(d, b)
   }
 }
 
+}  // namespace
+
+void CoveringDecomposition::Incr(const Item& item, Rng& rng) {
+  IncrImpl(buckets_, item,
+           [&rng] { return !rng.BernoulliRational(1, 2); });
+}
+
+void CoveringDecomposition::Incr(const Item& item, CoinSource& coins) {
+  IncrImpl(buckets_, item, [&coins] { return coins.Coin(); });
+}
+
 void CoveringDecomposition::DropFront(uint64_t count) {
   SWS_DCHECK(count <= buckets_.size());
-  buckets_.erase(buckets_.begin(),
-                 buckets_.begin() + static_cast<int64_t>(count));
+  buckets_.pop_front_n(count);
 }
 
 BucketStructure CoveringDecomposition::PopFront() {
@@ -76,7 +93,8 @@ void CoveringDecomposition::Clear() { buckets_.clear(); }
 Item CoveringDecomposition::SampleCovered(Rng& rng) const {
   SWS_DCHECK(!buckets_.empty());
   uint64_t u = rng.UniformIndex(covered_width());
-  for (const BucketStructure& bs : buckets_) {
+  for (uint64_t i = 0; i < buckets_.size(); ++i) {
+    const BucketStructure& bs = buckets_[i];
     if (u < bs.width()) return bs.r;
     u -= bs.width();
   }
@@ -86,7 +104,7 @@ Item CoveringDecomposition::SampleCovered(Rng& rng) const {
 
 void CoveringDecomposition::Save(BinaryWriter* w) const {
   w->PutU64(buckets_.size());
-  for (const BucketStructure& bs : buckets_) bs.Save(w);
+  for (uint64_t i = 0; i < buckets_.size(); ++i) buckets_[i].Save(w);
 }
 
 bool CoveringDecomposition::Load(BinaryReader* r) {

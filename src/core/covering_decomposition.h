@@ -19,10 +19,10 @@
 #define SWSAMPLE_CORE_COVERING_DECOMPOSITION_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "core/bucket_structure.h"
 #include "stream/item.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace swsample {
@@ -59,7 +59,12 @@ class CoveringDecomposition {
 
   /// The paper's Incr: extends zeta(a, b) to zeta(a, b+1) with the newly
   /// arrived item p_{b+1} (item.index must equal b()+1). O(size()) time.
+  /// The overload taking a CoinSource draws its merge coins from the
+  /// source's bit cache (one raw draw refills 64 coins), which is how the
+  /// batched ObserveBatch paths amortize RNG cost; both overloads produce
+  /// identically distributed (though not bit-identical) results.
   void Incr(const Item& item, Rng& rng);
+  void Incr(const Item& item, CoinSource& coins);
 
   /// Drops the `count` oldest bucket structures (they covered only expired
   /// elements, or were absorbed into a straddling bucket).
@@ -90,7 +95,10 @@ class CoveringDecomposition {
   bool Load(BinaryReader* r);
 
  private:
-  std::deque<BucketStructure> buckets_;
+  // Arena-backed ring (util/arena.h): contiguous power-of-two storage,
+  // O(1) pop_front for expiry, no per-item allocator traffic. The O(log n)
+  // structures fit one or two cache lines' worth of slots.
+  RingDeque<BucketStructure> buckets_;
 };
 
 }  // namespace swsample

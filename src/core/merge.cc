@@ -17,9 +17,12 @@ namespace swsample {
 namespace {
 
 /// Appends a uniformly random `take`-subset of `from` to `out` via a
-/// partial Fisher-Yates shuffle of a scratch copy. A uniform sub-subset of
-/// a uniform subset is uniform (paper Section 2.2, the X_V^i argument), so
-/// this composes with the hypergeometric allocation below.
+/// partial Fisher-Yates shuffle over an index array. A uniform sub-subset
+/// of a uniform subset is uniform (paper Section 2.2, the X_V^i
+/// argument), so this composes with the hypergeometric allocation below.
+/// Shuffling indices instead of a scratch copy of the items keeps the
+/// temporary to one word per sample and leaves the RNG consumption (and
+/// therefore the output sequence) identical to shuffling items directly.
 void AppendUniformSubset(const std::vector<Item>& from, uint64_t take,
                          Rng& rng, std::vector<Item>* out) {
   SWS_DCHECK(take <= from.size());
@@ -27,15 +30,25 @@ void AppendUniformSubset(const std::vector<Item>& from, uint64_t take,
     out->insert(out->end(), from.begin(), from.end());
     return;
   }
-  std::vector<Item> scratch = from;
+  std::vector<uint64_t> order(from.size());
+  for (uint64_t i = 0; i < order.size(); ++i) order[i] = i;
   for (uint64_t i = 0; i < take; ++i) {
-    const uint64_t j = rng.UniformRange(i, scratch.size() - 1);
-    std::swap(scratch[i], scratch[j]);
-    out->push_back(scratch[i]);
+    const uint64_t j = rng.UniformRange(i, order.size() - 1);
+    std::swap(order[i], order[j]);
+    out->push_back(from[order[i]]);
   }
 }
 
 }  // namespace
+
+Status SamplerSnapshot::MergeFrom(SamplerSnapshot&& other, Rng& rng) {
+  if (active == 0 && other.active != 0 && k == other.k &&
+      without_replacement == other.without_replacement) {
+    *this = std::move(other);  // adopt wholesale, no sample-vector copy
+    return Status::Ok();
+  }
+  return MergeFrom(other, rng);
+}
 
 Status SamplerSnapshot::MergeFrom(const SamplerSnapshot& other, Rng& rng) {
   if (k != other.k) {
@@ -120,7 +133,10 @@ Result<SamplerSnapshot> MergedSnapshot(std::span<WindowSampler* const> shards,
       first = false;
       continue;
     }
-    if (Status s = merged.MergeFrom(snapshot.value(), rng); !s.ok()) return s;
+    if (Status s = merged.MergeFrom(std::move(snapshot.value()), rng);
+        !s.ok()) {
+      return s;
+    }
   }
   return merged;
 }

@@ -72,9 +72,27 @@ void TsSingleSampler::Insert(const Item& item) {
   zeta_.Incr(item, rng_);
 }
 
+void TsSingleSampler::InsertWithCoins(const Item& item, CoinSource& coins) {
+  SWS_DCHECK(item.timestamp <= now_);
+  if (zeta_.empty()) {
+    if (Expired(item.timestamp)) return;
+    zeta_.InitFromItem(item);
+    return;
+  }
+  zeta_.Incr(item, coins);
+}
+
 void TsSingleSampler::Observe(const Item& item) {
   AdvanceTime(item.timestamp);
   Insert(item);
+}
+
+void TsSingleSampler::ObserveBatch(std::span<const Item> items) {
+  CoinSource coins(rng_);
+  for (const Item& item : items) {
+    AdvanceTime(item.timestamp);
+    InsertWithCoins(item, coins);
+  }
 }
 
 bool TsSingleSampler::has_active() {

@@ -33,6 +33,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/api.h"
@@ -59,8 +60,24 @@ class TsSingleSampler final : public WindowSampler {
   /// between. Already-expired elements are skipped (Lemma 4.1).
   void Insert(const Item& item);
 
+  /// Insert with the covering decomposition's merge coins served from a
+  /// batch-scoped CoinSource (one raw draw per 64 coins) instead of one
+  /// generator draw per coin. Identically distributed, not bit-identical.
+  void InsertWithCoins(const Item& item, CoinSource& coins);
+
   /// Convenience: AdvanceTime(item.timestamp) then Insert(item).
   void Observe(const Item& item) override;
+
+  /// Observe with merge coins from a caller-scoped CoinSource.
+  void ObserveWithCoins(const Item& item, CoinSource& coins) {
+    AdvanceTime(item.timestamp);
+    InsertWithCoins(item, coins);
+  }
+
+  /// Batched ingestion: one CoinSource serves every merge coin of the
+  /// batch. Checkpoints are only taken at batch boundaries, where the
+  /// coin cache is dead, so resume stays bit-identical (see CoinSource).
+  void ObserveBatch(std::span<const Item> items) override;
 
   /// Draws a uniform sample of the active elements; nullopt iff none are
   /// represented. Fresh randomness per call.
@@ -111,6 +128,10 @@ class TsSingleSampler final : public WindowSampler {
   const std::optional<BucketStructure>& straddler() const {
     return straddler_;
   }
+
+  /// Mutable generator access for batch-scoped coin caches (the payload
+  /// tracker builds a CoinSource over it for ObserveWithCoins runs).
+  Rng& rng() { return rng_; }
 
  private:
   TsSingleSampler(Timestamp t0, uint64_t seed) : t0_(t0), rng_(seed) {}

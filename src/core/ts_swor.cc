@@ -38,7 +38,8 @@ void TsSworSampler::AdvanceTime(Timestamp now) {
   for (auto& s : structures_) s.AdvanceTime(now);
 }
 
-void TsSworSampler::Observe(const Item& item) {
+void TsSworSampler::ObserveOne(const Item& item,
+                               std::span<CoinSource> coins) {
   AdvanceTime(item.timestamp);
   // The new arrival enters the auxiliary array; each structure R_i then
   // receives the element that is now exactly i arrivals old. Element
@@ -50,8 +51,26 @@ void TsSworSampler::Observe(const Item& item) {
   for (uint64_t i = 0; i < k_; ++i) {
     if (item.index < i) break;  // fewer than i+1 arrivals so far
     if (i < have) {
-      structures_[i].Insert(recent_[have - 1 - i]);
+      if (coins.empty()) {
+        structures_[i].Insert(recent_[have - 1 - i]);
+      } else {
+        structures_[i].InsertWithCoins(recent_[have - 1 - i], coins[i]);
+      }
     }
+  }
+}
+
+void TsSworSampler::Observe(const Item& item) {
+  ObserveOne(item, std::span<CoinSource>());
+}
+
+void TsSworSampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
+  std::vector<CoinSource> coins;
+  coins.reserve(k_);
+  for (auto& s : structures_) coins.emplace_back(s.rng());
+  for (const Item& item : items) {
+    ObserveOne(item, std::span<CoinSource>(coins));
   }
 }
 
@@ -63,8 +82,8 @@ std::vector<Item> TsSworSampler::Sample() {
   // arrivals, all of which sit in the auxiliary array: return them exactly.
   if (!structures_[k_ - 1].has_active()) {
     std::vector<Item> all;
-    for (const Item& item : recent_) {
-      if (now_ - item.timestamp < t0_) all.push_back(item);
+    for (uint64_t i = 0; i < recent_.size(); ++i) {
+      if (now_ - recent_[i].timestamp < t0_) all.push_back(recent_[i]);
     }
     return all;
   }
@@ -101,7 +120,7 @@ void TsSworSampler::SaveState(BinaryWriter* w) const {
   w->PutI64(now_);
   for (const auto& s : structures_) s.SaveState(w);
   w->PutU64(recent_.size());
-  for (const Item& item : recent_) SaveItem(item, w);
+  for (uint64_t i = 0; i < recent_.size(); ++i) SaveItem(recent_[i], w);
 }
 
 bool TsSworSampler::LoadState(BinaryReader* r) {

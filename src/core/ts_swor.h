@@ -21,12 +21,12 @@
 #ifndef SWSAMPLE_CORE_TS_SWOR_H_
 #define SWSAMPLE_CORE_TS_SWOR_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/api.h"
 #include "core/ts_single.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace swsample {
@@ -40,6 +40,9 @@ class TsSworSampler final : public WindowSampler {
                                                        uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Batched delayed feeding with one merge-coin cache per structure for
+  /// the whole batch (see TsSingleSampler::ObserveBatch).
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
@@ -61,10 +64,15 @@ class TsSworSampler final : public WindowSampler {
   Timestamp t0_;
   uint64_t k_;
   Timestamp now_ = 0;
+  /// Shared Observe/ObserveBatch body; `coins` is empty on the item-wise
+  /// path and one batch-scoped CoinSource per structure on the batch path.
+  void ObserveOne(const Item& item, std::span<CoinSource> coins);
+
   /// R_0 ... R_{k-1}; structures_[i] runs i arrivals behind the stream.
   std::vector<TsSingleSampler> structures_;
-  /// Auxiliary array: the last min(k, arrivals) items, oldest first.
-  std::deque<Item> recent_;
+  /// Auxiliary array: the last min(k, arrivals) items, oldest first
+  /// (arena-backed ring, no per-arrival allocator traffic).
+  RingDeque<Item> recent_;
 };
 
 }  // namespace swsample

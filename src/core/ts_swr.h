@@ -27,6 +27,9 @@ class TsSwrSampler final : public WindowSampler {
                                                       uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Each unit sweeps the whole batch with its own batch-scoped merge-coin
+  /// cache (see TsSingleSampler::ObserveBatch).
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

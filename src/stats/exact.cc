@@ -6,33 +6,51 @@
 
 namespace swsample {
 
-std::unordered_map<uint64_t, uint64_t> ExactHistogram(
-    const std::vector<uint64_t>& values) {
-  std::unordered_map<uint64_t, uint64_t> hist;
-  hist.reserve(values.size());
-  for (uint64_t v : values) ++hist[v];
+void ExactHistogramInto(std::span<const uint64_t> values,
+                        ValueHistogram* hist) {
+  hist->Clear();
+  hist->Reserve(values.size());
+  for (uint64_t v : values) ++(*hist)[v];
+}
+
+ValueHistogram ExactHistogram(const std::vector<uint64_t>& values) {
+  ValueHistogram hist;
+  ExactHistogramInto(values, &hist);
   return hist;
 }
 
-double ExactFrequencyMoment(const std::vector<uint64_t>& values, uint32_t k) {
+double ExactFrequencyMoment(const ValueHistogram& hist, uint32_t k) {
   double fk = 0.0;
-  for (const auto& [value, count] : ExactHistogram(values)) {
+  hist.ForEach([&](uint64_t value, const uint64_t& count) {
     (void)value;
     fk += std::pow(static_cast<double>(count), static_cast<double>(k));
-  }
+  });
   return fk;
 }
 
-double ExactEntropy(const std::vector<uint64_t>& values) {
-  if (values.empty()) return 0.0;
-  const double n = static_cast<double>(values.size());
-  double h = 0.0;
-  for (const auto& [value, count] : ExactHistogram(values)) {
+double ExactFrequencyMoment(const std::vector<uint64_t>& values, uint32_t k) {
+  return ExactFrequencyMoment(ExactHistogram(values), k);
+}
+
+double ExactEntropy(const ValueHistogram& hist) {
+  uint64_t n = 0;
+  hist.ForEach([&](uint64_t value, const uint64_t& count) {
     (void)value;
-    double p = static_cast<double>(count) / n;
+    n += count;
+  });
+  if (n == 0) return 0.0;
+  const double nd = static_cast<double>(n);
+  double h = 0.0;
+  hist.ForEach([&](uint64_t value, const uint64_t& count) {
+    (void)value;
+    const double p = static_cast<double>(count) / nd;
     h -= p * std::log2(p);
-  }
+  });
   return h;
+}
+
+double ExactEntropy(const std::vector<uint64_t>& values) {
+  return ExactEntropy(ExactHistogram(values));
 }
 
 }  // namespace swsample

@@ -4,22 +4,44 @@
 // ground-truth oracles for the application experiments (Corollaries 5.2 and
 // 5.4): the streaming estimators built on our samplers are compared against
 // exact values computed from a full buffer of the window.
+//
+// The histogram lives in a util/flat_map.h open-addressing table instead
+// of std::unordered_map: oracle comparisons recompute it once per window
+// per trial, and the reusable ExactHistogramInto entry point keeps one
+// table's memory across calls instead of rebuilding node by node.
 
 #ifndef SWSAMPLE_STATS_EXACT_H_
 #define SWSAMPLE_STATS_EXACT_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
+
+#include "util/flat_map.h"
 
 namespace swsample {
 
-/// Frequency histogram of a value multiset.
-std::unordered_map<uint64_t, uint64_t> ExactHistogram(
-    const std::vector<uint64_t>& values);
+/// Frequency histogram of a value multiset (value -> occurrence count).
+using ValueHistogram = FlatMap<uint64_t, uint64_t>;
 
-/// Exact k-th frequency moment F_k = sum_i x_i^k of the multiset.
+/// Accumulates the histogram of `values` into `*hist`. The table is
+/// cleared first but keeps its capacity, so a caller that recomputes
+/// windows of similar size in a loop (benches, oracle comparisons) pays
+/// zero steady-state allocation.
+void ExactHistogramInto(std::span<const uint64_t> values,
+                        ValueHistogram* hist);
+
+/// One-shot convenience over ExactHistogramInto.
+ValueHistogram ExactHistogram(const std::vector<uint64_t>& values);
+
+/// Exact k-th frequency moment F_k = sum_i x_i^k from a histogram.
+double ExactFrequencyMoment(const ValueHistogram& hist, uint32_t k);
+
+/// Exact k-th frequency moment of the multiset.
 double ExactFrequencyMoment(const std::vector<uint64_t>& values, uint32_t k);
+
+/// Exact empirical (Shannon) entropy from a histogram.
+double ExactEntropy(const ValueHistogram& hist);
 
 /// Exact empirical (Shannon) entropy H = -sum (x_i/N) log2(x_i/N).
 double ExactEntropy(const std::vector<uint64_t>& values);

@@ -8,12 +8,24 @@
 #include <cinttypes>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SWSAMPLE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "util/macros.h"
 
 namespace swsample {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// Line buffer size shared by the stdio paths; the mmap path enforces the
+/// same limit so both report identical errors on over-long lines.
+constexpr size_t kEventLineCap = 256;
 
 // Shared epilogue of every Drive* method: stamps timing, throughput and
 // final/peak memory into the report.
@@ -30,13 +42,96 @@ void Finalize(Clock::time_point begin, StreamSink& sink,
   }
 }
 
-bool IsBlank(const char* line) {
-  for (; *line; ++line) {
-    if (!std::isspace(static_cast<unsigned char>(*line))) return false;
+/// The grammar's whitespace set (what sscanf would skip).
+inline bool IsSpaceByte(char c) {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
+/// Tight decimal parse over raw bytes: optional whitespace, optional
+/// sign, at least one digit; advances `p` past the digits. No locale, no
+/// errno, no copies — this is the per-line hot loop of DriveBuffer.
+/// Matches the strtoull family the stdio path historically used: digit
+/// overflow saturates the magnitude at UINT64_MAX (the sign is reported
+/// separately so callers can reproduce strtoull's modular '-' handling
+/// or strtoll's signed saturation).
+inline bool ParseDecimal(const char*& p, const char* end, uint64_t* magnitude,
+                         bool* negative) {
+  while (p != end && IsSpaceByte(*p)) ++p;
+  *negative = false;
+  if (p != end && (*p == '+' || *p == '-')) {
+    *negative = *p == '-';
+    ++p;
   }
+  if (p == end || *p < '0' || *p > '9') return false;
+  uint64_t v = 0;
+  bool overflow = false;
+  do {
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      overflow = true;
+    } else {
+      v = v * 10 + digit;
+    }
+    ++p;
+  } while (p != end && *p >= '0' && *p <= '9');
+  *magnitude = overflow ? UINT64_MAX : v;
   return true;
 }
+
+/// strtoll-style signed saturation of a parsed (magnitude, sign).
+inline Timestamp SaturateTimestamp(uint64_t magnitude, bool negative) {
+  if (negative) {
+    return magnitude > static_cast<uint64_t>(INT64_MAX)
+               ? INT64_MIN
+               : -static_cast<Timestamp>(magnitude);
+  }
+  return magnitude > static_cast<uint64_t>(INT64_MAX)
+             ? INT64_MAX
+             : static_cast<Timestamp>(magnitude);
+}
 }  // namespace
+
+LineParse ParseEventSpan(const char* begin, const char* end, bool timestamped,
+                         Timestamp last_ts, uint64_t* value, Timestamp* ts) {
+  const char* p = begin;
+  while (p != end && IsSpaceByte(*p)) ++p;
+  if (p == end) return LineParse::kBlank;
+  bool negative = false;
+  if (timestamped) {
+    uint64_t ts_magnitude = 0;
+    bool ts_negative = false;
+    uint64_t magnitude = 0;
+    if (!ParseDecimal(p, end, &ts_magnitude, &ts_negative) ||
+        !ParseDecimal(p, end, &magnitude, &negative)) {
+      return LineParse::kMalformed;
+    }
+    *ts = SaturateTimestamp(ts_magnitude, ts_negative);
+    *value = negative ? (0 - magnitude) : magnitude;
+    if (*ts < last_ts) return LineParse::kNonMonotone;
+    return LineParse::kOk;
+  }
+  uint64_t magnitude = 0;
+  if (!ParseDecimal(p, end, &magnitude, &negative)) {
+    return LineParse::kMalformed;
+  }
+  *value = negative ? (0 - magnitude) : magnitude;
+  return LineParse::kOk;
+}
+
+Status LineParseError(LineParse failure, const std::string& source_name,
+                      uint64_t line_no, bool timestamped) {
+  const std::string where = source_name + ":" + std::to_string(line_no);
+  switch (failure) {
+    case LineParse::kNonMonotone:
+      return Status::InvalidArgument(where +
+                                     ": timestamps must be non-decreasing");
+    case LineParse::kMalformed:
+    default:
+      return Status::InvalidArgument(
+          where + ": malformed event line (expected " +
+          (timestamped ? "\"<timestamp> <value>\")" : "\"<value>\")"));
+  }
+}
 
 Status ParseEventLine(const char* line, size_t line_cap, bool timestamped,
                       const std::string& source_name, uint64_t line_no,
@@ -50,29 +145,17 @@ Status ParseEventLine(const char* line, size_t line_cap, bool timestamped,
         ": event line too long (limit " + std::to_string(line_cap - 2) +
         " characters)");
   }
-  if (IsBlank(line)) {
-    *skip = true;
-    return Status::Ok();
+  const LineParse parsed =
+      ParseEventSpan(line, line + len, timestamped, last_ts, value, ts);
+  switch (parsed) {
+    case LineParse::kOk:
+      return Status::Ok();
+    case LineParse::kBlank:
+      *skip = true;
+      return Status::Ok();
+    default:
+      return LineParseError(parsed, source_name, line_no, timestamped);
   }
-  if (timestamped) {
-    if (std::sscanf(line, "%" SCNd64 " %" SCNu64, ts, value) != 2) {
-      return Status::InvalidArgument(
-          source_name + ":" + std::to_string(line_no) +
-          ": malformed event line (expected \"<timestamp> <value>\")");
-    }
-    if (*ts < last_ts) {
-      return Status::InvalidArgument(
-          source_name + ":" + std::to_string(line_no) +
-          ": timestamps must be non-decreasing");
-    }
-    return Status::Ok();
-  }
-  if (std::sscanf(line, "%" SCNu64, value) != 1) {
-    return Status::InvalidArgument(
-        source_name + ":" + std::to_string(line_no) +
-        ": malformed event line (expected \"<value>\")");
-  }
-  return Status::Ok();
 }
 
 StreamDriver::StreamDriver(const Options& options) : options_(options) {}
@@ -88,7 +171,14 @@ class StreamDriver::Pump {
 
   void Push(const Item& item) {
     if (options_.batch_size == 0) {
-      sink_.Observe(item);
+      if (options_.track_batch_latency) {
+        const auto t0 = Clock::now();
+        sink_.Observe(item);
+        latencies_.push_back(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+      } else {
+        sink_.Observe(item);
+      }
       ++report_->items;
       ++report_->batches;  // a "batch" of one, for uniform reporting
       ProbeMaybe();
@@ -109,11 +199,28 @@ class StreamDriver::Pump {
 
   void Flush() {
     if (buffer_.empty()) return;
-    sink_.ObserveBatch(std::span<const Item>(buffer_));
+    if (options_.track_batch_latency) {
+      const auto t0 = Clock::now();
+      sink_.ObserveBatch(std::span<const Item>(buffer_));
+      latencies_.push_back(
+          std::chrono::duration<double>(Clock::now() - t0).count());
+    } else {
+      sink_.ObserveBatch(std::span<const Item>(buffer_));
+    }
     report_->items += buffer_.size();
     ++report_->batches;
     buffer_.clear();
     ProbeMaybe();
+  }
+
+  /// Stamps p50/p99 batch latency into the report (call once, after the
+  /// final Flush). No-op unless track_batch_latency was set.
+  void FinishLatencies() {
+    if (latencies_.empty()) return;
+    std::sort(latencies_.begin(), latencies_.end());
+    report_->p50_batch_seconds = latencies_[(latencies_.size() - 1) / 2];
+    report_->p99_batch_seconds =
+        latencies_[(latencies_.size() - 1) * 99 / 100];
   }
 
   /// Items accumulated but not yet delivered. Zero exactly at batch
@@ -134,6 +241,7 @@ class StreamDriver::Pump {
   StreamSink& sink_;
   DriveReport* report_;
   std::vector<Item> buffer_;
+  std::vector<double> latencies_;  // only filled under track_batch_latency
 };
 
 DriveReport StreamDriver::Drive(std::span<const Item> items,
@@ -143,6 +251,7 @@ DriveReport StreamDriver::Drive(std::span<const Item> items,
   Pump pump(options_, sink, &report);
   for (const Item& item : items) pump.Push(item);
   pump.Flush();
+  pump.FinishLatencies();
   Finalize(begin, sink, &report);
   return report;
 }
@@ -163,6 +272,7 @@ DriveReport StreamDriver::DriveSynthetic(SyntheticStream& stream,
     }
   }
   pump.Flush();
+  pump.FinishLatencies();
   Finalize(begin, sink, &report);
   return report;
 }
@@ -204,6 +314,60 @@ Result<DriveReport> StreamDriver::DriveLines(std::FILE* f,
     }
   }
   pump.Flush();
+  pump.FinishLatencies();
+  Finalize(begin, sink, &report);
+  return report;
+}
+
+Result<DriveReport> StreamDriver::DriveBuffer(std::string_view data,
+                                              const std::string& source_name,
+                                              bool timestamped,
+                                              StreamSink& sink) const {
+  DriveReport report;
+  const auto begin = Clock::now();
+  Pump pump(options_, sink, &report);
+  const char* p = data.data();
+  const char* const end = p + data.size();
+  StreamIndex index = 0;
+  Timestamp last_ts = 0;
+  uint64_t line_no = 0;
+  while (p != end) {
+    const char* nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = nl != nullptr ? nl : end;
+    ++line_no;
+    // Same limit the stdio path's fixed buffer imposes, same message.
+    if (static_cast<size_t>(line_end - p) + 1 >= kEventLineCap) {
+      return Status::InvalidArgument(
+          source_name + ":" + std::to_string(line_no) +
+          ": event line too long (limit " +
+          std::to_string(kEventLineCap - 2) + " characters)");
+    }
+    // The stdio path reads lines into a NUL-terminated buffer and parses
+    // with strlen semantics: a stray NUL truncates the line. Mirror that
+    // so both paths treat (rare, out-of-grammar) NUL bytes identically.
+    if (const char* nul = static_cast<const char*>(
+            std::memchr(p, '\0', line_end - p))) {
+      line_end = nul;
+    }
+    uint64_t value = 0;
+    Timestamp ts = 0;
+    const LineParse parsed =
+        ParseEventSpan(p, line_end, timestamped, last_ts, &value, &ts);
+    if (parsed == LineParse::kOk) {
+      if (timestamped) {
+        last_ts = ts;
+      } else {
+        ts = static_cast<Timestamp>(index);
+      }
+      pump.Push(Item{value, index++, ts});
+    } else if (parsed != LineParse::kBlank) {
+      return LineParseError(parsed, source_name, line_no, timestamped);
+    }
+    p = nl != nullptr ? nl + 1 : end;
+  }
+  pump.Flush();
+  pump.FinishLatencies();
   Finalize(begin, sink, &report);
   return report;
 }
@@ -211,6 +375,35 @@ Result<DriveReport> StreamDriver::DriveLines(std::FILE* f,
 Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
                                             bool timestamped,
                                             StreamSink& sink) const {
+#if SWSAMPLE_HAVE_MMAP
+  // Fast path: map regular files read-only and parse in place — no
+  // per-line copies, no stdio locking, and the kernel readahead streams
+  // pages in under MADV_SEQUENTIAL.
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open stream file: " + path);
+  }
+  struct stat st;
+  // The SIZE_MAX guard keeps a >4 GiB file on an ILP32 build from being
+  // silently truncated by the size_t cast — such files take the stdio
+  // path instead.
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0 &&
+      static_cast<uint64_t>(st.st_size) <= SIZE_MAX) {
+    const size_t size = static_cast<size_t>(st.st_size);
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::madvise(map, size, MADV_SEQUENTIAL);
+      auto result = DriveBuffer(
+          std::string_view(static_cast<const char*>(map), size), path,
+          timestamped, sink);
+      ::munmap(map, size);
+      ::close(fd);
+      return result;
+    }
+  }
+  ::close(fd);
+  // Fall through: empty files, pipes/devices, or mmap failure use stdio.
+#endif
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open stream file: " + path);
@@ -265,6 +458,7 @@ Result<DriveReport> StreamDriver::DriveLinesCheckpointed(
   auto events = PumpEventLines(f, source_name, timestamped, resume, deliver);
   if (!events.ok()) return events.status();
   pump.Flush();
+  pump.FinishLatencies();
   Finalize(begin, sink, &report);
   return report;
 }

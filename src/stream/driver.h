@@ -29,6 +29,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/api.h"
@@ -48,6 +49,11 @@ struct DriveReport {
   double items_per_sec = 0.0;    ///< items / seconds (0 when instant)
   uint64_t memory_words = 0;     ///< sink MemoryWords() after the run
   uint64_t peak_memory_words = 0;  ///< max MemoryWords() across probes
+  /// Per-ObserveBatch wall-clock percentiles, only populated when
+  /// Options::track_batch_latency is set (the bench reporter's tail
+  /// statistic); 0 otherwise.
+  double p50_batch_seconds = 0.0;
+  double p99_batch_seconds = 0.0;
 };
 
 /// Drives streams through a sampler or estimator in batches.
@@ -60,6 +66,10 @@ class StreamDriver {
     /// Probe MemoryWords() every this many batches for the peak statistic;
     /// 0 probes only once at the end (probing an O(n) oracle is not free).
     uint64_t memory_probe_every = 16;
+    /// Record every batch's delivery latency and report p50/p99 in the
+    /// DriveReport. Off by default: the timestamp pair per batch is cheap
+    /// but not free, and only the bench reporter wants the tail.
+    bool track_batch_latency = false;
   };
 
   StreamDriver() : StreamDriver(Options{}) {}
@@ -89,7 +99,22 @@ class StreamDriver {
                                  const ProgressFn& progress = nullptr,
                                  uint64_t progress_every = 0) const;
 
-  /// DriveLines over a file path.
+  /// Zero-copy ingestion over an in-memory text buffer with the DriveLines
+  /// grammar: events are parsed straight out of `data` (no per-line
+  /// std::string, no stdio), errors carry the same "source:line" messages.
+  /// This is the core DriveFile's mmap fast path runs on.
+  Result<DriveReport> DriveBuffer(std::string_view data,
+                                  const std::string& source_name,
+                                  bool timestamped, StreamSink& sink) const;
+
+  /// DriveLines over a file path. Regular files are mmap'ed and ingested
+  /// through DriveBuffer (zero-copy); pipes/devices and platforms without
+  /// mmap fall back to the buffered stdio path. Behavior is identical for
+  /// any input without NUL bytes; stray NULs truncate their line exactly
+  /// like the stdio path's strlen, with one pathological exception — a
+  /// NUL inside an over-long (> 254 chars) line is rejected by both paths
+  /// but may be reported against a different line number (the stdio
+  /// buffer re-splits such lines into 255-byte chunks).
   Result<DriveReport> DriveFile(const std::string& path, bool timestamped,
                                 StreamSink& sink) const;
 
@@ -127,6 +152,27 @@ class StreamDriver {
 
   Options options_;
 };
+
+/// Allocation-free core of the event-line grammar: how one line failed to
+/// parse, if it did. Error strings are built lazily (LineParseError) only
+/// on the failing line — successfully parsed lines allocate nothing.
+enum class LineParse {
+  kOk,           ///< *value (and *ts when timestamped) are set
+  kBlank,        ///< whitespace-only line; skip it
+  kMalformed,    ///< not "<value>" / "<timestamp> <value>"
+  kNonMonotone,  ///< timestamp decreased
+};
+
+/// Parses the event on [begin, end) (one line, no terminator) with a
+/// tight digit loop over the raw bytes — no sscanf, no locale, no copies.
+/// Grammar matches the historical sscanf forms: optional whitespace,
+/// optional sign, digits; trailing bytes after the last field ignored.
+LineParse ParseEventSpan(const char* begin, const char* end, bool timestamped,
+                         Timestamp last_ts, uint64_t* value, Timestamp* ts);
+
+/// Builds the InvalidArgument status for a failed line (cold path).
+Status LineParseError(LineParse failure, const std::string& source_name,
+                      uint64_t line_no, bool timestamped);
 
 /// The event-line grammar shared by StreamDriver::DriveLines and the
 /// sharded driver. Parses one NUL-terminated `line` (as read into a

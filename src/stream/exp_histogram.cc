@@ -35,25 +35,21 @@ void ExpHistogram::Merge() {
   for (;;) {
     uint64_t size = buckets_.empty() ? 0 : buckets_.back().count;
     bool merged = false;
-    // Scan from the back (newest, smallest sizes first).
+    // Scan from the back (newest, smallest sizes first). Index i walks
+    // newest -> oldest; when a size class overflows at i, the two oldest
+    // of that class are buckets_[i] (older) and buckets_[i + 1] (newer).
     uint64_t count_of_size = 0;
-    for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
-      if (it->count != size) {
-        size = it->count;
+    for (uint64_t back = 0; back < buckets_.size(); ++back) {
+      const uint64_t i = buckets_.size() - 1 - back;
+      if (buckets_[i].count != size) {
+        size = buckets_[i].count;
         count_of_size = 0;
       }
       ++count_of_size;
       if (count_of_size > max_per_size_) {
-        // Merge this bucket (older) with the previous same-size one (the
-        // next one toward the back is newer; we want the two oldest of the
-        // class, which are exactly this one and the one before it in
-        // reverse order -- i.e. the element after `it` going forward).
-        auto fwd = it.base() - 1;        // points at *it
-        auto older = fwd;                 // the two oldest of this class
-        auto newer = fwd + 1;
-        older->count *= 2;
-        older->newest = newer->newest;
-        buckets_.erase(newer);
+        buckets_[i].count *= 2;
+        buckets_[i].newest = buckets_[i + 1].newest;
+        buckets_.EraseAt(i + 1);
         merged = true;
         break;
       }
@@ -78,9 +74,9 @@ void ExpHistogram::AdvanceTime(Timestamp now) {
 void ExpHistogram::Save(BinaryWriter* w) const {
   w->PutI64(now_);
   w->PutU64(buckets_.size());
-  for (const Bucket& b : buckets_) {
-    w->PutI64(b.newest);
-    w->PutU64(b.count);
+  for (uint64_t i = 0; i < buckets_.size(); ++i) {
+    w->PutI64(buckets_[i].newest);
+    w->PutU64(buckets_[i].count);
   }
 }
 
@@ -112,7 +108,7 @@ uint64_t ExpHistogram::Estimate() {
   EvictExpired();
   if (buckets_.empty()) return 0;
   uint64_t total = 0;
-  for (const Bucket& b : buckets_) total += b.count;
+  for (uint64_t i = 0; i < buckets_.size(); ++i) total += buckets_[i].count;
   // Count the straddling oldest bucket at half weight.
   return total - buckets_.front().count / 2;
 }

@@ -19,9 +19,9 @@
 #define SWSAMPLE_STREAM_EXP_HISTOGRAM_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "stream/item.h"
+#include "util/arena.h"
 #include "util/serial.h"
 #include "util/status.h"
 
@@ -70,7 +70,7 @@ class ExpHistogram {
   Timestamp t0_;
   uint64_t max_per_size_;  // k/2 + 2 with k = ceil(1/eps)
   Timestamp now_ = 0;
-  std::deque<Bucket> buckets_;  // front = oldest
+  RingDeque<Bucket> buckets_;  // front = oldest; arena-backed, no churn
 };
 
 }  // namespace swsample

@@ -17,6 +17,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/flat_map.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -25,13 +26,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// SplitMix64 finalizer: the key-hash partition function. Uniform enough
-/// that per-shard loads concentrate tightly for any key distribution.
+/// Key-hash partition function: the shared SplitMix64 finalizer
+/// (util/flat_map.h) over a golden-ratio-offset key — bit-identical to
+/// the file-local copy it replaces. Uniform enough that per-shard loads
+/// concentrate tightly for any key distribution.
 uint64_t MixKey(uint64_t value) {
-  uint64_t z = value + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return SplitMix64Hash(value + 0x9e3779b97f4a7c15ULL);
 }
 
 /// One routed unit of work. kSpan references producer-owned storage (the

@@ -1,0 +1,240 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Bump/pool arena and the arena-backed ring deque used by the hot-path
+// window state (covering decompositions, exponential histograms, exact
+// window buffers). The samplers' steady state holds O(polylog n) words
+// but was paying per-item allocator traffic through std::deque's chunk
+// churn; everything here allocates only on capacity growth (geometric,
+// so O(log final-size) allocations over a run) and reuses memory on
+// Clear()/Reset().
+//
+// Ownership rules (see ARCHITECTURE.md "Performance"):
+//  * An Arena owns every block it hands out; blocks are reclaimed all at
+//    once by Reset() or the destructor, never individually.
+//  * Containers backed by an arena (RingDeque, FlatMap) own their arena
+//    by value, so moving the container moves the memory with it and the
+//    usual move semantics stay valid.
+//  * Growth abandons the previous block inside the arena. Because
+//    capacities double, abandoned bytes are bounded by the final block
+//    size, i.e. live memory is at most ~2x the peak working set.
+
+#ifndef SWSAMPLE_UTIL_ARENA_H_
+#define SWSAMPLE_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace swsample {
+
+/// Chunked bump allocator. Allocate() bumps a pointer inside the current
+/// chunk and starts a new (geometrically larger) chunk when it runs out;
+/// Reset() makes every chunk reusable without returning it to the system.
+/// Not thread-safe; embed one per single-threaded structure.
+class Arena {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk (allocated lazily on the
+  /// first Allocate, so empty structures cost nothing).
+  explicit Arena(size_t first_chunk_bytes = 256)
+      : next_chunk_bytes_(first_chunk_bytes < 64 ? 64 : first_chunk_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    SWS_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    for (;;) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        // Align the actual address, not the offset: the chunk base only
+        // guarantees new[] alignment.
+        const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+        const size_t aligned =
+            ((base + offset_ + align - 1) & ~(uintptr_t{align} - 1)) - base;
+        if (aligned + bytes <= c.size) {
+          offset_ = aligned + bytes;
+          return c.data.get() + aligned;
+        }
+        if (++chunk_ < chunks_.size()) {
+          offset_ = 0;
+          continue;
+        }
+      }
+      // Need a fresh chunk; double so that total allocations over the
+      // arena's lifetime stay logarithmic in the peak footprint.
+      size_t want = next_chunk_bytes_;
+      while (want < bytes + align) want *= 2;
+      chunks_.push_back(Chunk{std::make_unique<char[]>(want), want});
+      next_chunk_bytes_ = want * 2;
+      chunk_ = chunks_.size() - 1;
+      offset_ = 0;
+    }
+  }
+
+  /// Typed array allocation (elements are NOT constructed).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Makes every chunk reusable. Nothing is returned to the system; the
+  /// next Allocate() bumps from the first chunk again. Callers must have
+  /// abandoned every pointer previously handed out.
+  void Reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes reserved from the system (capacity, not live bytes).
+  size_t ReservedBytes() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;       // current chunk index (== chunks_.size() if none)
+  size_t offset_ = 0;      // bump offset inside the current chunk
+  size_t next_chunk_bytes_;
+};
+
+/// Fixed-stride double-ended queue over a power-of-two ring, backed by an
+/// arena: push/pop at both ends are O(1) with zero allocation until the
+/// ring grows, Clear() keeps the capacity, and the storage is contiguous
+/// modulo one wrap point (index math is a mask, not a deque's two-level
+/// pointer chase). Replaces std::deque for the bucket lists and window
+/// buffers; requires trivially copyable elements so growth is a pair of
+/// memcpys.
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque moves elements with memcpy");
+
+ public:
+  RingDeque() = default;
+  RingDeque(RingDeque&&) = default;
+  RingDeque& operator=(RingDeque&&) = default;
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& operator[](size_t i) {
+    SWS_DCHECK(i < size_);
+    return data_[(head_ + i) & mask()];
+  }
+  const T& operator[](size_t i) const {
+    SWS_DCHECK(i < size_);
+    return data_[(head_ + i) & mask()];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) {
+    if (size_ == cap_) Grow(size_ + 1);
+    data_[(head_ + size_) & mask()] = value;
+    ++size_;
+  }
+
+  void push_front(const T& value) {
+    if (size_ == cap_) Grow(size_ + 1);
+    head_ = (head_ + cap_ - 1) & mask();
+    data_[head_] = value;
+    ++size_;
+  }
+
+  void pop_front() {
+    SWS_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask();
+    --size_;
+  }
+
+  void pop_back() {
+    SWS_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Drops the `count` oldest elements in O(1).
+  void pop_front_n(size_t count) {
+    SWS_DCHECK(count <= size_);
+    head_ = (head_ + count) & mask();
+    size_ -= count;
+  }
+
+  /// Order-preserving erase of element `i`, shifting whichever side is
+  /// smaller (O(min(i, size - i)) element copies).
+  void EraseAt(size_t i) {
+    SWS_DCHECK(i < size_);
+    if (i < size_ - 1 - i) {
+      for (size_t j = i; j > 0; --j) (*this)[j] = (*this)[j - 1];
+      pop_front();
+    } else {
+      for (size_t j = i; j + 1 < size_; ++j) (*this)[j] = (*this)[j + 1];
+      pop_back();
+    }
+  }
+
+  /// Forgets every element but keeps the ring (and its arena memory).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` elements without changing contents.
+  void reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  size_t capacity() const { return cap_; }
+
+ private:
+  size_t mask() const { return cap_ - 1; }
+
+  void Grow(size_t need) {
+    size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
+    // With no live elements every previously handed-out block is dead, so
+    // the arena's chunks can be recycled instead of abandoned.
+    if (size_ == 0) arena_.Reset();
+    T* fresh = arena_.AllocateArray<T>(new_cap);
+    if (size_ > 0) {
+      // Linearize [head_, head_ + size_) into the new ring.
+      const size_t first = std::min(size_, cap_ - head_);
+      std::memcpy(fresh, data_ + head_, first * sizeof(T));
+      std::memcpy(fresh + first, data_, (size_ - first) * sizeof(T));
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  Arena arena_;
+  T* data_ = nullptr;
+  size_t cap_ = 0;   // power of two (or 0)
+  size_t head_ = 0;  // index of the oldest element
+  size_t size_ = 0;
+};
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_UTIL_ARENA_H_

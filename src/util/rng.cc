@@ -16,6 +16,22 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// The single copy of the xoshiro256** step. NextU64 and the Fill*
+/// batch loops all run through this; the batch loops pass local copies
+/// of the state words so the compiler keeps them in registers.
+inline uint64_t XoshiroStep(uint64_t& s0, uint64_t& s1, uint64_t& s2,
+                            uint64_t& s3) {
+  const uint64_t result = Rotl(s1 * 5, 7) * 9;
+  const uint64_t t = s1 << 17;
+  s2 ^= s0;
+  s3 ^= s1;
+  s1 ^= s2;
+  s0 ^= s3;
+  s2 ^= t;
+  s3 = Rotl(s3, 45);
+  return result;
+}
+
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
@@ -25,16 +41,26 @@ Rng::Rng(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
 }
 
-uint64_t Rng::NextU64() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
+uint64_t Rng::NextU64() { return XoshiroStep(s_[0], s_[1], s_[2], s_[3]); }
+
+void Rng::FillU64(std::span<uint64_t> out) {
+  uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  for (uint64_t& word : out) word = XoshiroStep(s0, s1, s2, s3);
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+void Rng::FillUniform01(std::span<double> out) {
+  uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  for (double& x : out) {
+    x = static_cast<double>(XoshiroStep(s0, s1, s2, s3) >> 11) * 0x1.0p-53;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
 }
 
 uint64_t Rng::UniformIndex(uint64_t bound) {

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/macros.h"
 
@@ -32,6 +33,15 @@ class Rng {
 
   /// Next raw 64 uniform bits.
   uint64_t NextU64();
+
+  /// Batched draws: fills `out` with raw words / uniform doubles in one
+  /// tight loop (state stays in registers across the loop; one shared
+  /// xoshiro step backs these and NextU64). Used where a whole vector of
+  /// draws is needed up front — the bench harness's per-batch value
+  /// fills — and the natural surface for future pre-drawn skip/threshold
+  /// vectors.
+  void FillU64(std::span<uint64_t> out);
+  void FillUniform01(std::span<double> out);
 
   /// Uniform integer in [0, bound). Requires bound >= 1. Uses Lemire's
   /// multiply-shift rejection method (unbiased).
@@ -82,6 +92,37 @@ class Rng {
 
  private:
   std::array<uint64_t, 4> s_;
+};
+
+/// Serves fair coins (the covering decomposition's binomial-split merge
+/// coins) from a cached word of raw bits: one NextU64 refills 64 coins,
+/// so a batch that performs many merges draws from the generator once per
+/// 64 coins instead of once per coin.
+///
+/// Scope a CoinSource to a single Observe/ObserveBatch call and discard
+/// it at the end: pending bits are not part of any persisted state, and
+/// checkpoints are taken only at batch boundaries where no CoinSource is
+/// live — which is what keeps checkpoint/resume bit-identical.
+class CoinSource {
+ public:
+  explicit CoinSource(Rng& rng) : rng_(rng) {}
+
+  /// Fair coin: true with probability 1/2, exact.
+  bool Coin() {
+    if (remaining_ == 0) {
+      bits_ = rng_.NextU64();
+      remaining_ = 64;
+    }
+    const bool coin = (bits_ & 1) != 0;
+    bits_ >>= 1;
+    --remaining_;
+    return coin;
+  }
+
+ private:
+  Rng& rng_;
+  uint64_t bits_ = 0;
+  uint32_t remaining_ = 0;
 };
 
 }  // namespace swsample

@@ -11,6 +11,8 @@
 // item-wise Observe (chi-square, mirroring registry_test.cc); (4) the
 // StreamDriver pumps estimators like samplers, with reports.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -261,6 +263,87 @@ TEST(EstimatorBatchTest, BatchedFkUniform) {
                                  /*trials=*/30000, /*seed=*/2000);
   auto result = ChiSquareUniform(counts);
   EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+// Timestamp-substrate counterpart: the flat-map candidate payloads and
+// the batch-scoped merge-coin cache (TsSingleSampler::ObserveBatch) must
+// leave the sampled-position distribution untouched. Constant stream with
+// ts = index, window t0 = n: the forward count identifies the position.
+std::vector<uint64_t> TsFkPositionCounts(uint64_t n, uint64_t stream_len,
+                                         uint64_t batch, int trials,
+                                         uint64_t seed) {
+  std::vector<uint64_t> counts(n, 0);
+  std::vector<Item> items;
+  items.reserve(stream_len);
+  for (uint64_t i = 0; i < stream_len; ++i) {
+    items.push_back(Item{7, i, static_cast<Timestamp>(i)});  // constant
+  }
+  for (int t = 0; t < trials; ++t) {
+    EstimatorConfig config;
+    config.substrate = "bop-ts-single";
+    config.window_t = static_cast<Timestamp>(n);
+    config.r = 1;
+    // Tight DGIM eps: at this window size n-hat is exact, so the position
+    // recovery below cannot collide adjacent cells.
+    config.count_eps = 0.001;
+    config.seed = Rng::ForkSeed(seed, t);
+    auto est = CreateEstimator("ams-fk", config).ValueOrDie();
+    if (batch == 0) {
+      for (const Item& item : items) est->Observe(item);
+    } else {
+      for (uint64_t pos = 0; pos < stream_len; pos += batch) {
+        const uint64_t take = std::min(batch, stream_len - pos);
+        est->ObserveBatch(
+            std::span<const Item>(items.data() + pos, take));
+      }
+    }
+    // With ts = index and t0 = n the active window is the last n arrivals.
+    // estimate = n_hat (2c - 1): n_hat may carry the DGIM eps, but c is
+    // recoverable because estimate / (2c - 1) must be within eps of n —
+    // pick the c in [1, n] minimizing the relative mismatch.
+    const double estimate = est->Estimate().value;
+    uint64_t best_c = 0;
+    double best_err = 1e18;
+    for (uint64_t c = 1; c <= n; ++c) {
+      const double n_hat = estimate / static_cast<double>(2 * c - 1);
+      const double err =
+          std::fabs(n_hat - static_cast<double>(n)) / static_cast<double>(n);
+      if (err < best_err) {
+        best_err = err;
+        best_c = c;
+      }
+    }
+    EXPECT_LT(best_err, 0.2);
+    ++counts[n - best_c];
+  }
+  return counts;
+}
+
+TEST(EstimatorBatchTest, TsBatchedFkUniform) {
+  const uint64_t n = 16;
+  auto counts = TsFkPositionCounts(n, 3 * n + 5, /*batch=*/13,
+                                   /*trials=*/20000, /*seed=*/3000);
+  auto result = ChiSquareUniform(counts);
+  EXPECT_GT(result.p_value, 1e-4) << "stat=" << result.statistic;
+}
+
+TEST(EstimatorBatchTest, TsBatchMatchesObserveDistributionally) {
+  const uint64_t n = 16;
+  const uint64_t stream_len = 3 * n + 5;
+  const int trials = 20000;
+  auto batched =
+      TsFkPositionCounts(n, stream_len, /*batch=*/13, trials, 7100);
+  auto unbatched =
+      TsFkPositionCounts(n, stream_len, /*batch=*/0, trials, 9100);
+  double stat = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(batched[i]);
+    const double b = static_cast<double>(unbatched[i]);
+    if (a + b == 0) continue;
+    stat += (a - b) * (a - b) / (a + b);
+  }
+  // df = n - 1 = 15; the 1e-4 quantile of chi^2_15 is ~44.3.
+  EXPECT_LT(stat, 44.3);
 }
 
 // Batched and unbatched ingestion must agree with each other cell by cell

@@ -105,5 +105,34 @@ TEST(ExpHistogramTest, BurstAtOneTimestamp) {
   EXPECT_EQ(h.Estimate(), 0u);
 }
 
+// Long steady-state run: the ring-backed bucket list cycles through many
+// evict/append/merge rounds (head wraps repeatedly) and the estimate must
+// honor the eps bound in every window position, not just the first fill.
+TEST(ExpHistogramTest, SteadyStateCyclingHonorsEps) {
+  const Timestamp t0 = 512;
+  const double eps = 0.1;
+  auto h = ExpHistogram::Create(t0, eps).ValueOrDie();
+  uint64_t arrivals = 0;
+  Rng rng(2024);
+  std::deque<Timestamp> window;  // reference arrival times
+  for (Timestamp t = 0; t < 20 * t0; ++t) {
+    const uint64_t burst = rng.UniformIndex(3);
+    for (uint64_t b = 0; b < burst; ++b) {
+      h.Add(t);
+      window.push_back(t);
+      ++arrivals;
+    }
+    h.AdvanceTime(t);
+    while (!window.empty() && t - window.front() >= t0) window.pop_front();
+    const double exact = static_cast<double>(window.size());
+    const double estimate = static_cast<double>(h.Estimate());
+    if (exact >= 8) {
+      EXPECT_LE(std::fabs(estimate - exact), eps * exact + 1.0)
+          << "t=" << t << " exact=" << exact << " got=" << estimate;
+    }
+  }
+  ASSERT_GT(arrivals, t0);
+}
+
 }  // namespace
 }  // namespace swsample

@@ -150,7 +150,7 @@ TEST(ExactTest, FrequencyMoments) {
 TEST(ExactTest, EntropyUniformAndDegenerate) {
   EXPECT_NEAR(ExactEntropy({0, 1, 2, 3}), 2.0, 1e-12);  // 4 distinct
   EXPECT_NEAR(ExactEntropy({7, 7, 7, 7}), 0.0, 1e-12);  // constant
-  EXPECT_DOUBLE_EQ(ExactEntropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactEntropy(std::vector<uint64_t>{}), 0.0);
   // Mixed case: {a,a,b} -> H = -(2/3)log2(2/3) - (1/3)log2(1/3).
   double h = -(2.0 / 3) * std::log2(2.0 / 3) - (1.0 / 3) * std::log2(1.0 / 3);
   EXPECT_NEAR(ExactEntropy({1, 1, 2}), h, 1e-12);

@@ -4,15 +4,20 @@
 // and the composed SyntheticStream.
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/registry.h"
 #include "stream/arrival.h"
+#include "stream/driver.h"
 #include "stream/stream_gen.h"
 #include "stream/value_gen.h"
 #include "util/rng.h"
+#include "util/serial.h"
 
 namespace swsample {
 namespace {
@@ -171,6 +176,202 @@ TEST(SyntheticStreamTest, EmptyStepsAreLegal) {
     for (const Item& item : burst) EXPECT_EQ(item.index, expect_index++);
   }
   EXPECT_GT(empty_steps, 1000);  // e^-0.2 ~ 0.82 of steps are empty
+}
+
+// --- DriveFile mmap fast path vs stdio line path -------------------------
+//
+// DriveFile maps regular files and parses in place (DriveBuffer); the
+// stdio DriveLines path must stay drop-in equivalent: same items, same
+// final sampler state bit for bit, same errors with the same line numbers.
+
+class DriverEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/drive_equiv_stream.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& text) {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  static std::string SamplerStateBytes(WindowSampler& sampler) {
+    BinaryWriter w;
+    sampler.SaveState(&w);
+    return w.Release();
+  }
+
+  /// Runs the same file through DriveFile (mmap) and DriveLines (stdio)
+  /// on same-seeded samplers and requires identical outcomes.
+  void ExpectEquivalent(const std::string& text, bool timestamped) {
+    WriteFile(text);
+    SamplerConfig config;
+    config.window_n = 8;
+    config.window_t = 8;
+    config.k = 4;
+    config.seed = 42;
+    auto mapped = CreateSampler("bop-seq-swr", config).ValueOrDie();
+    auto stdio = CreateSampler("bop-seq-swr", config).ValueOrDie();
+    StreamDriver driver;
+
+    auto mapped_result = driver.DriveFile(path_, timestamped, *mapped);
+    std::FILE* f = std::fopen(path_.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    auto stdio_result = driver.DriveLines(f, path_, timestamped, *stdio);
+    std::fclose(f);
+
+    ASSERT_EQ(mapped_result.ok(), stdio_result.ok());
+    if (!mapped_result.ok()) {
+      EXPECT_EQ(mapped_result.status().message(),
+                stdio_result.status().message());
+      return;
+    }
+    EXPECT_EQ(mapped_result.value().items, stdio_result.value().items);
+    EXPECT_EQ(mapped_result.value().batches, stdio_result.value().batches);
+    EXPECT_EQ(SamplerStateBytes(*mapped), SamplerStateBytes(*stdio));
+  }
+
+  std::string path_;
+};
+
+TEST_F(DriverEquivalenceTest, PlainValues) {
+  std::string text;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    text += std::to_string(rng.UniformIndex(1000)) + "\n";
+  }
+  ExpectEquivalent(text, /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, BlankLinesAndWhitespace) {
+  ExpectEquivalent("1\n\n  2\n   \n\t\n\t 3 \n4", /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, TimestampedWithBursts) {
+  std::string text;
+  Rng rng(13);
+  Timestamp ts = 0;
+  for (int i = 0; i < 3000; ++i) {
+    ts += static_cast<Timestamp>(rng.UniformIndex(3));
+    text += std::to_string(ts) + " " + std::to_string(rng.NextU64() % 97) +
+            "\n";
+  }
+  ExpectEquivalent(text, /*timestamped=*/true);
+}
+
+TEST_F(DriverEquivalenceTest, MissingTrailingNewline) {
+  ExpectEquivalent("5\n6\n7", /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, NulInsideOverlongLineRejectedByBothPaths) {
+  // Doubly out-of-grammar garbage: a NUL inside a >254-char line. The
+  // stdio buffer re-splits such a line into 255-byte chunks, so the two
+  // paths may name different line numbers — but both must reject it
+  // (see DriveFile's doc; this is the one sanctioned divergence).
+  const std::string text =
+      "1\n" + (std::string("7") + '\0' + std::string(300, 'x')) + "\n2\n";
+  WriteFile(text);
+  SamplerConfig config;
+  config.window_n = 4;
+  config.k = 1;
+  config.seed = 1;
+  auto mapped = CreateSampler("bop-seq-single", config).ValueOrDie();
+  auto stdio = CreateSampler("bop-seq-single", config).ValueOrDie();
+  StreamDriver driver;
+  auto mapped_result = driver.DriveFile(path_, false, *mapped);
+  std::FILE* f = std::fopen(path_.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  auto stdio_result = driver.DriveLines(f, path_, false, *stdio);
+  std::fclose(f);
+  EXPECT_FALSE(mapped_result.ok());
+  EXPECT_FALSE(stdio_result.ok());
+}
+
+TEST_F(DriverEquivalenceTest, StrayNulTruncatesLineOnBothPaths) {
+  // The stdio path parses with strlen semantics, so a NUL truncates its
+  // line; the mmap path mirrors that (out-of-grammar input, but the two
+  // paths must still agree).
+  ExpectEquivalent(std::string("5\n") + std::string("\0 junk\n", 7) +
+                       "6\n" + std::string("7\0 tail\n", 8),
+                   /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, MalformedLineSameError) {
+  ExpectEquivalent("1\n2\nnope\n4\n", /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, DecreasingTimestampSameError) {
+  ExpectEquivalent("1 5\n2 6\n1 7\n", /*timestamped=*/true);
+}
+
+TEST_F(DriverEquivalenceTest, OverlongLineSameError) {
+  ExpectEquivalent("1\n" + std::string(300, '7') + "\n2\n",
+                   /*timestamped=*/false);
+}
+
+TEST_F(DriverEquivalenceTest, MalformedErrorNamesLine) {
+  WriteFile("1\n2\nbad line\n");
+  SamplerConfig config;
+  config.window_n = 4;
+  config.k = 1;
+  config.seed = 1;
+  auto sampler = CreateSampler("bop-seq-single", config).ValueOrDie();
+  auto result = StreamDriver().DriveFile(path_, false, *sampler);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path_ + ":3"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("malformed event line"),
+            std::string::npos);
+}
+
+TEST_F(DriverEquivalenceTest, EmptyFileDeliversNothing) {
+  WriteFile("");
+  SamplerConfig config;
+  config.window_n = 4;
+  config.k = 1;
+  config.seed = 1;
+  auto sampler = CreateSampler("bop-seq-single", config).ValueOrDie();
+  auto result = StreamDriver().DriveFile(path_, false, *sampler);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().items, 0u);
+}
+
+TEST(DriveBufferTest, ParsesDirectlyFromMemory) {
+  SamplerConfig config;
+  config.window_n = 4;
+  config.k = 1;
+  config.seed = 3;
+  auto sampler = CreateSampler("bop-seq-single", config).ValueOrDie();
+  auto result = StreamDriver().DriveBuffer("10\n20\n\n30\n", "mem",
+                                           /*timestamped=*/false, *sampler);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().items, 3u);
+}
+
+TEST(ParseEventSpanTest, GrammarCorners) {
+  uint64_t value = 0;
+  Timestamp ts = 0;
+  auto parse = [&](const std::string& s, bool timestamped,
+                   Timestamp last_ts = 0) {
+    return ParseEventSpan(s.data(), s.data() + s.size(), timestamped,
+                          last_ts, &value, &ts);
+  };
+  EXPECT_EQ(parse("42", false), LineParse::kOk);
+  EXPECT_EQ(value, 42u);
+  EXPECT_EQ(parse("  +7 ", false), LineParse::kOk);
+  EXPECT_EQ(value, 7u);
+  EXPECT_EQ(parse("", false), LineParse::kBlank);
+  EXPECT_EQ(parse(" \t ", false), LineParse::kBlank);
+  EXPECT_EQ(parse("x42", false), LineParse::kMalformed);
+  EXPECT_EQ(parse("- 1", false), LineParse::kMalformed);
+  EXPECT_EQ(parse("5 9", true), LineParse::kOk);
+  EXPECT_EQ(ts, 5);
+  EXPECT_EQ(value, 9u);
+  EXPECT_EQ(parse("5", true), LineParse::kMalformed);
+  EXPECT_EQ(parse("3 9", true, /*last_ts=*/4), LineParse::kNonMonotone);
 }
 
 }  // namespace

@@ -1,15 +1,23 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
-// Unit tests for the util substrate: PRNG, bit helpers, Status/Result.
+// Unit tests for the util substrate: PRNG, bit helpers, Status/Result,
+// and the allocation-free hot-path containers (Arena, RingDeque, FlatMap).
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "stats/tests.h"
+#include "util/arena.h"
 #include "util/bits.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -187,6 +195,257 @@ TEST(ResultTest, ValueOrDieMoves) {
   Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
   std::vector<int> v = std::move(r).ValueOrDie();
   EXPECT_EQ(v.size(), 3u);
+}
+
+// --- Arena ---------------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(64);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    // Write the whole block: ASan would flag overlap or OOB.
+    std::memset(p, 0xab, 24);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(ArenaTest, ResetRecyclesChunks) {
+  Arena arena(128);
+  void* first = arena.Allocate(64, 8);
+  arena.Allocate(64, 8);
+  const size_t reserved = arena.ReservedBytes();
+  arena.Reset();
+  // Same first chunk is handed out again; nothing new reserved.
+  EXPECT_EQ(arena.Allocate(64, 8), first);
+  EXPECT_EQ(arena.ReservedBytes(), reserved);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(64);
+  void* big = arena.Allocate(10000, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % 64, 0u);
+  std::memset(big, 1, 10000);
+}
+
+// --- RingDeque -----------------------------------------------------------
+
+TEST(RingDequeTest, FuzzMatchesStdDeque) {
+  RingDeque<uint64_t> ring;
+  std::deque<uint64_t> ref;
+  Rng rng(404);
+  for (int op = 0; op < 20000; ++op) {
+    switch (rng.UniformIndex(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:  // bias toward growth
+        ring.push_back(op);
+        ref.push_back(static_cast<uint64_t>(op));
+        break;
+      case 4:
+        ring.push_front(op);
+        ref.push_front(static_cast<uint64_t>(op));
+        break;
+      case 5:
+        if (!ref.empty()) {
+          ring.pop_front();
+          ref.pop_front();
+        }
+        break;
+      case 6:
+        if (!ref.empty()) {
+          ring.pop_back();
+          ref.pop_back();
+        }
+        break;
+      case 7:
+        if (!ref.empty()) {
+          const uint64_t i = rng.UniformIndex(ref.size());
+          ring.EraseAt(i);
+          ref.erase(ref.begin() + static_cast<int64_t>(i));
+        }
+        break;
+      case 8:
+        if (!ref.empty()) {
+          const uint64_t n = rng.UniformIndex(ref.size() + 1);
+          ring.pop_front_n(n);
+          ref.erase(ref.begin(), ref.begin() + static_cast<int64_t>(n));
+        }
+        break;
+      case 9:
+        if (rng.UniformIndex(50) == 0) {
+          ring.clear();
+          ref.clear();
+        }
+        break;
+    }
+    ASSERT_EQ(ring.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(ring.front(), ref.front());
+      ASSERT_EQ(ring.back(), ref.back());
+      const uint64_t i = rng.UniformIndex(ref.size());
+      ASSERT_EQ(ring[i], ref[i]);
+    }
+  }
+  // Full sweep at the end.
+  ASSERT_EQ(ring.size(), ref.size());
+  for (uint64_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ring[i], ref[i]);
+}
+
+TEST(RingDequeTest, ClearKeepsCapacity) {
+  RingDeque<uint64_t> ring;
+  for (uint64_t i = 0; i < 100; ++i) ring.push_back(i);
+  const size_t cap = ring.capacity();
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), cap);
+  for (uint64_t i = 0; i < cap; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.capacity(), cap);  // refill allocates nothing
+}
+
+TEST(RingDequeTest, WrapAroundIndexing) {
+  RingDeque<uint64_t> ring;
+  // Cycle a window of 5 through many pushes so head wraps repeatedly.
+  uint64_t next = 0;
+  for (; next < 5; ++next) ring.push_back(next);
+  for (; next < 1000; ++next) {
+    ring.pop_front();
+    ring.push_back(next);
+    ASSERT_EQ(ring.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) ASSERT_EQ(ring[i], next - 4 + i);
+  }
+}
+
+// --- FlatMap -------------------------------------------------------------
+
+TEST(FlatMapTest, FuzzMatchesUnorderedMap) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(505);
+  // Small key domain forces frequent hits, erases of present keys, and
+  // long probe chains; the backward-shift erase is exercised constantly.
+  const uint64_t domain = 257;
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t key = rng.UniformIndex(domain);
+    switch (rng.UniformIndex(4)) {
+      case 0:
+      case 1: {
+        const uint64_t value = rng.NextU64();
+        const bool inserted = map.TryEmplace(key, value).second;
+        const bool ref_inserted = ref.try_emplace(key, value).second;
+        ASSERT_EQ(inserted, ref_inserted);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      case 3: {
+        const uint64_t* found = map.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) ASSERT_EQ(*found, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(map.Size(), ref.size());
+  }
+  // Iteration visits exactly the reference contents.
+  std::map<uint64_t, uint64_t> seen;
+  map.ForEach([&](uint64_t k, uint64_t& v) { seen.emplace(k, v); });
+  ASSERT_EQ(seen.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto it = seen.find(k);
+    ASSERT_NE(it, seen.end());
+    EXPECT_EQ(it->second, v);
+  }
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructs) {
+  FlatMap<uint64_t, uint64_t> map;
+  ++map[7];
+  ++map[7];
+  ++map[9];
+  EXPECT_EQ(map.Size(), 2u);
+  EXPECT_EQ(*map.Find(7), 2u);
+  EXPECT_EQ(*map.Find(9), 1u);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 1000; ++i) map.TryEmplace(i, i);
+  const uint64_t cap = map.Capacity();
+  map.Clear();
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_EQ(map.Capacity(), cap);
+  for (uint64_t i = 0; i < 1000; ++i) map.TryEmplace(i, i);
+  EXPECT_EQ(map.Capacity(), cap);  // refill allocates nothing
+}
+
+TEST(FlatMapTest, BackwardShiftPreservesProbeChains) {
+  // Dense consecutive keys on a small table create displaced clusters;
+  // erasing front-of-cluster keys must keep every survivor findable.
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t i = 0; i < 64; ++i) map.TryEmplace(i, i * 10);
+  for (uint64_t i = 0; i < 64; i += 2) EXPECT_TRUE(map.Erase(i));
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t* v = map.Find(i);
+    if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr);
+    } else {
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, i * 10);
+    }
+  }
+}
+
+// --- Batched RNG draws ---------------------------------------------------
+
+TEST(RngTest, FillU64MatchesSequentialDraws) {
+  Rng a(99), b(99);
+  std::vector<uint64_t> filled(257);
+  a.FillU64(filled);
+  for (uint64_t& expected : filled) {
+    EXPECT_EQ(expected, b.NextU64());
+  }
+}
+
+TEST(RngTest, FillUniform01MatchesSequentialDraws) {
+  Rng a(99), b(99);
+  std::vector<double> filled(100);
+  a.FillUniform01(filled);
+  for (double expected : filled) {
+    EXPECT_EQ(expected, b.Uniform01());
+  }
+}
+
+TEST(CoinSourceTest, DeterministicAndFair) {
+  Rng a(7), b(7);
+  CoinSource ca(a), cb(b);
+  uint64_t heads = 0;
+  const int trials = 1 << 16;
+  for (int i = 0; i < trials; ++i) {
+    const bool coin = ca.Coin();
+    ASSERT_EQ(coin, cb.Coin());
+    heads += coin ? 1 : 0;
+  }
+  // 5-sigma band around the binomial mean.
+  const double sigma = std::sqrt(trials * 0.25);
+  EXPECT_NEAR(static_cast<double>(heads), trials * 0.5, 5 * sigma);
+}
+
+TEST(CoinSourceTest, Uses64CoinsPerDraw) {
+  Rng a(7), b(7);
+  CoinSource coins(a);
+  for (int i = 0; i < 64; ++i) coins.Coin();
+  // Exactly one word consumed for 64 coins.
+  a.NextU64();
+  b.NextU64();
+  b.NextU64();
+  EXPECT_EQ(a.NextU64(), b.NextU64());
 }
 
 }  // namespace
