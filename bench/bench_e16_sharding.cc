@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/estimator_registry.h"
+#include "apps/sink_spec.h"
 #include "bench/bench_util.h"
 #include "core/registry.h"
 #include "stream/driver.h"
@@ -66,7 +67,7 @@ void SamplerSweep(const char* name, std::span<const Item> stream,
          U(report.peak_memory_words)});
   }
   for (uint64_t threads : thread_counts) {
-    auto shards = CreateShardedSamplers(name, config, threads).ValueOrDie();
+    auto shards = CreateShardedSinks(SamplerSinkSpec(name, config), threads).ValueOrDie();
     auto sinks = SinkPointers(shards);
     ShardedStreamDriver::Options options;
     options.threads = threads;
@@ -83,7 +84,7 @@ void SamplerSweep(const char* name, std::span<const Item> stream,
     // The merged draw must exist and stay inside the window — a cheap
     // end-to-end guard that the sweep measured a correct configuration.
     auto merged =
-        MergedSnapshot(SamplerPointers(shards), config.seed).ValueOrDie();
+        MergedSnapshot(SamplerPointers(shards).ValueOrDie(), config.seed).ValueOrDie();
     const uint64_t window_start = stream.size() - kWindow;
     for (const Item& item : merged.sample) {
       SWS_CHECK(item.value >= window_start);  // value == global index here
@@ -112,7 +113,7 @@ void EstimatorSweep(std::span<const Item> stream,
   }
   for (uint64_t threads : thread_counts) {
     auto shards =
-        CreateShardedEstimators("ams-fk", config, threads).ValueOrDie();
+        CreateShardedSinks(EstimatorSinkSpec("ams-fk", config), threads).ValueOrDie();
     auto sinks = SinkPointers(shards);
     ShardedStreamDriver::Options options;
     options.threads = threads;
@@ -127,7 +128,7 @@ void EstimatorSweep(std::span<const Item> stream,
          F(speedup / static_cast<double>(threads), 2),
          U(report.total.peak_memory_words)});
     SWS_CHECK(
-        MergedEstimate(EstimatorPointers(shards)).ValueOrDie().value > 0);
+        MergedEstimate(EstimatorPointers(shards).ValueOrDie()).ValueOrDie().value > 0);
   }
 }
 

@@ -2,17 +2,35 @@
 //
 // stream_sampler_cli: pump a real stream from stdin (or a file) through
 // any registered sampler OR any registered estimator over any compatible
-// sampling substrate (Theorem 5.1 at the command line).
+// sampling substrate (Theorem 5.1 at the command line) — optionally one
+// independent window PER KEY through the multi-tenant keyed engine.
 //
-//   build/examples/stream_sampler_cli [options] <window> <k>
+//   build/examples/stream_sampler_cli [options] [<window> <k>]
 //
-//   --algo=<name>        sampler to run (default bop-seq-swor)
-//   --estimator=<name>   run an estimator instead of a raw sampler
-//   --substrate=<name>   sampling substrate for --estimator (default:
-//                        the estimator's registered default)
+//   --sink=<spec>        the sink to run, in the unified SinkSpec grammar
+//                        name[@substrate][,key=value]... — e.g.
+//                        "bop-seq-swor,n=1000000,k=64" or
+//                        "ams-fk@bop-ts-single,t=60,r=256". When given,
+//                        the positionals are optional and override the
+//                        spec's window (n or t) and k/r.
+//   --algo=<name>        alias: sampler to run (default bop-seq-swor);
+//                        builds the same SinkSpec as --sink=<name>,...
+//   --estimator=<name>   alias: run an estimator instead of a raw sampler
+//   --substrate=<name>   alias: sampling substrate for --estimator
+//                        (default: the estimator's registered default)
+//   --list-sinks         every registered sink — samplers and estimators —
+//                        in one listing
 //   --list               every registered sampler with a summary
 //   --list-estimators    every registered estimator with its compatible
 //                        substrates
+//   --keys[=<shift>]     keyed multi-tenant mode: an independent window
+//                        per key, key = value >> shift (default 0: the
+//                        raw value is the tenant id)
+//   --key-budget=<b>     global memory budget for keyed mode; accepts
+//                        K/M/G suffixes (e.g. 64M). Requires --spill-dir;
+//                        coldest keys spill to disk when the budget binds
+//   --key-ttl=<t>        drop keys idle longer than t timestamp units
+//   --spill-dir=<d>      directory for keyed-mode eviction spill files
 //   --file=<path>        read events from a file instead of stdin
 //   --batch=<n>          ingestion batch size (default 1024; 0 = per item)
 //   --seed=<n>           RNG seed (default 0x5eed); equal seeds reproduce
@@ -23,9 +41,9 @@
 //                        one per thread); sequence windows must divide
 //                        evenly by the shard count
 //   --partition=<mode>   chunks | keyhash (default: keyhash for timestamp
-//                        sinks and for estimators whose merge needs
-//                        key-disjoint shards, e.g. ams-fk/ccm-entropy;
-//                        chunks otherwise)
+//                        sinks, for estimators whose merge needs
+//                        key-disjoint shards, e.g. ams-fk/ccm-entropy,
+//                        and ALWAYS for keyed mode; chunks otherwise)
 //   --checkpoint-dir=<d> persist periodic checkpoints (sink state + a
 //                        manifest, atomic write-rename) into directory d
 //   --checkpoint-every=<n>  checkpoint every n ingested events (default
@@ -58,6 +76,14 @@
 //
 //   --estimator=ams-fk --substrate=bop-ts-single 60 256:  the self-join
 //   size F2 of the last 60 seconds, window size unknowable, O(r log n).
+//
+//   --sink=bop-ts-single,t=60 --keys --key-ttl=3600:  one window of the
+//   last 60 seconds PER VALUE, tenants dropped after an idle hour.
+//
+// Keyed mode is stats-only at the end of the stream (per-key queries are
+// a library surface: KeyedWindowEngine::SampleKey/EstimateKey) and is
+// incompatible with checkpointing — the engine's own spill files are its
+// persistence story.
 
 #include <cerrno>
 #include <cinttypes>
@@ -71,10 +97,12 @@
 #include <vector>
 
 #include "apps/estimator_registry.h"
+#include "apps/sink_spec.h"
 #include "core/api.h"
 #include "core/registry.h"
 #include "stream/checkpoint.h"
 #include "stream/driver.h"
+#include "stream/keyed_engine.h"
 #include "stream/sharded_driver.h"
 
 using namespace swsample;
@@ -83,19 +111,19 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--algo=<name> | --estimator=<name> "
-               "[--substrate=<name>]] [--file=<path>] [--batch=<n>] "
+               "usage: %s [--sink=<spec> | --algo=<name> | "
+               "--estimator=<name> [--substrate=<name>]] "
+               "[--keys[=<shift>] [--key-budget=<b> --spill-dir=<d>] "
+               "[--key-ttl=<t>]] [--file=<path>] [--batch=<n>] "
                "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
                "[--report=<n>] [--threads=<n>] [--shards=<n>] "
                "[--partition=chunks|keyhash] [--checkpoint-dir=<d> "
-               "[--checkpoint-every=<n>] [--resume]] <window> <k>\n"
-               "       %s --list | --list-estimators\n"
+               "[--checkpoint-every=<n>] [--resume]] [<window> <k>]\n"
+               "       %s --list-sinks | --list | --list-estimators\n"
                "  sequence mode reads lines \"<value>\"; timestamp mode\n"
                "  reads \"<timestamp> <value>\"\n"
-               "  samplers:   %s\n"
-               "  estimators: %s\n",
-               argv0, argv0, RegisteredSamplerNames().c_str(),
-               RegisteredEstimatorNames().c_str());
+               "  sinks: %s\n",
+               argv0, argv0, RegisteredSinkNames().c_str());
 }
 
 void ListSamplers() {
@@ -164,10 +192,8 @@ void InstallKillHook(CheckpointWriter& writer, uint64_t kill_after) {
 
 /// Everything the sharded execution path needs from main's flag parse.
 struct ShardedRun {
-  std::string algo;
-  std::string estimator_name;
-  EstimatorConfig estimator_config;  // estimator mode
-  SamplerConfig sampler_config;      // sampler mode
+  SinkSpec spec;
+  SinkKind kind = SinkKind::kSampler;
   std::string file;
   uint64_t threads = 1;
   uint64_t shards = 1;
@@ -181,13 +207,17 @@ struct ShardedRun {
 /// merged sample/estimate plus per-shard throughput. Returns the process
 /// exit code.
 int RunSharded(const ShardedRun& run, bool timestamped) {
-  std::vector<std::unique_ptr<WindowSampler>> samplers;
-  std::vector<std::unique_ptr<WindowEstimator>> estimators;
+  // Fresh shards are Sinks from the unified factory; resumed shards come
+  // back from the checkpoint as owning typed vectors. Either way the
+  // driver sees StreamSink* views and the merge sees typed views.
+  std::vector<Sink> fresh;
+  std::vector<std::unique_ptr<WindowSampler>> resumed_samplers;
+  std::vector<std::unique_ptr<WindowEstimator>> resumed_estimators;
   std::vector<StreamSink*> sinks;
+  std::vector<WindowSampler*> sampler_views;
+  std::vector<WindowEstimator*> estimator_views;
   ResumedCheckpoint resumed;  // --resume: restored state + skip position
-  // Sharded output only exists through the merge surface, so refuse
-  // non-mergeable sinks up front instead of after ingesting the stream.
-  bool needs_key_disjoint = false;
+  const bool want_estimators = run.kind == SinkKind::kEstimator;
   if (run.checkpoint.resume) {
     auto loaded = ShardedStreamDriver::ResumeFrom(run.checkpoint.dir);
     if (!loaded.ok()) {
@@ -195,9 +225,6 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
       return 1;
     }
     resumed = std::move(loaded).ValueOrDie();
-    const bool want_estimators = !run.estimator_name.empty();
-    const std::string& requested =
-        want_estimators ? run.estimator_name : run.algo;
     if (want_estimators != !resumed.estimators.empty() ||
         resumed.sinks.size() != run.shards) {
       std::fprintf(stderr,
@@ -209,12 +236,12 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                    want_estimators ? "estimator" : "sampler");
       return 2;
     }
-    if (resumed.name != requested) {
+    if (resumed.name != run.spec.name) {
       std::fprintf(stderr,
                    "--resume: checkpoint in %s holds \"%s\", but the flags "
                    "request \"%s\"\n",
                    run.checkpoint.dir.c_str(), resumed.name.c_str(),
-                   requested.c_str());
+                   run.spec.name.c_str());
       return 2;
     }
     std::fprintf(stderr,
@@ -222,45 +249,46 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                  " shard(s)) at %" PRIu64 " events; the checkpoint's "
                  "configuration is authoritative\n",
                  resumed.name.c_str(), run.shards, resumed.position.items);
-    samplers = std::move(resumed.samplers);
-    estimators = std::move(resumed.estimators);
-  } else if (!run.estimator_name.empty()) {
-    auto created = CreateShardedEstimators(run.estimator_name,
-                                           run.estimator_config, run.shards);
-    if (!created.ok()) {
-      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-      return 1;
-    }
-    estimators = std::move(created).ValueOrDie();
+    resumed_samplers = std::move(resumed.samplers);
+    resumed_estimators = std::move(resumed.estimators);
+    sinks = want_estimators
+                ? SinkPointers(resumed_estimators)
+                : SinkPointers(resumed_samplers);
+    sampler_views = SamplerPointers(resumed_samplers);
+    estimator_views = EstimatorPointers(resumed_estimators);
   } else {
-    auto created =
-        CreateShardedSamplers(run.algo, run.sampler_config, run.shards);
+    auto created = CreateShardedSinks(run.spec, run.shards);
     if (!created.ok()) {
       std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
       return 1;
     }
-    samplers = std::move(created).ValueOrDie();
+    fresh = std::move(created).ValueOrDie();
+    sinks = SinkPointers(fresh);
+    if (want_estimators) {
+      estimator_views = EstimatorPointers(fresh).ValueOrDie();
+    } else {
+      sampler_views = SamplerPointers(fresh).ValueOrDie();
+    }
   }
-  if (!estimators.empty()) {
-    if (estimators[0]->merge_kind() == EstimateMergeKind::kNone) {
+  // Sharded output only exists through the merge surface, so refuse
+  // non-mergeable sinks up front instead of after ingesting the stream.
+  bool needs_key_disjoint = false;
+  if (want_estimators) {
+    if (estimator_views[0]->merge_kind() == EstimateMergeKind::kNone) {
       std::fprintf(stderr,
                    "%s is not merge-capable; run it single-threaded "
                    "(--threads=1)\n",
-                   run.estimator_name.c_str());
+                   run.spec.name.c_str());
       return 2;
     }
     needs_key_disjoint =
-        MergeNeedsKeyDisjointShards(estimators[0]->merge_kind());
-    sinks = SinkPointers(estimators);
-  } else {
-    if (!samplers[0]->mergeable()) {
-      std::fprintf(stderr,
-                   "%s is not merge-capable; run it single-threaded "
-                   "(--threads=1)\n",
-                   run.algo.c_str());
-      return 2;
-    }
-    sinks = SinkPointers(samplers);
+        MergeNeedsKeyDisjointShards(estimator_views[0]->merge_kind());
+  } else if (!sampler_views[0]->mergeable()) {
+    std::fprintf(stderr,
+                 "%s is not merge-capable; run it single-threaded "
+                 "(--threads=1)\n",
+                 run.spec.name.c_str());
+    return 2;
   }
 
   ShardedStreamDriver::Options options;
@@ -298,12 +326,7 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
     if (run.checkpoint.resume) {
       serializers = SerializersFor(resumed);
     } else {
-      auto made =
-          estimators.empty()
-              ? MakeSamplerSerializers(run.algo, run.sampler_config,
-                                       run.shards)
-              : MakeEstimatorSerializers(run.estimator_name,
-                                         run.estimator_config, run.shards);
+      auto made = MakeSinkSerializers(run.spec, run.shards);
       if (!made.ok()) {
         std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
         return 1;
@@ -355,9 +378,8 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                  s, shard.items, shard.memory_words,
                  shard.items_per_sec / 1e6);
   }
-  if (!estimators.empty()) {
-    auto shard_ptrs = EstimatorPointers(estimators);
-    auto merged = MergedEstimate(shard_ptrs);
+  if (want_estimators) {
+    auto merged = MergedEstimate(estimator_views);
     if (!merged.ok()) {
       std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
       return 1;
@@ -370,8 +392,7 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                 estimate.window_size, estimate.support);
     return 0;
   }
-  auto shard_ptrs = SamplerPointers(samplers);
-  auto merged = MergedSnapshot(shard_ptrs, run.seed ^ 0x5eedful);
+  auto merged = MergedSnapshot(sampler_views, run.seed ^ 0x5eedful);
   if (!merged.ok()) {
     std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
     return 1;
@@ -382,6 +403,124 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
     std::printf("%s%" PRIu64, i ? " " : "", merged.value().sample[i].value);
   }
   std::printf("]\n");
+  return 0;
+}
+
+/// Keyed multi-tenant flags (--keys and friends).
+struct KeyedRun {
+  bool enabled = false;
+  uint64_t key_shift = 0;       // --keys=<shift>
+  uint64_t budget_bytes = 0;    // --key-budget
+  Timestamp idle_ttl = 0;       // --key-ttl
+  std::string spill_dir;        // --spill-dir
+};
+
+/// Drives the stream through one keyed engine per shard (key-hash
+/// partitioned) — or a single engine for --threads=1 — and prints the
+/// aggregated multi-tenant stats. Returns the process exit code.
+int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
+             const ShardedRun& run, bool timestamped, uint64_t report_every) {
+  KeyedEngineOptions options;
+  options.spec = spec;
+  options.key_shift = keyed.key_shift;
+  options.memory_budget_bytes = keyed.budget_bytes;
+  options.idle_ttl = keyed.idle_ttl;
+  options.spill_dir = keyed.spill_dir;
+
+  const bool sharded = run.threads > 1 || run.shards > 1;
+  std::vector<std::unique_ptr<KeyedWindowEngine>> engines;
+  uint64_t total_events = 0;
+  if (sharded) {
+    auto created = CreateKeyedEngines(options, run.shards);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    engines = std::move(created).ValueOrDie();
+    ShardedStreamDriver::Options driver_options;
+    driver_options.threads = run.threads;
+    driver_options.chunk_items = run.batch == 0 ? 1024 : run.batch;
+    // Keys must be whole: every arrival of a key has to reach the engine
+    // that owns it, so keyed sharding is always key-hash partitioned.
+    driver_options.partition = ShardPartition::kKeyHash;
+    ShardedStreamDriver driver(driver_options);
+    std::vector<StreamSink*> sinks = SinkPointers(engines);
+    auto result =
+        run.file.empty()
+            ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
+            : driver.DriveFile(run.file, timestamped, sinks);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    total_events = result.value().total.items;
+    std::fprintf(stderr,
+                 "sink=keyed-engine(%s) shards=%" PRIu64 " threads=%" PRIu64
+                 " partition=keyhash items=%" PRIu64
+                 " aggregate=%.2fM items/s\n",
+                 FormatSinkSpec(spec).c_str(), run.shards, run.threads,
+                 total_events, result.value().total.items_per_sec / 1e6);
+  } else {
+    auto created = KeyedWindowEngine::Create(options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(created).ValueOrDie());
+    StreamDriver::Options driver_options;
+    driver_options.batch_size = run.batch;
+    StreamDriver driver(driver_options);
+    KeyedWindowEngine& engine = *engines[0];
+    auto progress = [&engine](uint64_t items) {
+      const KeyedEngineStats& stats = engine.stats();
+      std::fprintf(stderr,
+                   "events=%" PRIu64 " live_keys=%" PRIu64
+                   " spilled=%" PRIu64 " charged=%" PRIu64 " bytes\n",
+                   items, stats.live_keys, stats.spilled_keys,
+                   stats.charged_bytes);
+    };
+    auto result =
+        run.file.empty()
+            ? driver.DriveLines(stdin, "stdin", timestamped, engine,
+                                progress, report_every)
+            : driver.DriveFile(run.file, timestamped, engine);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    total_events = result.value().items;
+    std::fprintf(stderr,
+                 "sink=keyed-engine(%s) items=%" PRIu64
+                 " throughput=%.2fM items/s\n",
+                 FormatSinkSpec(spec).c_str(), total_events,
+                 result.value().items_per_sec / 1e6);
+  }
+
+  // A spill/restore I/O failure latches into the engine status instead of
+  // aborting ingestion; surface it as a run failure here.
+  KeyedEngineStats total;
+  for (const auto& engine : engines) {
+    if (!engine->status().ok()) {
+      std::fprintf(stderr, "%s\n", engine->status().ToString().c_str());
+      return 1;
+    }
+    const KeyedEngineStats& stats = engine->stats();
+    total.live_keys += stats.live_keys;
+    total.spilled_keys += stats.spilled_keys;
+    total.evictions += stats.evictions;
+    total.restores += stats.restores;
+    total.expirations += stats.expirations;
+    total.promotions += stats.promotions;
+    total.charged_bytes += stats.charged_bytes;
+    total.retained_bytes += stats.retained_bytes;
+  }
+  std::printf("events=%" PRIu64 " live_keys=%" PRIu64 " spilled_keys=%" PRIu64
+              " evictions=%" PRIu64 " restores=%" PRIu64
+              " expirations=%" PRIu64 " charged=%" PRIu64
+              " bytes retained=%" PRIu64 " bytes\n",
+              total_events, total.live_keys, total.spilled_keys,
+              total.evictions, total.restores, total.expirations,
+              total.charged_bytes, total.retained_bytes);
   return 0;
 }
 
@@ -407,10 +546,28 @@ bool ParseDouble(const char* s, double* out) {
   return true;
 }
 
+// Parses a byte count with an optional K/M/G (binary) suffix: "64M".
+bool ParseBytes(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s) return false;
+  uint64_t shift = 0;
+  if (*end == 'K' || *end == 'k') shift = 10;
+  else if (*end == 'M' || *end == 'm') shift = 20;
+  else if (*end == 'G' || *end == 'g') shift = 30;
+  if (shift > 0) ++end;
+  if (*end != '\0') return false;
+  *out = static_cast<uint64_t>(v) << shift;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string algo = "bop-seq-swor";
+  std::string sink_text;  // --sink: the full SinkSpec grammar
+  std::string algo;       // --algo alias (default applied when nothing set)
   std::string estimator_name;
   std::string substrate;
   std::string file;
@@ -424,6 +581,7 @@ int main(int argc, char** argv) {
   uint64_t shards = 0;
   std::string partition;
   CheckpointRun checkpoint;
+  KeyedRun keyed;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -436,12 +594,43 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--list-estimators") == 0) {
       ListEstimators();
       return 0;
+    } else if (std::strcmp(arg, "--list-sinks") == 0) {
+      std::printf("%s", FormatSinkList().c_str());
+      return 0;
+    } else if (std::strncmp(arg, "--sink=", 7) == 0) {
+      sink_text = arg + 7;
     } else if (std::strncmp(arg, "--algo=", 7) == 0) {
       algo = arg + 7;
     } else if (std::strncmp(arg, "--estimator=", 12) == 0) {
       estimator_name = arg + 12;
     } else if (std::strncmp(arg, "--substrate=", 12) == 0) {
       substrate = arg + 12;
+    } else if (std::strcmp(arg, "--keys") == 0) {
+      keyed.enabled = true;
+    } else if (std::strncmp(arg, "--keys=", 7) == 0) {
+      keyed.enabled = true;
+      u64_flag = &keyed.key_shift;
+      u64_value = arg + 7;
+    } else if (std::strncmp(arg, "--key-budget=", 13) == 0) {
+      if (!ParseBytes(arg + 13, &keyed.budget_bytes)) {
+        std::fprintf(stderr,
+                     "error: --key-budget expects bytes with an optional "
+                     "K/M/G suffix, got \"%s\"\n",
+                     arg + 13);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--key-ttl=", 10) == 0) {
+      uint64_t ttl = 0;
+      if (!ParseU64(arg + 10, &ttl)) {
+        std::fprintf(stderr,
+                     "error: --key-ttl expects a non-negative integer, got "
+                     "\"%s\"\n",
+                     arg + 10);
+        return 2;
+      }
+      keyed.idle_ttl = static_cast<Timestamp>(ttl);
+    } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
+      keyed.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
       file = arg + 7;
     } else if (std::strncmp(arg, "--batch=", 8) == 0) {
@@ -503,15 +692,33 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (positional.size() != 2) {
+  if (!sink_text.empty() &&
+      (!algo.empty() || !estimator_name.empty() || !substrate.empty())) {
+    std::fprintf(stderr,
+                 "error: --sink replaces --algo/--estimator/--substrate; "
+                 "give one or the other\n");
+    return 2;
+  }
+  if (!algo.empty() && !estimator_name.empty()) {
+    std::fprintf(stderr, "error: --algo and --estimator are exclusive\n");
+    return 2;
+  }
+  // --sink carries its own window/k keys, so the positionals become an
+  // optional override there; every other mode still requires them.
+  const bool have_positionals = positional.size() == 2;
+  if (!have_positionals && (sink_text.empty() || !positional.empty())) {
     Usage(argv[0]);
     return 2;
   }
-  const int64_t window = std::atoll(positional[0]);
-  const int64_t k = std::atoll(positional[1]);
-  if (window < 1 || k < 1) {
-    Usage(argv[0]);
-    return 2;
+  int64_t window = 0;
+  int64_t k = 0;
+  if (have_positionals) {
+    window = std::atoll(positional[0]);
+    k = std::atoll(positional[1]);
+    if (window < 1 || k < 1) {
+      Usage(argv[0]);
+      return 2;
+    }
   }
   if ((checkpoint.resume || checkpoint.kill_after > 0) &&
       checkpoint.dir.empty()) {
@@ -520,97 +727,123 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Resolve the flags into ONE SinkSpec — the --sink grammar directly, or
+  // the --algo/--estimator aliases lifted through the same structure.
+  SinkSpec spec;
+  if (!sink_text.empty()) {
+    auto parsed = ParseSinkSpec(sink_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    spec = std::move(parsed).ValueOrDie();
+  } else {
+    spec.name = !estimator_name.empty() ? estimator_name
+                : !algo.empty()         ? algo
+                                        : "bop-seq-swor";
+    spec.substrate = substrate;
+    spec.seed = seed;
+    spec.moment = static_cast<uint32_t>(moment);
+    spec.num_vertices = static_cast<uint32_t>(vertices);
+    spec.q = q;
+  }
+  if (have_positionals) {
+    spec.window_n = static_cast<uint64_t>(window);
+    spec.window_t = window;
+    spec.k = static_cast<uint64_t>(k);
+    spec.r = static_cast<uint64_t>(k);
+  }
+  auto kind = SinkKindOf(spec.name);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  auto model = SinkWindowModel(spec);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 2;
+  }
+  const bool timestamped = model.value() == WindowModel::kTimestamp;
+
+  if (keyed.enabled) {
+    // The keyed engine's persistence story is its own spill directory;
+    // the flat single-sink checkpoint envelope does not describe it.
+    if (!checkpoint.dir.empty() || checkpoint.resume) {
+      std::fprintf(stderr,
+                   "error: --keys is incompatible with --checkpoint-dir/"
+                   "--resume (use --key-budget + --spill-dir)\n");
+      return 2;
+    }
+    if (partition == "chunks") {
+      std::fprintf(stderr,
+                   "error: keyed sharding must keep each key on one "
+                   "engine; --partition=chunks is incompatible with "
+                   "--keys\n");
+      return 2;
+    }
+    if (keyed.key_shift > 0 && (threads > 1 || shards > 1)) {
+      // The driver's key-hash partition routes on the raw value, so a
+      // shifted tenant id could land one tenant on several engines.
+      std::fprintf(stderr,
+                   "error: --keys=<shift> requires --threads=1 (sharded "
+                   "routing hashes the unshifted value)\n");
+      return 2;
+    }
+    ShardedRun run;
+    run.spec = spec;
+    run.kind = kind.value();
+    run.file = file;
+    run.threads = threads;
+    run.shards = shards == 0 ? threads : shards;
+    run.batch = batch;
+    run.seed = seed;
+    return RunKeyed(spec, keyed, run, timestamped, report_every);
+  }
+  if (!keyed.spill_dir.empty() || keyed.budget_bytes > 0 ||
+      keyed.idle_ttl > 0) {
+    std::fprintf(stderr,
+                 "error: --key-budget/--key-ttl/--spill-dir require "
+                 "--keys\n");
+    return 2;
+  }
+
+  if (threads > 1 || shards > 1) {
+    ShardedRun run;
+    run.spec = spec;
+    run.kind = kind.value();
+    run.file = file;
+    run.threads = threads;
+    run.shards = shards == 0 ? threads : shards;
+    run.partition = partition;
+    run.batch = batch;
+    run.seed = seed;
+    run.checkpoint = checkpoint;
+    return RunSharded(run, timestamped);
+  }
+
   StreamDriver::Options options;
   options.batch_size = batch;
   StreamDriver driver(options);
 
-  // Resolve the sink — a raw sampler or an estimator over a substrate —
-  // then let the batched driver own parsing and ingestion for both modes;
-  // stdin mode adds periodic progress reports.
-  std::unique_ptr<WindowSampler> sampler;
-  std::unique_ptr<WindowEstimator> estimator;
-  SamplerConfig sampler_config;      // kept for checkpoint envelopes
-  EstimatorConfig estimator_config;  // kept for checkpoint envelopes
-  bool timestamped = false;
-  if (!estimator_name.empty()) {
-    const EstimatorSpec* spec = FindEstimatorSpec(estimator_name);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown --estimator=%s\nregistered: %s\n",
-                   estimator_name.c_str(),
-                   RegisteredEstimatorNames().c_str());
-      return 2;
+  // Resolve the sink through the unified factory, then let the batched
+  // driver own parsing and ingestion for both kinds; stdin mode adds
+  // periodic progress reports.
+  Sink created_sink;
+  WindowSampler* sampler = nullptr;
+  WindowEstimator* estimator = nullptr;
+  StreamSink* sink = nullptr;
+  std::unique_ptr<WindowSampler> resumed_sampler;
+  std::unique_ptr<WindowEstimator> resumed_estimator;
+  if (!checkpoint.resume) {
+    auto made = CreateSink(spec);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
     }
-    EstimatorConfig config;
-    config.substrate = substrate.empty() ? spec->default_substrate
-                                         : substrate;
-    config.window_n = static_cast<uint64_t>(window);
-    config.window_t = window;
-    config.r = static_cast<uint64_t>(k);
-    config.seed = seed;
-    config.moment = static_cast<uint32_t>(moment);
-    config.num_vertices = static_cast<uint32_t>(vertices);
-    config.q = q;
-    const SamplerSpec* substrate_spec = FindSamplerSpec(config.substrate);
-    if (substrate_spec != nullptr) {
-      timestamped = substrate_spec->model == WindowModel::kTimestamp;
-    }
-    if (threads > 1 || shards > 1) {
-      ShardedRun run;
-      run.estimator_name = estimator_name;
-      run.estimator_config = config;
-      run.file = file;
-      run.threads = threads;
-      run.shards = shards == 0 ? threads : shards;
-      run.partition = partition;
-      run.batch = batch;
-      run.seed = seed;
-      run.checkpoint = checkpoint;
-      return RunSharded(run, timestamped);
-    }
-    estimator_config = config;
-    if (!checkpoint.resume) {
-      auto created = CreateEstimator(estimator_name, config);
-      if (!created.ok()) {
-        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-        return 1;
-      }
-      estimator = std::move(created).ValueOrDie();
-    }
-  } else {
-    const SamplerSpec* spec = FindSamplerSpec(algo);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown --algo=%s\nregistered: %s\n",
-                   algo.c_str(), RegisteredSamplerNames().c_str());
-      return 2;
-    }
-    timestamped = spec->model == WindowModel::kTimestamp;
-    SamplerConfig config;
-    config.window_n = static_cast<uint64_t>(window);
-    config.window_t = window;
-    config.k = static_cast<uint64_t>(k);
-    config.seed = seed;
-    if (threads > 1 || shards > 1) {
-      ShardedRun run;
-      run.algo = algo;
-      run.sampler_config = config;
-      run.file = file;
-      run.threads = threads;
-      run.shards = shards == 0 ? threads : shards;
-      run.partition = partition;
-      run.batch = batch;
-      run.seed = seed;
-      run.checkpoint = checkpoint;
-      return RunSharded(run, timestamped);
-    }
-    sampler_config = config;
-    if (!checkpoint.resume) {
-      auto created = CreateSampler(algo, config);
-      if (!created.ok()) {
-        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
-        return 1;
-      }
-      sampler = std::move(created).ValueOrDie();
-    }
+    created_sink = std::move(made).ValueOrDie();
+    sampler = created_sink.sampler;
+    estimator = created_sink.estimator;
+    sink = created_sink.sink.get();
   }
   ResumedCheckpoint resumed;  // --resume: restored state + skip position
   if (checkpoint.resume) {
@@ -620,8 +853,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     resumed = std::move(loaded).ValueOrDie();
-    const bool want_estimator = !estimator_name.empty();
-    const std::string& requested = want_estimator ? estimator_name : algo;
+    const bool want_estimator = kind.value() == SinkKind::kEstimator;
     if (want_estimator != !resumed.estimators.empty() ||
         resumed.sinks.size() != 1) {
       std::fprintf(stderr,
@@ -632,12 +864,12 @@ int main(int argc, char** argv) {
                    want_estimator ? "estimator" : "sampler");
       return 2;
     }
-    if (resumed.name != requested) {
+    if (resumed.name != spec.name) {
       std::fprintf(stderr,
                    "--resume: checkpoint in %s holds \"%s\", but the flags "
                    "request \"%s\"\n",
                    checkpoint.dir.c_str(), resumed.name.c_str(),
-                   requested.c_str());
+                   spec.name.c_str());
       return 2;
     }
     std::fprintf(stderr,
@@ -645,13 +877,15 @@ int main(int argc, char** argv) {
                  "checkpoint's configuration is authoritative\n",
                  resumed.name.c_str(), resumed.position.items);
     if (want_estimator) {
-      estimator = std::move(resumed.estimators[0]);
+      resumed_estimator = std::move(resumed.estimators[0]);
+      estimator = resumed_estimator.get();
+      sink = estimator;
     } else {
-      sampler = std::move(resumed.samplers[0]);
+      resumed_sampler = std::move(resumed.samplers[0]);
+      sampler = resumed_sampler.get();
+      sink = sampler;
     }
   }
-  StreamSink& sink = estimator ? static_cast<StreamSink&>(*estimator)
-                               : static_cast<StreamSink&>(*sampler);
 
   Result<DriveReport> result = Status::InvalidArgument("unset");
   if (!checkpoint.dir.empty()) {
@@ -664,10 +898,7 @@ int main(int argc, char** argv) {
     if (checkpoint.resume) {
       serializers = SerializersFor(resumed);
     } else {
-      auto made =
-          estimator
-              ? MakeEstimatorSerializers(estimator_name, estimator_config, 1)
-              : MakeSamplerSerializers(algo, sampler_config, 1);
+      auto made = MakeSinkSerializers(spec, 1);
       if (!made.ok()) {
         std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
         return 1;
@@ -683,23 +914,23 @@ int main(int argc, char** argv) {
     // shift batch boundaries away from the checkpoint-aligned grid.
     if (file.empty()) {
       result = driver.DriveLinesCheckpointed(stdin, "stdin", timestamped,
-                                             sink, &writer, resume_pos);
+                                             *sink, &writer, resume_pos);
     } else {
-      result = driver.DriveFileCheckpointed(file, timestamped, sink, &writer,
+      result = driver.DriveFileCheckpointed(file, timestamped, *sink, &writer,
                                             resume_pos);
     }
   } else {
     auto progress = [&](uint64_t items) {
-      if (estimator) {
+      if (estimator != nullptr) {
         ReportEstimate(*estimator, items, stderr);
       } else {
         ReportSample(*sampler, items, stderr);
       }
     };
     result = file.empty()
-                 ? driver.DriveLines(stdin, "stdin", timestamped, sink,
+                 ? driver.DriveLines(stdin, "stdin", timestamped, *sink,
                                      progress, report_every)
-                 : driver.DriveFile(file, timestamped, sink);
+                 : driver.DriveFile(file, timestamped, *sink);
   }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -711,8 +942,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "sink=%s items=%" PRIu64 " batches=%" PRIu64
                " throughput=%.2fM items/s\n",
-               sink.name(), total_events, r.batches, r.items_per_sec / 1e6);
-  if (estimator) {
+               sink->name(), total_events, r.batches, r.items_per_sec / 1e6);
+  if (estimator != nullptr) {
     ReportEstimate(*estimator, total_events, stdout);
   } else {
     ReportSample(*sampler, total_events, stdout);

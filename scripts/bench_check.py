@@ -5,11 +5,20 @@ Usage:
   scripts/bench_check.py BASELINE.json FRESH.json... [--threshold 0.25]
   scripts/bench_check.py --table BENCH.json
 
-The gate only scores *ratio* metrics (keys starting with "speedup"):
-absolute items/s depends on the host, but the batched-vs-item speedup of
-a given code path is a property of the code, so a >threshold drop in a
-speedup ratio on the same binary is a real regression (e.g. losing an
-ObserveBatch override). Absolute metrics are printed for information.
+The gate scores three metric classes:
+  * ratio metrics (keys starting with "speedup"): absolute items/s
+    depends on the host, but the batched-vs-item speedup of a given code
+    path is a property of the code, so a >threshold drop in a speedup
+    ratio on the same binary is a real regression (e.g. losing an
+    ObserveBatch override);
+  * "bytes_per_key" (keyed-engine rows): retained bytes per live key is
+    capacity-driven and deterministic for a seeded workload, so a
+    >threshold INCREASE is a real memory regression;
+  * "budget_exceeded" (keyed-engine budget rows): 0/1 invariant flag —
+    any fresh run reporting 1 fails outright, whatever the baseline.
+Entries whose baseline carries "gated": 0 are informational full-mode
+rows (not reproduced by CI smoke runs) and are skipped entirely.
+Other absolute metrics are printed for information.
 
 Several FRESH files may be given (repeat runs); each metric is scored on
 its best value across runs, so one noisy measurement on a shared CI
@@ -40,17 +49,51 @@ def check(baseline_path, fresh_paths, threshold):
         for key, entry in load(path).items():
             merged = fresh.setdefault(key, dict(entry))
             for metric, value in entry.items():
-                if isinstance(value, (int, float)):
-                    merged[metric] = max(merged.get(metric, value), value)
+                if not isinstance(value, (int, float)):
+                    continue
+                # Best across runs: max for higher-is-better ratios, min
+                # for lower-is-better bytes; any run tripping the budget
+                # flag keeps it tripped.
+                best = min if metric.startswith("bytes_per_key") else max
+                merged[metric] = best(merged.get(metric, value), value)
     failures = []
     compared = 0
     for key, base_entry in sorted(baseline.items()):
+        if base_entry.get("gated") == 0:
+            print(f"skip {key[0]}/{key[1]}: full-mode-only row")
+            continue
         fresh_entry = fresh.get(key)
         if fresh_entry is None:
             failures.append(
                 f"{key[0]}/{key[1]}: missing from {' '.join(fresh_paths)}")
             continue
         for metric, base_value in base_entry.items():
+            if metric == "budget_exceeded":
+                new_value = fresh_entry.get(metric)
+                compared += 1
+                if new_value is None:
+                    failures.append(f"{key[0]}/{key[1]}.{metric}: missing")
+                elif new_value > 0:
+                    failures.append(
+                        f"{key[0]}/{key[1]}.{metric}: engine exceeded its "
+                        f"memory budget")
+                else:
+                    print(f"ok  {key[0]}/{key[1]}.{metric}: 0")
+                continue
+            if metric.startswith("bytes_per_key"):
+                new_value = fresh_entry.get(metric)
+                compared += 1
+                if new_value is None:
+                    failures.append(f"{key[0]}/{key[1]}.{metric}: missing")
+                elif new_value > (1.0 + threshold) * base_value:
+                    failures.append(
+                        f"{key[0]}/{key[1]}.{metric}: {new_value:.1f} > "
+                        f"{(1.0 + threshold):.2f} x baseline "
+                        f"{base_value:.1f}")
+                else:
+                    print(f"ok  {key[0]}/{key[1]}.{metric}: "
+                          f"{new_value:.1f} (baseline {base_value:.1f})")
+                continue
             if not metric.startswith("speedup"):
                 continue
             # Parity rows (default ObserveBatch, no fast path) sit near
@@ -75,7 +118,7 @@ def check(baseline_path, fresh_paths, threshold):
                 print(f"ok  {key[0]}/{key[1]}.{metric}: "
                       f"{new_value:.3f} (baseline {base_value:.3f})")
     if compared == 0:
-        failures.append("no speedup metrics compared — empty baseline?")
+        failures.append("no gated metrics compared — empty baseline?")
     if failures:
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
         for f in failures:

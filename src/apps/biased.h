@@ -75,6 +75,16 @@ class StepBiasedSampler {
   /// Total memory words across levels.
   uint64_t MemoryWords() const;
 
+  /// Heap bytes retained beyond the object footprint: level/sampler
+  /// vector capacities plus every per-level sampler's own retention.
+  uint64_t RetainedBytes() const {
+    uint64_t bytes =
+        levels_.capacity() * sizeof(BiasLevel) +
+        samplers_.capacity() * sizeof(std::unique_ptr<WindowSampler>);
+    for (const auto& sampler : samplers_) bytes += sampler->RetainedBytes();
+    return bytes;
+  }
+
   /// Length n_L of the largest (outermost) level window.
   uint64_t max_window() const { return levels_.back().window; }
 
@@ -112,6 +122,10 @@ class BiasedMeanEstimator final : public WindowEstimator {
   void AdvanceTime(Timestamp) override {}  // sequence windows only
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + sizeof(StepBiasedSampler) +
+           sampler_->RetainedBytes();
+  }
   const char* name() const override { return "biased-mean"; }
   /// Shard means combine as the occupancy-weighted mean of the union.
   EstimateMergeKind merge_kind() const override {

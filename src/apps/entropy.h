@@ -46,6 +46,9 @@ class EntropyEstimator final : public WindowEstimator {
   void AdvanceTime(Timestamp now) override { substrate_.AdvanceTime(now); }
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + substrate_.RetainedBytes();
+  }
   const char* name() const override { return "ccm-entropy"; }
   /// Shard entropies combine by the Shannon grouping rule when shards
   /// hold disjoint key sets (key-hash partitioning).

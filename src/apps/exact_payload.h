@@ -94,6 +94,10 @@ class ExactPayloadOracle {
   /// Live memory words: the buffered window.
   uint64_t MemoryWords() const { return buffer_.size() * kWordsPerItem + 2; }
 
+  /// Heap bytes retained beyond the object footprint (the window ring's
+  /// arena reservation).
+  uint64_t RetainedBytes() const { return buffer_.ReservedBytes(); }
+
   /// Checkpointing: RNG + the buffered window (payloads are derived at
   /// query time, so none are persisted).
   void Save(BinaryWriter* w) const {

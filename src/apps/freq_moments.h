@@ -44,6 +44,9 @@ class FkEstimator final : public WindowEstimator {
   void AdvanceTime(Timestamp now) override { substrate_.AdvanceTime(now); }
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_.MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + substrate_.RetainedBytes();
+  }
   const char* name() const override { return "ams-fk"; }
   /// F_k is additive across disjoint shards: every occurrence of a value
   /// lands in one shard under key-hash partitioning, so shard moments sum.

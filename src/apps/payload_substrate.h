@@ -251,6 +251,25 @@ class PayloadSubstrate {
     return words;
   }
 
+  /// Heap bytes retained beyond the object footprint: unit-vector
+  /// capacities plus each unit's arena/table reservations (the sequence
+  /// units hold their slots inline, so their capacity bytes cover them).
+  uint64_t RetainedBytes() const {
+    uint64_t bytes = seq_units_.capacity() * sizeof(SeqUnit) +
+                     ts_units_.capacity() * sizeof(TsUnit);
+    switch (kind_) {
+      case SubstrateKind::kSeqUnits:
+        break;
+      case SubstrateKind::kTsUnits:
+        bytes += histogram_->RetainedBytes();
+        for (const auto& unit : ts_units_) bytes += unit.RetainedBytes();
+        break;
+      default:
+        bytes += oracle_->RetainedBytes();
+    }
+    return bytes;
+  }
+
   /// Checkpointing: the substrate RNG plus every unit / the histogram /
   /// the oracle, in construction order. Configuration (kind, windows, r)
   /// lives in the owning estimator's envelope.

@@ -54,6 +54,9 @@ class QuantileEstimator final : public WindowEstimator {
   EstimateReport Estimate() override;
 
   uint64_t MemoryWords() const override { return sampler_->MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + sampler_->RetainedBytes();
+  }
   const char* name() const override { return "dkw-quantile"; }
   /// Persists through the wrapped sampler (q is configuration).
   bool persistable() const override { return sampler_->persistable(); }

@@ -74,6 +74,9 @@ class TriangleEstimator final : public WindowEstimator {
   void AdvanceTime(Timestamp now) override { substrate_->AdvanceTime(now); }
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override { return substrate_->MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + sizeof(Substrate) + substrate_->RetainedBytes();
+  }
   const char* name() const override { return "buriol-triangles"; }
   bool persistable() const override { return true; }
   void SaveState(BinaryWriter* w) const override;

@@ -106,6 +106,12 @@ class TsPayloadUnit {
     return sampler_.MemoryWords() + payloads_.Size() * (1 + kPayloadWords);
   }
 
+  /// Heap bytes retained beyond the object footprint: the embedded
+  /// sampler's arena plus the payload map's table reservation.
+  uint64_t RetainedBytes() const {
+    return sampler_.zeta().RetainedBytes() + payloads_.ReservedBytes();
+  }
+
   /// Checkpointing: the embedded Section 3 sampler plus the candidate
   /// payload map (serialized sorted by index so equal states produce
   /// equal bytes). Load requires the map keys to be exactly the sampler's

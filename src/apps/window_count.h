@@ -45,6 +45,11 @@ class WindowCountEstimator final : public WindowEstimator {
   void AdvanceTime(Timestamp now) override;
   EstimateReport Estimate() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) +
+           (histogram_ ? histogram_->RetainedBytes() : 0) +
+           timestamps_.size() * sizeof(Timestamp);
+  }
   const char* name() const override { return "window-count"; }
   /// Active counts add up under any element partition of the window.
   EstimateMergeKind merge_kind() const override {

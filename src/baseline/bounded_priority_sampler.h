@@ -32,6 +32,9 @@ class BoundedPrioritySampler final : public WindowSampler {
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + entries_.size() * sizeof(Entry);
+  }
   uint64_t k() const override { return k_; }
   const char* name() const override { return "gl-bounded-priority"; }
 

@@ -45,6 +45,13 @@ class ChainSampler final : public WindowSampler {
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    uint64_t bytes = sizeof(*this) + units_.capacity() * sizeof(Unit);
+    for (const Unit& unit : units_) {
+      bytes += unit.chain.size() * sizeof(Item);
+    }
+    return bytes;
+  }
   uint64_t k() const override { return units_.size(); }
   const char* name() const override { return "bdm-chain"; }
 

@@ -41,6 +41,9 @@ class ExactWindow final : public WindowSampler {
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + window_.size() * sizeof(Item);
+  }
   uint64_t k() const override { return k_; }
   const char* name() const override {
     return kind_ == WindowKind::kSequence ? "exact-seq" : "exact-ts";

@@ -35,6 +35,9 @@ class OverSampler final : public WindowSampler {
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override { return inner_->MemoryWords(); }
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + inner_->RetainedBytes();
+  }
   uint64_t k() const override { return k_; }
   const char* name() const override { return "oversample-swor"; }
 

@@ -36,6 +36,13 @@ class PrioritySampler final : public WindowSampler {
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    uint64_t bytes = sizeof(*this) + units_.capacity() * sizeof(Unit);
+    for (const Unit& unit : units_) {
+      bytes += unit.stairs.size() * sizeof(Entry);
+    }
+    return bytes;
+  }
   uint64_t k() const override { return units_.size(); }
   const char* name() const override { return "bdm-priority"; }
 

@@ -78,6 +78,16 @@ class StreamSink {
   /// Live memory in paper words (values + indices + timestamps stored).
   virtual uint64_t MemoryWords() const = 0;
 
+  /// Approximate bytes of memory this sink actually RETAINS: object
+  /// footprint plus heap/arena capacity (arena chunk bytes, hash-table
+  /// slots, vector capacity), as opposed to MemoryWords()'s logical
+  /// word-model count. MemoryWords() stays the paper-model quantity the
+  /// memory experiments track; RetainedBytes() is what a budget enforcer
+  /// (the keyed multi-tenant engine) charges against. The default scales
+  /// the word count; sinks with growable storage override it to report
+  /// real capacity.
+  virtual uint64_t RetainedBytes() const { return MemoryWords() * 8; }
+
   /// Human-readable algorithm name for harness output; for registered
   /// sinks this equals the registry key.
   virtual const char* name() const = 0;

@@ -86,6 +86,10 @@ class CoveringDecomposition {
     return buckets_.size() * BucketStructure::kWords;
   }
 
+  /// Heap bytes retained beyond the object footprint (the ring's arena
+  /// reservation).
+  uint64_t RetainedBytes() const { return buckets_.ReservedBytes(); }
+
   /// Internal structural invariants (boundaries contiguous, widths match
   /// Definition 3.1). Exposed for tests; O(size()).
   bool CheckInvariants() const;

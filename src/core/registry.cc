@@ -34,6 +34,7 @@ class SeqSingleSampler final : public WindowSampler {
   void AdvanceTime(Timestamp now) override { inner_->AdvanceTime(now); }
   std::vector<Item> Sample() override { return inner_->Sample(); }
   uint64_t MemoryWords() const override { return inner_->MemoryWords(); }
+  uint64_t RetainedBytes() const override { return inner_->RetainedBytes(); }
   uint64_t k() const override { return 1; }
   const char* name() const override { return "bop-seq-single"; }
   bool mergeable() const override { return true; }

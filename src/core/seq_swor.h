@@ -45,6 +45,10 @@ class SequenceSworSampler final : public WindowSampler {
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + current_.RetainedBytes() +
+           prev_sample_.capacity() * sizeof(Item);
+  }
   uint64_t k() const override { return k_; }
   const char* name() const override { return "bop-seq-swor"; }
   bool mergeable() const override { return true; }

@@ -46,6 +46,9 @@ class SequenceSwrSampler final : public WindowSampler {
   void AdvanceTime(Timestamp) override {}  // sequence windows ignore time
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + units_.capacity() * sizeof(Unit);
+  }
   uint64_t k() const override { return units_.size(); }
   const char* name() const override { return "bop-seq-swr"; }
   bool mergeable() const override { return true; }

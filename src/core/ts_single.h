@@ -105,6 +105,12 @@ class TsSingleSampler final : public WindowSampler {
   /// Live memory words (paper model).
   uint64_t MemoryWords() const override;
 
+  /// Real retained capacity: object footprint plus the covering
+  /// decomposition's arena reservation.
+  uint64_t RetainedBytes() const override {
+    return sizeof(*this) + zeta_.RetainedBytes();
+  }
+
   /// Number of bucket structures held (straddler included); the Theorem
   /// 3.9 claim is that this is O(log n).
   uint64_t StructureCount() const {

@@ -46,6 +46,15 @@ class TsSworSampler final : public WindowSampler {
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    uint64_t bytes = sizeof(*this) +
+                     structures_.capacity() * sizeof(TsSingleSampler) +
+                     recent_.ReservedBytes();
+    for (const TsSingleSampler& s : structures_) {
+      bytes += s.zeta().RetainedBytes();
+    }
+    return bytes;
+  }
   uint64_t k() const override { return k_; }
   const char* name() const override { return "bop-ts-swor"; }
 

@@ -33,6 +33,14 @@ class TsSwrSampler final : public WindowSampler {
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;
+  uint64_t RetainedBytes() const override {
+    uint64_t bytes =
+        sizeof(*this) + units_.capacity() * sizeof(TsSingleSampler);
+    for (const TsSingleSampler& unit : units_) {
+      bytes += unit.zeta().RetainedBytes();
+    }
+    return bytes;
+  }
   uint64_t k() const override { return units_.size(); }
   const char* name() const override { return "bop-ts-swr"; }
 

@@ -40,6 +40,9 @@ class SkipReservoir {
   /// Memory words held.
   uint64_t MemoryWords() const { return slots_.size() * kWordsPerItem; }
 
+  /// Heap bytes retained beyond the object footprint (slot capacity).
+  uint64_t RetainedBytes() const { return slots_.capacity() * sizeof(Item); }
+
  private:
   void ScheduleNextAcceptance(Rng& rng);
 

@@ -103,6 +103,9 @@ class KReservoir {
   /// Memory words held: stored items only (k is configuration).
   uint64_t MemoryWords() const { return slots_.size() * kWordsPerItem; }
 
+  /// Heap bytes retained beyond the object footprint (slot capacity).
+  uint64_t RetainedBytes() const { return slots_.capacity() * sizeof(Item); }
+
   /// Checkpointing (see util/serial.h). Load replaces k, count and slots.
   void Save(BinaryWriter* w) const;
   bool Load(BinaryReader* r);

@@ -191,42 +191,16 @@ Result<CheckpointManifest> DecodeManifest(
 
 }  // namespace
 
-Result<std::vector<SinkSerializer>> MakeSamplerSerializers(
-    std::string_view name, const SamplerConfig& config, uint64_t shards) {
+Result<std::vector<SinkSerializer>> MakeSinkSerializers(const SinkSpec& spec,
+                                                        uint64_t shards) {
   std::vector<SinkSerializer> serializers;
   serializers.reserve(shards);
   for (uint64_t shard = 0; shard < shards; ++shard) {
-    auto shard_config = ShardSamplerConfig(name, config, shard, shards);
-    if (!shard_config.ok()) return shard_config.status();
-    serializers.push_back(
-        [config = shard_config.value()](StreamSink& sink) {
-          auto* sampler = dynamic_cast<WindowSampler*>(&sink);
-          if (sampler == nullptr) {
-            return Result<std::string>(Status::InvalidArgument(
-                "checkpoint: sink is not a WindowSampler"));
-          }
-          return SaveSampler(*sampler, config);
-        });
-  }
-  return serializers;
-}
-
-Result<std::vector<SinkSerializer>> MakeEstimatorSerializers(
-    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
-  std::vector<SinkSerializer> serializers;
-  serializers.reserve(shards);
-  for (uint64_t shard = 0; shard < shards; ++shard) {
-    auto shard_config = ShardEstimatorConfig(name, config, shard, shards);
-    if (!shard_config.ok()) return shard_config.status();
-    serializers.push_back(
-        [config = shard_config.value()](StreamSink& sink) {
-          auto* estimator = dynamic_cast<WindowEstimator*>(&sink);
-          if (estimator == nullptr) {
-            return Result<std::string>(Status::InvalidArgument(
-                "checkpoint: sink is not a WindowEstimator"));
-          }
-          return SaveEstimator(*estimator, config);
-        });
+    auto shard_spec = ShardSinkSpec(spec, shard, shards);
+    if (!shard_spec.ok()) return shard_spec.status();
+    serializers.push_back([spec = shard_spec.value()](StreamSink& sink) {
+      return SaveSink(sink, spec);
+    });
   }
   return serializers;
 }

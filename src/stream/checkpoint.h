@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "apps/estimator_registry.h"
+#include "apps/sink_spec.h"
 #include "core/api.h"
 #include "core/registry.h"
 #include "stream/item.h"
@@ -87,15 +88,12 @@ struct CheckpointManifest {
   std::vector<std::vector<Item>> pending;
 };
 
-/// Serializers for registry-constructed sampler shards: entry `s` binds
-/// the same derived config CreateShardedSamplers gives shard `s` (window
-/// split + forked seed). `shards` == 1 describes a single-sink run.
-Result<std::vector<SinkSerializer>> MakeSamplerSerializers(
-    std::string_view name, const SamplerConfig& config, uint64_t shards);
-
-/// Estimator counterpart of MakeSamplerSerializers.
-Result<std::vector<SinkSerializer>> MakeEstimatorSerializers(
-    std::string_view name, const EstimatorConfig& config, uint64_t shards);
+/// Serializers for spec-constructed shard sinks (samplers AND
+/// estimators): entry `s` binds the same derived spec CreateShardedSinks
+/// gives shard `s` (ShardSinkSpec: window split + forked seed).
+/// `shards` == 1 describes a single-sink run.
+Result<std::vector<SinkSerializer>> MakeSinkSerializers(const SinkSpec& spec,
+                                                        uint64_t shards);
 
 /// Writes atomic checkpoints for one ingestion run. Drivers call Due() at
 /// consistent points and Write() when it fires.

@@ -49,6 +49,10 @@ class ExpHistogram {
   /// Live memory words (one timestamp + one count per bucket).
   uint64_t MemoryWords() const { return 3 + buckets_.size() * 2; }
 
+  /// Heap bytes retained beyond the object footprint (the bucket ring's
+  /// arena reservation).
+  uint64_t RetainedBytes() const { return buckets_.ReservedBytes(); }
+
   /// Checkpointing: clock + buckets (t0/eps are configuration and live in
   /// the owning estimator's envelope). Load validates bucket monotonicity
   /// and power-of-two counts; see util/serial.h.

@@ -1,0 +1,553 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+#include "stream/keyed_engine.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace swsample {
+namespace fs = std::filesystem;
+
+namespace {
+
+// Spill file wire format: metadata header + the standard sink envelope.
+// "SWSKEYS\0" little-endian.
+constexpr uint64_t kSpillMagic = 0x005359454B535753ULL;
+constexpr uint64_t kSpillVersion = 1;
+constexpr char kSpillGlobPrefix[] = "key-";
+constexpr char kSpillSuffix[] = ".ckpt";
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Same durability discipline as stream/checkpoint.cc: tmp + flush +
+// fsync + atomic rename, so a crash mid-spill leaves either the old
+// complete file or none — never a torn one.
+Status AtomicWriteFile(const fs::path& path, const std::string& data,
+                       bool do_fsync) {
+  const fs::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("keyed: cannot create " + tmp.string());
+  }
+  bool ok = (data.empty() ||
+             std::fwrite(data.data(), 1, data.size(), f) == data.size()) &&
+            std::fflush(f) == 0;
+#ifndef _WIN32
+  ok = ok && (!do_fsync || fsync(fileno(f)) == 0);
+#else
+  (void)do_fsync;
+#endif
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("keyed: short write to " + tmp.string());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("keyed: cannot rename " + tmp.string());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("keyed: cannot open " + path.string());
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    return Status::InvalidArgument("keyed: read error on " + path.string());
+  }
+  return data;
+}
+
+// "key-%016llx.ckpt" -> key; false for any other file name.
+bool ParseSpillName(const std::string& name, uint64_t* key) {
+  const size_t prefix = sizeof(kSpillGlobPrefix) - 1;
+  const size_t suffix = sizeof(kSpillSuffix) - 1;
+  if (name.size() != prefix + 16 + suffix) return false;
+  if (name.compare(0, prefix, kSpillGlobPrefix) != 0) return false;
+  if (name.compare(prefix + 16, suffix, kSpillSuffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = prefix; i < prefix + 16; ++i) {
+    const char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *key = v;
+  return true;
+}
+
+}  // namespace
+
+/// One live key: its sink, tier, per-key stream cursor and LRU linkage.
+/// Heap-allocated (the directory FlatMap stores the pointer, which is
+/// trivially copyable as FlatMap values must be).
+struct KeyedWindowEngine::KeyEntry {
+  uint64_t key = 0;
+  uint64_t tier = 0;  ///< 0 = tail (options.spec), 1 = hot (hot_spec)
+  Sink sink;
+  SinkSpec spec;  ///< the exact per-key spec `sink` was built from
+  /// Next local index for this key's tier instance (sequence re-index).
+  uint64_t local_index = 0;
+  uint64_t arrivals = 0;  ///< lifetime arrivals (drives promotion)
+  Timestamp last_seen = 0;
+  uint64_t charge_bytes = 0;
+  uint64_t charge_words = 0;
+  KeyEntry* lru_prev = nullptr;
+  KeyEntry* lru_next = nullptr;
+};
+
+KeyedWindowEngine::KeyedWindowEngine(const KeyedEngineOptions& options)
+    : options_(options) {}
+
+KeyedWindowEngine::~KeyedWindowEngine() {
+  directory_.ForEach([](uint64_t, KeyEntry*& entry) { delete entry; });
+}
+
+Result<std::unique_ptr<KeyedWindowEngine>> KeyedWindowEngine::Create(
+    const KeyedEngineOptions& options) {
+  auto kind = SinkKindOf(options.spec.name);
+  if (!kind.ok()) return kind.status();
+  // Probe-construct both tier specs now so misconfiguration surfaces at
+  // build time, not on some key's first arrival mid-stream.
+  if (auto probe = CreateSink(options.spec); !probe.ok()) {
+    return Status::InvalidArgument("keyed: tail spec invalid: " +
+                                   probe.status().message());
+  }
+  if (options.promote_after > 0) {
+    auto hot_kind = SinkKindOf(options.hot_spec.name);
+    if (!hot_kind.ok()) {
+      return Status::InvalidArgument("keyed: hot spec invalid: " +
+                                     hot_kind.status().message());
+    }
+    if (hot_kind.value() != kind.value()) {
+      return Status::InvalidArgument(
+          "keyed: hot and tail specs must be the same kind (both "
+          "samplers or both estimators) so the per-key query surface is "
+          "uniform across tiers");
+    }
+    if (auto probe = CreateSink(options.hot_spec); !probe.ok()) {
+      return Status::InvalidArgument("keyed: hot spec invalid: " +
+                                     probe.status().message());
+    }
+  }
+  if (options.memory_budget_bytes > 0 && options.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "keyed: a memory budget requires spill_dir (evicted keys must "
+        "have somewhere to go)");
+  }
+
+  auto engine =
+      std::unique_ptr<KeyedWindowEngine>(new KeyedWindowEngine(options));
+  engine->kind_ = kind.value();
+  if (options.max_keys_hint > 0) {
+    engine->directory_.Reserve(options.max_keys_hint);
+  }
+  if (!options.spill_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.spill_dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("keyed: cannot create spill dir " +
+                                     options.spill_dir + ": " + ec.message());
+    }
+    // Adopt spill files from a previous (crashed or handed-off) run.
+    for (const auto& dirent : fs::directory_iterator(options.spill_dir, ec)) {
+      uint64_t key;
+      if (ParseSpillName(dirent.path().filename().string(), &key)) {
+        engine->spilled_.TryEmplace(key, 1);
+      }
+    }
+    if (ec) {
+      return Status::InvalidArgument("keyed: cannot scan spill dir " +
+                                     options.spill_dir + ": " + ec.message());
+    }
+    engine->stats_.spilled_keys = engine->spilled_.Size();
+  }
+  return engine;
+}
+
+std::string KeyedWindowEngine::SpillPath(uint64_t key) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%016" PRIx64 "%s", kSpillGlobPrefix,
+                key, kSpillSuffix);
+  return (fs::path(options_.spill_dir) / name).string();
+}
+
+SinkSpec KeyedWindowEngine::TierSpec(uint64_t key, uint64_t tier) const {
+  SinkSpec spec = tier == 0 ? options_.spec : options_.hot_spec;
+  spec.seed = Rng::ForkSeed(Rng::ForkSeed(spec.seed, key), tier);
+  return spec;
+}
+
+void KeyedWindowEngine::LatchError(const Status& status) {
+  if (last_error_.ok()) last_error_ = status;
+}
+
+void KeyedWindowEngine::TouchLru(KeyEntry* entry) {
+  if (lru_head_ == entry) return;
+  UnlinkLru(entry);
+  entry->lru_next = lru_head_;
+  entry->lru_prev = nullptr;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = entry;
+  lru_head_ = entry;
+  if (lru_tail_ == nullptr) lru_tail_ = entry;
+}
+
+void KeyedWindowEngine::UnlinkLru(KeyEntry* entry) {
+  if (entry->lru_prev != nullptr) entry->lru_prev->lru_next = entry->lru_next;
+  if (entry->lru_next != nullptr) entry->lru_next->lru_prev = entry->lru_prev;
+  if (lru_head_ == entry) lru_head_ = entry->lru_next;
+  if (lru_tail_ == entry) lru_tail_ = entry->lru_prev;
+  entry->lru_prev = entry->lru_next = nullptr;
+}
+
+void KeyedWindowEngine::RechargeEntry(KeyEntry* entry) {
+  const uint64_t bytes = sizeof(KeyEntry) + entry->sink.sink->RetainedBytes();
+  const uint64_t words = entry->sink.sink->MemoryWords();
+  total_charge_bytes_ += bytes - entry->charge_bytes;
+  total_charge_words_ += words - entry->charge_words;
+  entry->charge_bytes = bytes;
+  entry->charge_words = words;
+}
+
+KeyedWindowEngine::KeyEntry* KeyedWindowEngine::CreateEntry(
+    uint64_t key, uint64_t tier, uint64_t local_index, uint64_t arrivals,
+    Timestamp last_seen) {
+  auto sink = CreateSink(TierSpec(key, tier));
+  if (!sink.ok()) {
+    // Both tier specs were probe-validated at Create; a failure here is
+    // an engine bug, not user input.
+    LatchError(Status::Internal("keyed: per-key construction failed: " +
+                                sink.status().message()));
+    return nullptr;
+  }
+  auto* entry = new KeyEntry();
+  entry->key = key;
+  entry->tier = tier;
+  entry->spec = TierSpec(key, tier);
+  entry->sink = std::move(sink).ValueOrDie();
+  entry->local_index = local_index;
+  entry->arrivals = arrivals;
+  entry->last_seen = last_seen;
+  directory_[key] = entry;
+  stats_.live_keys = directory_.Size();
+  TouchLru(entry);
+  RechargeEntry(entry);
+  return entry;
+}
+
+Result<std::string> KeyedWindowEngine::EncodeSpill(
+    const KeyEntry& entry) const {
+  auto envelope = SaveSink(*entry.sink.sink, entry.spec);
+  if (!envelope.ok()) return envelope.status();
+  BinaryWriter w;
+  w.PutU64(kSpillMagic);
+  w.PutU64(kSpillVersion);
+  w.PutU64(entry.key);
+  w.PutU64(entry.tier);
+  w.PutU64(entry.local_index);
+  w.PutU64(entry.arrivals);
+  w.PutI64(entry.last_seen);
+  w.PutString(envelope.value());
+  return w.Release();
+}
+
+Status KeyedWindowEngine::SpillEntry(KeyEntry* entry) {
+  const auto start = Clock::now();
+  auto blob = EncodeSpill(*entry);
+  if (!blob.ok()) return blob.status();
+  if (Status status = AtomicWriteFile(SpillPath(entry->key), blob.value(),
+                                      options_.fsync_spills);
+      !status.ok()) {
+    return status;
+  }
+  spilled_.TryEmplace(entry->key, 1);
+  stats_.spilled_keys = spilled_.Size();
+  ++stats_.evictions;
+  stats_.evict_seconds += SecondsSince(start);
+  DropEntry(entry);
+  return Status::Ok();
+}
+
+void KeyedWindowEngine::DropEntry(KeyEntry* entry) {
+  UnlinkLru(entry);
+  total_charge_bytes_ -= entry->charge_bytes;
+  total_charge_words_ -= entry->charge_words;
+  directory_.Erase(entry->key);
+  stats_.live_keys = directory_.Size();
+  delete entry;
+}
+
+Result<KeyedWindowEngine::KeyEntry*> KeyedWindowEngine::RestoreEntry(
+    uint64_t key) {
+  const auto start = Clock::now();
+  const std::string path = SpillPath(key);
+  auto blob = ReadFile(path);
+  if (!blob.ok()) return blob.status();
+  BinaryReader r(blob.value());
+  uint64_t magic, version, stored_key, tier, local_index, arrivals;
+  int64_t last_seen;
+  std::string envelope;
+  if (!r.GetU64(&magic) || magic != kSpillMagic ||  //
+      !r.GetU64(&version) || version != kSpillVersion ||
+      !r.GetU64(&stored_key) || stored_key != key || !r.GetU64(&tier) ||
+      !r.GetU64(&local_index) || !r.GetU64(&arrivals) ||
+      !r.GetI64(&last_seen) || !r.GetString(&envelope) || !r.AtEnd()) {
+    return Status::InvalidArgument("keyed: corrupt spill file " + path);
+  }
+  auto restored = RestoreSink(envelope);
+  if (!restored.ok()) return restored.status();
+  if ((restored.value().sink.sampler != nullptr) !=
+      (kind_ == SinkKind::kSampler)) {
+    return Status::InvalidArgument(
+        "keyed: spill file " + path +
+        " holds a different sink kind than this engine");
+  }
+  auto* entry = new KeyEntry();
+  entry->key = key;
+  entry->tier = tier;
+  entry->spec = restored.value().spec;
+  entry->sink = std::move(restored.value().sink);
+  entry->local_index = local_index;
+  entry->arrivals = arrivals;
+  entry->last_seen = last_seen;
+  directory_[key] = entry;
+  stats_.live_keys = directory_.Size();
+  TouchLru(entry);
+  RechargeEntry(entry);
+  std::remove(path.c_str());
+  spilled_.Erase(key);
+  stats_.spilled_keys = spilled_.Size();
+  ++stats_.restores;
+  stats_.restore_seconds += SecondsSince(start);
+  return entry;
+}
+
+KeyedWindowEngine::KeyEntry* KeyedWindowEngine::FindEntry(
+    uint64_t key, bool create_missing) {
+  if (KeyEntry** slot = directory_.Find(key); slot != nullptr) return *slot;
+  if (spilled_.Contains(key)) {
+    auto restored = RestoreEntry(key);
+    if (!restored.ok()) {
+      LatchError(restored.status());
+      return nullptr;
+    }
+    return restored.value();
+  }
+  if (!create_missing) return nullptr;
+  return CreateEntry(key, /*tier=*/0, /*local_index=*/0, /*arrivals=*/0,
+                     /*last_seen=*/now_);
+}
+
+void KeyedWindowEngine::Observe(const Item& item) {
+  if (item.timestamp > now_) now_ = item.timestamp;
+  const uint64_t key = item.value >> options_.key_shift;
+  KeyEntry* entry = FindEntry(key, /*create_missing=*/true);
+  if (entry == nullptr) return;  // I/O failure latched; arrival dropped
+  ++entry->arrivals;
+  // Tier promotion: a FRESH hot-tier sink (no history replay — the
+  // documented warm-up), and the triggering arrival lands in it.
+  if (options_.promote_after > 0 && entry->tier == 0 &&
+      entry->arrivals >= options_.promote_after) {
+    const uint64_t arrivals = entry->arrivals;
+    DropEntry(entry);
+    entry = CreateEntry(key, /*tier=*/1, /*local_index=*/0, arrivals, now_);
+    if (entry == nullptr) return;
+    ++stats_.promotions;
+  }
+  entry->sink.sink->Observe(
+      Item{item.value, entry->local_index++, item.timestamp});
+  entry->last_seen = now_;
+  ++stats_.items;
+  TouchLru(entry);
+  RechargeEntry(entry);
+  ExpireIdle();
+  EnforceBudget(entry);
+  stats_.retained_bytes = RetainedBytes();
+  if (stats_.retained_bytes > stats_.peak_retained_bytes) {
+    stats_.peak_retained_bytes = stats_.retained_bytes;
+  }
+  stats_.charged_bytes = ChargedBytes();
+  if (stats_.charged_bytes > stats_.peak_charged_bytes) {
+    stats_.peak_charged_bytes = stats_.charged_bytes;
+  }
+}
+
+void KeyedWindowEngine::ObserveBatch(std::span<const Item> items) {
+  for (const Item& item : items) Observe(item);
+}
+
+void KeyedWindowEngine::AdvanceTime(Timestamp now) {
+  if (now > now_) now_ = now;
+  ExpireIdle();
+}
+
+void KeyedWindowEngine::ExpireIdle() {
+  if (options_.idle_ttl <= 0) return;
+  while (lru_tail_ != nullptr &&
+         now_ - lru_tail_->last_seen > options_.idle_ttl) {
+    DropEntry(lru_tail_);
+    ++stats_.expirations;
+  }
+}
+
+void KeyedWindowEngine::EnforceBudget(const KeyEntry* protect) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (ChargedBytes() > options_.memory_budget_bytes) {
+    KeyEntry* victim = lru_tail_;
+    if (victim == protect) victim = victim->lru_prev;
+    if (victim == nullptr) return;  // only the protected key remains
+    if (Status status = SpillEntry(victim); !status.ok()) {
+      LatchError(status);
+      return;
+    }
+  }
+}
+
+uint64_t KeyedWindowEngine::MemoryWords() const {
+  return total_charge_words_ +
+         (directory_.ReservedBytes() + spilled_.ReservedBytes()) / 8;
+}
+
+uint64_t KeyedWindowEngine::RetainedBytes() const {
+  return ChargedBytes() + spilled_.ReservedBytes();
+}
+
+uint64_t KeyedWindowEngine::ChargedBytes() const {
+  return sizeof(*this) + total_charge_bytes_ + directory_.ReservedBytes();
+}
+
+bool KeyedWindowEngine::HasKey(uint64_t key) const {
+  return directory_.Contains(key) || spilled_.Contains(key);
+}
+
+Result<std::vector<Item>> KeyedWindowEngine::SampleKey(uint64_t key) {
+  if (kind_ != SinkKind::kSampler) {
+    return Status::FailedPrecondition(
+        "keyed: SampleKey on an estimator-kind engine (use EstimateKey)");
+  }
+  KeyEntry* entry = FindEntry(key, /*create_missing=*/false);
+  if (entry == nullptr) {
+    if (!last_error_.ok()) return last_error_;
+    return Status::InvalidArgument("keyed: unknown key");
+  }
+  entry->sink.sink->AdvanceTime(now_);
+  RechargeEntry(entry);
+  return entry->sink.sampler->Sample();
+}
+
+Result<EstimateReport> KeyedWindowEngine::EstimateKey(uint64_t key) {
+  if (kind_ != SinkKind::kEstimator) {
+    return Status::FailedPrecondition(
+        "keyed: EstimateKey on a sampler-kind engine (use SampleKey)");
+  }
+  KeyEntry* entry = FindEntry(key, /*create_missing=*/false);
+  if (entry == nullptr) {
+    if (!last_error_.ok()) return last_error_;
+    return Status::InvalidArgument("keyed: unknown key");
+  }
+  entry->sink.sink->AdvanceTime(now_);
+  RechargeEntry(entry);
+  return entry->sink.estimator->Estimate();
+}
+
+Result<std::string> KeyedWindowEngine::SaveKeyState(uint64_t key) {
+  KeyEntry* entry = FindEntry(key, /*create_missing=*/false);
+  if (entry == nullptr) {
+    if (!last_error_.ok()) return last_error_;
+    return Status::InvalidArgument("keyed: unknown key");
+  }
+  return EncodeSpill(*entry);
+}
+
+Status KeyedWindowEngine::EvictKey(uint64_t key) {
+  if (options_.spill_dir.empty()) {
+    return Status::FailedPrecondition("keyed: EvictKey requires spill_dir");
+  }
+  if (spilled_.Contains(key)) return Status::Ok();  // already parked
+  KeyEntry** slot = directory_.Find(key);
+  if (slot == nullptr) return Status::InvalidArgument("keyed: unknown key");
+  return SpillEntry(*slot);
+}
+
+std::vector<uint64_t> KeyedWindowEngine::LiveKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(directory_.Size());
+  directory_.ForEach(
+      [&keys](uint64_t key, KeyEntry* const&) { keys.push_back(key); });
+  return keys;
+}
+
+Result<std::vector<std::unique_ptr<KeyedWindowEngine>>> CreateKeyedEngines(
+    const KeyedEngineOptions& options, uint64_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument("keyed: shards must be >= 1");
+  }
+  if (options.memory_budget_bytes > 0 &&
+      options.memory_budget_bytes < shards) {
+    return Status::InvalidArgument(
+        "keyed: memory budget too small to split across shards");
+  }
+  std::vector<std::unique_ptr<KeyedWindowEngine>> engines;
+  engines.reserve(shards);
+  for (uint64_t shard = 0; shard < shards; ++shard) {
+    KeyedEngineOptions shard_options = options;
+    shard_options.memory_budget_bytes = options.memory_budget_bytes / shards;
+    shard_options.spec.seed = Rng::ForkSeed(options.spec.seed, shard);
+    shard_options.hot_spec.seed = Rng::ForkSeed(options.hot_spec.seed, shard);
+    if (!options.spill_dir.empty()) {
+      char sub[32];
+      std::snprintf(sub, sizeof(sub), "shard-%04" PRIu64, shard);
+      shard_options.spill_dir =
+          (fs::path(options.spill_dir) / sub).string();
+    }
+    if (options.max_keys_hint > 0) {
+      shard_options.max_keys_hint =
+          options.max_keys_hint / shards + (options.max_keys_hint % shards != 0);
+    }
+    auto engine = KeyedWindowEngine::Create(shard_options);
+    if (!engine.ok()) return engine.status();
+    engines.push_back(std::move(engine).ValueOrDie());
+  }
+  return engines;
+}
+
+std::vector<StreamSink*> SinkPointers(
+    const std::vector<std::unique_ptr<KeyedWindowEngine>>& engines) {
+  std::vector<StreamSink*> sinks;
+  sinks.reserve(engines.size());
+  for (const auto& engine : engines) sinks.push_back(engine.get());
+  return sinks;
+}
+
+}  // namespace swsample

@@ -1,0 +1,247 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+
+/// \file
+/// Multi-tenant keyed window engine: one StreamSink that routes every
+/// arrival to a lazily-instantiated per-key window sink, under a global
+/// memory budget, with idle-key expiry and cold-key spill-to-disk.
+///
+/// Shape: a FlatMap directory (key -> entry) of independently configured
+/// per-key sinks built through the unified SinkSpec factory
+/// (apps/sink_spec.h). Each key's sink sees a locally re-indexed stream
+/// (indices consecutive from 0 within that key's tier instance), which is
+/// what the sequence-model samplers' positional expiry requires;
+/// timestamps pass through unchanged, so timestamp-model sinks behave
+/// per-key exactly as they would standalone.
+///
+/// Tiering: every new key starts on the cheap tail tier
+/// (`options.spec`, typically a bop-ts-single-family O(k)-word sink).
+/// When a key's lifetime arrival count reaches `promote_after` it is
+/// promoted to the hot tier (`options.hot_spec`, typically an exact
+/// window) — a FRESH sink with a documented warm-up: promotion does not
+/// replay the key's history, so hot-tier answers are exact only once the
+/// post-promotion arrivals fill the window. Promotion happens before the
+/// triggering arrival is delivered, so that arrival lands in the hot
+/// sink.
+///
+/// Memory budget: each key is charged its entry footprint plus its
+/// sink's RetainedBytes() (real retained capacity, core/api.h). The
+/// budget governs ChargedBytes() — live per-key state plus the key
+/// directory — i.e. everything eviction can actually reclaim. The spill
+/// INDEX (~9 bytes per spilled key, the cost of knowing a key is parked
+/// on disk) is reported in RetainedBytes() but exempt from the budget:
+/// it grows with key cardinality, not with retained window state, and
+/// evicting more keys only makes it bigger. When ChargedBytes() exceeds
+/// `memory_budget_bytes`, the
+/// least-recently-seen keys (never the key currently being delivered)
+/// are EVICTED: serialized through the standard checkpoint envelope
+/// (SaveSink) into `spill_dir/key-<hex>.ckpt` (atomic tmp+rename) and
+/// dropped from memory. The next arrival or query for a spilled key
+/// restores it bit-identically — RNG state, window contents and the
+/// key's local index all round-trip — so an evict/restore cycle is
+/// indistinguishable from an uninterrupted run. A fresh engine
+/// constructed over a non-empty spill directory adopts its spill files
+/// (crash recovery for the spilled tail).
+///
+/// TTL expiry: keys idle longer than `idle_ttl` (engine clock = max
+/// observed timestamp) are DROPPED, state and all — expiry models
+/// tenant departure, not cold storage. A later arrival for an expired
+/// key starts over on the tail tier. Spilled keys are exempt (they cost
+/// no memory); the engine clock only advances sinks lazily (a key's
+/// sink is advanced by its own arrivals and at query time), so idle
+/// keys cost no per-arrival work.
+///
+/// Sharded use: the engine is itself a StreamSink, so
+/// ShardedStreamDriver with ShardPartition::kKeyHash drives N engines
+/// as shard sinks — every key lives in exactly one engine
+/// (ShardOfKey), budgets and spill directories are per shard
+/// (CreateKeyedEngines splits them), and per-key queries go to the
+/// owning shard.
+///
+/// Error latching: StreamSink::Observe cannot return a Status, so spill
+/// and restore I/O failures latch into `status()` (first error wins)
+/// and the affected arrival is dropped; drivers check `status()` after
+/// a run. Query-surface methods return errors directly.
+///
+/// Ownership: the engine owns every per-key sink. Thread-safety: one
+/// engine per thread (core/api.h rule); sharded use gives each worker
+/// its own engine.
+
+#ifndef SWSAMPLE_STREAM_KEYED_ENGINE_H_
+#define SWSAMPLE_STREAM_KEYED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/sink_spec.h"
+#include "core/api.h"
+#include "stream/item.h"
+#include "util/flat_map.h"
+#include "util/status.h"
+
+namespace swsample {
+
+/// Construction-time policy for a KeyedWindowEngine.
+struct KeyedEngineOptions {
+  /// Tail-tier spec: every new (or expired-and-returned) key starts on
+  /// this sink. Required. `spec.seed` is the engine seed root; each
+  /// key's sink is seeded Rng::ForkSeed(Rng::ForkSeed(seed, key), tier)
+  /// so per-key streams are independent and reproducible.
+  SinkSpec spec;
+  /// Hot-tier spec for promoted keys (same kind — sampler/estimator —
+  /// as `spec`). Ignored unless `promote_after` > 0.
+  SinkSpec hot_spec;
+  /// Promote a key to `hot_spec` when its lifetime arrivals reach this
+  /// count; 0 disables tiering.
+  uint64_t promote_after = 0;
+  /// Key derivation: key = item.value >> key_shift (0 keys on the raw
+  /// value). Lets callers fold a value space onto a coarser tenant id.
+  uint64_t key_shift = 0;
+  /// Global retained-bytes budget (RetainedBytes(), real capacity).
+  /// 0 = unlimited. A positive budget requires `spill_dir`.
+  uint64_t memory_budget_bytes = 0;
+  /// Drop keys idle longer than this many timestamp units; 0 = never.
+  Timestamp idle_ttl = 0;
+  /// Directory for eviction spill files; created if missing. Existing
+  /// key-*.ckpt files in it are adopted as spilled keys.
+  std::string spill_dir;
+  /// fsync each spill file before its atomic rename. The default makes
+  /// evicted state survive power loss (the bit-identical crash-recovery
+  /// guarantee); turning it off trades that durability for an
+  /// order-of-magnitude cheaper eviction (write + rename only) where
+  /// spills are working-set overflow, not crash state — e.g. benches.
+  bool fsync_spills = true;
+  /// Pre-size the key directory for this many live keys (0 = grow).
+  uint64_t max_keys_hint = 0;
+};
+
+/// Counters exposed for benches, budget gates and tests.
+struct KeyedEngineStats {
+  uint64_t live_keys = 0;       ///< keys resident in memory
+  uint64_t spilled_keys = 0;    ///< keys parked on disk
+  uint64_t evictions = 0;       ///< budget-driven spills (+ EvictKey)
+  uint64_t restores = 0;        ///< spill files read back
+  uint64_t expirations = 0;     ///< TTL drops
+  uint64_t promotions = 0;      ///< tail -> hot tier moves
+  uint64_t items = 0;           ///< arrivals delivered
+  uint64_t retained_bytes = 0;  ///< current RetainedBytes() total
+  uint64_t peak_retained_bytes = 0;  ///< max of the above over the run
+  uint64_t charged_bytes = 0;        ///< current ChargedBytes() total
+  uint64_t peak_charged_bytes = 0;   ///< max budget-governed bytes seen
+  double evict_seconds = 0.0;    ///< total wall time spent spilling
+  double restore_seconds = 0.0;  ///< total wall time spent restoring
+};
+
+/// The multi-tenant engine (see file comment).
+class KeyedWindowEngine final : public StreamSink {
+ public:
+  /// Validates the options (both specs must construct, same kind;
+  /// budget requires spill_dir), creates/scans the spill directory.
+  static Result<std::unique_ptr<KeyedWindowEngine>> Create(
+      const KeyedEngineOptions& options);
+
+  ~KeyedWindowEngine() override;
+  KeyedWindowEngine(const KeyedWindowEngine&) = delete;
+  KeyedWindowEngine& operator=(const KeyedWindowEngine&) = delete;
+
+  // StreamSink surface -----------------------------------------------
+  void Observe(const Item& item) override;
+  void ObserveBatch(std::span<const Item> items) override;
+  /// Advances the engine clock and applies TTL expiry. Per-key sinks
+  /// are advanced lazily (on their own arrivals and at query time).
+  void AdvanceTime(Timestamp now) override;
+  /// Paper-model words: sum of live sinks' MemoryWords plus directory
+  /// overhead. Maintained incrementally (O(1) per arrival).
+  uint64_t MemoryWords() const override;
+  /// Real retained capacity including the spill index.
+  uint64_t RetainedBytes() const override;
+  /// The budget-governed subset of RetainedBytes(): live per-key state
+  /// plus the key directory — everything eviction can reclaim.
+  uint64_t ChargedBytes() const;
+  const char* name() const override { return "keyed-engine"; }
+  /// Engine state spans disk (spill files) and a directory of sinks;
+  /// it does not flatten into the single-sink checkpoint envelope.
+  bool persistable() const override { return false; }
+
+  // Per-key query surface --------------------------------------------
+  /// True when `key` is live in memory or parked in a spill file.
+  bool HasKey(uint64_t key) const;
+  /// Current sample of `key`'s window (sampler-kind engines only).
+  /// Restores the key if spilled; advances its sink to the engine
+  /// clock first. NotFound-flavored InvalidArgument for unknown keys.
+  Result<std::vector<Item>> SampleKey(uint64_t key);
+  /// Current estimate for `key` (estimator-kind engines only).
+  Result<EstimateReport> EstimateKey(uint64_t key);
+  /// The exact blob an eviction would spill for `key` right now —
+  /// envelope plus key metadata. The bit-equality tests compare these
+  /// across evict/restore boundaries.
+  Result<std::string> SaveKeyState(uint64_t key);
+  /// Forces `key` out to its spill file (requires spill_dir).
+  Status EvictKey(uint64_t key);
+
+  /// First spill/restore I/O error latched during Observe (Ok when
+  /// clean). Check after a drive.
+  Status status() const { return last_error_; }
+  const KeyedEngineStats& stats() const { return stats_; }
+  /// Live (in-memory) keys, unordered. O(directory); test/debug aid.
+  std::vector<uint64_t> LiveKeys() const;
+  /// Engine clock: max timestamp observed / advanced to.
+  Timestamp now() const { return now_; }
+
+ private:
+  struct KeyEntry;
+
+  explicit KeyedWindowEngine(const KeyedEngineOptions& options);
+
+  /// Live entry lookup; restores from spill when parked. Creates a
+  /// fresh tail-tier entry when `create_missing`. nullptr when absent
+  /// (or on latched I/O failure).
+  KeyEntry* FindEntry(uint64_t key, bool create_missing);
+  KeyEntry* CreateEntry(uint64_t key, uint64_t tier, uint64_t local_index,
+                        uint64_t arrivals, Timestamp last_seen);
+  Result<KeyEntry*> RestoreEntry(uint64_t key);
+  /// Per-key spec of `tier` with the key-forked seed applied.
+  SinkSpec TierSpec(uint64_t key, uint64_t tier) const;
+
+  Result<std::string> EncodeSpill(const KeyEntry& entry) const;
+  Status SpillEntry(KeyEntry* entry);
+  void DropEntry(KeyEntry* entry);
+  void RechargeEntry(KeyEntry* entry);
+
+  void TouchLru(KeyEntry* entry);
+  void UnlinkLru(KeyEntry* entry);
+  void ExpireIdle();
+  void EnforceBudget(const KeyEntry* protect);
+  void LatchError(const Status& status);
+
+  std::string SpillPath(uint64_t key) const;
+
+  KeyedEngineOptions options_;
+  SinkKind kind_ = SinkKind::kSampler;
+  FlatMap<uint64_t, KeyEntry*> directory_;
+  /// Keys parked on disk (value unused; FlatMap as a set).
+  FlatMap<uint64_t, uint8_t> spilled_;
+  /// Intrusive LRU over live entries: head = most recent.
+  KeyEntry* lru_head_ = nullptr;
+  KeyEntry* lru_tail_ = nullptr;
+  Timestamp now_ = 0;
+  uint64_t total_charge_bytes_ = 0;
+  uint64_t total_charge_words_ = 0;
+  KeyedEngineStats stats_;
+  Status last_error_ = Status::Ok();
+};
+
+/// N per-shard engines for ShardedStreamDriver kKeyHash runs: budget
+/// split evenly, spill_dir suffixed per shard ("<dir>/shard-NNNN"),
+/// seeds forked per shard so no key's RNG stream collides across
+/// reshardings.
+Result<std::vector<std::unique_ptr<KeyedWindowEngine>>> CreateKeyedEngines(
+    const KeyedEngineOptions& options, uint64_t shards);
+
+/// StreamSink* views over CreateKeyedEngines results (driver spans).
+std::vector<StreamSink*> SinkPointers(
+    const std::vector<std::unique_ptr<KeyedWindowEngine>>& engines);
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_STREAM_KEYED_ENGINE_H_

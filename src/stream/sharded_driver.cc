@@ -320,7 +320,7 @@ class OwnedRouter {
     last_ts_ = item.timestamp;
     if (options_.partition == ShardPartition::kKeyHash) {
       const uint32_t shard =
-          static_cast<uint32_t>(MixKey(item.value) % shards_);
+          static_cast<uint32_t>(ShardOfKey(item.value, shards_));
       pending_[shard].push_back(item);
       if (pending_[shard].size() >= options_.chunk_items) {
         FlushTarget(shard, shard);
@@ -599,120 +599,9 @@ Result<ShardedDriveReport> ShardedStreamDriver::DriveFileCheckpointed(
   return result;
 }
 
-namespace {
-
-/// Splits a sequence window across shards; identity for shards == 1.
-Result<uint64_t> SplitSequenceWindow(std::string_view name, uint64_t window_n,
-                                     uint64_t shards) {
-  if (shards == 1) return window_n;
-  if (window_n < shards || window_n % shards != 0) {
-    return Status::InvalidArgument(
-        std::string(name) + ": window_n (" + std::to_string(window_n) +
-        ") must be a positive multiple of the shard count (" +
-        std::to_string(shards) + ") so the shard windows union to the "
-        "global window");
-  }
-  return window_n / shards;
-}
-
-}  // namespace
-
-Result<SamplerConfig> ShardSamplerConfig(std::string_view name,
-                                         const SamplerConfig& config,
-                                         uint64_t shard, uint64_t shards) {
-  if (shards < 1 || shard >= shards) {
-    return Status::InvalidArgument(
-        "ShardSamplerConfig: requires 0 <= shard < shards");
-  }
-  const SamplerSpec* spec = FindSamplerSpec(name);
-  if (spec == nullptr) {
-    return Status::InvalidArgument("unknown sampler \"" + std::string(name) +
-                                   "\"; registered: " +
-                                   RegisteredSamplerNames());
-  }
-  SamplerConfig shard_config = config;
-  if (spec->model == WindowModel::kSequence) {
-    auto window = SplitSequenceWindow(name, config.window_n, shards);
-    if (!window.ok()) return window.status();
-    shard_config.window_n = window.value();
-  }
-  shard_config.seed = Rng::ForkSeed(config.seed, shard);
-  return shard_config;
-}
-
-Result<EstimatorConfig> ShardEstimatorConfig(std::string_view name,
-                                             const EstimatorConfig& config,
-                                             uint64_t shard,
-                                             uint64_t shards) {
-  if (shards < 1 || shard >= shards) {
-    return Status::InvalidArgument(
-        "ShardEstimatorConfig: requires 0 <= shard < shards");
-  }
-  const EstimatorSpec* estimator_spec = FindEstimatorSpec(name);
-  if (estimator_spec == nullptr) {
-    return Status::InvalidArgument("unknown estimator \"" +
-                                   std::string(name) + "\"; registered: " +
-                                   RegisteredEstimatorNames());
-  }
-  const std::string substrate_name = config.substrate.empty()
-                                         ? estimator_spec->default_substrate
-                                         : config.substrate;
-  const SamplerSpec* substrate = FindSamplerSpec(substrate_name);
-  if (substrate == nullptr) {
-    return Status::InvalidArgument(
-        std::string(name) + ": unknown substrate \"" + substrate_name +
-        "\"; registered samplers: " + RegisteredSamplerNames());
-  }
-  EstimatorConfig shard_config = config;
-  if (substrate->model == WindowModel::kSequence) {
-    auto window = SplitSequenceWindow(name, config.window_n, shards);
-    if (!window.ok()) return window.status();
-    shard_config.window_n = window.value();
-    for (BiasLevel& level : shard_config.bias_levels) {
-      auto level_window =
-          SplitSequenceWindow("biased-mean level", level.window, shards);
-      if (!level_window.ok()) return level_window.status();
-      level.window = level_window.value();
-    }
-  }
-  shard_config.seed = Rng::ForkSeed(config.seed, shard);
-  return shard_config;
-}
-
-Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
-    std::string_view name, const SamplerConfig& config, uint64_t shards) {
-  if (shards < 1) {
-    return Status::InvalidArgument(
-        "CreateShardedSamplers: shards must be >= 1");
-  }
-  std::vector<std::unique_ptr<WindowSampler>> replicas;
-  replicas.reserve(shards);
-  for (uint64_t shard = 0; shard < shards; ++shard) {
-    auto shard_config = ShardSamplerConfig(name, config, shard, shards);
-    if (!shard_config.ok()) return shard_config.status();
-    auto replica = CreateSampler(name, shard_config.value());
-    if (!replica.ok()) return replica.status();
-    replicas.push_back(std::move(replica).ValueOrDie());
-  }
-  return replicas;
-}
-
-Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
-    std::string_view name, const EstimatorConfig& config, uint64_t shards) {
-  if (shards < 1) {
-    return Status::InvalidArgument(
-        "CreateShardedEstimators: shards must be >= 1");
-  }
-  std::vector<std::unique_ptr<WindowEstimator>> replicas;
-  replicas.reserve(shards);
-  for (uint64_t shard = 0; shard < shards; ++shard) {
-    auto shard_config = ShardEstimatorConfig(name, config, shard, shards);
-    if (!shard_config.ok()) return shard_config.status();
-    auto replica = CreateEstimator(name, shard_config.value());
-    if (!replica.ok()) return replica.status();
-    replicas.push_back(std::move(replica).ValueOrDie());
-  }
-  return replicas;
+uint64_t ShardOfKey(uint64_t value, uint64_t shards) {
+  SWS_DCHECK(shards >= 1);
+  return MixKey(value) % shards;
 }
 
 std::vector<StreamSink*> SinkPointers(

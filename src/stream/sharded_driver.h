@@ -195,39 +195,20 @@ class ShardedStreamDriver {
   Options options_;
 };
 
-/// The configuration shard `shard` of `shards` replicas runs under: the
-/// seed forked with Rng::ForkSeed and, for sequence-model samplers, the
-/// window split as window_n / shards (must divide evenly). This is the
-/// derivation CreateShardedSamplers applies per replica, exposed so the
-/// checkpoint serializers (stream/checkpoint.h) can stamp each shard's
-/// envelope with the exact config that constructed it.
-Result<SamplerConfig> ShardSamplerConfig(std::string_view name,
-                                         const SamplerConfig& config,
-                                         uint64_t shard, uint64_t shards);
+/// The shard that kKeyHash routing sends value `v` to — the exact hash
+/// the producer's router applies. Exposed so the keyed multi-tenant
+/// engine (stream/keyed_engine.h) and tests can partition per-key state
+/// consistently with the driver's delivery. Requires shards >= 1.
+uint64_t ShardOfKey(uint64_t value, uint64_t shards);
 
-/// Estimator counterpart of ShardSamplerConfig (splits window_n and any
-/// bias-level windows when the substrate is sequence-model).
-Result<EstimatorConfig> ShardEstimatorConfig(std::string_view name,
-                                             const EstimatorConfig& config,
-                                             uint64_t shard, uint64_t shards);
-
-/// Builds `shards` sampler replicas for sharded ingestion from one
-/// registry configuration: per-shard seeds forked with Rng::ForkSeed, and
-/// for sequence-model samplers the window split as window_n / shards so
-/// the shard windows union to the global window (window_n must divide
-/// evenly; timestamp windows pass through unchanged — activity is
-/// per-item, so every shard keeps the full window_t).
-Result<std::vector<std::unique_ptr<WindowSampler>>> CreateShardedSamplers(
-    std::string_view name, const SamplerConfig& config, uint64_t shards);
-
-/// Estimator counterpart of CreateShardedSamplers: the substrate's window
-/// model decides whether window_n is split; each replica runs the full
-/// configured unit count r with a forked seed.
-Result<std::vector<std::unique_ptr<WindowEstimator>>> CreateShardedEstimators(
-    std::string_view name, const EstimatorConfig& config, uint64_t shards);
+/// Replica construction lives in the unified SinkSpec factory
+/// (apps/sink_spec.h): ShardSinkSpec derives each shard's configuration
+/// (window split + forked seed) and CreateShardedSinks materializes the
+/// replicas — samplers and estimators through ONE entry point.
 
 /// View adaptors: the Drive* entry points take StreamSink*, so harness
-/// code holding typed unique_ptr replicas flattens them with these.
+/// code holding typed unique_ptr replicas (e.g. out of a resumed
+/// checkpoint) flattens them with these.
 std::vector<StreamSink*> SinkPointers(
     const std::vector<std::unique_ptr<WindowSampler>>& shards);
 std::vector<StreamSink*> SinkPointers(

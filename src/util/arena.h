@@ -207,6 +207,12 @@ class RingDeque {
 
   size_t capacity() const { return cap_; }
 
+  /// Bytes the backing arena has reserved from the system (ring capacity
+  /// plus any abandoned-by-growth blocks) — the retained-memory quantity
+  /// budget enforcement charges, as opposed to size() * sizeof(T) live
+  /// bytes.
+  size_t ReservedBytes() const { return arena_.ReservedBytes(); }
+
  private:
   size_t mask() const { return cap_ - 1; }
 

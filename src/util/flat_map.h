@@ -61,6 +61,11 @@ class FlatMap {
   bool Empty() const { return size_ == 0; }
   uint64_t Capacity() const { return cap_; }
 
+  /// Bytes the backing arena has reserved from the system (table slots,
+  /// occupancy flags, abandoned-by-growth blocks) — what budget
+  /// enforcement charges for this map.
+  uint64_t ReservedBytes() const { return arena_.ReservedBytes(); }
+
   /// Pointer to the mapped value, or nullptr.
   V* Find(K key) {
     if (size_ == 0) return nullptr;

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/estimator_checkpoint.h"
+#include "apps/sink_spec.h"
 #include "apps/estimator_registry.h"
 #include "apps/triangles.h"
 #include "core/checkpoint.h"
@@ -335,7 +336,7 @@ TEST(DriverCheckpointTest, SingleSinkResumeMatchesUninterruptedRun) {
     policy.dir = dir;
     policy.every_items = 1000;
     CheckpointWriter writer(
-        policy, MakeSamplerSerializers("bop-seq-swor", config, 1)
+        policy, MakeSinkSerializers(SamplerSinkSpec("bop-seq-swor", config), 1)
                     .ValueOrDie());
     auto report = driver.DriveFileCheckpointed(prefix, false, *crashed,
                                                &writer, nullptr);
@@ -391,7 +392,7 @@ TEST(DriverCheckpointTest, SingleEstimatorResumeMatchesUninterruptedRun) {
     policy.every_items = 800;
     CheckpointWriter writer(
         policy,
-        MakeEstimatorSerializers("ams-fk", config, 1).ValueOrDie());
+        MakeSinkSerializers(EstimatorSinkSpec("ams-fk", config), 1).ValueOrDie());
     ASSERT_TRUE(driver
                     .DriveFileCheckpointed(prefix, true, *crashed, &writer,
                                            nullptr)
@@ -437,7 +438,7 @@ TEST(DriverCheckpointTest, ShardedChunksResumeMatchesUninterruptedRun) {
   ShardedStreamDriver driver(options);
 
   auto reference =
-      CreateShardedSamplers("bop-seq-swor", config, kShards).ValueOrDie();
+      CreateShardedSinks(SamplerSinkSpec("bop-seq-swor", config), kShards).ValueOrDie();
   {
     auto sinks = SinkPointers(reference);
     ASSERT_TRUE(driver.DriveFile(stream, false, sinks).ok());
@@ -445,13 +446,13 @@ TEST(DriverCheckpointTest, ShardedChunksResumeMatchesUninterruptedRun) {
 
   {
     auto crashed =
-        CreateShardedSamplers("bop-seq-swor", config, kShards).ValueOrDie();
+        CreateShardedSinks(SamplerSinkSpec("bop-seq-swor", config), kShards).ValueOrDie();
     auto sinks = SinkPointers(crashed);
     CheckpointPolicy policy;
     policy.dir = dir;
     policy.every_items = 1000;
     CheckpointWriter writer(
-        policy, MakeSamplerSerializers("bop-seq-swor", config, kShards)
+        policy, MakeSinkSerializers(SamplerSinkSpec("bop-seq-swor", config), kShards)
                     .ValueOrDie());
     auto report =
         driver.DriveFileCheckpointed(prefix, false, sinks, &writer, nullptr);
@@ -477,7 +478,7 @@ TEST(DriverCheckpointTest, ShardedChunksResumeMatchesUninterruptedRun) {
   }
 
   for (uint64_t s = 0; s < kShards; ++s) {
-    auto a = reference[s]->Sample();
+    auto a = reference[s].sampler->Sample();
     auto b = resumed.value().samplers[s]->Sample();
     ASSERT_EQ(a.size(), b.size()) << "shard " << s;
     for (size_t i = 0; i < a.size(); ++i) {
@@ -507,7 +508,7 @@ TEST(DriverCheckpointTest, ShardedKeyHashEstimatorResumeMatches) {
   ShardedStreamDriver driver(options);
 
   auto reference =
-      CreateShardedEstimators("ams-fk", config, kShards).ValueOrDie();
+      CreateShardedSinks(EstimatorSinkSpec("ams-fk", config), kShards).ValueOrDie();
   {
     auto sinks = SinkPointers(reference);
     ASSERT_TRUE(driver.DriveFile(stream, true, sinks).ok());
@@ -515,13 +516,13 @@ TEST(DriverCheckpointTest, ShardedKeyHashEstimatorResumeMatches) {
 
   {
     auto crashed =
-        CreateShardedEstimators("ams-fk", config, kShards).ValueOrDie();
+        CreateShardedSinks(EstimatorSinkSpec("ams-fk", config), kShards).ValueOrDie();
     auto sinks = SinkPointers(crashed);
     CheckpointPolicy policy;
     policy.dir = dir;
     policy.every_items = 700;
     CheckpointWriter writer(
-        policy, MakeEstimatorSerializers("ams-fk", config, kShards)
+        policy, MakeSinkSerializers(EstimatorSinkSpec("ams-fk", config), kShards)
                     .ValueOrDie());
     ASSERT_TRUE(
         driver.DriveFileCheckpointed(prefix, true, sinks, &writer, nullptr)
@@ -539,7 +540,7 @@ TEST(DriverCheckpointTest, ShardedKeyHashEstimatorResumeMatches) {
                     .ok());
   }
 
-  auto ref_ptrs = EstimatorPointers(reference);
+  auto ref_ptrs = EstimatorPointers(reference).ValueOrDie();
   auto res_ptrs = EstimatorPointers(resumed.value().estimators);
   auto merged_ref = MergedEstimate(ref_ptrs).ValueOrDie();
   auto merged_res = MergedEstimate(res_ptrs).ValueOrDie();
@@ -567,7 +568,7 @@ TEST(DriverCheckpointTest, ResumeRejectsMismatchedGeometryAndBadDirs) {
   options.partition = ShardPartition::kChunks;
   ShardedStreamDriver driver(options);
 
-  auto shards = CreateShardedSamplers("bop-seq-swor", config, 2).ValueOrDie();
+  auto shards = CreateShardedSinks(SamplerSinkSpec("bop-seq-swor", config), 2).ValueOrDie();
   {
     auto sinks = SinkPointers(shards);
     CheckpointPolicy policy;
@@ -575,7 +576,7 @@ TEST(DriverCheckpointTest, ResumeRejectsMismatchedGeometryAndBadDirs) {
     policy.every_items = 500;
     CheckpointWriter writer(
         policy,
-        MakeSamplerSerializers("bop-seq-swor", config, 2).ValueOrDie());
+        MakeSinkSerializers(SamplerSinkSpec("bop-seq-swor", config), 2).ValueOrDie());
     ASSERT_TRUE(
         driver.DriveFileCheckpointed(stream, false, sinks, &writer, nullptr)
             .ok());
@@ -642,7 +643,7 @@ TEST(DriverCheckpointTest, ResumeDetectsDivergentReplay) {
     policy.every_items = 1000;
     CheckpointWriter writer(
         policy,
-        MakeSamplerSerializers("bop-ts-swr", config, 1).ValueOrDie());
+        MakeSinkSerializers(SamplerSinkSpec("bop-ts-swr", config), 1).ValueOrDie());
     ASSERT_TRUE(
         driver.DriveFileCheckpointed(stream, true, *sink, &writer, nullptr)
             .ok());

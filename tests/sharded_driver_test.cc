@@ -18,6 +18,7 @@
 
 #include "apps/estimator.h"
 #include "apps/estimator_registry.h"
+#include "apps/sink_spec.h"
 #include "baseline/exact_window.h"
 #include "core/api.h"
 #include "core/registry.h"
@@ -80,31 +81,32 @@ TEST(ShardedDriverTest, ValidatesOptionsAndShards) {
   EXPECT_FALSE(driver.Drive(stream, with_null).ok());
 }
 
-TEST(CreateShardedSamplersTest, SplitsSequenceWindowsAndForksSeeds) {
+TEST(CreateShardedSinksTest, SplitsSequenceWindowsAndForksSeeds) {
   SamplerConfig config;
   config.window_n = 4096;
   config.k = 8;
   config.seed = 5;
-  auto replicas = CreateShardedSamplers("bop-seq-swr", config, 4).ValueOrDie();
+  auto replicas = CreateShardedSinks(SamplerSinkSpec("bop-seq-swr", config), 4).ValueOrDie();
   ASSERT_EQ(replicas.size(), 4u);
   // Each replica carries a 1024-item window: after 2048 identical items
   // its snapshot occupancy is the shard window, not the global one.
   for (auto& replica : replicas) {
     for (uint64_t i = 0; i < 2048; ++i) {
-      replica->Observe(Item{i, i, static_cast<Timestamp>(i)});
+      replica.sink->Observe(Item{i, i, static_cast<Timestamp>(i)});
     }
-    EXPECT_EQ(replica->Snapshot().ValueOrDie().active, 1024u);
+    ASSERT_NE(replica.sampler, nullptr);
+    EXPECT_EQ(replica.sampler->Snapshot().ValueOrDie().active, 1024u);
   }
 
-  EXPECT_FALSE(CreateShardedSamplers("no-such-sampler", config, 2).ok());
+  EXPECT_FALSE(CreateShardedSinks(SamplerSinkSpec("no-such-sampler", config), 2).ok());
   config.window_n = 4098;  // not divisible by 4
-  EXPECT_FALSE(CreateShardedSamplers("bop-seq-swr", config, 4).ok());
+  EXPECT_FALSE(CreateShardedSinks(SamplerSinkSpec("bop-seq-swr", config), 4).ok());
   config.window_n = 2;  // smaller than the shard count
-  EXPECT_FALSE(CreateShardedSamplers("bop-seq-swr", config, 4).ok());
+  EXPECT_FALSE(CreateShardedSinks(SamplerSinkSpec("bop-seq-swr", config), 4).ok());
 
   // Timestamp windows pass through unsplit.
   config.window_t = 4098;
-  auto ts = CreateShardedSamplers("exact-ts", config, 4).ValueOrDie();
+  auto ts = CreateShardedSinks(SamplerSinkSpec("exact-ts", config), 4).ValueOrDie();
   EXPECT_EQ(ts.size(), 4u);
 }
 
@@ -116,7 +118,7 @@ TEST(ShardedDriverTest, ConservesItemsAcrossPartitionModes) {
     config.window_n = kWindow;
     config.k = 8;
     auto replicas =
-        CreateShardedSamplers("bop-seq-swr", config, 4).ValueOrDie();
+        CreateShardedSinks(SamplerSinkSpec("bop-seq-swr", config), 4).ValueOrDie();
     auto sinks = SinkPointers(replicas);
     auto report = ShardedStreamDriver(SmallChunkOptions(4, partition))
                       .Drive(stream, sinks)
@@ -139,7 +141,7 @@ TEST(ShardedDriverTest, BackpressureCompletesAndConserves) {
   SamplerConfig config;
   config.window_n = kWindow;
   config.k = 4;
-  auto replicas = CreateShardedSamplers("bop-seq-swor", config, 8).ValueOrDie();
+  auto replicas = CreateShardedSinks(SamplerSinkSpec("bop-seq-swor", config), 8).ValueOrDie();
   auto sinks = SinkPointers(replicas);
   ShardedStreamDriver::Options options;
   options.threads = 3;  // shards > threads: workers own several replicas
@@ -185,13 +187,13 @@ TEST_P(MergedUniformityTest, MergedSampleUniformOverExactWindow) {
     config.k = kK;
     config.seed = trial * 31 + 7;
     auto replicas =
-        CreateShardedSamplers(sampler_name, config, shards).ValueOrDie();
+        CreateShardedSinks(SamplerSinkSpec(sampler_name, config), shards).ValueOrDie();
     auto sinks = SinkPointers(replicas);
     auto report =
         ShardedStreamDriver(options).Drive(stream, sinks).ValueOrDie();
     ASSERT_EQ(report.total.items, kUItems);
     auto merged =
-        MergedSnapshot(SamplerPointers(replicas), trial).ValueOrDie();
+        MergedSnapshot(SamplerPointers(replicas).ValueOrDie(), trial).ValueOrDie();
     EXPECT_EQ(merged.active, kUWindow);
     EXPECT_EQ(merged.sample.size(), kK);
     for (const Item& item : merged.sample) {
@@ -222,14 +224,14 @@ TEST(ShardedEstimatorTest, WindowCountSumsExactly) {
   config.window_n = kWindow;
   config.r = 1;
   auto replicas =
-      CreateShardedEstimators("window-count", config, 4).ValueOrDie();
+      CreateShardedSinks(EstimatorSinkSpec("window-count", config), 4).ValueOrDie();
   auto sinks = SinkPointers(replicas);
   auto report =
       ShardedStreamDriver(SmallChunkOptions(4, ShardPartition::kChunks))
           .Drive(stream, sinks)
           .ValueOrDie();
   ASSERT_EQ(report.total.items, kItems);
-  auto merged = MergedEstimate(EstimatorPointers(replicas)).ValueOrDie();
+  auto merged = MergedEstimate(EstimatorPointers(replicas).ValueOrDie()).ValueOrDie();
   EXPECT_DOUBLE_EQ(merged.value, static_cast<double>(kWindow));
   EXPECT_DOUBLE_EQ(merged.window_size, static_cast<double>(kWindow));
 }
@@ -265,14 +267,14 @@ TEST(ShardedEstimatorTest, KeyedMergesMatchSingleShardEstimates) {
     config.window_t = kWindow;  // ts == index, so last kWindow items active
     config.r = 512;
     config.seed = 17;
-    auto replicas = CreateShardedEstimators(name, config, 4).ValueOrDie();
+    auto replicas = CreateShardedSinks(EstimatorSinkSpec(name, config), 4).ValueOrDie();
     auto sinks = SinkPointers(replicas);
     auto report =
         ShardedStreamDriver(SmallChunkOptions(4, ShardPartition::kKeyHash))
             .Drive(stream, sinks)
             .ValueOrDie();
     ASSERT_EQ(report.total.items, kItems);
-    auto merged = MergedEstimate(EstimatorPointers(replicas)).ValueOrDie();
+    auto merged = MergedEstimate(EstimatorPointers(replicas).ValueOrDie()).ValueOrDie();
     // The shard actives must partition the global active set exactly.
     EXPECT_DOUBLE_EQ(merged.window_size, static_cast<double>(kWindow))
         << name;
@@ -295,12 +297,12 @@ TEST(ShardedEstimatorTest, ConstantMeanSurvivesMergeExactly) {
   config.window_n = kWindow;
   config.r = 8;
   auto replicas =
-      CreateShardedEstimators("biased-mean", config, 4).ValueOrDie();
+      CreateShardedSinks(EstimatorSinkSpec("biased-mean", config), 4).ValueOrDie();
   auto sinks = SinkPointers(replicas);
   ASSERT_TRUE(ShardedStreamDriver(SmallChunkOptions(4, ShardPartition::kChunks))
                   .Drive(stream, sinks)
                   .ok());
-  auto merged = MergedEstimate(EstimatorPointers(replicas)).ValueOrDie();
+  auto merged = MergedEstimate(EstimatorPointers(replicas).ValueOrDie()).ValueOrDie();
   EXPECT_DOUBLE_EQ(merged.value, 42.0);
 }
 
@@ -355,7 +357,7 @@ TEST(ShardedDriverTest, SyntheticTimestampCountsTrackExact) {
   config.r = 1;
   config.count_eps = 0.05;
   auto replicas =
-      CreateShardedEstimators("window-count", config, 4).ValueOrDie();
+      CreateShardedSinks(EstimatorSinkSpec("window-count", config), 4).ValueOrDie();
   auto sinks = SinkPointers(replicas);
   auto stream = make_stream();
   auto report =
@@ -365,7 +367,7 @@ TEST(ShardedDriverTest, SyntheticTimestampCountsTrackExact) {
   EXPECT_GT(report.total.items, 0u);
   EXPECT_GT(report.total.empty_steps, 0u);
 
-  auto merged = MergedEstimate(EstimatorPointers(replicas)).ValueOrDie();
+  auto merged = MergedEstimate(EstimatorPointers(replicas).ValueOrDie()).ValueOrDie();
   const double exact_count = static_cast<double>(oracle->size());
   EXPECT_NEAR(merged.value, exact_count, 0.05 * exact_count + 4.0);
 }
@@ -392,7 +394,7 @@ TEST(ShardedDriverTest, DriveFileParsesAndPropagatesErrors) {
   SamplerConfig config;
   config.window_n = 512;
   config.k = 4;
-  auto replicas = CreateShardedSamplers("bop-seq-swr", config, 2).ValueOrDie();
+  auto replicas = CreateShardedSinks(SamplerSinkSpec("bop-seq-swr", config), 2).ValueOrDie();
   auto sinks = SinkPointers(replicas);
   ShardedStreamDriver driver(SmallChunkOptions(2, ShardPartition::kChunks));
   auto good = driver.DriveFile(good_path, /*timestamped=*/false, sinks);
