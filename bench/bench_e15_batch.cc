@@ -120,9 +120,10 @@ int main() {
 
   std::printf(
       "\nnote: bop-seq-{single,swr,swor} override ObserveBatch with the\n"
-      "skip-ahead replacement schedule and bop-ts-* with batch-scoped\n"
-      "merge-coin caches; every other row uses the default item-forwarding\n"
-      "ObserveBatch and measures pure call overhead.\n");
+      "skip-ahead replacement schedule and bop-ts-* with horizon-scanned\n"
+      "batched expiry plus the closed-form run append; the baselines carry\n"
+      "devirtualized (bdm-*, gl-*, oversample) or bulk-append (exact-*)\n"
+      "overrides, so no row pays per-item virtual dispatch.\n");
 
   // --- Estimator layer: the same comparison through the estimator
   // registry. dkw-quantile inherits the sampler fast path wholesale;

@@ -57,6 +57,7 @@ def check(baseline_path, fresh_paths, threshold):
                 best = min if metric.startswith("bytes_per_key") else max
                 merged[metric] = best(merged.get(metric, value), value)
     failures = []
+    warnings = []
     compared = 0
     for key, base_entry in sorted(baseline.items()):
         if base_entry.get("gated") == 0:
@@ -96,6 +97,15 @@ def check(baseline_path, fresh_paths, threshold):
                 continue
             if not metric.startswith("speedup"):
                 continue
+            # Batch must never be slower than item-at-a-time: a ratio
+            # below 1.0 means an ObserveBatch override (or the span-sliced
+            # driver path) actively hurts. Warn on every such fresh row,
+            # including the parity rows the regression gate skips.
+            warn_value = fresh_entry.get(metric)
+            if warn_value is not None and warn_value < 1.0:
+                warnings.append(
+                    f"{key[0]}/{key[1]}.{metric}: {warn_value:.3f} < 1.0 "
+                    f"(batch slower than per-item)")
             # Parity rows (default ObserveBatch, no fast path) sit near
             # 1.0x and wobble with host noise; the gate exists to catch a
             # LOST fast path, so only rows that demonstrably have one are
@@ -119,6 +129,8 @@ def check(baseline_path, fresh_paths, threshold):
                       f"{new_value:.3f} (baseline {base_value:.3f})")
     if compared == 0:
         failures.append("no gated metrics compared — empty baseline?")
+    for w in warnings:
+        print(f"WARN {w}", file=sys.stderr)
     if failures:
         print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
         for f in failures:

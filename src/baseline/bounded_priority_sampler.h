@@ -29,6 +29,11 @@ class BoundedPrioritySampler final : public WindowSampler {
                                                                 uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Devirtualized per-item loop (the class is final, so these are direct
+  /// calls); the dominated-counter scan itself is inherently per item.
+  void ObserveBatch(std::span<const Item> items) override {
+    for (const Item& item : items) Observe(item);
+  }
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

@@ -53,6 +53,14 @@ void ChainSampler::Observe(const Item& item) {
   }
 }
 
+void ChainSampler::ObserveBatch(std::span<const Item> items) {
+  // The per-step coin denominator depends on the running index and the
+  // coin order is item-major, so the batch win is devirtualization: the
+  // class is final, making these direct (inlinable) calls instead of the
+  // base class's per-item virtual dispatch.
+  for (const Item& item : items) Observe(item);
+}
+
 std::vector<Item> ChainSampler::Sample() {
   std::vector<Item> out;
   out.reserve(units_.size());

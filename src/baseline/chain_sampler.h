@@ -42,6 +42,7 @@ class ChainSampler final : public WindowSampler {
                                                       uint64_t seed);
 
   void Observe(const Item& item) override;
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

@@ -43,6 +43,25 @@ void ExactWindow::Observe(const Item& item) {
   Evict();
 }
 
+void ExactWindow::ObserveBatch(std::span<const Item> items) {
+  // The final buffer depends only on the final clock/index (eviction is
+  // front-only and draws no randomness), so append the whole span and
+  // evict once -- bit-identical to the item-at-a-time path.
+  if (items.empty()) return;
+  if (kind_ == WindowKind::kSequence && items.size() >= n_) {
+    // Everything previously buffered expires; keep only the last n.
+    window_.clear();
+    window_.insert(window_.end(), items.end() - n_, items.end());
+    return;
+  }
+  if (kind_ == WindowKind::kTimestamp) {
+    SWS_CHECK(items.back().timestamp >= now_);
+    now_ = items.back().timestamp;
+  }
+  window_.insert(window_.end(), items.begin(), items.end());
+  Evict();
+}
+
 void ExactWindow::AdvanceTime(Timestamp now) {
   if (kind_ == WindowKind::kSequence) return;
   SWS_CHECK(now >= now_);

@@ -38,6 +38,7 @@ class ExactWindow final : public WindowSampler {
       Timestamp t0, uint64_t k, bool with_replacement, uint64_t seed);
 
   void Observe(const Item& item) override;
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

@@ -32,6 +32,11 @@ class OverSampler final : public WindowSampler {
                                                      uint64_t seed);
 
   void Observe(const Item& item) override;
+  /// Forwards the whole span: one virtual hop per batch instead of two per
+  /// item (this dispatch plus the inner sampler's).
+  void ObserveBatch(std::span<const Item> items) override {
+    inner_->ObserveBatch(items);
+  }
   void AdvanceTime(Timestamp) override {}
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override { return inner_->MemoryWords(); }

@@ -50,6 +50,30 @@ void PrioritySampler::Observe(const Item& item) {
   }
 }
 
+void PrioritySampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
+  // Front eviction commutes with the inserts: an insert only pops the
+  // back of a staircase until it hits a higher priority, and expired
+  // entries sit at the front with the HIGHEST priorities -- a new arrival
+  // either never reaches them or pops them exactly when the item path
+  // would have evicted them anyway. So the per-item AdvanceTime sweep
+  // over all k staircases can be deferred to one pass at the end of the
+  // batch; coin order is unchanged, the final state is bit-identical.
+  const size_t n = items.size();
+  for (size_t m = 0; m < n; ++m) {
+    const Item& item = items[m];
+    SWS_DCHECK(item.timestamp >= (m == 0 ? now_ : items[m - 1].timestamp));
+    for (Unit& unit : units_) {
+      const uint64_t priority = rng_.NextU64();
+      while (!unit.stairs.empty() && unit.stairs.back().priority <= priority) {
+        unit.stairs.pop_back();
+      }
+      unit.stairs.push_back(Entry{item, priority});
+    }
+  }
+  AdvanceTime(items.back().timestamp);
+}
+
 std::vector<Item> PrioritySampler::Sample() {
   std::vector<Item> out;
   out.reserve(units_.size());

@@ -33,6 +33,7 @@ class PrioritySampler final : public WindowSampler {
                                                          uint64_t seed);
 
   void Observe(const Item& item) override;
+  void ObserveBatch(std::span<const Item> items) override;
   void AdvanceTime(Timestamp now) override;
   std::vector<Item> Sample() override;
   uint64_t MemoryWords() const override;

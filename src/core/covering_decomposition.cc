@@ -20,75 +20,168 @@ StreamIndex CoveringDecomposition::b() const {
 void CoveringDecomposition::InitFromItem(const Item& item) {
   SWS_DCHECK(buckets_.empty());
   buckets_.push_back(BucketStructure::ForItem(item));
+  first_ts_.push_back(item.timestamp);
 }
 
 namespace {
 
-/// The two Incr overloads share one walk; `coin()` abstracts where the
+/// The two Incr overloads share one body; `coin()` abstracts where the
 /// fair merge coins come from (direct BernoulliRational draws vs a
 /// CoinSource bit cache).
+///
+/// Closed form of the paper's level-by-level walk (see the header): with
+/// covered width cw = b_old + 1 - a, the walk merges at level i iff the
+/// width W_i covered from level i is all-ones, merges cascade once they
+/// start, and the first all-ones value reached from cw is
+/// 2^(countr_one(cw)+1) - 1. So the number of pairwise merges is
+/// j = countr_one(cw), minus one when cw itself is all-ones (the cascade
+/// then starts at cw and ends one level earlier, at W = 1, the final
+/// single-element bucket that is never merged). Even cw: j = 0. The
+/// merged pairs are the 2j buckets immediately before the last bucket,
+/// processed in increasing index order — the same order (and hence the
+/// same coin sequence) as the walk.
 template <typename CoinFn>
-void IncrImpl(RingDeque<BucketStructure>& buckets, const Item& item,
+void IncrImpl(RingDeque<BucketStructure>& buckets,
+              RingDeque<Timestamp>& first_ts, const Item& item,
               CoinFn&& coin) {
   SWS_DCHECK(!buckets.empty());
   const StreamIndex b_old = buckets.back().y - 1;
   SWS_DCHECK(item.index == b_old + 1);
-  // Walk the nested suffixes zeta(a_i, b). The log test and the merge are
-  // evaluated against the PRE-increment decomposition at every level, per
-  // the recursive definition Incr(zeta(a,b)) = <BS(a,v), Incr(zeta(v,b))>.
-  size_t i = 0;
-  while (true) {
-    if (i + 1 == buckets.size()) {
-      // Reached zeta(b, b) = <BS(b, b+1)>: its Incr appends BS(b+1, b+2).
-      SWS_DCHECK(buckets[i].x == b_old);
-      buckets.push_back(BucketStructure::ForItem(item));
-      return;
+  const uint64_t cw = b_old + 1 - buckets.front().x;
+  const unsigned t = static_cast<unsigned>(std::countr_one(cw));
+  const uint64_t j = t - ((cw >> t) == 0 ? 1 : 0);
+  if (j > 0) {
+    const size_t size = buckets.size();
+    SWS_DCHECK(2 * j < size);
+    size_t src = size - 1 - 2 * j;
+    size_t dst = src;
+    for (uint64_t p = 0; p < j; ++p, src += 2, ++dst) {
+      // Unify BS(a_i, c) and BS(c, d): equal widths by the Section 3.2
+      // arithmetic, so a fair coin keeps the merged samples uniform; R and
+      // Q use independent coins to preserve their mutual independence.
+      BucketStructure& first = buckets[src];
+      const BucketStructure& second = buckets[src + 1];
+      SWS_DCHECK(first.y == second.x);
+      SWS_DCHECK(first.width() == second.width());
+      if (coin()) first.r = second.r;
+      if (coin()) first.q = second.q;
+      first.y = second.y;
+      if (dst != src) {
+        buckets[dst] = first;
+        first_ts[dst] = first_ts[src];
+      }
     }
-    const StreamIndex a_i = buckets[i].x;
-    if (FloorLog2(b_old + 2 - a_i) == FloorLog2(b_old + 1 - a_i)) {
-      ++i;  // v = c: first bucket unchanged, recurse into zeta(c, b)
-      continue;
-    }
-    // v = d: unify BS(a, c) and BS(c, d). The arithmetic of Section 3.2
-    // guarantees the two are equal-width here, so a fair coin keeps the
-    // merged samples uniform; R and Q use independent coins to preserve
-    // their mutual independence.
-    BucketStructure& first = buckets[i];
-    const BucketStructure& second = buckets[i + 1];
-    SWS_DCHECK(first.y == second.x);
-    SWS_DCHECK(first.width() == second.width());
-    if (coin()) first.r = second.r;
-    if (coin()) first.q = second.q;
-    first.y = second.y;
-    buckets.EraseAt(i + 1);
-    ++i;  // recurse into zeta(d, b)
+    // The last (single-element) bucket survives every merge; compact it
+    // down next to the merged pairs and drop the j vacated slots.
+    buckets[dst] = buckets[size - 1];
+    first_ts[dst] = first_ts[size - 1];
+    buckets.pop_back_n(j);
+    first_ts.pop_back_n(j);
   }
+  SWS_DCHECK(buckets.back().x == b_old);  // tail is zeta(b, b)
+  buckets.push_back(BucketStructure::ForItem(item));
+  first_ts.push_back(item.timestamp);
 }
 
 }  // namespace
 
 void CoveringDecomposition::Incr(const Item& item, Rng& rng) {
-  IncrImpl(buckets_, item,
+  IncrImpl(buckets_, first_ts_, item,
            [&rng] { return !rng.BernoulliRational(1, 2); });
 }
 
 void CoveringDecomposition::Incr(const Item& item, CoinSource& coins) {
-  IncrImpl(buckets_, item, [&coins] { return coins.Coin(); });
+  IncrImpl(buckets_, first_ts_, item, [&coins] { return coins.Coin(); });
+}
+
+namespace {
+
+/// Uniform sample of final bucket [x, y): draw an index, then resolve it
+/// against the old buckets [obs, obe) (returning the matching atom via
+/// `pick`) or the new run. Old content, if any, starts exactly at x and
+/// ends at new_start (bucket boundaries only coarsen, so old buckets nest
+/// inside final ones).
+template <typename PickFn>
+Item ComposeSample(const RingDeque<BucketStructure>& buckets, StreamIndex x,
+                   StreamIndex y, size_t obs, size_t obe,
+                   StreamIndex new_start, std::span<const Item> run, Rng& rng,
+                   PickFn&& pick) {
+  const uint64_t idx = x + rng.UniformIndex(y - x);
+  if (idx >= new_start) return run[idx - new_start];
+  for (size_t i = obs; i < obe; ++i) {
+    if (idx < buckets[i].y) return pick(buckets[i]);
+  }
+  SWS_CHECK(false);  // unreachable: old buckets tile [x, new_start)
+  return run.front();
+}
+
+}  // namespace
+
+void CoveringDecomposition::ExtendRun(std::span<const Item> run, Rng& rng) {
+  if (run.empty()) return;
+  SWS_DCHECK(!buckets_.empty());
+  SWS_DCHECK(run.front().index == b() + 1);
+  const StreamIndex new_start = run.front().index;
+  const StreamIndex b_new = run.back().index;
+  const size_t old_count = buckets_.size();
+  scratch_.clear();
+  size_t ob = 0;  // next unconsumed old bucket
+  StreamIndex x = a();
+  uint64_t rem = b_new + 1 - x;
+  while (rem > 0) {
+    // Definition 3.1 boundary: first width 2^(floor(log2(rem)) - 1).
+    const uint64_t bw = rem == 1 ? 1 : Pow2(FloorLog2(rem) - 1);
+    const StreamIndex y = x + bw;
+    const size_t obs = ob;
+    while (ob < old_count && buckets_[ob].x < y) ++ob;
+    SWS_DCHECK(obs == ob || buckets_[obs].x == x);
+    SWS_DCHECK(ob == old_count || buckets_[ob].x >= y);
+    if (y <= new_start && ob == obs + 1 && buckets_[obs].y == y) {
+      // An old bucket that survives unchanged: keep its samples (the item
+      // path would not have merged it either).
+      scratch_.push_back(buckets_[obs]);
+    } else {
+      BucketStructure bs;
+      bs.x = x;
+      bs.y = y;
+      bs.first_ts = obs < ob ? buckets_[obs].first_ts
+                             : run[x - new_start].timestamp;
+      bs.r = ComposeSample(buckets_, x, y, obs, ob, new_start, run, rng,
+                           [](const BucketStructure& o) { return o.r; });
+      bs.q = ComposeSample(buckets_, x, y, obs, ob, new_start, run, rng,
+                           [](const BucketStructure& o) { return o.q; });
+      scratch_.push_back(bs);
+    }
+    x = y;
+    rem -= bw;
+  }
+  SWS_DCHECK(ob == old_count);
+  buckets_.clear();
+  first_ts_.clear();
+  for (const BucketStructure& bs : scratch_) {
+    buckets_.push_back(bs);
+    first_ts_.push_back(bs.first_ts);
+  }
 }
 
 void CoveringDecomposition::DropFront(uint64_t count) {
   SWS_DCHECK(count <= buckets_.size());
   buckets_.pop_front_n(count);
+  first_ts_.pop_front_n(count);
 }
 
 BucketStructure CoveringDecomposition::PopFront() {
   SWS_DCHECK(!buckets_.empty());
   BucketStructure bs = buckets_.front();
   buckets_.pop_front();
+  first_ts_.pop_front();
   return bs;
 }
 
-void CoveringDecomposition::Clear() { buckets_.clear(); }
+void CoveringDecomposition::Clear() {
+  buckets_.clear();
+  first_ts_.clear();
+}
 
 Item CoveringDecomposition::SampleCovered(Rng& rng) const {
   SWS_DCHECK(!buckets_.empty());
@@ -109,6 +202,7 @@ void CoveringDecomposition::Save(BinaryWriter* w) const {
 
 bool CoveringDecomposition::Load(BinaryReader* r) {
   buckets_.clear();
+  first_ts_.clear();
   uint64_t size = 0;
   if (!r->GetU64(&size)) return false;
   if (size > (uint64_t{1} << 40)) return false;  // sanity: corrupt blob
@@ -116,15 +210,21 @@ bool CoveringDecomposition::Load(BinaryReader* r) {
     BucketStructure bs;
     if (!bs.Load(r)) return false;
     buckets_.push_back(bs);
+    first_ts_.push_back(bs.first_ts);
   }
   return CheckInvariants();
 }
 
 bool CoveringDecomposition::CheckInvariants() const {
+  if (first_ts_.size() != buckets_.size()) return false;
   if (buckets_.empty()) return true;
   const StreamIndex b_idx = b();
   for (size_t i = 0; i < buckets_.size(); ++i) {
     const BucketStructure& bs = buckets_[i];
+    // The SoA mirror must track the bucket heads exactly, and head
+    // timestamps are non-decreasing (streams arrive in time order).
+    if (first_ts_[i] != bs.first_ts) return false;
+    if (i > 0 && first_ts_[i] < first_ts_[i - 1]) return false;
     if (bs.y <= bs.x) return false;
     if (i + 1 < buckets_.size() && bs.y != buckets_[i + 1].x) return false;
     if (i + 1 == buckets_.size()) {

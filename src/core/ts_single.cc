@@ -25,36 +25,24 @@ void TsSingleSampler::Restructure() {
     SWS_DCHECK(!straddler_);
     return;
   }
-  // The newest represented element sits in the last (single-element) bucket
-  // structure; if even it expired, everything did (Lemma 3.5 cases 2b/3b).
-  const Timestamp newest_ts = zeta_.bucket(zeta_.size() - 1).first_ts;
-  if (Expired(newest_ts)) {
+  const Timestamp cutoff = now_ - t0_;  // expired <=> first_ts <= cutoff
+  // Cases 2a/3a: the oldest represented head is still active, so nothing
+  // moved across the expiry boundary -> state unchanged. One dense load
+  // from the SoA mirror; this is the no-op the batched paths rely on.
+  if (zeta_.first_ts(0) > cutoff) return;
+  // Cases 2b/3b: the newest element (head of the last, single-element
+  // bucket) expired, so everything did.
+  if (zeta_.first_ts(zeta_.size() - 1) <= cutoff) {
     zeta_.Clear();
     straddler_.reset();
     return;
   }
-  if (straddler_) {
-    // Case 3a: p_z (head of zeta) still active -> state unchanged.
-    if (!Expired(zeta_.bucket(0).first_ts)) return;
-    // Case 3c: the straddler fell wholly behind; a new straddler lies
-    // inside zeta. Discard the old one and fall through to the scan.
-    straddler_.reset();
-  } else {
-    // Case 2a: the oldest represented element is still active -> Full.
-    if (!Expired(zeta_.bucket(0).first_ts)) return;
-  }
-  // Case 2c/3c scan: find the unique bucket whose head expired while its
-  // successor's head is active. The last bucket's head is the newest
-  // element (active here), so the scan always terminates before it.
-  uint64_t straddle_idx = 0;
-  for (uint64_t i = 0; i + 1 < zeta_.size(); ++i) {
-    if (Expired(zeta_.bucket(i).first_ts) &&
-        !Expired(zeta_.bucket(i + 1).first_ts)) {
-      straddle_idx = i;
-      break;
-    }
-  }
-  zeta_.DropFront(straddle_idx);
+  // Cases 2c/3c: head timestamps are non-decreasing, so the contiguous SoA
+  // sweep finds the unique bucket whose head expired while its successor's
+  // head is active; it becomes the (new) straddler, replacing any old one
+  // that fell wholly behind. 1 <= expired < size here.
+  const uint64_t expired = zeta_.CountExpiredPrefix(cutoff);
+  zeta_.DropFront(expired - 1);
   straddler_ = zeta_.PopFront();
   // Lemma 3.5 case-2 invariant: z - y <= N + 1 - z.
   SWS_DCHECK(straddler_->width() <= zeta_.covered_width());
@@ -88,10 +76,65 @@ void TsSingleSampler::Observe(const Item& item) {
 }
 
 void TsSingleSampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
   CoinSource coins(rng_);
-  for (const Item& item : items) {
-    AdvanceTime(item.timestamp);
-    InsertWithCoins(item, coins);
+  ObserveBatchWithCoins(items, items.back().timestamp, coins);
+}
+
+void TsSingleSampler::ObserveBatchWithCoins(std::span<const Item> items,
+                                            Timestamp last_ts,
+                                            CoinSource& coins) {
+  ObserveDelayedBatchWithCoins(items, /*delay=*/0, last_ts, coins);
+}
+
+void TsSingleSampler::ObserveDelayedBatchWithCoins(std::span<const Item> items,
+                                                   uint64_t delay,
+                                                   Timestamp last_ts,
+                                                   CoinSource& coins) {
+  // Below this stretch length ExtendRun's O(log n) rebuild costs more than
+  // running the per-item Incrs it replaces.
+  constexpr size_t kRunCutover = 16;
+  const size_t n = items.size();
+  size_t m = delay;
+  while (m < n) {
+    if (!zeta_.empty()) {
+      // Expiry horizon: while the arriving clock timestamp keeps the
+      // current head active (ts - head < t0), the per-item Restructure
+      // would be the case-2a/3a no-op, so the whole stretch can append
+      // without touching the clock. `head` is loop-invariant: Incr's
+      // merges keep the front bucket's head timestamp, and only
+      // Restructure removes buckets from the front.
+      const Timestamp head = zeta_.first_ts(0);
+      const size_t start = m;
+      if (last_ts - head < t0_) {
+        m = n;  // even the batch's last timestamp leaves the head active
+      } else {
+        while (m < n && items[m].timestamp - head < t0_) ++m;
+      }
+      if (m > start) {
+        const size_t len = m - start;
+        if (len >= kRunCutover) {
+          zeta_.ExtendRun(items.subspan(start - delay, len), rng_);
+        } else {
+          for (size_t p = start; p < m; ++p) {
+            zeta_.Incr(items[p - delay], coins);
+          }
+        }
+        now_ = items[m - 1].timestamp;
+        continue;
+      }
+    }
+    // Expiry boundary (or empty structure): advance the clock once for the
+    // whole run of identical clock timestamps, then insert the run.
+    // Mid-run Restructures would be no-ops: after the first insert at this
+    // clock the structure is either empty (pre-expired delayed element,
+    // skipped) or headed by an active element.
+    const Timestamp ts = items[m].timestamp;
+    AdvanceTime(ts);
+    do {
+      InsertWithCoins(items[m - delay], coins);
+      ++m;
+    } while (m < n && items[m].timestamp == ts);
   }
 }
 

@@ -79,6 +79,25 @@ class TsSingleSampler final : public WindowSampler {
   /// coin cache is dead, so resume stays bit-identical (see CoinSource).
   void ObserveBatch(std::span<const Item> items) override;
 
+  /// Batch body with a caller-scoped coin cache and the batch's last
+  /// timestamp precomputed (TsSwrSampler shares both across its k units).
+  /// Equivalent to ObserveWithCoins per item, but expiry maintenance runs
+  /// only at run boundaries: stretches whose timestamps keep the current
+  /// oldest head active append with zero clock work (the per-item
+  /// Restructure would be a no-op), and each run of identical timestamps
+  /// past the horizon pays one AdvanceTime. Items must arrive in
+  /// non-decreasing timestamp order with last_ts == items.back().timestamp.
+  void ObserveBatchWithCoins(std::span<const Item> items, Timestamp last_ts,
+                             CoinSource& coins);
+
+  /// Section 4 delayed-feeding variant (TsSworSampler): step m advances
+  /// the clock to items[m].timestamp but inserts items[m - delay], for m in
+  /// [delay, items.size()). Same batch-scoped expiry structure as
+  /// ObserveBatchWithCoins, which is the delay = 0 case.
+  void ObserveDelayedBatchWithCoins(std::span<const Item> items,
+                                    uint64_t delay, Timestamp last_ts,
+                                    CoinSource& coins);
+
   /// Draws a uniform sample of the active elements; nullopt iff none are
   /// represented. Fresh randomness per call.
   std::optional<Item> SampleOne();

@@ -66,11 +66,48 @@ void TsSworSampler::Observe(const Item& item) {
 
 void TsSworSampler::ObserveBatch(std::span<const Item> items) {
   if (items.empty()) return;
-  std::vector<CoinSource> coins;
-  coins.reserve(k_);
-  for (auto& s : structures_) coins.emplace_back(s.rng());
-  for (const Item& item : items) {
-    ObserveOne(item, std::span<CoinSource>(coins));
+  const size_t n = items.size();
+  const Timestamp last_ts = items.back().timestamp;
+  SWS_CHECK(last_ts >= now_);
+  const StreamIndex first_index = items[0].index;
+
+  // Snapshot the pre-batch auxiliary array: unit i's first (up to i)
+  // deliveries are elements that arrived before this batch.
+  batch_recent_.clear();
+  const uint64_t h = recent_.size();
+  for (uint64_t j = 0; j < h; ++j) batch_recent_.push_back(recent_[j]);
+
+  // Unit-major delayed feeding, equivalent to the item-wise loop because
+  // the units are independent and skipping a unit's intermediate
+  // AdvanceTime calls is state-identical (Restructure at the later clock
+  // computes the same prefix drop and straddler, and consumes no
+  // randomness). At step m, unit i receives the element i arrivals older
+  // than items[m]: items[m - i] once m >= i, else the (i - m)-th newest
+  // pre-batch arrival; nothing before the stream's (i+1)-th arrival.
+  for (uint64_t i = 0; i < k_; ++i) {
+    TsSingleSampler& s = structures_[i];
+    CoinSource coins(s.rng());
+    const uint64_t skip = first_index >= i ? 0 : i - first_index;
+    const uint64_t prefix_end = std::min<uint64_t>(i, n);
+    for (uint64_t m = skip; m < prefix_end; ++m) {
+      s.AdvanceTime(items[m].timestamp);
+      s.InsertWithCoins(batch_recent_[h - (i - m)], coins);
+    }
+    if (n > i) {
+      s.ObserveDelayedBatchWithCoins(items, i, last_ts, coins);
+    } else {
+      s.AdvanceTime(last_ts);  // unit saw no (or only prefix) deliveries
+    }
+  }
+  now_ = last_ts;
+
+  // Rebuild the auxiliary array as if every item had been pushed/trimmed.
+  if (n >= k_) {
+    recent_.clear();
+    for (size_t m = n - k_; m < n; ++m) recent_.push_back(items[m]);
+  } else {
+    if (h + n > k_) recent_.pop_front_n(h + n - k_);
+    for (size_t m = 0; m < n; ++m) recent_.push_back(items[m]);
   }
 }
 

@@ -82,6 +82,10 @@ class TsSworSampler final : public WindowSampler {
   /// Auxiliary array: the last min(k, arrivals) items, oldest first
   /// (arena-backed ring, no per-arrival allocator traffic).
   RingDeque<Item> recent_;
+  /// Batch-scoped snapshot of recent_ taken at the top of ObserveBatch;
+  /// unit i's first (up to i) delayed deliveries read it. Member so the
+  /// allocation is reused across batches; dead between calls.
+  std::vector<Item> batch_recent_;
 };
 
 }  // namespace swsample

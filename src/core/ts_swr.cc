@@ -36,9 +36,16 @@ void TsSwrSampler::Observe(const Item& item) {
 }
 
 void TsSwrSampler::ObserveBatch(std::span<const Item> items) {
+  if (items.empty()) return;
   // Unit-major order: each unit's structures stay hot in cache for the
-  // whole batch instead of being re-touched k times per item.
-  for (auto& unit : units_) unit.ObserveBatch(items);
+  // whole batch instead of being re-touched k times per item. The batch's
+  // timestamp summary (last_ts bounds every expiry horizon) is computed
+  // once and shared by all k units.
+  const Timestamp last_ts = items.back().timestamp;
+  for (auto& unit : units_) {
+    CoinSource coins(unit.rng());
+    unit.ObserveBatchWithCoins(items, last_ts, coins);
+  }
 }
 
 void TsSwrSampler::AdvanceTime(Timestamp now) {

@@ -16,6 +16,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/bits.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -65,7 +66,21 @@ inline bool ParseDecimal(const char*& p, const char* end, uint64_t* magnitude,
   if (p == end || *p < '0' || *p > '9') return false;
   uint64_t v = 0;
   bool overflow = false;
-  do {
+  if constexpr (std::endian::native == std::endian::little) {
+    // SWAR gulp: fold eight digits per multiply ladder while the
+    // accumulated value provably cannot overflow (v * 1e8 + 99999999 <=
+    // UINT64_MAX); the scalar loop below handles the tail and reproduces
+    // the exact saturation semantics near the limit.
+    constexpr uint64_t kGulpSafe = (UINT64_MAX - 99999999) / 100000000;
+    while (end - p >= 8 && v <= kGulpSafe) {
+      uint64_t chunk;
+      __builtin_memcpy(&chunk, p, 8);
+      if (!IsEightDigits(chunk)) break;
+      v = v * 100000000 + ParseEightDigits(chunk);
+      p += 8;
+    }
+  }
+  while (p != end && *p >= '0' && *p <= '9') {
     const uint64_t digit = static_cast<uint64_t>(*p - '0');
     if (v > (UINT64_MAX - digit) / 10) {
       overflow = true;
@@ -73,7 +88,7 @@ inline bool ParseDecimal(const char*& p, const char* end, uint64_t* magnitude,
       v = v * 10 + digit;
     }
     ++p;
-  } while (p != end && *p >= '0' && *p <= '9');
+  }
   *magnitude = overflow ? UINT64_MAX : v;
   return true;
 }
@@ -192,6 +207,32 @@ class StreamDriver::Pump {
     for (const Item& item : burst) Push(item);
   }
 
+  /// Feeds a span with the same batch segmentation Push-by-one would
+  /// produce, but delivers every full batch_size run as a subspan of the
+  /// caller's storage — no staging copy through buffer_. Only a batch
+  /// straddling the span edge (or a partially filled buffer_ on entry)
+  /// goes through the buffer.
+  void PushSpan(std::span<const Item> items) {
+    if (options_.batch_size == 0) {
+      for (const Item& item : items) Push(item);
+      return;
+    }
+    size_t off = 0;
+    while (off < items.size()) {
+      if (buffer_.empty() && items.size() - off >= options_.batch_size) {
+        DeliverBatch(items.subspan(off, options_.batch_size));
+        off += options_.batch_size;
+      } else {
+        const size_t take = std::min(options_.batch_size - buffer_.size(),
+                                     items.size() - off);
+        buffer_.insert(buffer_.end(), items.begin() + off,
+                       items.begin() + off + take);
+        off += take;
+        if (buffer_.size() >= options_.batch_size) Flush();
+      }
+    }
+  }
+
   void AdvanceTime(Timestamp now) {
     Flush();  // keep arrival/clock order identical to unbatched feeding
     sink_.AdvanceTime(now);
@@ -199,18 +240,8 @@ class StreamDriver::Pump {
 
   void Flush() {
     if (buffer_.empty()) return;
-    if (options_.track_batch_latency) {
-      const auto t0 = Clock::now();
-      sink_.ObserveBatch(std::span<const Item>(buffer_));
-      latencies_.push_back(
-          std::chrono::duration<double>(Clock::now() - t0).count());
-    } else {
-      sink_.ObserveBatch(std::span<const Item>(buffer_));
-    }
-    report_->items += buffer_.size();
-    ++report_->batches;
+    DeliverBatch(std::span<const Item>(buffer_));
     buffer_.clear();
-    ProbeMaybe();
   }
 
   /// Stamps p50/p99 batch latency into the report (call once, after the
@@ -230,6 +261,20 @@ class StreamDriver::Pump {
   size_t buffered() const { return buffer_.size(); }
 
  private:
+  void DeliverBatch(std::span<const Item> batch) {
+    if (options_.track_batch_latency) {
+      const auto t0 = Clock::now();
+      sink_.ObserveBatch(batch);
+      latencies_.push_back(
+          std::chrono::duration<double>(Clock::now() - t0).count());
+    } else {
+      sink_.ObserveBatch(batch);
+    }
+    report_->items += batch.size();
+    ++report_->batches;
+    ProbeMaybe();
+  }
+
   void ProbeMaybe() {
     if (options_.memory_probe_every == 0) return;
     if (report_->batches % options_.memory_probe_every != 0) return;
@@ -249,7 +294,7 @@ DriveReport StreamDriver::Drive(std::span<const Item> items,
   DriveReport report;
   const auto begin = Clock::now();
   Pump pump(options_, sink, &report);
-  for (const Item& item : items) pump.Push(item);
+  pump.PushSpan(items);
   pump.Flush();
   pump.FinishLatencies();
   Finalize(begin, sink, &report);
@@ -332,23 +377,31 @@ Result<DriveReport> StreamDriver::DriveBuffer(std::string_view data,
   Timestamp last_ts = 0;
   uint64_t line_no = 0;
   while (p != end) {
-    const char* nl =
-        static_cast<const char*>(std::memchr(p, '\n', end - p));
-    const char* line_end = nl != nullptr ? nl : end;
+    // One word-wise scan finds whichever of '\n' (line break) or '\0'
+    // (strlen-style truncation, matching the stdio path's NUL-terminated
+    // buffer semantics) comes first, instead of two memchr passes.
+    const char* hit = FindNewlineOrNul(p, end);
+    const char* nl;
+    const char* line_end;
+    if (hit == end || *hit == '\n') {
+      nl = hit == end ? nullptr : hit;
+      line_end = hit;
+    } else {
+      // Rare path: a stray NUL truncates the parsed span, but the line
+      // itself still runs to the newline — both for advancing to the next
+      // line and for the over-long check below, which measures the full
+      // (pre-truncation) length exactly like the two-pass code did.
+      nl = static_cast<const char*>(std::memchr(hit, '\n', end - hit));
+      line_end = hit;
+    }
+    const char* const full_line_end = nl != nullptr ? nl : end;
     ++line_no;
     // Same limit the stdio path's fixed buffer imposes, same message.
-    if (static_cast<size_t>(line_end - p) + 1 >= kEventLineCap) {
+    if (static_cast<size_t>(full_line_end - p) + 1 >= kEventLineCap) {
       return Status::InvalidArgument(
           source_name + ":" + std::to_string(line_no) +
           ": event line too long (limit " +
           std::to_string(kEventLineCap - 2) + " characters)");
-    }
-    // The stdio path reads lines into a NUL-terminated buffer and parses
-    // with strlen semantics: a stray NUL truncates the line. Mirror that
-    // so both paths treat (rare, out-of-grammar) NUL bytes identically.
-    if (const char* nul = static_cast<const char*>(
-            std::memchr(p, '\0', line_end - p))) {
-      line_end = nul;
     }
     uint64_t value = 0;
     Timestamp ts = 0;

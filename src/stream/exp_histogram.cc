@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "util/bits.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -22,47 +23,53 @@ Result<ExpHistogram> ExpHistogram::Create(Timestamp t0, double eps) {
 void ExpHistogram::EvictExpired() {
   // A bucket is dropped once even its NEWEST element expired; the oldest
   // surviving bucket may straddle the window boundary, which is where the
-  // eps error comes from.
-  while (!buckets_.empty() && now_ - buckets_.front().newest >= t0_) {
-    buckets_.pop_front();
+  // eps error comes from. The sweep reads only the dense timestamp ring.
+  while (!newest_.empty() && now_ - newest_.front() >= t0_) {
+    const uint64_t c = count_.front();
+    total_ -= c;
+    --class_count_[FloorLog2(c)];
+    newest_.pop_front();
+    count_.pop_front();
   }
 }
 
-void ExpHistogram::Merge() {
-  // Walk sizes from small (back) to large (front); whenever a size class
-  // exceeds max_per_size_, merge its two OLDEST buckets. A merge can
-  // cascade into the next size class, hence the loop.
-  for (;;) {
-    uint64_t size = buckets_.empty() ? 0 : buckets_.back().count;
-    bool merged = false;
-    // Scan from the back (newest, smallest sizes first). Index i walks
-    // newest -> oldest; when a size class overflows at i, the two oldest
-    // of that class are buckets_[i] (older) and buckets_[i + 1] (newer).
-    uint64_t count_of_size = 0;
-    for (uint64_t back = 0; back < buckets_.size(); ++back) {
-      const uint64_t i = buckets_.size() - 1 - back;
-      if (buckets_[i].count != size) {
-        size = buckets_[i].count;
-        count_of_size = 0;
-      }
-      ++count_of_size;
-      if (count_of_size > max_per_size_) {
-        buckets_[i].count *= 2;
-        buckets_[i].newest = buckets_[i + 1].newest;
-        buckets_.EraseAt(i + 1);
-        merged = true;
-        break;
-      }
+void ExpHistogram::MergeCascade() {
+  // DGIM merge rule via the class counters: a freshly appended size-1
+  // bucket can only overflow class 0, and a merge moves one bucket from
+  // class c to class c+1, so overflows cascade upward. The two oldest
+  // buckets of class c sit at ring indices above(c) and above(c) + 1 with
+  // above(c) = sum of the counts of all larger classes; the doubled bucket
+  // stays in place, which is exactly the end of class c+1's block.
+  for (uint32_t c = 0; c < 63 && class_count_[c] > max_per_size_; ++c) {
+    uint64_t above = 0;
+    for (uint32_t d = c + 1; d < 64; ++d) above += class_count_[d];
+    const uint64_t i = above;
+    SWS_DCHECK(count_[i] == uint64_t{1} << c);
+    SWS_DCHECK(count_[i + 1] == uint64_t{1} << c);
+    count_[i] *= 2;
+    newest_[i] = newest_[i + 1];
+    // Close the gap at i + 1 by shifting the (small) suffix of newer
+    // buckets down: at most max_per_size_ per class below the cascade
+    // point, O(1) amortized over adds.
+    for (uint64_t j = i + 1; j + 1 < newest_.size(); ++j) {
+      newest_[j] = newest_[j + 1];
+      count_[j] = count_[j + 1];
     }
-    if (!merged) return;
+    newest_.pop_back();
+    count_.pop_back();
+    class_count_[c] -= 2;
+    ++class_count_[c + 1];
   }
 }
 
 void ExpHistogram::Add(Timestamp ts) {
   SWS_CHECK(ts >= now_);
   AdvanceTime(ts);
-  buckets_.push_back(Bucket{ts, 1});
-  Merge();
+  newest_.push_back(ts);
+  count_.push_back(1);
+  ++class_count_[0];
+  ++total_;
+  MergeCascade();
 }
 
 void ExpHistogram::AdvanceTime(Timestamp now) {
@@ -73,10 +80,10 @@ void ExpHistogram::AdvanceTime(Timestamp now) {
 
 void ExpHistogram::Save(BinaryWriter* w) const {
   w->PutI64(now_);
-  w->PutU64(buckets_.size());
-  for (uint64_t i = 0; i < buckets_.size(); ++i) {
-    w->PutI64(buckets_[i].newest);
-    w->PutU64(buckets_[i].count);
+  w->PutU64(count_.size());
+  for (uint64_t i = 0; i < count_.size(); ++i) {
+    w->PutI64(newest_[i]);
+    w->PutU64(count_[i]);
   }
 }
 
@@ -86,31 +93,36 @@ bool ExpHistogram::Load(BinaryReader* r) {
       size > r->remaining() / 16 + 1) {
     return false;
   }
-  buckets_.clear();
+  newest_.clear();
+  count_.clear();
+  class_count_.fill(0);
+  total_ = 0;
   for (uint64_t i = 0; i < size; ++i) {
-    Bucket b;
+    Timestamp newest = 0;
+    uint64_t count = 0;
     // Counts are powers of two, non-increasing front (oldest) to back;
     // newest-arrival timestamps are non-decreasing, non-negative (so the
     // expiry subtraction cannot overflow) and not expired.
-    if (!r->GetI64(&b.newest) || !r->GetU64(&b.count) || b.count < 1 ||
-        (b.count & (b.count - 1)) != 0 || b.newest < 0 || b.newest > now_ ||
-        now_ - b.newest >= t0_ ||
-        (!buckets_.empty() && (b.count > buckets_.back().count ||
-                               b.newest < buckets_.back().newest))) {
+    if (!r->GetI64(&newest) || !r->GetU64(&count) || count < 1 ||
+        (count & (count - 1)) != 0 || newest < 0 || newest > now_ ||
+        now_ - newest >= t0_ ||
+        (!count_.empty() &&
+         (count > count_.back() || newest < newest_.back()))) {
       return false;
     }
-    buckets_.push_back(b);
+    newest_.push_back(newest);
+    count_.push_back(count);
+    ++class_count_[FloorLog2(count)];
+    total_ += count;
   }
   return true;
 }
 
 uint64_t ExpHistogram::Estimate() {
   EvictExpired();
-  if (buckets_.empty()) return 0;
-  uint64_t total = 0;
-  for (uint64_t i = 0; i < buckets_.size(); ++i) total += buckets_[i].count;
+  if (count_.empty()) return 0;
   // Count the straddling oldest bucket at half weight.
-  return total - buckets_.front().count / 2;
+  return total_ - count_.front() / 2;
 }
 
 }  // namespace swsample

@@ -14,10 +14,18 @@
 // oldest of that size merge into one of double size. The window count is
 // the sum of all non-expired buckets, counting the oldest (straddling)
 // bucket at half weight -- relative error at most eps.
+//
+// Layout: the bucket list is stored as two parallel rings (SoA) -- newest-
+// arrival timestamps and power-of-two counts -- plus a per-size-class
+// bucket counter. The counter turns the DGIM merge rule into O(1)
+// amortized work per Add (the two oldest buckets of an overflowing class
+// sit at a directly computable ring position, no scan), and expiry sweeps
+// touch only the dense timestamp ring.
 
 #ifndef SWSAMPLE_STREAM_EXP_HISTOGRAM_H_
 #define SWSAMPLE_STREAM_EXP_HISTOGRAM_H_
 
+#include <array>
 #include <cstdint>
 
 #include "stream/item.h"
@@ -34,47 +42,56 @@ class ExpHistogram {
   /// `eps` in (0, 1].
   static Result<ExpHistogram> Create(Timestamp t0, double eps);
 
-  /// Records one arrival at time `ts` (non-decreasing).
+  /// Records one arrival at time `ts` (non-decreasing). O(1) amortized.
   void Add(Timestamp ts);
 
   /// Advances the clock without arrivals.
   void AdvanceTime(Timestamp now);
 
-  /// (1 +/- eps) estimate of the number of active arrivals.
+  /// (1 +/- eps) estimate of the number of active arrivals. O(1) beyond
+  /// the expiry sweep (a running total is maintained across mutations).
   uint64_t Estimate();
 
   /// Number of buckets held (O(eps^-1 log n)).
-  uint64_t BucketCount() const { return buckets_.size(); }
+  uint64_t BucketCount() const { return count_.size(); }
 
   /// Live memory words (one timestamp + one count per bucket).
-  uint64_t MemoryWords() const { return 3 + buckets_.size() * 2; }
+  uint64_t MemoryWords() const { return 3 + count_.size() * 2; }
 
-  /// Heap bytes retained beyond the object footprint (the bucket ring's
-  /// arena reservation).
-  uint64_t RetainedBytes() const { return buckets_.ReservedBytes(); }
+  /// Heap bytes retained beyond the object footprint (both SoA rings'
+  /// arena reservations).
+  uint64_t RetainedBytes() const {
+    return newest_.ReservedBytes() + count_.ReservedBytes();
+  }
 
   /// Checkpointing: clock + buckets (t0/eps are configuration and live in
-  /// the owning estimator's envelope). Load validates bucket monotonicity
-  /// and power-of-two counts; see util/serial.h.
+  /// the owning estimator's envelope). The byte format is unchanged from
+  /// the AoS layout: (newest, count) pairs, oldest first. Load validates
+  /// bucket monotonicity and power-of-two counts; see util/serial.h.
   void Save(BinaryWriter* w) const;
   bool Load(BinaryReader* r);
 
  private:
   ExpHistogram(Timestamp t0, uint64_t max_per_size)
-      : t0_(t0), max_per_size_(max_per_size) {}
-
-  struct Bucket {
-    Timestamp newest;  ///< timestamp of the newest arrival in the bucket
-    uint64_t count;    ///< power of two
-  };
+      : t0_(t0), max_per_size_(max_per_size) {
+    class_count_.fill(0);
+  }
 
   void EvictExpired();
-  void Merge();
+  void MergeCascade();
 
   Timestamp t0_;
   uint64_t max_per_size_;  // k/2 + 2 with k = ceil(1/eps)
   Timestamp now_ = 0;
-  RingDeque<Bucket> buckets_;  // front = oldest; arena-backed, no churn
+  uint64_t total_ = 0;  // sum of all bucket counts (maintained)
+  // SoA bucket list, front = oldest. Counts are powers of two,
+  // non-increasing from the front; newest-arrival timestamps are
+  // non-decreasing. Buckets of one size class are contiguous.
+  RingDeque<Timestamp> newest_;
+  RingDeque<uint64_t> count_;
+  // class_count_[c] = number of buckets with count 2^c. The oldest bucket
+  // of class c sits at ring index sum(class_count_[d] for d > c).
+  std::array<uint32_t, 64> class_count_;
 };
 
 }  // namespace swsample

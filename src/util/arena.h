@@ -181,6 +181,12 @@ class RingDeque {
     size_ -= count;
   }
 
+  /// Drops the `count` newest elements in O(1).
+  void pop_back_n(size_t count) {
+    SWS_DCHECK(count <= size_);
+    size_ -= count;
+  }
+
   /// Order-preserving erase of element `i`, shifting whichever side is
   /// smaller (O(min(i, size - i)) element copies).
   void EraseAt(size_t i) {

@@ -36,6 +36,71 @@ inline uint64_t Pow2(uint32_t e) {
   return uint64_t{1} << e;
 }
 
+// --- SWAR (SIMD-within-a-register) byte tricks -----------------------------
+//
+// The ingestion hot loops (stream/driver.cc) process text eight bytes at a
+// time: a word-wise scanner finds line breaks and a word-wise parser folds
+// eight ASCII digits per multiply ladder. Everything below is plain
+// uint64_t arithmetic — portable, no intrinsics — but the byte-order-
+// sensitive helpers are only used behind std::endian checks.
+
+/// The byte `b` replicated into all eight lanes.
+inline constexpr uint64_t RepeatByte(uint8_t b) {
+  return 0x0101010101010101ULL * b;
+}
+
+/// Nonzero iff `v` contains a zero byte. Marked lanes carry 0x80; a false
+/// positive can only appear ABOVE (more significant than) the first true
+/// zero byte, because the borrow that causes it must originate at one, so
+/// the LOWEST set bit always marks the first zero byte.
+inline constexpr uint64_t ZeroByteMask(uint64_t v) {
+  return (v - RepeatByte(0x01)) & ~v & RepeatByte(0x80);
+}
+
+/// First occurrence of '\n' or '\0' in [p, end), or `end` if absent.
+/// Word-at-a-time on little-endian hosts, byte-wise otherwise.
+inline const char* FindNewlineOrNul(const char* p, const char* end) {
+  if constexpr (std::endian::native == std::endian::little) {
+    while (end - p >= 8) {
+      uint64_t word;
+      __builtin_memcpy(&word, p, 8);
+      const uint64_t hit =
+          ZeroByteMask(word) | ZeroByteMask(word ^ RepeatByte('\n'));
+      // Spurious marks sit above each mask's first true hit, so the lowest
+      // set bit of the union is the first byte equal to either target.
+      if (hit != 0) {
+        return p + (static_cast<unsigned>(std::countr_zero(hit)) >> 3);
+      }
+      p += 8;
+    }
+  }
+  for (; p != end; ++p) {
+    if (*p == '\n' || *p == '\0') return p;
+  }
+  return end;
+}
+
+/// True iff all eight bytes of the (little-endian-loaded) chunk are ASCII
+/// digits '0'..'9'.
+inline constexpr bool IsEightDigits(uint64_t chunk) {
+  return ((chunk & RepeatByte(0xF0)) |
+          (((chunk + RepeatByte(0x06)) & RepeatByte(0xF0)) >> 4)) ==
+         RepeatByte(0x33);
+}
+
+/// Decimal value of eight ASCII digits loaded little-endian (lowest byte =
+/// leftmost digit). Three multiply-mask steps fold 8 lanes -> 4 -> 2 -> 1.
+inline constexpr uint32_t ParseEightDigits(uint64_t chunk) {
+  constexpr uint64_t kMask = 0x000000FF000000FF;
+  constexpr uint64_t kMul1 = 100 + (1000000ULL << 32);
+  constexpr uint64_t kMul2 = 1 + (10000ULL << 32);
+  chunk -= RepeatByte('0');
+  chunk = (chunk * 10) + (chunk >> 8);  // pairs of digits per 16-bit lane
+  chunk = (((chunk & kMask) * kMul1) + (((chunk >> 16) & kMask) * kMul2)) >>
+          32;
+  return static_cast<uint32_t>(chunk);
+}
+
 }  // namespace swsample
 
 #endif  // SWSAMPLE_UTIL_BITS_H_

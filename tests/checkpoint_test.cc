@@ -365,6 +365,77 @@ TEST(DriverCheckpointTest, SingleSinkResumeMatchesUninterruptedRun) {
   }
 }
 
+// Timestamp-window sampler cut mid-run: the stream has same-timestamp
+// plateaus of 96 items (well above the batched run-append cutover) with a
+// bursty clock jump every tenth plateau, and the checkpoint cadence lands
+// the cut (2048 = batch boundary) INSIDE a plateau. Resuming must replay
+// with the same batch segmentation and reproduce the uninterrupted run's
+// state bit for bit -- the contract the horizon-scanned batched expiry
+// and closed-form run append guarantee at batch boundaries.
+TEST(DriverCheckpointTest, TsSamplerResumeCutInsideSameTimestampRun) {
+  const std::string path = testing::TempDir() + "ckpt_ts_run.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    Rng rng(91);
+    for (uint64_t i = 0; i < 5000; ++i) {
+      const uint64_t run = i / 96;
+      const Timestamp ts = static_cast<Timestamp>(run + (run / 10) * 13);
+      std::fprintf(f, "%lld %llu\n", static_cast<long long>(ts),
+                   static_cast<unsigned long long>(rng.UniformIndex(1 << 14)));
+    }
+    std::fclose(f);
+  }
+  const std::string prefix = TruncateFile(path, 3000);
+  const std::string dir = testing::TempDir() + "ckpt_ts_run_dir";
+  fs::remove_all(dir);
+
+  SamplerConfig config;
+  config.window_t = 25;
+  config.k = 8;
+  config.seed = 0x7ead;
+
+  StreamDriver::Options options;
+  options.batch_size = 128;
+  StreamDriver driver(options);
+
+  auto reference = CreateSampler("bop-ts-swor", config).ValueOrDie();
+  ASSERT_TRUE(driver.DriveFile(path, true, *reference).ok());
+
+  {
+    auto crashed = CreateSampler("bop-ts-swor", config).ValueOrDie();
+    CheckpointPolicy policy;
+    policy.dir = dir;
+    policy.every_items = 1000;
+    CheckpointWriter writer(
+        policy, MakeSinkSerializers(SamplerSinkSpec("bop-ts-swor", config), 1)
+                    .ValueOrDie());
+    auto report =
+        driver.DriveFileCheckpointed(prefix, true, *crashed, &writer, nullptr);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // 2048 is not a multiple of the 96-item plateau length, so the saved
+    // state ends mid-run with pending same-timestamp arrivals.
+    EXPECT_EQ(writer.last_written_items(), 2048u);
+  }
+
+  auto resumed = StreamDriver::ResumeFrom(dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_EQ(resumed.value().samplers.size(), 1u);
+  EXPECT_EQ(resumed.value().position.items, 2048u);
+  auto report = driver.DriveFileCheckpointed(
+      path, true, *resumed.value().sinks[0], nullptr,
+      &resumed.value().position);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().items, 5000u - 2048u);
+
+  for (int q = 0; q < 20; ++q) {
+    auto a = reference->Sample();
+    auto b = resumed.value().samplers[0]->Sample();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
 TEST(DriverCheckpointTest, SingleEstimatorResumeMatchesUninterruptedRun) {
   const std::string stream =
       WriteStreamFile("ckpt_est.txt", 4000, /*timestamped=*/true, 41);

@@ -9,6 +9,7 @@
 //  * front-dropping leaves a valid decomposition of the suffix.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -210,6 +211,42 @@ TEST(CoveringTest, MemoryWordsMatchesStructureCount) {
   zeta.InitFromItem(MakeItem(0));
   for (uint64_t b = 1; b < 100; ++b) zeta.Incr(MakeItem(b), rng);
   EXPECT_EQ(zeta.MemoryWords(), zeta.size() * BucketStructure::kWords);
+}
+
+
+// The closed-form batch append must land on exactly the boundaries (and
+// head timestamps) that run.size() repeated Incrs produce -- only the
+// samples may differ (different but identically distributed coins). Every
+// (prefix length, run length) pair up to 64 crosses several merge-cascade
+// depths, including runs appended to a single-bucket decomposition.
+TEST(CoveringTest, ExtendRunMatchesRepeatedIncrBoundaries) {
+  for (uint64_t prefix : {1u, 2u, 3u, 7u, 16u, 33u}) {
+    for (uint64_t len : {1u, 2u, 5u, 17u, 64u}) {
+      Rng rng_a(400 + prefix * 71 + len);
+      Rng rng_b(800 + prefix * 71 + len);
+      CoveringDecomposition by_incr;
+      CoveringDecomposition by_run;
+      by_incr.InitFromItem(MakeItem(0));
+      by_run.InitFromItem(MakeItem(0));
+      for (uint64_t b = 1; b < prefix; ++b) {
+        by_incr.Incr(MakeItem(b), rng_a);
+        by_run.Incr(MakeItem(b), rng_b);
+      }
+      std::vector<Item> run;
+      for (uint64_t b = prefix; b < prefix + len; ++b) {
+        run.push_back(MakeItem(b));
+      }
+      for (const Item& item : run) by_incr.Incr(item, rng_a);
+      by_run.ExtendRun(std::span<const Item>(run), rng_b);
+      ASSERT_TRUE(by_run.CheckInvariants()) << prefix << "+" << len;
+      ASSERT_EQ(by_run.size(), by_incr.size()) << prefix << "+" << len;
+      for (uint64_t i = 0; i < by_run.size(); ++i) {
+        EXPECT_EQ(by_run.bucket(i).x, by_incr.bucket(i).x);
+        EXPECT_EQ(by_run.bucket(i).y, by_incr.bucket(i).y);
+        EXPECT_EQ(by_run.first_ts(i), by_incr.first_ts(i));
+      }
+    }
+  }
 }
 
 }  // namespace
