@@ -32,6 +32,16 @@
 //   --key-ttl=<t>        drop keys idle longer than t timestamp units
 //   --spill-dir=<d>      directory for keyed-mode eviction spill files
 //   --file=<path>        read events from a file instead of stdin
+//   --workload=<spec>    synthesize the stream instead of reading one: a
+//                        seeded workload generator in the grammar of
+//                        stream/workload.h — e.g. "constant@zipf,rate=8",
+//                        "poisson,lambda=6,skew=12", "churn,t=60".
+//                        Incompatible with --file and checkpointing
+//   --items=<n>          events to synthesize for --workload (default 1e6)
+//   --record-trace=<p>   write the synthesized stream to a compact binary
+//                        trace at p (replayable bit-identically later)
+//   --replay-trace=<p>   read the stream from a trace file instead of
+//                        generating (same restrictions as --workload)
 //   --batch=<n>          ingestion batch size (default 1024; 0 = per item)
 //   --seed=<n>           RNG seed (default 0x5eed); equal seeds reproduce
 //                        runs exactly
@@ -104,6 +114,7 @@
 #include "stream/driver.h"
 #include "stream/keyed_engine.h"
 #include "stream/sharded_driver.h"
+#include "stream/workload.h"
 
 using namespace swsample;
 
@@ -114,7 +125,9 @@ void Usage(const char* argv0) {
                "usage: %s [--sink=<spec> | --algo=<name> | "
                "--estimator=<name> [--substrate=<name>]] "
                "[--keys[=<shift>] [--key-budget=<b> --spill-dir=<d>] "
-               "[--key-ttl=<t>]] [--file=<path>] [--batch=<n>] "
+               "[--key-ttl=<t>]] [--file=<path> | --workload=<spec> "
+               "[--items=<n>] [--record-trace=<p>] | --replay-trace=<p>] "
+               "[--batch=<n>] "
                "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
                "[--report=<n>] [--threads=<n>] [--shards=<n>] "
                "[--partition=chunks|keyhash] [--checkpoint-dir=<d> "
@@ -195,6 +208,9 @@ struct ShardedRun {
   SinkSpec spec;
   SinkKind kind = SinkKind::kSampler;
   std::string file;
+  // --workload/--replay-trace: a pre-materialized stream to drive instead
+  // of parsing stdin/--file (checkpointing is refused in main for these).
+  const std::vector<Item>* items = nullptr;
   uint64_t threads = 1;
   uint64_t shards = 1;
   std::string partition;  // "", "chunks", or "keyhash"
@@ -343,6 +359,8 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                                                 sinks, &writer, resume_pos)
                  : driver.DriveFileCheckpointed(run.file, timestamped, sinks,
                                                 &writer, resume_pos);
+  } else if (run.items != nullptr) {
+    result = driver.Drive(*run.items, sinks);
   } else {
     result = run.file.empty()
                  ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
@@ -446,9 +464,11 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
     ShardedStreamDriver driver(driver_options);
     std::vector<StreamSink*> sinks = SinkPointers(engines);
     auto result =
-        run.file.empty()
-            ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
-            : driver.DriveFile(run.file, timestamped, sinks);
+        run.items != nullptr
+            ? driver.Drive(*run.items, sinks)
+            : run.file.empty()
+                  ? driver.DriveLines(stdin, "stdin", timestamped, sinks)
+                  : driver.DriveFile(run.file, timestamped, sinks);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -479,11 +499,13 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
                    items, stats.live_keys, stats.spilled_keys,
                    stats.charged_bytes);
     };
-    auto result =
-        run.file.empty()
-            ? driver.DriveLines(stdin, "stdin", timestamped, engine,
-                                progress, report_every)
-            : driver.DriveFile(run.file, timestamped, engine);
+    Result<DriveReport> result =
+        run.items != nullptr
+            ? Result<DriveReport>(driver.Drive(*run.items, engine))
+            : run.file.empty()
+                  ? driver.DriveLines(stdin, "stdin", timestamped, engine,
+                                      progress, report_every)
+                  : driver.DriveFile(run.file, timestamped, engine);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -571,6 +593,10 @@ int main(int argc, char** argv) {
   std::string estimator_name;
   std::string substrate;
   std::string file;
+  std::string workload;      // --workload generator spec
+  uint64_t workload_items = 1000000;  // --items
+  std::string record_trace;  // --record-trace
+  std::string replay_trace;  // --replay-trace
   uint64_t batch = 1024;
   uint64_t seed = 0x5eed;
   uint64_t moment = 2;
@@ -633,6 +659,15 @@ int main(int argc, char** argv) {
       keyed.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
       file = arg + 7;
+    } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+      workload = arg + 11;
+    } else if (std::strncmp(arg, "--items=", 8) == 0) {
+      u64_flag = &workload_items;
+      u64_value = arg + 8;
+    } else if (std::strncmp(arg, "--record-trace=", 15) == 0) {
+      record_trace = arg + 15;
+    } else if (std::strncmp(arg, "--replay-trace=", 15) == 0) {
+      replay_trace = arg + 15;
     } else if (std::strncmp(arg, "--batch=", 8) == 0) {
       u64_flag = &batch;
       u64_value = arg + 8;
@@ -727,6 +762,62 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --workload / --replay-trace synthesize the stream up front; the
+  // checkpoint cadence is defined over a PARSED input stream, so the two
+  // modes don't compose (record a trace and replay the file instead).
+  const bool synthesized = !workload.empty() || !replay_trace.empty();
+  if (synthesized) {
+    if (!workload.empty() && !replay_trace.empty()) {
+      std::fprintf(stderr,
+                   "error: --workload and --replay-trace are exclusive\n");
+      return 2;
+    }
+    if (!file.empty()) {
+      std::fprintf(stderr,
+                   "error: --workload/--replay-trace replace --file\n");
+      return 2;
+    }
+    if (!checkpoint.dir.empty() || checkpoint.resume) {
+      std::fprintf(stderr,
+                   "error: --workload/--replay-trace are incompatible with "
+                   "checkpointing\n");
+      return 2;
+    }
+  }
+  if (!record_trace.empty() && workload.empty()) {
+    std::fprintf(stderr, "error: --record-trace requires --workload\n");
+    return 2;
+  }
+  std::vector<Item> stream_items;
+  if (!replay_trace.empty()) {
+    auto read = ReadTrace(replay_trace);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    stream_items = std::move(read).ValueOrDie();
+    std::fprintf(stderr, "replay: %zu events from %s\n", stream_items.size(),
+                 replay_trace.c_str());
+  } else if (!workload.empty()) {
+    auto gen = WorkloadGenerator::Create(workload, seed);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 2;
+    }
+    stream_items = std::move(gen).ValueOrDie()->Take(workload_items);
+    if (!record_trace.empty()) {
+      if (Status status = WriteTrace(record_trace, stream_items);
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace: %zu events recorded to %s\n",
+                   stream_items.size(), record_trace.c_str());
+    }
+  }
+  const std::vector<Item>* driven_items =
+      synthesized ? &stream_items : nullptr;
+
   // Resolve the flags into ONE SinkSpec — the --sink grammar directly, or
   // the --algo/--estimator aliases lifted through the same structure.
   SinkSpec spec;
@@ -793,6 +884,7 @@ int main(int argc, char** argv) {
     run.spec = spec;
     run.kind = kind.value();
     run.file = file;
+    run.items = driven_items;
     run.threads = threads;
     run.shards = shards == 0 ? threads : shards;
     run.batch = batch;
@@ -812,6 +904,7 @@ int main(int argc, char** argv) {
     run.spec = spec;
     run.kind = kind.value();
     run.file = file;
+    run.items = driven_items;
     run.threads = threads;
     run.shards = shards == 0 ? threads : shards;
     run.partition = partition;
@@ -919,6 +1012,8 @@ int main(int argc, char** argv) {
       result = driver.DriveFileCheckpointed(file, timestamped, *sink, &writer,
                                             resume_pos);
     }
+  } else if (driven_items != nullptr) {
+    result = driver.Drive(*driven_items, *sink);
   } else {
     auto progress = [&](uint64_t items) {
       if (estimator != nullptr) {

@@ -5,7 +5,7 @@ Usage:
   scripts/bench_check.py BASELINE.json FRESH.json... [--threshold 0.25]
   scripts/bench_check.py --table BENCH.json
 
-The gate scores three metric classes:
+The gate scores four metric classes:
   * ratio metrics (keys starting with "speedup"): absolute items/s
     depends on the host, but the batched-vs-item speedup of a given code
     path is a property of the code, so a >threshold drop in a speedup
@@ -14,6 +14,10 @@ The gate scores three metric classes:
   * "bytes_per_key" (keyed-engine rows): retained bytes per live key is
     capacity-driven and deterministic for a seeded workload, so a
     >threshold INCREASE is a real memory regression;
+  * "structures_max" (workload rows): the peak covering-decomposition
+    structure count over a seeded stream is deterministic, so a
+    >threshold INCREASE breaks the Theorem 3.9 structure bound under the
+    adversarial churn workloads;
   * "budget_exceeded" (keyed-engine budget rows): 0/1 invariant flag —
     any fresh run reporting 1 fails outright, whatever the baseline.
 Entries whose baseline carries "gated": 0 are informational full-mode
@@ -52,9 +56,11 @@ def check(baseline_path, fresh_paths, threshold):
                 if not isinstance(value, (int, float)):
                     continue
                 # Best across runs: max for higher-is-better ratios, min
-                # for lower-is-better bytes; any run tripping the budget
-                # flag keeps it tripped.
-                best = min if metric.startswith("bytes_per_key") else max
+                # for lower-is-better bytes/structure counts; any run
+                # tripping the budget flag keeps it tripped.
+                best = (min if metric.startswith(("bytes_per_key",
+                                                  "structures_max"))
+                        else max)
                 merged[metric] = best(merged.get(metric, value), value)
     failures = []
     warnings = []
@@ -81,7 +87,7 @@ def check(baseline_path, fresh_paths, threshold):
                 else:
                     print(f"ok  {key[0]}/{key[1]}.{metric}: 0")
                 continue
-            if metric.startswith("bytes_per_key"):
+            if metric.startswith(("bytes_per_key", "structures_max")):
                 new_value = fresh_entry.get(metric)
                 compared += 1
                 if new_value is None:

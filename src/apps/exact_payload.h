@@ -42,12 +42,17 @@ class ExactPayloadOracle {
   }
 
   void Observe(const Item& item) {
-    buffer_.push_back(item);
     if (window_n_ > 0) {
+      buffer_.push_back(item);
       if (buffer_.size() > window_n_) buffer_.pop_front();
-    } else {
-      Expire(item.timestamp);
+      return;
     }
+    // Out-of-order contract (see StreamSink): regressed timestamps are
+    // stored clamped to the clock, so the buffer stays non-decreasing and
+    // front-only expiry stays exact.
+    if (item.timestamp > now_) now_ = item.timestamp;
+    buffer_.push_back(Item{item.value, item.index, now_});
+    Expire(now_);
   }
 
   void ObserveBatch(std::span<const Item> items) {
@@ -67,13 +72,20 @@ class ExactPayloadOracle {
       while (buffer_.size() > window_n_) buffer_.pop_front();
     } else {
       buffer_.reserve(buffer_.size() + items.size());
-      for (const Item& item : items) buffer_.push_back(item);
-      Expire(items.back().timestamp);
+      for (const Item& item : items) {
+        // Same running-max clamp as Observe (out-of-order contract).
+        if (item.timestamp > now_) now_ = item.timestamp;
+        buffer_.push_back(Item{item.value, item.index, now_});
+      }
+      Expire(now_);
     }
   }
 
   void AdvanceTime(Timestamp now) {
-    if (window_n_ == 0) Expire(now);
+    if (window_n_ == 0 && now > now_) {
+      now_ = now;
+      Expire(now_);
+    }
   }
 
   /// Active window size (exact).
@@ -126,6 +138,10 @@ class ExactPayloadOracle {
       }
       buffer_.push_back(item);
     }
+    // The clock is not persisted (it was implicit in the old format);
+    // restore it from the newest buffered timestamp, which is what every
+    // monotone pre-restore history would have left it at.
+    now_ = buffer_.empty() ? 0 : buffer_.back().timestamp;
     return true;
   }
 
@@ -138,6 +154,7 @@ class ExactPayloadOracle {
 
   uint64_t window_n_;
   Timestamp window_t_;
+  Timestamp now_ = 0;  ///< clock high-water mark (timestamp model only)
   Rng rng_;
   OnSampledFn on_sampled_;
   OnArrivalFn on_arrival_;

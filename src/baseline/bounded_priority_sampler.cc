@@ -33,13 +33,18 @@ void BoundedPrioritySampler::EvictExpired() {
 }
 
 void BoundedPrioritySampler::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   EvictExpired();
 }
 
 void BoundedPrioritySampler::Observe(const Item& item) {
-  AdvanceTime(item.timestamp);
+  // Out-of-order contract: store the clamped copy so stored timestamps
+  // stay non-decreasing (LoadState and front-only expiry both rely on it).
+  const Item stored = item.timestamp < now_
+                          ? Item{item.value, item.index, now_}
+                          : item;
+  AdvanceTime(stored.timestamp);
   const uint64_t priority = rng_.NextU64();
   // The new arrival dominates every stored element of lower priority; an
   // element dominated k times can never again be among the k highest
@@ -51,7 +56,7 @@ void BoundedPrioritySampler::Observe(const Item& item) {
       ++it;
     }
   }
-  entries_.push_back(Entry{item, priority, 0});
+  entries_.push_back(Entry{stored, priority, 0});
 }
 
 std::vector<Item> BoundedPrioritySampler::Sample() {

@@ -26,19 +26,24 @@ void BudgetPrioritySampler::EvictExpired() {
 }
 
 void BudgetPrioritySampler::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   EvictExpired();
 }
 
 void BudgetPrioritySampler::Observe(const Item& item) {
-  AdvanceTime(item.timestamp);
+  // Out-of-order contract: store the clamped copy so staircase timestamps
+  // stay non-decreasing and front-only expiry stays exact.
+  const Item stored = item.timestamp < now_
+                          ? Item{item.value, item.index, now_}
+                          : item;
+  AdvanceTime(stored.timestamp);
   const uint64_t priority = rng_.NextU64();
   // Standard right-maxima staircase maintenance ...
   while (!stairs_.empty() && stairs_.back().priority <= priority) {
     stairs_.pop_back();
   }
-  stairs_.push_back(Entry{item, priority});
+  stairs_.push_back(Entry{stored, priority});
   // ... then the BUDGET bites: drop the lowest-priority (newest staircase)
   // entries beyond capacity. Those were the backups that would have taken
   // over when older entries expire; without them the sampler can go dark.

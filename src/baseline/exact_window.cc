@@ -38,7 +38,18 @@ void ExactWindow::Evict() {
 }
 
 void ExactWindow::Observe(const Item& item) {
-  if (kind_ == WindowKind::kTimestamp) AdvanceTime(item.timestamp);
+  if (kind_ == WindowKind::kTimestamp) {
+    // Out-of-order contract (see StreamSink): clamp regressed timestamps
+    // to the clock. Storing the clamped copy keeps the buffer's timestamps
+    // non-decreasing, so front-only eviction stays exact and the oracle
+    // matches the samplers' clamping bit for bit.
+    if (item.timestamp < now_) {
+      window_.push_back(Item{item.value, item.index, now_});
+      Evict();
+      return;
+    }
+    AdvanceTime(item.timestamp);
+  }
   window_.push_back(item);
   Evict();
 }
@@ -55,7 +66,16 @@ void ExactWindow::ObserveBatch(std::span<const Item> items) {
     return;
   }
   if (kind_ == WindowKind::kTimestamp) {
-    SWS_CHECK(items.back().timestamp >= now_);
+    if (!IsTimestampOrdered(items, now_)) {
+      // Out-of-order contract: store the running-maximum clamp, exactly as
+      // the per-item path would.
+      std::vector<Item> clamped;
+      ClampTimestamps(items, now_, &clamped);
+      window_.insert(window_.end(), clamped.begin(), clamped.end());
+      now_ = clamped.back().timestamp;
+      Evict();
+      return;
+    }
     now_ = items.back().timestamp;
   }
   window_.insert(window_.end(), items.begin(), items.end());
@@ -64,7 +84,7 @@ void ExactWindow::ObserveBatch(std::span<const Item> items) {
 
 void ExactWindow::AdvanceTime(Timestamp now) {
   if (kind_ == WindowKind::kSequence) return;
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   Evict();
 }

@@ -31,13 +31,18 @@ void PrioritySampler::EvictExpired(Unit& unit) {
 }
 
 void PrioritySampler::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   for (Unit& unit : units_) EvictExpired(unit);
 }
 
 void PrioritySampler::Observe(const Item& item) {
-  AdvanceTime(item.timestamp);
+  // Out-of-order contract: store the clamped copy so staircase timestamps
+  // stay non-decreasing and front-only expiry stays exact.
+  const Item stored = item.timestamp < now_
+                          ? Item{item.value, item.index, now_}
+                          : item;
+  AdvanceTime(stored.timestamp);
   for (Unit& unit : units_) {
     // 64 random bits as the priority; ties have probability ~2^-64 per
     // pair and are broken towards the newer element, which is the
@@ -46,12 +51,20 @@ void PrioritySampler::Observe(const Item& item) {
     while (!unit.stairs.empty() && unit.stairs.back().priority <= priority) {
       unit.stairs.pop_back();
     }
-    unit.stairs.push_back(Entry{item, priority});
+    unit.stairs.push_back(Entry{stored, priority});
   }
 }
 
 void PrioritySampler::ObserveBatch(std::span<const Item> items) {
   if (items.empty()) return;
+  // Out-of-order contract: normalize a disordered batch to its running-
+  // maximum clamp (identical to clamped per-item Observe) before the
+  // deferred-eviction fast path below, which needs monotone timestamps.
+  std::vector<Item> normalized;
+  if (!IsTimestampOrdered(items, now_)) {
+    ClampTimestamps(items, now_, &normalized);
+    items = normalized;
+  }
   // Front eviction commutes with the inserts: an insert only pops the
   // back of a staircase until it hits a higher priority, and expired
   // entries sit at the front with the HIGHEST priorities -- a new arrival

@@ -10,6 +10,18 @@
 ///  * `AdvanceTime` moves the clock without arrivals: in the timestamp model
 ///    elements expire by clock alone, so a sampler must stay correct across
 ///    empty steps. Sequence-based samplers ignore it.
+///  * Out-of-order contract: real clocks regress (NTP steps, cross-shard
+///    skew), so timestamp-based sinks must tolerate regressions instead of
+///    aborting. The library-wide rule is CLAMPING: the sink's clock never
+///    moves backwards — `AdvanceTime` to an earlier time is a no-op, and an
+///    `Observe`/`ObserveBatch` arrival whose timestamp is older than the
+///    clock is treated (and stored) as arriving at the current clock. A
+///    disordered batch is therefore equivalent to its running-maximum
+///    normalization (see `ClampTimestamps` in stream/item.h); batches that
+///    already satisfy the monotone contract are processed bit-identically
+///    to before and pay only a pre-scan. Exact oracles (`ExactWindow`)
+///    clamp the same way, so sampler-vs-oracle comparisons stay valid under
+///    skewed workloads.
 ///  * `Sample()` may be called at ANY moment and must return a uniform
 ///    random sample of the currently active elements (k items; fewer iff
 ///    fewer than k elements are active for without-replacement samplers, or
@@ -60,6 +72,8 @@ class StreamSink {
 
   /// Feeds one arrival. Indices must be consecutive from 0; timestamps
   /// non-decreasing. Implicitly advances the clock to item.timestamp.
+  /// Timestamp-based sinks clamp a regressed timestamp to the current
+  /// clock (out-of-order contract above).
   virtual void Observe(const Item& item) = 0;
 
   /// Feeds a contiguous run of arrivals (same ordering contract as
@@ -71,8 +85,9 @@ class StreamSink {
     for (const Item& item : items) Observe(item);
   }
 
-  /// Advances the clock to `now` (>= current time) without arrivals.
-  /// No-op for sequence-based sinks.
+  /// Advances the clock to `now` without arrivals. No-op for sequence-based
+  /// sinks, and a no-op when `now` is earlier than the current clock (the
+  /// clock never moves backwards; out-of-order contract above).
   virtual void AdvanceTime(Timestamp now) = 0;
 
   /// Live memory in paper words (values + indices + timestamps stored).

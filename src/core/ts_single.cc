@@ -15,7 +15,7 @@ Result<TsSingleSampler> TsSingleSampler::Create(Timestamp t0, uint64_t seed) {
 }
 
 void TsSingleSampler::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see header)
   now_ = now;
   Restructure();
 }
@@ -71,6 +71,13 @@ void TsSingleSampler::InsertWithCoins(const Item& item, CoinSource& coins) {
 }
 
 void TsSingleSampler::Observe(const Item& item) {
+  if (item.timestamp < now_) {
+    // Out-of-order arrival: clamp to the clock (see header). The clamped
+    // copy satisfies Insert's timestamp <= now_ precondition and keeps the
+    // decomposition's head timestamps non-decreasing.
+    Insert(Item{item.value, item.index, now_});
+    return;
+  }
   AdvanceTime(item.timestamp);
   Insert(item);
 }
@@ -78,7 +85,16 @@ void TsSingleSampler::Observe(const Item& item) {
 void TsSingleSampler::ObserveBatch(std::span<const Item> items) {
   if (items.empty()) return;
   CoinSource coins(rng_);
-  ObserveBatchWithCoins(items, items.back().timestamp, coins);
+  if (IsTimestampOrdered(items, now_)) {
+    ObserveBatchWithCoins(items, items.back().timestamp, coins);
+    return;
+  }
+  // Slow path: normalize the disordered batch to its running-maximum clamp
+  // (identical to clamped per-item Observe) and reuse the monotone batch
+  // machinery. The allocation only happens for genuinely skewed input.
+  std::vector<Item> clamped;
+  ClampTimestamps(items, now_, &clamped);
+  ObserveBatchWithCoins(clamped, clamped.back().timestamp, coins);
 }
 
 void TsSingleSampler::ObserveBatchWithCoins(std::span<const Item> items,

@@ -52,7 +52,10 @@ class TsSingleSampler final : public WindowSampler {
   /// Creates a sampler; requires t0 >= 1.
   static Result<TsSingleSampler> Create(Timestamp t0, uint64_t seed);
 
-  /// Advances the clock (monotone) and performs expiry maintenance.
+  /// Advances the clock and performs expiry maintenance. A `now` earlier
+  /// than the current clock is a documented no-op: wall clocks regress
+  /// (NTP steps, cross-shard skew), and the out-of-order contract (see
+  /// StreamSink) is that time never moves backwards.
   void AdvanceTime(Timestamp now) override;
 
   /// Inserts an element with timestamp <= current clock. Consecutive calls
@@ -65,11 +68,19 @@ class TsSingleSampler final : public WindowSampler {
   /// generator draw per coin. Identically distributed, not bit-identical.
   void InsertWithCoins(const Item& item, CoinSource& coins);
 
-  /// Convenience: AdvanceTime(item.timestamp) then Insert(item).
+  /// Convenience: AdvanceTime(item.timestamp) then Insert(item). An item
+  /// whose timestamp regresses below the current clock is clamped to the
+  /// clock (out-of-order contract; see StreamSink) — the clock never moves
+  /// backwards, so inserted timestamps stay non-decreasing and the
+  /// covering decomposition's head-timestamp invariant is preserved.
   void Observe(const Item& item) override;
 
   /// Observe with merge coins from a caller-scoped CoinSource.
   void ObserveWithCoins(const Item& item, CoinSource& coins) {
+    if (item.timestamp < now_) {
+      InsertWithCoins(Item{item.value, item.index, now_}, coins);
+      return;
+    }
     AdvanceTime(item.timestamp);
     InsertWithCoins(item, coins);
   }
@@ -77,6 +88,10 @@ class TsSingleSampler final : public WindowSampler {
   /// Batched ingestion: one CoinSource serves every merge coin of the
   /// batch. Checkpoints are only taken at batch boundaries, where the
   /// coin cache is dead, so resume stays bit-identical (see CoinSource).
+  /// A batch with timestamp regressions (against the clock or internally)
+  /// is normalized to its running-maximum clamp first — equivalent to
+  /// clamped per-item Observe — and then takes the monotone fast path;
+  /// ordered batches are untouched and bit-identical to before.
   void ObserveBatch(std::span<const Item> items) override;
 
   /// Batch body with a caller-scoped coin cache and the batch's last

@@ -33,13 +33,20 @@ TsSworSampler::TsSworSampler(Timestamp t0, uint64_t k, uint64_t seed)
 }
 
 void TsSworSampler::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   for (auto& s : structures_) s.AdvanceTime(now);
 }
 
 void TsSworSampler::ObserveOne(const Item& item,
                                std::span<CoinSource> coins) {
+  if (item.timestamp < now_) {
+    // Out-of-order arrival: clamp to the shared clock so the auxiliary
+    // array's timestamps stay non-decreasing (Sample() and LoadState rely
+    // on that) and each structure's Insert precondition holds.
+    ObserveOne(Item{item.value, item.index, now_}, coins);
+    return;
+  }
   AdvanceTime(item.timestamp);
   // The new arrival enters the auxiliary array; each structure R_i then
   // receives the element that is now exactly i arrivals old. Element
@@ -66,6 +73,14 @@ void TsSworSampler::Observe(const Item& item) {
 
 void TsSworSampler::ObserveBatch(std::span<const Item> items) {
   if (items.empty()) return;
+  // Out-of-order contract: normalize a disordered batch to its running-
+  // maximum clamp once (equivalent to clamped per-item Observe), then run
+  // the unit-major fast path unchanged. Ordered batches pay one pre-scan.
+  std::vector<Item> clamped;
+  if (!IsTimestampOrdered(items, now_)) {
+    ClampTimestamps(items, now_, &clamped);
+    items = clamped;
+  }
   const size_t n = items.size();
   const Timestamp last_ts = items.back().timestamp;
   SWS_CHECK(last_ts >= now_);

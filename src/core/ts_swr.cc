@@ -40,7 +40,14 @@ void TsSwrSampler::ObserveBatch(std::span<const Item> items) {
   // Unit-major order: each unit's structures stay hot in cache for the
   // whole batch instead of being re-touched k times per item. The batch's
   // timestamp summary (last_ts bounds every expiry horizon) is computed
-  // once and shared by all k units.
+  // once and shared by all k units. Every unit runs at the same clock, so
+  // one disorder pre-scan and one running-max normalization (out-of-order
+  // contract; see StreamSink) also serve all k units.
+  std::vector<Item> clamped;
+  if (!IsTimestampOrdered(items, units_.front().now())) {
+    ClampTimestamps(items, units_.front().now(), &clamped);
+    items = clamped;
+  }
   const Timestamp last_ts = items.back().timestamp;
   for (auto& unit : units_) {
     CoinSource coins(unit.rng());

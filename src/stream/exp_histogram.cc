@@ -63,7 +63,9 @@ void ExpHistogram::MergeCascade() {
 }
 
 void ExpHistogram::Add(Timestamp ts) {
-  SWS_CHECK(ts >= now_);
+  // Out-of-order contract (see StreamSink): count a regressed timestamp as
+  // arriving at the current clock so bucket timestamps stay non-decreasing.
+  if (ts < now_) ts = now_;
   AdvanceTime(ts);
   newest_.push_back(ts);
   count_.push_back(1);
@@ -73,7 +75,7 @@ void ExpHistogram::Add(Timestamp ts) {
 }
 
 void ExpHistogram::AdvanceTime(Timestamp now) {
-  SWS_CHECK(now >= now_);
+  if (now < now_) return;  // clock regressions are no-ops (see StreamSink)
   now_ = now;
   EvictExpired();
 }

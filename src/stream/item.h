@@ -14,6 +14,8 @@
 #define SWSAMPLE_STREAM_ITEM_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace swsample {
 
@@ -42,6 +44,35 @@ struct Item {
 
 /// Number of memory words an Item occupies under the paper's word model.
 inline constexpr uint64_t kWordsPerItem = 3;
+
+/// True iff every timestamp in `items` is >= `from` and the sequence is
+/// non-decreasing — i.e. the batch satisfies the monotone-clock contract
+/// relative to a sink whose clock currently reads `from`. The batched fast
+/// paths pre-scan with this; it is one predictable-branch pass.
+inline bool IsTimestampOrdered(std::span<const Item> items, Timestamp from) {
+  Timestamp prev = from;
+  for (const Item& item : items) {
+    if (item.timestamp < prev) return false;
+    prev = item.timestamp;
+  }
+  return true;
+}
+
+/// Copies `items` into `*out` with each timestamp clamped to the running
+/// maximum seen so far (seeded with `from`). This is the canonical
+/// normalization of an out-of-order batch: it is exactly what feeding the
+/// items one at a time through a clamping Observe would produce, so the
+/// batched slow path can normalize once and reuse the monotone fast path.
+inline void ClampTimestamps(std::span<const Item> items, Timestamp from,
+                            std::vector<Item>* out) {
+  out->clear();
+  out->reserve(items.size());
+  Timestamp clock = from;
+  for (const Item& item : items) {
+    if (item.timestamp > clock) clock = item.timestamp;
+    out->push_back(Item{item.value, item.index, clock});
+  }
+}
 
 }  // namespace swsample
 

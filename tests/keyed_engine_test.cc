@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include "baseline/exact_window.h"
+#include "stat_check.h"
 #include "stats/tests.h"
 #include "stream/keyed_engine.h"
 #include "stream/sharded_driver.h"
 #include "stream/value_gen.h"
+#include "stream/workload.h"
 #include "util/rng.h"
 
 namespace swsample {
@@ -270,6 +273,112 @@ TEST(KeyedEngineTest, CreateValidatesOptions) {
   engine->Observe(Item{1, 0, 0});
   EXPECT_FALSE(engine->EstimateKey(1).ok());
   EXPECT_FALSE(engine->SampleKey(99).ok());  // unknown key
+}
+
+TEST(KeyedEngineTest, SpillRestoreStormKeepsPerKeyUniformityUnderZipfBursts) {
+  // Zipf keys on b-model bursts at a budget far below the live key set:
+  // hot keys hammer the LRU while whole burst cohorts spill and restore.
+  // Spill round-trips are bit-preserving, so every key's sampler must
+  // still be uniform over ITS last-kWindow local arrivals at the end.
+  constexpr uint64_t kWindow = 8;
+  constexpr uint64_t kItems = 40000;
+  constexpr uint64_t kBudget = 96 * 1024;
+  const std::string dir = FreshDir("keyed_storm_dir");
+
+  KeyedEngineOptions options;
+  options.spec = ParseSinkSpec("bop-seq-single,n=8,seed=11").ValueOrDie();
+  options.memory_budget_bytes = kBudget;
+  options.spill_dir = dir;
+  auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
+
+  auto gen = WorkloadGenerator::Create(
+                 "bmodel@zipf,bias=0.75,levels=8,volume=4096,domain=512,"
+                 "alpha=1.1",
+                 /*seed=*/29)
+                 .ValueOrDie();
+  const std::vector<Item> items = gen->Take(kItems);
+
+  std::map<uint64_t, std::unique_ptr<ExactWindow>> oracles;
+  std::map<uint64_t, uint64_t> local_count;
+  for (const Item& item : items) {
+    engine->Observe(item);
+    ASSERT_LE(engine->ChargedBytes(), kBudget);
+    auto& oracle = oracles[item.value];
+    if (!oracle) {
+      oracle = ExactWindow::CreateSequence(kWindow, 1, true, item.value)
+                   .ValueOrDie();
+    }
+    oracle->Observe(
+        Item{item.value, local_count[item.value]++, item.timestamp});
+  }
+  ASSERT_TRUE(engine->status().ok()) << engine->status().ToString();
+  EXPECT_EQ(engine->stats().items, kItems);
+  EXPECT_GT(engine->stats().evictions, 0u);  // the storm actually happened
+  EXPECT_GT(engine->stats().restores, 0u);
+
+  // One end-of-stream draw per full-window key, pooled across keys: each
+  // draw must land inside that key's exact local window, and the window
+  // position must be uniform.
+  std::vector<uint64_t> counts(kWindow, 0);
+  uint64_t full_window_keys = 0;
+  for (const auto& [key, oracle] : oracles) {
+    const uint64_t n = local_count[key];
+    if (n < kWindow) continue;
+    auto sample = engine->SampleKey(key).ValueOrDie();
+    ASSERT_EQ(sample.size(), 1u) << "key " << key;
+    const Item& s = sample[0];
+    EXPECT_EQ(s.value, key);
+    ASSERT_GE(s.index, n - kWindow) << "key " << key;
+    ASSERT_LT(s.index, n) << "key " << key;
+    bool found = false;
+    for (const Item& item : oracle->contents()) {
+      found = found || item.index == s.index;
+    }
+    EXPECT_TRUE(found) << "key " << key << " sampled outside its window";
+    ++counts[s.index - (n - kWindow)];
+    ++full_window_keys;
+  }
+  EXPECT_GE(full_window_keys, 64u);  // enough pooled draws to mean anything
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/29));
+}
+
+TEST(KeyedEngineTest, TtlExpiryRacesPromotion) {
+  KeyedEngineOptions options;
+  options.spec = ParseSinkSpec("bop-ts-single,t=100,seed=8").ValueOrDie();
+  options.hot_spec = ParseSinkSpec("exact-ts,t=100,k=4,seed=8").ValueOrDie();
+  options.promote_after = 10;
+  options.idle_ttl = 50;
+  auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
+
+  // Key 1 crosses the promotion threshold (the 10th arrival promotes).
+  for (uint64_t i = 0; i < 20; ++i) {
+    engine->Observe(Item{1, i, static_cast<Timestamp>(i)});
+  }
+  EXPECT_EQ(engine->stats().promotions, 1u);
+  EXPECT_EQ(engine->SampleKey(1).ValueOrDie().size(), 4u);
+
+  // Key 2 sits one arrival below the threshold when the clock jumps.
+  for (uint64_t i = 20; i < 29; ++i) {
+    engine->Observe(Item{2, i, static_cast<Timestamp>(i)});
+  }
+  EXPECT_EQ(engine->stats().promotions, 1u);
+
+  // TTL expiry must evict hot-tier and about-to-promote keys alike.
+  engine->AdvanceTime(200);
+  EXPECT_FALSE(engine->HasKey(1));
+  EXPECT_FALSE(engine->HasKey(2));
+  EXPECT_EQ(engine->stats().expirations, 2u);
+
+  // The formerly-promoted key restarts on the tail tier and re-earns
+  // promotion from zero: nine arrivals stay k=1, the tenth re-promotes.
+  for (uint64_t i = 0; i < 9; ++i) {
+    engine->Observe(Item{1, 29 + i, static_cast<Timestamp>(201 + i)});
+  }
+  EXPECT_EQ(engine->stats().promotions, 1u);
+  EXPECT_EQ(engine->SampleKey(1).ValueOrDie().size(), 1u);
+  engine->Observe(Item{1, 38, 210});
+  EXPECT_EQ(engine->stats().promotions, 2u);
+  EXPECT_EQ(engine->SampleKey(1).ValueOrDie().size(), 4u);
 }
 
 TEST(KeyedEngineTest, ShardedKeyHashDriveOwnsEachKeyInOneEngine) {

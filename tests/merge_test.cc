@@ -15,6 +15,7 @@
 #include "baseline/exact_window.h"
 #include "core/api.h"
 #include "core/registry.h"
+#include "stat_check.h"
 #include "stats/tests.h"
 
 namespace swsample {
@@ -123,9 +124,7 @@ TEST(SamplerSnapshotTest, MergedWithReplacementIsUniformOverUnion) {
       ++counts[item.value / 10];
     }
   }
-  auto result = ChiSquareUniform(counts);
-  EXPECT_GT(result.p_value, 1e-4)
-      << "chi2=" << result.statistic << " p=" << result.p_value;
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/0));
 }
 
 // Without replacement: merged samples must be distinct and uniform; the
@@ -152,9 +151,7 @@ TEST(SamplerSnapshotTest, MergedWithoutReplacementIsUniformOverUnion) {
     }
     EXPECT_EQ(distinct.size(), kK) << "merged WOR sample has duplicates";
   }
-  auto result = ChiSquareUniform(counts);
-  EXPECT_GT(result.p_value, 1e-4)
-      << "chi2=" << result.statistic << " p=" << result.p_value;
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/0xabcd));
 }
 
 // Folding more than two shards must stay uniform (associativity in
@@ -173,9 +170,7 @@ TEST(SamplerSnapshotTest, ThreeWayMergeStaysUniform) {
     EXPECT_EQ(merged.active, 300u);
     for (const Item& item : merged.sample) ++counts[item.value / 10];
   }
-  auto result = ChiSquareUniform(counts);
-  EXPECT_GT(result.p_value, 1e-4)
-      << "chi2=" << result.statistic << " p=" << result.p_value;
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/1));
 }
 
 // A shard whose window is still filling contributes proportionally to its

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "core/registry.h"
+#include "stat_check.h"
 #include "stats/tests.h"
 #include "stream/arrival.h"
 #include "stream/driver.h"
@@ -153,9 +154,7 @@ void CheckBatchedUniform(const char* name) {
   const uint64_t stream_len = 3 * n + 7;
   auto counts = PositionCounts(name, n, stream_len, /*batch=*/17,
                                /*trials=*/30000, /*seed=*/1000);
-  auto result = ChiSquareUniform(counts);
-  EXPECT_GT(result.p_value, 1e-4)
-      << name << " batched stat=" << result.statistic;
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/1000)) << name << " batched";
 }
 
 TEST(RegistryTest, BatchedSeqSwrUniform) { CheckBatchedUniform("bop-seq-swr"); }
@@ -180,15 +179,7 @@ TEST(RegistryTest, BatchMatchesObserveDistributionally) {
     auto unbatched = PositionCounts(name, n, stream_len, /*batch=*/0, trials,
                                     /*seed=*/9000);
     // Two-sample chi-square on the contingency table of (position, path).
-    double stat = 0.0;
-    for (uint64_t i = 0; i < n; ++i) {
-      const double a = static_cast<double>(batched[i]);
-      const double b = static_cast<double>(unbatched[i]);
-      if (a + b == 0) continue;
-      stat += (a - b) * (a - b) / (a + b);
-    }
-    // df = n - 1 = 15; the 1e-4 quantile of chi^2_15 is ~44.3.
-    EXPECT_LT(stat, 44.3) << name;
+    EXPECT_TRUE(SameDistribution(batched, unbatched, /*seed=*/7000)) << name;
   }
 }
 

@@ -1,0 +1,88 @@
+// Copyright (c) swsample authors. Licensed under the MIT license.
+//
+// Shared distributional assertions for the test suite.
+//
+// Every uniformity / equivalence check in the suite reduces to one of two
+// shapes, previously re-implemented (with a hardcoded chi^2 quantile) in
+// ts_batch_test.cc, merge_test.cc, and registry_test.cc:
+//
+//  * IsUniform(counts, seed): one-sample chi-square of observed cell counts
+//    against the uniform expectation;
+//  * SameDistribution(a, b, seed): two-sample chi-square on the
+//    (cell, path) contingency table with equal column margins — the
+//    standard check that two sampling paths (batched vs item-at-a-time,
+//    merged vs direct) draw from the same distribution.
+//
+// Both return ::testing::AssertionResult carrying the failing SEED and the
+// test STATISTIC, so a flaky-looking failure in CI is reproducible from
+// the log line alone. Significance is 1e-4 per check by default (the
+// suite-wide convention: a few hundred checks keep the false-positive rate
+// per run well under 5%). P-values come from stats/special.h's regularized
+// gamma tail, not from hardcoded quantiles, so cell counts can vary freely.
+
+#ifndef SWSAMPLE_TESTS_STAT_CHECK_H_
+#define SWSAMPLE_TESTS_STAT_CHECK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/special.h"
+#include "stats/tests.h"
+
+namespace swsample {
+
+/// One-sample uniformity: EXPECT_TRUE(IsUniform(counts, seed)). Passes when
+/// the chi-square p-value exceeds `p_min`.
+inline ::testing::AssertionResult IsUniform(
+    const std::vector<uint64_t>& counts, uint64_t seed, double p_min = 1e-4) {
+  const ChiSquareResult result = ChiSquareUniform(counts);
+  if (result.p_value > p_min) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "not uniform: chi2=" << result.statistic << " df=" << result.df
+         << " p=" << result.p_value << " (threshold " << p_min
+         << "), reproduce with seed=" << seed;
+}
+
+/// Two-sample chi-square statistic on the (cell, path) contingency table;
+/// requires equal total counts in `a` and `b` (equal trial counts), which
+/// makes the per-cell expectation (a_i + b_i) / 2.
+inline double TwoSampleChiSquare(const std::vector<uint64_t>& a,
+                                 const std::vector<uint64_t>& b) {
+  double stat = 0.0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    if (x + y == 0) continue;
+    stat += (x - y) * (x - y) / (x + y);
+  }
+  return stat;
+}
+
+/// Two-sample equivalence: EXPECT_TRUE(SameDistribution(a, b, seed)).
+/// Degrees of freedom = occupied cells - 1 (cells empty in both samples
+/// carry no information and are excluded, matching TwoSampleChiSquare).
+inline ::testing::AssertionResult SameDistribution(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b,
+    uint64_t seed, double p_min = 1e-4) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "cell count mismatch: " << a.size() << " vs " << b.size();
+  }
+  uint64_t occupied = 0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    if (a[i] + b[i] > 0) ++occupied;
+  }
+  if (occupied < 2) return ::testing::AssertionSuccess();
+  const double stat = TwoSampleChiSquare(a, b);
+  const double p = ChiSquareTail(stat, static_cast<double>(occupied - 1));
+  if (p > p_min) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "distributions differ: chi2=" << stat << " df=" << occupied - 1
+         << " p=" << p << " (threshold " << p_min
+         << "), reproduce with seed=" << seed;
+}
+
+}  // namespace swsample
+
+#endif  // SWSAMPLE_TESTS_STAT_CHECK_H_

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "core/registry.h"
+#include "stat_check.h"
 #include "stats/tests.h"
 
 namespace swsample {
@@ -83,27 +84,11 @@ std::vector<uint64_t> TsPositionCounts(const char* name, uint64_t k,
   return counts;
 }
 
-// Two-sample chi-square on the (position, path) contingency table; both
-// margins use equal trial counts. df = kActive - 1 = 15; the 1e-4
-// quantile of chi^2_15 is ~44.3 (same bound as the sequence-family test).
-double TwoSampleStat(const std::vector<uint64_t>& a,
-                     const std::vector<uint64_t>& b) {
-  double stat = 0.0;
-  for (uint64_t i = 0; i < a.size(); ++i) {
-    const double x = static_cast<double>(a[i]);
-    const double y = static_cast<double>(b[i]);
-    if (x + y == 0) continue;
-    stat += (x - y) * (x - y) / (x + y);
-  }
-  return stat;
-}
-
 void CheckBatchedUniform(const char* name, uint64_t batch) {
   auto counts = TsPositionCounts(name, /*k=*/1, batch, /*trials=*/30000,
                                  /*seed=*/2000);
-  auto result = ChiSquareUniform(counts);
-  EXPECT_GT(result.p_value, 1e-4)
-      << name << " batch=" << batch << " stat=" << result.statistic;
+  EXPECT_TRUE(IsUniform(counts, /*seed=*/2000))
+      << name << " batch=" << batch;
 }
 
 // Ragged batches cut both long runs mid-run (boundaries at 17 and 34).
@@ -128,7 +113,7 @@ TEST(TsBatchTest, BatchMatchesObserveDistributionally) {
                                     /*seed=*/4000);
     auto unbatched = TsPositionCounts(name, /*k=*/1, /*batch=*/0, trials,
                                       /*seed=*/6000);
-    EXPECT_LT(TwoSampleStat(batched, unbatched), 44.3) << name;
+    EXPECT_TRUE(SameDistribution(batched, unbatched, /*seed=*/4000)) << name;
   }
 }
 
@@ -141,9 +126,8 @@ TEST(TsBatchTest, SworMultiSampleBatchMatchesObserve) {
                                   trials, /*seed=*/8000);
   auto unbatched = TsPositionCounts("bop-ts-swor", /*k=*/4, /*batch=*/0,
                                     trials, /*seed=*/10000);
-  EXPECT_LT(TwoSampleStat(batched, unbatched), 44.3);
-  auto uniform = ChiSquareUniform(batched);
-  EXPECT_GT(uniform.p_value, 1e-4) << "stat=" << uniform.statistic;
+  EXPECT_TRUE(SameDistribution(batched, unbatched, /*seed=*/8000));
+  EXPECT_TRUE(IsUniform(batched, /*seed=*/8000));
 }
 
 }  // namespace
