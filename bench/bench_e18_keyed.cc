@@ -1,28 +1,40 @@
 // Copyright (c) swsample authors. Licensed under the MIT license.
 //
 // E18: multi-tenant keyed engine scaling. Sweeps key cardinality
-// 1e3 -> 1e6 under Zipfian and uniform key distributions and reports,
-// per row: aggregate items/s through the engine, retained bytes per
-// live key, live/spilled key counts, and (for the budgeted rows)
-// eviction/restore latency plus whether the budget ever bound was
-// exceeded.
+// 1e3 -> 1e7 under workload-generator streams (stream/workload.h:
+// Zipf/uniform constant-rate, b-model burst cascades, adversarial churn)
+// and reports, per row, BOTH delivery modes through the engine:
+//
+//   items_per_sec_item      one Observe() call per arrival
+//   items_per_sec_batch16k  ObserveBatch() in 16384-item blocks — the
+//                           key-run demux + per-key micro-batch path
+//   speedup_batch16k        their ratio (scored by the gate: losing the
+//                           demux fast path is a code regression even
+//                           though absolute items/s is host noise)
 //
 // Row classes:
 //  * sweep rows ("zipf/1eK", "uniform/1eK") — unbudgeted; TTL bounds the
 //    live set at high cardinality. Measures directory + per-key sink
-//    scaling.
-//  * budget rows ("budget/zipf/1eK") — hard RetainedBytes budget with a
-//    spill directory; evictions and restores are the measured path. The
-//    `budget_exceeded` metric is 0 when ChargedBytes() stayed under the
-//    budget at every arrival boundary (the engine's invariant), 1
-//    otherwise.
+//    scaling; the 1e7 row is the full key-directory stress.
+//  * burst/churn rows — b-model self-similar bursts and the PR-7
+//    covering-churn stress through the keyed demux (runs are long
+//    same-key plateaus, the demux best case; churn value cycling is
+//    its worst case).
+//  * budget rows ("budget/zipf/1eK") — hard ChargedBytes budget with a
+//    spill directory; evictions and restores are the measured path.
+//    `budget_exceeded` is 0 when ChargedBytes() stayed under the budget
+//    at every enforcement boundary in BOTH modes, 1 otherwise.
+//    `evict_us_avg` is the per-eviction wall cost of the item-wise run
+//    (one spill file + enforcement pass per victim);
+//    `evict_batch_amortized_us` is the batched run's per-eviction cost
+//    with victims grouped into SpillBatch passes — the metric the gate
+//    scores (lower is better).
 //
-// Gating: the 1e3/1e4 rows run IDENTICAL workloads in smoke and full
-// mode and carry "gated": 1 — their bytes_per_key and budget_exceeded
-// are deterministic (seeded streams, capacity-driven state) and are
-// scored by scripts/bench_check.py. The 1e5/1e6 rows are full-mode only
-// ("gated": 0, skipped by the gate); absolute items/s is informational
-// everywhere, as host-dependent throughput always is in this repo.
+// Gating: gated rows run IDENTICAL workloads in smoke and full mode;
+// their bytes_per_key and budget_exceeded are deterministic (seeded
+// workloads, capacity-driven state) and speedup_batch16k is a property
+// of the code path, so scripts/bench_check.py scores all three. The
+// 1e5/1e6/1e7 rows are full-mode only ("gated": 0, skipped by the gate).
 //
 // Spill durability (fsync per eviction) is off here: the bench measures
 // working-set overflow, not crash recovery — the keyed_engine tests own
@@ -37,8 +49,7 @@
 
 #include "bench/bench_util.h"
 #include "stream/keyed_engine.h"
-#include "stream/value_gen.h"
-#include "util/rng.h"
+#include "stream/workload.h"
 
 using namespace swsample;
 using namespace swsample::bench;
@@ -47,55 +58,86 @@ namespace {
 
 namespace fs = std::filesystem;
 
+constexpr uint64_t kBatchItems = 16384;
+constexpr uint64_t kWorkloadSeed = 0x18e;
+
 struct RowResult {
-  double items_per_sec = 0.0;
+  double item_per_sec = 0.0;
+  double batch_per_sec = 0.0;
+  double speedup = 0.0;
   double bytes_per_key = 0.0;
-  KeyedEngineStats stats;
+  bool exceeded = false;        // either mode ever over budget
+  KeyedEngineStats item_stats;  // item-wise run
+  KeyedEngineStats stats;       // batched run (reported state)
 };
 
-std::unique_ptr<ValueGenerator> MakeValues(const std::string& dist,
-                                           uint64_t keys) {
-  if (dist == "zipf") {
-    return ZipfValues::Create(keys, 1.1).ValueOrDie();
-  }
-  return UniformValues::Create(keys).ValueOrDie();
-}
-
-// Drives `items` keyed arrivals (timestamps = arrival index) through a
-// fresh engine and measures wall-clock ingest throughput.
-RowResult RunRow(const KeyedEngineOptions& options, const std::string& dist,
-                 uint64_t keys, uint64_t items) {
-  auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
-  auto values = MakeValues(dist, keys);
-  Rng rng(0x18e * keys + (dist == "zipf" ? 1 : 2));
-
-  // Pre-materialize so value generation stays out of the timed region.
-  std::vector<Item> stream;
-  stream.reserve(items);
-  for (uint64_t i = 0; i < items; ++i) {
-    stream.push_back(
-        Item{values->Next(rng), i, static_cast<Timestamp>(i)});
-  }
-
-  const auto start = std::chrono::steady_clock::now();
-  engine->ObserveBatch(stream);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  if (!engine->status().ok()) {
-    std::fprintf(stderr, "E18 engine error: %s\n",
-                 engine->status().ToString().c_str());
-    std::exit(1);
-  }
+// The same pre-materialized stream through fresh engines: one
+// Observe() per item, then ObserveBatch() in 16k blocks. Workload
+// generation stays outside both timed regions. Gated rows run each
+// mode `reps` times and keep the fastest timing (the engines are
+// deterministic, so every rep reports identical state): the gate
+// scores the mode RATIO, and a single scheduler hiccup inside a
+// tens-of-milliseconds timing region would otherwise swing it.
+RowResult RunRow(const KeyedEngineOptions& options, const std::string& spec,
+                 uint64_t items, int reps = 1) {
+  auto generator =
+      WorkloadGenerator::Create(spec, kWorkloadSeed).ValueOrDie();
+  const std::vector<Item> stream = generator->Take(items);
 
   RowResult result;
-  result.stats = engine->stats();
-  result.items_per_sec = seconds > 0 ? items / seconds : 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    if (!options.spill_dir.empty()) fs::remove_all(options.spill_dir);
+    auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
+    const auto start = std::chrono::steady_clock::now();
+    for (const Item& item : stream) engine->Observe(item);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (!engine->status().ok()) {
+      std::fprintf(stderr, "E18 engine error (item mode): %s\n",
+                   engine->status().ToString().c_str());
+      std::exit(1);
+    }
+    result.item_stats = engine->stats();
+    result.item_per_sec =
+        std::max(result.item_per_sec, seconds > 0 ? items / seconds : 0.0);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    // The previous run leaves its spill files behind; start each run
+    // from the same clean slate.
+    if (!options.spill_dir.empty()) fs::remove_all(options.spill_dir);
+    auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
+    const std::span<const Item> all(stream);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t offset = 0; offset < all.size(); offset += kBatchItems) {
+      engine->ObserveBatch(
+          all.subspan(offset, std::min<size_t>(kBatchItems,
+                                               all.size() - offset)));
+    }
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (!engine->status().ok()) {
+      std::fprintf(stderr, "E18 engine error (batch mode): %s\n",
+                   engine->status().ToString().c_str());
+      std::exit(1);
+    }
+    result.stats = engine->stats();
+    result.batch_per_sec =
+        std::max(result.batch_per_sec, seconds > 0 ? items / seconds : 0.0);
+  }
+  result.speedup = result.item_per_sec > 0
+                       ? result.batch_per_sec / result.item_per_sec
+                       : 0.0;
   result.bytes_per_key =
       result.stats.live_keys > 0
           ? static_cast<double>(result.stats.charged_bytes) /
                 static_cast<double>(result.stats.live_keys)
           : 0.0;
+  result.exceeded =
+      options.memory_budget_bytes > 0 &&
+      (result.stats.peak_charged_bytes > options.memory_budget_bytes ||
+       result.item_stats.peak_charged_bytes > options.memory_budget_bytes);
   return result;
 }
 
@@ -105,125 +147,199 @@ std::string TempSpillDir(const std::string& row) {
   return dir.string();
 }
 
+void PrintRow(const std::string& row, uint64_t keys, uint64_t items,
+              const RowResult& r) {
+  Row({row, U(keys), U(items), F(r.item_per_sec / 1e6, 2),
+       F(r.batch_per_sec / 1e6, 2), F(r.speedup, 2), F(r.bytes_per_key, 1),
+       U(r.stats.live_keys), U(r.stats.evictions), U(r.stats.restores)});
+}
+
 }  // namespace
 
 int main() {
   Banner("E18: keyed multi-tenant engine scaling",
-         "per-key windows over 1e3..1e6 tenants ingest at memory bounded "
-         "by the live set, with spill/restore absorbing budget overflow");
+         "per-key windows over 1e3..1e7 tenants; batched key-run demux "
+         "vs per-item routing, with spill/restore absorbing budget "
+         "overflow");
 
-  Row({"row", "keys", "items", "Mitems/s", "B/key", "live", "spilled",
-       "evict", "restore"});
+  Row({"row", "keys", "items", "item M/s", "b16k M/s", "speedup", "B/key",
+       "live", "evict", "restore"});
 
+  // --- Sweep rows: constant-rate arrivals (4/step), Zipf vs uniform
+  // tenant draws. The workload value IS the tenant key (key_shift 0).
   struct Config {
     uint64_t keys;
     const char* label;
+    uint64_t items;
     bool gated;  // identical workload in smoke + full; scored by the gate
   };
+  // Gated rows are sized so each timed mode runs for tens of
+  // milliseconds: speedup_batch16k is gate-scored, and a 2 ms timing
+  // region would make the ratio flap run to run.
   const Config kConfigs[] = {
-      {1000, "1e3", true},
-      {10000, "1e4", true},
-      {100000, "1e5", false},
-      {1000000, "1e6", false},
+      {1000, "1e3", 128000, true},
+      {10000, "1e4", 640000, true},
+      {100000, "1e5", 1600000, false},
+      {1000000, "1e6", 4000000, false},
+      {10000000, "1e7", 10000000, false},
   };
 
   for (const Config& config : kConfigs) {
     if (SmokeMode() && !config.gated) continue;
-    // 16 arrivals per key on average, capped to keep the 1e6 row under
-    // a minute; gated rows use the fixed (uncapped) size in both modes.
-    const uint64_t items =
-        config.gated ? config.keys * 16
-                     : std::min<uint64_t>(config.keys * 16, 4000000);
     for (const char* dist : {"zipf", "uniform"}) {
+      // Constant rate 4 advances the clock every 4 items, so the total
+      // stream spans items/4 time units; the per-key window covers the
+      // last quarter of that and the gated rows' TTL never fires
+      // (deterministic live set / bytes_per_key) while the full-mode
+      // rows cap the live set near ~128k keys.
+      char workload[128];
+      std::snprintf(workload, sizeof(workload),
+                    "constant@%s,rate=4,domain=%" PRIu64 "%s", dist,
+                    config.keys,
+                    std::string(dist) == "zipf" ? ",alpha=1.1" : "");
       KeyedEngineOptions options;
-      // Per-key timestamp window sized to the mean per-key arrival gap,
-      // so a typical key holds a handful of active items.
       char spec[64];
       std::snprintf(spec, sizeof(spec), "bop-ts-single,t=%" PRIu64 ",seed=7",
-                    4 * config.keys);
+                    config.keys);
       options.spec = ParseSinkSpec(spec).ValueOrDie();
-      // TTL bounds the live set at high cardinality (tenant departure);
-      // sized so the gated rows never expire anyone (deterministic
-      // bytes_per_key) while the 1e5/1e6 rows cap near ~128k live keys.
       options.idle_ttl = config.gated
-                             ? static_cast<Timestamp>(items)
-                             : std::min<Timestamp>(items, 131072);
+                             ? static_cast<Timestamp>(config.items)
+                             : std::min<Timestamp>(config.items, 131072);
       options.max_keys_hint = std::min<uint64_t>(config.keys, 1 << 17);
-      const std::string row =
-          std::string(dist) + "/" + config.label;
-      const RowResult r = RunRow(options, dist, config.keys, items);
-      Row({row, U(config.keys), U(items), F(r.items_per_sec / 1e6, 2),
-           F(r.bytes_per_key, 1), U(r.stats.live_keys),
-           U(r.stats.spilled_keys), U(r.stats.evictions),
-           U(r.stats.restores)});
+      const std::string row = std::string(dist) + "/" + config.label;
+      const RowResult r =
+          RunRow(options, workload, config.items, config.gated ? 2 : 1);
+      PrintRow(row, config.keys, config.items, r);
       BenchReporter::Global().Report(
           "e18", row,
           {{"gated", config.gated ? 1.0 : 0.0},
-           {"items_per_sec", r.items_per_sec},
+           {"items_per_sec_item", r.item_per_sec},
+           {"items_per_sec_batch16k", r.batch_per_sec},
+           {"speedup_batch16k", r.speedup},
            {"bytes_per_key", r.bytes_per_key},
            {"live_keys", static_cast<double>(r.stats.live_keys)}});
     }
   }
 
-  // Budget rows: a hard ChargedBytes() ceiling with spill/restore churn.
-  // The budget is sized to bind (well under the unbudgeted live-set
-  // footprint) so evictions and restores are actually on the hot path.
+  // --- Burst + churn rows: the demux's best case (b-model epochs are
+  // long same-key plateau runs) and worst case (churn cycles values, so
+  // nearly every item opens a new run).
+  struct ShapeConfig {
+    const char* row;
+    const char* workload;
+    uint64_t keys;  // window sizing + directory hint
+    uint64_t items;
+    bool gated;
+  };
+  const ShapeConfig kShapes[] = {
+      {"burst/zipf/1e4",
+       "bmodel@zipf,bias=0.75,levels=8,volume=4096,domain=10000,alpha=1.1",
+       10000, 160000, true},
+      {"burst/zipf/1e6",
+       "bmodel@zipf,bias=0.75,levels=8,volume=4096,domain=1000000,alpha=1.1",
+       1000000, 4000000, false},
+      {"churn/1e4", "churn@zipf,t=4096,domain=10000,alpha=1.1", 10000,
+       160000, true},
+  };
+  for (const ShapeConfig& config : kShapes) {
+    if (SmokeMode() && !config.gated) continue;
+    KeyedEngineOptions options;
+    char spec[64];
+    std::snprintf(spec, sizeof(spec), "bop-ts-single,t=%" PRIu64 ",seed=7",
+                  config.keys);
+    options.spec = ParseSinkSpec(spec).ValueOrDie();
+    options.idle_ttl = 0;  // burst/churn clocks jump; no tenant departure
+    options.max_keys_hint = std::min<uint64_t>(config.keys, 1 << 17);
+    const RowResult r =
+        RunRow(options, config.workload, config.items, config.gated ? 2 : 1);
+    PrintRow(config.row, config.keys, config.items, r);
+    BenchReporter::Global().Report(
+        "e18", config.row,
+        {{"gated", config.gated ? 1.0 : 0.0},
+         {"items_per_sec_item", r.item_per_sec},
+         {"items_per_sec_batch16k", r.batch_per_sec},
+         {"speedup_batch16k", r.speedup},
+         {"bytes_per_key", r.bytes_per_key},
+         {"live_keys", static_cast<double>(r.stats.live_keys)}});
+  }
+
+  // --- Budget rows: a hard ChargedBytes() ceiling with spill/restore
+  // churn. The budget is sized to bind (well under the unbudgeted
+  // live-set footprint) so evictions and restores are on the hot path
+  // in both delivery modes.
   struct BudgetConfig {
     uint64_t keys;
     const char* label;
+    uint64_t items;
     uint64_t budget_bytes;
     bool gated;
   };
   const BudgetConfig kBudgetConfigs[] = {
-      {10000, "1e4", 2 << 20, true},
-      {1000000, "1e6", 48 << 20, false},
+      {10000, "1e4", 160000, 2 << 20, true},
+      {1000000, "1e6", 4000000, 48 << 20, false},
   };
   for (const BudgetConfig& config : kBudgetConfigs) {
     if (SmokeMode() && !config.gated) continue;
-    const uint64_t items =
-        config.gated ? config.keys * 16
-                     : std::min<uint64_t>(config.keys * 16, 4000000);
     const std::string row = std::string("budget/zipf/") + config.label;
     KeyedEngineOptions options;
     char spec[64];
     std::snprintf(spec, sizeof(spec), "bop-ts-single,t=%" PRIu64 ",seed=7",
-                  4 * config.keys);
+                  config.keys);
     options.spec = ParseSinkSpec(spec).ValueOrDie();
+    char workload[128];
+    std::snprintf(workload, sizeof(workload),
+                  "constant@zipf,rate=4,domain=%" PRIu64 ",alpha=1.1",
+                  config.keys);
     options.memory_budget_bytes = config.budget_bytes;
     options.spill_dir = TempSpillDir(config.label);
     options.fsync_spills = false;
-    options.idle_ttl = std::min<Timestamp>(items, 131072);
+    options.idle_ttl = std::min<Timestamp>(config.items, 131072);
     options.max_keys_hint = std::min<uint64_t>(config.keys, 1 << 17);
-    const RowResult r = RunRow(options, "zipf", config.keys, items);
-    const bool exceeded =
-        r.stats.peak_charged_bytes > config.budget_bytes;
-    const double evict_us = r.stats.evictions > 0
-                                ? 1e6 * r.stats.evict_seconds /
-                                      static_cast<double>(r.stats.evictions)
-                                : 0.0;
+    const RowResult r =
+        RunRow(options, workload, config.items, config.gated ? 2 : 1);
+    const double evict_us =
+        r.item_stats.evictions > 0
+            ? 1e6 * r.item_stats.evict_seconds /
+                  static_cast<double>(r.item_stats.evictions)
+            : 0.0;
+    const double evict_batch_us =
+        r.stats.evictions > 0
+            ? 1e6 * r.stats.evict_seconds /
+                  static_cast<double>(r.stats.evictions)
+            : 0.0;
     const double restore_us =
         r.stats.restores > 0
             ? 1e6 * r.stats.restore_seconds /
                   static_cast<double>(r.stats.restores)
             : 0.0;
-    Row({row, U(config.keys), U(items), F(r.items_per_sec / 1e6, 2),
-         F(r.bytes_per_key, 1), U(r.stats.live_keys),
-         U(r.stats.spilled_keys), U(r.stats.evictions),
-         U(r.stats.restores)});
-    std::printf("  %s: budget %.1f MiB, peak %.1f MiB%s, evict %.1f us, "
-                "restore %.1f us\n",
+    PrintRow(row, config.keys, config.items, r);
+    std::printf("  %s: budget %.1f MiB, peak %.1f MiB%s, evict %.1f us "
+                "item-wise / %.1f us batched (%" PRIu64
+                " spill batches), restore %.1f us (%" PRIu64
+                " prefetched)\n",
                 row.c_str(), config.budget_bytes / 1048576.0,
                 r.stats.peak_charged_bytes / 1048576.0,
-                exceeded ? " EXCEEDED" : "", evict_us, restore_us);
+                r.exceeded ? " EXCEEDED" : "", evict_us, evict_batch_us,
+                r.stats.spill_batches, restore_us,
+                r.stats.prefetched_restores);
+    // Budget rows report the mode ratio under a name the gate does NOT
+    // score: both timed regions are dominated by spill-file I/O, so the
+    // ratio tracks page-cache and writeback state, not the code path.
+    // The scored metrics here are budget_exceeded (invariant), the
+    // deterministic eviction/restore counts, and the amortized batched
+    // spill cost below.
     BenchReporter::Global().Report(
         "e18", row,
         {{"gated", config.gated ? 1.0 : 0.0},
-         {"items_per_sec", r.items_per_sec},
+         {"items_per_sec_item", r.item_per_sec},
+         {"items_per_sec_batch16k", r.batch_per_sec},
+         {"batch_vs_item_ratio", r.speedup},
          {"bytes_per_key", r.bytes_per_key},
-         {"budget_exceeded", exceeded ? 1.0 : 0.0},
+         {"budget_exceeded", r.exceeded ? 1.0 : 0.0},
          {"evictions", static_cast<double>(r.stats.evictions)},
          {"restores", static_cast<double>(r.stats.restores)},
          {"evict_us_avg", evict_us},
+         {"evict_batch_amortized_us", evict_batch_us},
          {"restore_us_avg", restore_us}});
     fs::remove_all(options.spill_dir);
   }

@@ -31,6 +31,12 @@
 //                        coldest keys spill to disk when the budget binds
 //   --key-ttl=<t>        drop keys idle longer than t timestamp units
 //   --spill-dir=<d>      directory for keyed-mode eviction spill files
+//   --key-strict-budget  enforce the keyed memory budget after every item
+//                        instead of after every per-key micro-batch (the
+//                        batched default); per-item cost
+//   --key-sync-restore   restore spilled keys synchronously instead of
+//                        prefetching their file bytes on the background
+//                        reader thread (results are identical either way)
 //   --file=<path>        read events from a file instead of stdin
 //   --workload=<spec>    synthesize the stream instead of reading one: a
 //                        seeded workload generator in the grammar of
@@ -125,7 +131,8 @@ void Usage(const char* argv0) {
                "usage: %s [--sink=<spec> | --algo=<name> | "
                "--estimator=<name> [--substrate=<name>]] "
                "[--keys[=<shift>] [--key-budget=<b> --spill-dir=<d>] "
-               "[--key-ttl=<t>]] [--file=<path> | --workload=<spec> "
+               "[--key-ttl=<t>] [--key-strict-budget] [--key-sync-restore]] "
+               "[--file=<path> | --workload=<spec> "
                "[--items=<n>] [--record-trace=<p>] | --replay-trace=<p>] "
                "[--batch=<n>] "
                "[--seed=<n>] [--moment=<k>] [--vertices=<v>] [--q=<q>] "
@@ -431,6 +438,8 @@ struct KeyedRun {
   uint64_t budget_bytes = 0;    // --key-budget
   Timestamp idle_ttl = 0;       // --key-ttl
   std::string spill_dir;        // --spill-dir
+  bool strict_budget = false;   // --key-strict-budget
+  bool sync_restore = false;    // --key-sync-restore
 };
 
 /// Drives the stream through one keyed engine per shard (key-hash
@@ -444,6 +453,8 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
   options.memory_budget_bytes = keyed.budget_bytes;
   options.idle_ttl = keyed.idle_ttl;
   options.spill_dir = keyed.spill_dir;
+  options.strict_budget = keyed.strict_budget;
+  options.async_restore = !keyed.sync_restore;
 
   const bool sharded = run.threads > 1 || run.shards > 1;
   std::vector<std::unique_ptr<KeyedWindowEngine>> engines;
@@ -459,8 +470,11 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
     driver_options.threads = run.threads;
     driver_options.chunk_items = run.batch == 0 ? 1024 : run.batch;
     // Keys must be whole: every arrival of a key has to reach the engine
-    // that owns it, so keyed sharding is always key-hash partitioned.
+    // that owns it, so keyed sharding is always key-hash partitioned, and
+    // the router hashes the SHIFTED tenant id so --keys=<shift> keeps
+    // each folded key on one engine.
     driver_options.partition = ShardPartition::kKeyHash;
+    driver_options.key_shift = keyed.key_shift;
     ShardedStreamDriver driver(driver_options);
     std::vector<StreamSink*> sinks = SinkPointers(engines);
     auto result =
@@ -655,6 +669,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       keyed.idle_ttl = static_cast<Timestamp>(ttl);
+    } else if (std::strcmp(arg, "--key-strict-budget") == 0) {
+      keyed.strict_budget = true;
+    } else if (std::strcmp(arg, "--key-sync-restore") == 0) {
+      keyed.sync_restore = true;
     } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
       keyed.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
@@ -870,14 +888,6 @@ int main(int argc, char** argv) {
                    "error: keyed sharding must keep each key on one "
                    "engine; --partition=chunks is incompatible with "
                    "--keys\n");
-      return 2;
-    }
-    if (keyed.key_shift > 0 && (threads > 1 || shards > 1)) {
-      // The driver's key-hash partition routes on the raw value, so a
-      // shifted tenant id could land one tenant on several engines.
-      std::fprintf(stderr,
-                   "error: --keys=<shift> requires --threads=1 (sharded "
-                   "routing hashes the unshifted value)\n");
       return 2;
     }
     ShardedRun run;

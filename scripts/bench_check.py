@@ -19,7 +19,17 @@ The gate scores four metric classes:
     >threshold INCREASE breaks the Theorem 3.9 structure bound under the
     adversarial churn workloads;
   * "budget_exceeded" (keyed-engine budget rows): 0/1 invariant flag —
-    any fresh run reporting 1 fails outright, whatever the baseline.
+    any fresh run reporting 1 fails outright, whatever the baseline;
+  * "evict_batch_amortized_us" (keyed-engine budget rows): per-eviction
+    wall cost of the batched spill pass. Lower is better, and it is a
+    raw timing on a shared runner, so the allowance is deliberately wide
+    (4x baseline) — the gate exists to catch losing SpillBatch grouping
+    (which regresses the metric by an order of magnitude), not to score
+    disk jitter.
+Keyed (e18) rows additionally WARN when speedup_batch16k sits below
+2.0x: the key-run demux path is expected to at least double gated-row
+throughput, and a slide below that — while not an outright failure —
+deserves a look.
 Entries whose baseline carries "gated": 0 are informational full-mode
 rows (not reproduced by CI smoke runs) and are skipped entirely.
 Other absolute metrics are printed for information.
@@ -59,7 +69,8 @@ def check(baseline_path, fresh_paths, threshold):
                 # for lower-is-better bytes/structure counts; any run
                 # tripping the budget flag keeps it tripped.
                 best = (min if metric.startswith(("bytes_per_key",
-                                                  "structures_max"))
+                                                  "structures_max",
+                                                  "evict_batch_amortized_us"))
                         else max)
                 merged[metric] = best(merged.get(metric, value), value)
     failures = []
@@ -101,6 +112,22 @@ def check(baseline_path, fresh_paths, threshold):
                     print(f"ok  {key[0]}/{key[1]}.{metric}: "
                           f"{new_value:.1f} (baseline {base_value:.1f})")
                 continue
+            if metric == "evict_batch_amortized_us":
+                new_value = fresh_entry.get(metric)
+                compared += 1
+                # Raw spill-pass timing: 4x headroom absorbs shared-disk
+                # jitter while still catching a lost SpillBatch grouping
+                # (one file + fsync per victim is >10x the batched cost).
+                if new_value is None:
+                    failures.append(f"{key[0]}/{key[1]}.{metric}: missing")
+                elif base_value > 0 and new_value > 4.0 * base_value:
+                    failures.append(
+                        f"{key[0]}/{key[1]}.{metric}: {new_value:.1f}us > "
+                        f"4.00 x baseline {base_value:.1f}us")
+                else:
+                    print(f"ok  {key[0]}/{key[1]}.{metric}: "
+                          f"{new_value:.1f}us (baseline {base_value:.1f}us)")
+                continue
             if not metric.startswith("speedup"):
                 continue
             # Batch must never be slower than item-at-a-time: a ratio
@@ -112,6 +139,13 @@ def check(baseline_path, fresh_paths, threshold):
                 warnings.append(
                     f"{key[0]}/{key[1]}.{metric}: {warn_value:.3f} < 1.0 "
                     f"(batch slower than per-item)")
+            elif (key[0] == "e18" and metric == "speedup_batch16k"
+                  and warn_value is not None and warn_value < 2.0):
+                # The keyed demux should at least double gated-row
+                # throughput; below 2x the fast path is eroding.
+                warnings.append(
+                    f"{key[0]}/{key[1]}.{metric}: {warn_value:.3f} < 2.0 "
+                    f"(keyed demux below expected 2x)")
             # Parity rows (default ObserveBatch, no fast path) sit near
             # 1.0x and wobble with host noise; the gate exists to catch a
             # LOST fast path, so only rows that demonstrably have one are

@@ -317,6 +317,47 @@ Result<Sink> CreateSink(const SinkSpec& spec) {
   return out;
 }
 
+Result<SinkFactory> SinkFactory::Bind(const SinkSpec& spec) {
+  auto kind = SinkKindOf(spec.name);
+  if (!kind.ok()) return kind.status();
+  SinkFactory factory;
+  factory.spec_ = spec;
+  factory.kind_ = kind.value();
+  factory.sampler_config_ = ToSamplerConfig(spec);
+  factory.estimator_config_ = ToEstimatorConfig(spec);
+  // Probe construction front-loads every configuration error (it goes
+  // through CreateSampler/CreateEstimator, so window validation runs
+  // here once); afterwards Create can use the resolved maker directly.
+  auto probe = factory.Create(spec.seed);
+  if (!probe.ok()) return probe.status();
+  if (factory.kind_ == SinkKind::kSampler) {
+    factory.sampler_maker_ = FindSamplerMaker(spec.name);
+  }
+  return factory;
+}
+
+Result<Sink> SinkFactory::Create(uint64_t seed) const {
+  Sink out;
+  if (kind_ == SinkKind::kSampler) {
+    SamplerConfig config = sampler_config_;
+    config.seed = seed;
+    auto sampler = sampler_maker_ != nullptr
+                       ? sampler_maker_(config)
+                       : CreateSampler(spec_.name, config);
+    if (!sampler.ok()) return sampler.status();
+    out.sampler = sampler.value().get();
+    out.sink = std::move(sampler).ValueOrDie();
+  } else {
+    EstimatorConfig config = estimator_config_;
+    config.seed = seed;
+    auto estimator = CreateEstimator(spec_.name, config);
+    if (!estimator.ok()) return estimator.status();
+    out.estimator = estimator.value().get();
+    out.sink = std::move(estimator).ValueOrDie();
+  }
+  return out;
+}
+
 namespace {
 
 /// Splits a sequence window across shards; identity for shards == 1.

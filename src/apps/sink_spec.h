@@ -145,6 +145,43 @@ SinkSpec EstimatorSinkSpec(std::string_view name,
 /// configurations come back as InvalidArgument.
 Result<Sink> CreateSink(const SinkSpec& spec);
 
+/// Pre-resolved construction state for one spec: the registry kind and
+/// the projected per-registry config are computed ONCE at bind time, so
+/// call sites that construct the same shape over and over with varying
+/// seeds — the keyed engine makes one sink per tenant, millions of them
+/// at 1e7 keys — skip the name lookup, spec copy, and config projection
+/// CreateSink pays per call. Create(seed) behaves exactly like
+/// CreateSink on a copy of the bound spec with `seed` substituted.
+class SinkFactory {
+ public:
+  /// Unbound factory (Create on it fails); assign a Bind() result
+  /// before use. Exists so factories can live by value in engines.
+  SinkFactory() = default;
+
+  /// Resolves `spec`'s registry kind and validates it by constructing
+  /// (and discarding) one sink, so a factory that binds successfully
+  /// cannot fail later for configuration reasons.
+  static Result<SinkFactory> Bind(const SinkSpec& spec);
+
+  /// Constructs a sink with the bound configuration and `seed`.
+  Result<Sink> Create(uint64_t seed) const;
+
+  SinkKind kind() const { return kind_; }
+  /// The bound spec; `spec().seed` is the pre-fork root seed.
+  const SinkSpec& spec() const { return spec_; }
+
+ private:
+  SinkSpec spec_;
+  SinkKind kind_ = SinkKind::kSampler;
+  SamplerConfig sampler_config_;
+  EstimatorConfig estimator_config_;
+  /// Resolved sampler construction function (nullptr for estimators);
+  /// Bind's probe construction already validated the configuration, so
+  /// Create can call this directly instead of re-running CreateSampler's
+  /// name scan per sink.
+  SamplerMaker sampler_maker_ = nullptr;
+};
+
 /// The configuration shard `shard` of `shards` replicas runs under: the
 /// seed forked with Rng::ForkSeed(spec.seed, shard) and, for
 /// sequence-model sinks, window_n (and any bias-level windows) split as

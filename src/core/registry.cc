@@ -164,6 +164,11 @@ const SamplerSpec* FindSamplerSpec(std::string_view name) {
   return entry == nullptr ? nullptr : &entry->spec;
 }
 
+SamplerMaker FindSamplerMaker(std::string_view name) {
+  const Entry* entry = FindEntry(name);
+  return entry == nullptr ? nullptr : entry->make;
+}
+
 bool IsRegisteredSampler(std::string_view name) {
   return FindSamplerSpec(name) != nullptr;
 }

@@ -90,6 +90,20 @@ const SamplerSpec* FindSamplerSpec(std::string_view name);
 /// True iff `name` is a registered sampler name.
 bool IsRegisteredSampler(std::string_view name);
 
+/// Construction function for one registered sampler. A maker skips
+/// CreateSampler's name lookup and window validation, so callers must
+/// have validated the configuration once (e.g. via a probe CreateSampler
+/// call) before using it on a hot path.
+using SamplerMaker =
+    Result<std::unique_ptr<WindowSampler>> (*)(const SamplerConfig&);
+
+/// Resolves `name` to its construction function, or nullptr if unknown —
+/// the registry's linear name scan hoisted out of per-construction cost
+/// for callers that build many identically-named samplers (the keyed
+/// engine creates one sink per tenant appearance, which under TTL churn
+/// means hundreds of thousands of constructions per run).
+SamplerMaker FindSamplerMaker(std::string_view name);
+
 /// Constructs the sampler registered under `name`. Unknown names and
 /// configurations rejected by the sampler's own factory come back as
 /// InvalidArgument through the library's usual status mechanism.

@@ -40,8 +40,11 @@ std::string ShardFileName(uint64_t shard, uint64_t items) {
 /// The fsync-before-rename matters: without it a system crash can commit
 /// the rename (metadata) before the file contents, leaving a readable
 /// name full of garbage — and Write() deletes the previous checkpoint's
-/// files, so durability of the new one is the whole game.
-Status AtomicWriteFile(const fs::path& path, const std::string& data) {
+/// files, so durability of the new one is the whole game. `do_fsync`
+/// false is for callers that traded durability for speed explicitly
+/// (keyed spills with fsync disabled).
+Status AtomicWriteFile(const fs::path& path, const std::string& data,
+                       bool do_fsync = true) {
   const fs::path tmp = path.string() + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -53,7 +56,9 @@ Status AtomicWriteFile(const fs::path& path, const std::string& data) {
                            data.size()) &&
       std::fflush(f) == 0;
 #ifndef _WIN32
-  ok = ok && fsync(fileno(f)) == 0;
+  ok = ok && (!do_fsync || fsync(fileno(f)) == 0);
+#else
+  (void)do_fsync;
 #endif
   std::fclose(f);
   if (!ok) {
@@ -191,6 +196,27 @@ Result<CheckpointManifest> DecodeManifest(
 
 }  // namespace
 
+Status SpillBatch(const std::string& dir, std::span<const SpillFile> files,
+                  bool fsync_files, size_t* files_written) {
+  if (files_written != nullptr) *files_written = 0;
+  for (const SpillFile& file : files) {
+    if (file.name.empty() || file.name.find('/') != std::string::npos) {
+      return Status::InvalidArgument("checkpoint: invalid spill file name \"" +
+                                     file.name + "\"");
+    }
+    if (Status status = AtomicWriteFile(fs::path(dir) / file.name, file.data,
+                                        fsync_files);
+        !status.ok()) {
+      return status;
+    }
+    if (files_written != nullptr) ++*files_written;
+  }
+  // One directory fsync covers every rename above; without per-file
+  // durability there is nothing to pin, so skip it too.
+  if (fsync_files && !files.empty()) SyncDirectory(dir);
+  return Status::Ok();
+}
+
 Result<std::vector<SinkSerializer>> MakeSinkSerializers(const SinkSpec& spec,
                                                         uint64_t shards) {
   std::vector<SinkSerializer> serializers;
@@ -246,17 +272,23 @@ Status CheckpointWriter::Write(const CheckpointManifest& manifest,
                                    policy_.dir);
   }
   // Shard files first; the MANIFEST rename below is the commit point.
+  // SpillBatch pins their directory entries with one fsync before the
+  // manifest references them.
+  std::vector<SpillFile> shard_spills;
   std::vector<std::string> shard_files;
+  shard_spills.reserve(sinks.size());
   shard_files.reserve(sinks.size());
   for (size_t s = 0; s < sinks.size(); ++s) {
     auto blob = serializers_[s](*sinks[s]);
     if (!blob.ok()) return blob.status();
     shard_files.push_back(ShardFileName(s, manifest.items));
-    if (Status status = AtomicWriteFile(
-            fs::path(policy_.dir) / shard_files.back(), blob.value());
-        !status.ok()) {
-      return status;
-    }
+    shard_spills.push_back(
+        SpillFile{shard_files.back(), std::move(blob).ValueOrDie()});
+  }
+  if (Status status = SpillBatch(policy_.dir, shard_spills,
+                                 /*fsync_files=*/true);
+      !status.ok()) {
+    return status;
   }
   if (Status status =
           AtomicWriteFile(fs::path(policy_.dir) / kManifestName,

@@ -95,6 +95,28 @@ struct CheckpointManifest {
 Result<std::vector<SinkSerializer>> MakeSinkSerializers(const SinkSpec& spec,
                                                         uint64_t shards);
 
+/// One file of a batched spill pass: a file name (relative to the batch
+/// directory, no '/') plus its full contents.
+struct SpillFile {
+  std::string name;
+  std::string data;
+};
+
+/// Writes `files` into `dir` in order, each via the same tmp + rename
+/// protocol the checkpoint writer uses, then persists the directory
+/// entries with ONE fsync for the whole group — the amortization that
+/// makes batched keyed eviction cheap (N files, N+1 fsyncs instead of
+/// 2N). `fsync_files` false skips every fsync (callers that opted out of
+/// spill durability, e.g. benchmarks); the directory sync is likewise
+/// elided then.
+///
+/// Writes stop at the first failure: on return, files [0,
+/// *files_written) are durably renamed and the rest were not attempted,
+/// so a caller can commit exactly the written prefix (the keyed engine
+/// drops only those entries). `files_written` may be null.
+Status SpillBatch(const std::string& dir, std::span<const SpillFile> files,
+                  bool fsync_files, size_t* files_written = nullptr);
+
 /// Writes atomic checkpoints for one ingestion run. Drivers call Due() at
 /// consistent points and Write() when it fires.
 class CheckpointWriter {

@@ -50,6 +50,32 @@
 /// sink is advanced by its own arrivals and at query time), so idle
 /// keys cost no per-arrival work.
 ///
+/// Batched ingestion: ObserveBatch demultiplexes each incoming batch in
+/// 16384-item blocks — ONE scan detects same-key runs and scatter/
+/// gathers the rest into per-key index chains in an engine-owned arena,
+/// then each key's items are delivered as one micro-batch through the
+/// per-key sink's own ObserveBatch (the PR 7 closed-form fast paths).
+/// Charging, LRU touch, TTL sweep and budget enforcement run once per
+/// micro-batch / block instead of once per item; the scan tracks the
+/// clock prefix-max so TTL generation splits, promotion splits and
+/// last_seen land exactly where item-wise delivery would put them.
+/// Evictions triggered within a block are grouped into one spill pass
+/// with a single directory fsync (SpillBatch), and spilled keys touched
+/// by a block are prefetched by a background reader thread that only
+/// reads file bytes — decode and adoption stay on the ingest thread at
+/// the key's delivery point, keeping restores bit-identical to the
+/// synchronous path.
+///
+/// The demux only pays off when micro-batches amortize the per-key
+/// resolve, so ObserveBatch is adaptive: a block whose scan yields
+/// near-singleton micro-batches AND whose delivery was dominated by
+/// TTL-churn sink creation (uniform traffic over a huge key space with
+/// a binding idle_ttl — nothing to amortize, and the block-scoped
+/// create/drop bursts defeat the allocator's chunk reuse) puts the
+/// engine into a backoff window: the next kDemuxBackoffBlocks blocks
+/// are delivered item-wise (the reference semantics, so equivalence is
+/// trivial), after which one block re-probes the demux path.
+///
 /// Sharded use: the engine is itself a StreamSink, so
 /// ShardedStreamDriver with ShardPartition::kKeyHash drives N engines
 /// as shard sinks — every key lives in exactly one engine
@@ -76,10 +102,13 @@
 #include "apps/sink_spec.h"
 #include "core/api.h"
 #include "stream/item.h"
+#include "util/arena.h"
 #include "util/flat_map.h"
 #include "util/status.h"
 
 namespace swsample {
+
+class KeyedSpillReader;
 
 /// Construction-time policy for a KeyedWindowEngine.
 struct KeyedEngineOptions {
@@ -113,6 +142,20 @@ struct KeyedEngineOptions {
   bool fsync_spills = true;
   /// Pre-size the key directory for this many live keys (0 = grow).
   uint64_t max_keys_hint = 0;
+  /// Enforce the memory budget after every ITEM of a batch instead of
+  /// after every per-key micro-batch. The batched fast path holds the
+  /// budget at micro-batch boundaries (with a conservative pre-delivery
+  /// headroom check), which is the documented batched invariant; this
+  /// knob recovers the strict item-granular behavior — at per-item cost
+  /// — for tests and callers that assert it mid-batch.
+  bool strict_budget = false;
+  /// Restore spilled keys touched by a batch through a background read
+  /// thread: the reader fetches file BYTES while the ingest thread
+  /// demuxes, and decode + adoption happen on the ingest thread at each
+  /// key's delivery point, so results are bit-identical to synchronous
+  /// restore. Only the batched path prefetches; Observe() and the query
+  /// surface always restore synchronously.
+  bool async_restore = true;
 };
 
 /// Counters exposed for benches, budget gates and tests.
@@ -128,6 +171,8 @@ struct KeyedEngineStats {
   uint64_t peak_retained_bytes = 0;  ///< max of the above over the run
   uint64_t charged_bytes = 0;        ///< current ChargedBytes() total
   uint64_t peak_charged_bytes = 0;   ///< max budget-governed bytes seen
+  uint64_t spill_batches = 0;   ///< batched spill passes (1 dir fsync each)
+  uint64_t prefetched_restores = 0;  ///< restores served by the async reader
   double evict_seconds = 0.0;    ///< total wall time spent spilling
   double restore_seconds = 0.0;  ///< total wall time spent restoring
 };
@@ -191,15 +236,51 @@ class KeyedWindowEngine final : public StreamSink {
  private:
   struct KeyEntry;
 
+  /// One per-key micro-batch discovered by the block scan: a chain of
+  /// item indices (through `demux_next_`) plus the clock facts exact
+  /// item-wise equivalence needs — `first_clock` is the engine clock
+  /// BEFORE the run's first item (the TTL-expiry decision point) and
+  /// `last_seen` the running-max clock AT its last item (what item-wise
+  /// delivery would leave in entry->last_seen).
+  struct KeyRun {
+    uint64_t key = 0;
+    uint32_t head = 0;
+    uint32_t tail = 0;
+    uint32_t count = 0;
+    Timestamp first_clock = 0;
+    Timestamp last_seen = 0;
+  };
+
+  /// Items demuxed per block: bounds the arena scratch (64 KiB of chain
+  /// links + 384 KiB of staging) and matches the batch16k bench shape.
+  static constexpr uint32_t kDemuxBlockItems = 16384;
+  /// Item-wise blocks delivered after a churn-dominated singleton block
+  /// before the demux path is probed again (see the file comment). The
+  /// window doubles (capped below) each time the probe block re-triggers
+  /// the decision, so steady hostile traffic converges to item-wise
+  /// parity instead of re-paying the demux every 16 blocks; any block
+  /// that stays demuxed resets the window.
+  static constexpr uint32_t kDemuxBackoffBlocks = 15;
+  static constexpr uint32_t kDemuxBackoffMax = 255;
+  static constexpr uint32_t kNoIndex = 0xffffffffu;
+
   explicit KeyedWindowEngine(const KeyedEngineOptions& options);
 
   /// Live entry lookup; restores from spill when parked. Creates a
   /// fresh tail-tier entry when `create_missing`. nullptr when absent
-  /// (or on latched I/O failure).
+  /// (or on latched I/O failure). One directory probe on every path.
   KeyEntry* FindEntry(uint64_t key, bool create_missing);
+  /// Constructs a fresh entry into the pre-probed directory slot.
   KeyEntry* CreateEntry(uint64_t key, uint64_t tier, uint64_t local_index,
-                        uint64_t arrivals, Timestamp last_seen);
-  Result<KeyEntry*> RestoreEntry(uint64_t key);
+                        uint64_t arrivals, Timestamp last_seen,
+                        KeyEntry** slot);
+  /// Reads + decodes `key`'s spill file into the pre-probed slot
+  /// (prefetched bytes when the async reader fetched them already). The
+  /// caller erases the placeholder slot on failure.
+  Result<KeyEntry*> RestoreEntry(uint64_t key, KeyEntry** slot);
+  /// Replaces the entry's sink with a fresh hot-tier instance in place —
+  /// no directory erase/re-insert, LRU linkage preserved.
+  bool PromoteInPlace(KeyEntry* entry);
   /// Per-key spec of `tier` with the key-forked seed applied.
   SinkSpec TierSpec(uint64_t key, uint64_t tier) const;
 
@@ -208,16 +289,42 @@ class KeyedWindowEngine final : public StreamSink {
   void DropEntry(KeyEntry* entry);
   void RechargeEntry(KeyEntry* entry);
 
+  /// Entry pool: placement-new over an engine-owned arena + free list,
+  /// so evict/restore churn stops hitting the global allocator.
+  KeyEntry* AllocEntry();
+  void ReleaseEntry(KeyEntry* entry);
+
+  // Batched ingestion (see ObserveBatch).
+  void ObserveBlock(std::span<const Item> block);
+  void EnsureDemuxScratch(size_t need);
+  void PrefetchSpilledRuns();
+  void ProcessRun(std::span<const Item> block, const KeyRun& run);
+  KeyEntry* ResolveRunEntry(const KeyRun& run);
+
   void TouchLru(KeyEntry* entry);
   void UnlinkLru(KeyEntry* entry);
   void ExpireIdle();
+  /// Spills LRU victims (never `protect`) as ONE batched pass until
+  /// ChargedBytes() <= limit; EnforceBudget passes the budget itself,
+  /// the pre-delivery headroom check passes budget - expected growth.
+  void EvictUntil(uint64_t limit, const KeyEntry* protect);
   void EnforceBudget(const KeyEntry* protect);
   void LatchError(const Status& status);
 
+  /// Demux/staging/pool bytes: engine scratch that eviction cannot
+  /// reclaim — reported by RetainedBytes(), exempt from the budget like
+  /// the spill index.
+  uint64_t ScratchBytes() const;
+
   std::string SpillPath(uint64_t key) const;
+  std::string SpillFileName(uint64_t key) const;
 
   KeyedEngineOptions options_;
   SinkKind kind_ = SinkKind::kSampler;
+  /// Pre-resolved per-tier constructors (registry lookup + config
+  /// projection done once, not per key).
+  SinkFactory tail_factory_;
+  SinkFactory hot_factory_;
   FlatMap<uint64_t, KeyEntry*> directory_;
   /// Keys parked on disk (value unused; FlatMap as a set).
   FlatMap<uint64_t, uint8_t> spilled_;
@@ -227,6 +334,31 @@ class KeyedWindowEngine final : public StreamSink {
   Timestamp now_ = 0;
   uint64_t total_charge_bytes_ = 0;
   uint64_t total_charge_words_ = 0;
+
+  /// Entry pool storage (AllocEntry/ReleaseEntry).
+  Arena entry_arena_{4096};
+  std::vector<KeyEntry*> entry_free_;
+
+  /// Batch demux scratch, reset per block, zero steady-state allocation.
+  Arena demux_arena_{4096};
+  uint32_t* demux_next_ = nullptr;
+  Item* demux_staging_ = nullptr;
+  uint32_t demux_capacity_ = 0;
+  std::vector<KeyRun> runs_;
+  FlatMap<uint64_t, uint32_t> run_index_;
+  /// Adaptive fallback: item-wise blocks left before re-probing the
+  /// demux, the next window length (doubles on consecutive triggers),
+  /// and the current block's CreateEntry count (churn signal).
+  uint32_t demux_backoff_ = 0;
+  uint32_t demux_backoff_window_ = kDemuxBackoffBlocks;
+  uint64_t block_creates_ = 0;
+
+  /// Async restore lane: I/O-only reader thread (lazily started) plus
+  /// the per-block key -> reader-slot map (bounded, linear scan).
+  std::unique_ptr<KeyedSpillReader> reader_;
+  std::vector<uint64_t> prefetch_keys_;
+  std::vector<int> prefetch_slots_;
+
   KeyedEngineStats stats_;
   Status last_error_ = Status::Ok();
 };

@@ -319,8 +319,8 @@ class OwnedRouter {
   void Add(const Item& item) {
     last_ts_ = item.timestamp;
     if (options_.partition == ShardPartition::kKeyHash) {
-      const uint32_t shard =
-          static_cast<uint32_t>(ShardOfKey(item.value, shards_));
+      const uint32_t shard = static_cast<uint32_t>(
+          ShardOfKey(item.value >> options_.key_shift, shards_));
       pending_[shard].push_back(item);
       if (pending_[shard].size() >= options_.chunk_items) {
         FlushTarget(shard, shard);
@@ -540,6 +540,13 @@ Result<ShardedDriveReport> ShardedStreamDriver::DriveLinesCheckpointed(
     std::span<StreamSink* const> shards, CheckpointWriter* writer,
     const CheckpointManifest* resume) const {
   if (Status s = Validate(shards); !s.ok()) return s;
+  if (options_.key_shift != 0 && (writer != nullptr || resume != nullptr)) {
+    // The manifest does not record key_shift, so a resumed run could
+    // silently re-route keys; reject instead.
+    return Status::InvalidArgument(
+        source_name +
+        ": checkpointed drives do not support options.key_shift != 0");
+  }
   if (resume != nullptr) {
     // The checkpoint is only bit-exact under the identical partitioning
     // geometry; reject any drift instead of silently skewing windows.

@@ -118,6 +118,13 @@ class ShardedStreamDriver {
     /// blocks while a worker's queue is full (backpressure).
     uint64_t queue_chunks = 16;
     ShardPartition partition = ShardPartition::kChunks;
+    /// kKeyHash routing hashes `item.value >> key_shift`, mirroring the
+    /// keyed engine's key derivation (stream/keyed_engine.h) so every
+    /// value that folds onto one tenant key lands on one shard — the
+    /// invariant per-key queries against CreateKeyedEngines rely on.
+    /// Ignored by kChunks. Checkpointed drives require 0 (the manifest
+    /// does not carry it).
+    uint64_t key_shift = 0;
     /// Probe a shard's MemoryWords() every this many of its batches for
     /// the peak statistic; 0 probes only once at the end.
     uint64_t memory_probe_every = 16;
