@@ -50,6 +50,7 @@
 #include "bench/bench_util.h"
 #include "stream/keyed_engine.h"
 #include "stream/workload.h"
+#include "util/failpoint.h"
 
 using namespace swsample;
 using namespace swsample::bench;
@@ -342,6 +343,97 @@ int main() {
          {"evict_batch_amortized_us", evict_batch_us},
          {"restore_us_avg", restore_us}});
     fs::remove_all(options.spill_dir);
+  }
+
+  // --- Shed row: the gated 1e4 budget workload again, but with the
+  // spill store permanently down (spill.write armed with an unconditional
+  // EIO) and the engine in kShed degradation mode. The first victim's
+  // retry budget drains, the engine degrades and fails fast, and from
+  // then on every enforcement pass drops LRU victims WITHOUT touching the
+  // disk. The gate scores `evict_shed_amortized_us` — the per-drop wall
+  // cost of holding the budget through an outage — which regresses by
+  // orders of magnitude if shedding ever regains a (failing, retried)
+  // I/O attempt per victim. Stats are deterministic: seeded workload,
+  // unconditional fault, item-count-driven re-probe cadence.
+  {
+    const std::string row = "shed/zipf/1e4";
+    const uint64_t kKeys = 10000;
+    const uint64_t kItems = 160000;
+    KeyedEngineOptions options;
+    options.spec = ParseSinkSpec("bop-ts-single,t=10000,seed=7").ValueOrDie();
+    options.memory_budget_bytes = 2 << 20;
+    options.spill_dir = TempSpillDir("shed");
+    options.fsync_spills = false;
+    options.idle_ttl = std::min<Timestamp>(kItems, 131072);
+    options.max_keys_hint = kKeys;
+    options.degrade = KeyedDegradeMode::kShed;
+    options.io_retry.backoff_ms = 0.0;  // permanent outage; don't sleep
+    auto generator =
+        WorkloadGenerator::Create("constant@zipf,rate=4,domain=10000,alpha=1.1",
+                                  kWorkloadSeed)
+            .ValueOrDie();
+    const std::vector<Item> stream = generator->Take(kItems);
+    if (!ArmFailpoints("spill.write=eio", kWorkloadSeed).ok()) {
+      std::fprintf(stderr, "E18: cannot arm spill.write outage\n");
+      std::exit(1);
+    }
+    KeyedEngineStats stats;
+    double item_per_sec = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      fs::remove_all(options.spill_dir);
+      auto engine = KeyedWindowEngine::Create(options).ValueOrDie();
+      const auto start = std::chrono::steady_clock::now();
+      for (const Item& item : stream) engine->Observe(item);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (!engine->status().ok()) {
+        // Shed mode must never latch: degradation is absorbed by
+        // dropping state, not by failing the stream.
+        std::fprintf(stderr, "E18 engine error (shed mode): %s\n",
+                     engine->status().ToString().c_str());
+        std::exit(1);
+      }
+      stats = engine->stats();
+      item_per_sec =
+          std::max(item_per_sec, seconds > 0 ? kItems / seconds : 0.0);
+    }
+    DisarmFailpoints();
+    fs::remove_all(options.spill_dir);
+    const bool exceeded =
+        stats.peak_charged_bytes > options.memory_budget_bytes;
+    const double shed_us =
+        stats.degraded_drops > 0
+            ? 1e6 * stats.shed_seconds /
+                  static_cast<double>(stats.degraded_drops)
+            : 0.0;
+    const double bytes_per_key =
+        stats.live_keys > 0 ? static_cast<double>(stats.charged_bytes) /
+                                  static_cast<double>(stats.live_keys)
+                            : 0.0;
+    Row({row, U(kKeys), U(kItems), F(item_per_sec / 1e6, 2), "-", "-",
+         F(bytes_per_key, 1), U(stats.live_keys), U(stats.degraded_drops),
+         U(stats.restore_misses)});
+    std::printf("  %s: spill outage, budget %.1f MiB, peak %.1f MiB%s, "
+                "health=%s, %" PRIu64 " shed (%.2f us/drop), %" PRIu64
+                " retries -> %" PRIu64 " giveups\n",
+                row.c_str(), options.memory_budget_bytes / 1048576.0,
+                stats.peak_charged_bytes / 1048576.0,
+                exceeded ? " EXCEEDED" : "", KeyedHealthName(stats.health),
+                stats.degraded_drops, shed_us, stats.io_retries,
+                stats.io_giveups);
+    BenchReporter::Global().Report(
+        "e18", row,
+        {{"gated", 1.0},
+         {"items_per_sec_item", item_per_sec},
+         {"bytes_per_key", bytes_per_key},
+         {"budget_exceeded", exceeded ? 1.0 : 0.0},
+         {"degraded_drops", static_cast<double>(stats.degraded_drops)},
+         {"shed_bytes", static_cast<double>(stats.shed_bytes)},
+         {"io_retries", static_cast<double>(stats.io_retries)},
+         {"io_giveups", static_cast<double>(stats.io_giveups)},
+         {"quarantined_files", static_cast<double>(stats.quarantined_files)},
+         {"evict_shed_amortized_us", shed_us}});
   }
 
   BenchReporter::Global().WriteJsonIfRequested();

@@ -121,6 +121,7 @@
 #include "stream/keyed_engine.h"
 #include "stream/sharded_driver.h"
 #include "stream/workload.h"
+#include "util/failpoint.h"
 
 using namespace swsample;
 
@@ -131,7 +132,9 @@ void Usage(const char* argv0) {
                "usage: %s [--sink=<spec> | --algo=<name> | "
                "--estimator=<name> [--substrate=<name>]] "
                "[--keys[=<shift>] [--key-budget=<b> --spill-dir=<d>] "
-               "[--key-ttl=<t>] [--key-strict-budget] [--key-sync-restore]] "
+               "[--key-ttl=<t>] [--key-strict-budget] [--key-sync-restore] "
+               "[--key-degrade=block|shed] [--key-io-retries=<n>]] "
+               "[--failpoints=<site>=<class>[,k=v]...[;...]] "
                "[--file=<path> | --workload=<spec> "
                "[--items=<n>] [--record-trace=<p>] | --replay-trace=<p>] "
                "[--batch=<n>] "
@@ -395,6 +398,11 @@ int RunSharded(const ShardedRun& run, bool timestamped) {
                options.partition == ShardPartition::kKeyHash ? "keyhash"
                                                              : "chunks",
                total_events, report.total.items_per_sec / 1e6);
+  if (report.total.io_retries > 0 || report.total.io_giveups > 0) {
+    std::fprintf(stderr, "checkpoint: io_retries=%" PRIu64
+                 " io_giveups=%" PRIu64 "\n",
+                 report.total.io_retries, report.total.io_giveups);
+  }
   for (size_t s = 0; s < report.shards.size(); ++s) {
     const ShardReport& shard = report.shards[s];
     std::fprintf(stderr,
@@ -440,6 +448,10 @@ struct KeyedRun {
   std::string spill_dir;        // --spill-dir
   bool strict_budget = false;   // --key-strict-budget
   bool sync_restore = false;    // --key-sync-restore
+  // --key-degrade: what a spill-outage does to the engine (block = latch,
+  // shed = drop coldest keys and keep serving).
+  KeyedDegradeMode degrade = KeyedDegradeMode::kBlock;
+  uint64_t io_retries = 0;      // --key-io-retries; 0 = policy default
 };
 
 /// Drives the stream through one keyed engine per shard (key-hash
@@ -455,6 +467,10 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
   options.spill_dir = keyed.spill_dir;
   options.strict_budget = keyed.strict_budget;
   options.async_restore = !keyed.sync_restore;
+  options.degrade = keyed.degrade;
+  if (keyed.io_retries > 0) {
+    options.io_retry.max_attempts = static_cast<uint32_t>(keyed.io_retries);
+  }
 
   const bool sharded = run.threads > 1 || run.shards > 1;
   std::vector<std::unique_ptr<KeyedWindowEngine>> engines;
@@ -532,13 +548,18 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
                  result.value().items_per_sec / 1e6);
   }
 
-  // A spill/restore I/O failure latches into the engine status instead of
-  // aborting ingestion; surface it as a run failure here.
+  // A spill/restore I/O failure in block mode latches into the engine
+  // status instead of aborting ingestion; surface it as a run failure
+  // here. Shed mode never latches — its outage shows up as a degraded
+  // health state plus drop accounting, reported (and turned into a
+  // non-zero exit) below.
   KeyedEngineStats total;
+  KeyedEngineHealth worst = KeyedEngineHealth::kHealthy;
+  bool latched = false;
   for (const auto& engine : engines) {
     if (!engine->status().ok()) {
       std::fprintf(stderr, "%s\n", engine->status().ToString().c_str());
-      return 1;
+      latched = true;
     }
     const KeyedEngineStats& stats = engine->stats();
     total.live_keys += stats.live_keys;
@@ -549,7 +570,21 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
     total.promotions += stats.promotions;
     total.charged_bytes += stats.charged_bytes;
     total.retained_bytes += stats.retained_bytes;
+    total.io_retries += stats.io_retries;
+    total.io_giveups += stats.io_giveups;
+    total.degraded_drops += stats.degraded_drops;
+    total.shed_bytes += stats.shed_bytes;
+    total.quarantined_files += stats.quarantined_files;
+    total.restore_misses += stats.restore_misses;
+    // Degraded dominates recovering dominates healthy: any shard still in
+    // an outage makes the whole run degraded.
+    if (stats.health == KeyedEngineHealth::kDegraded ||
+        (stats.health == KeyedEngineHealth::kRecovering &&
+         worst == KeyedEngineHealth::kHealthy)) {
+      worst = stats.health;
+    }
   }
+  total.health = worst;
   std::printf("events=%" PRIu64 " live_keys=%" PRIu64 " spilled_keys=%" PRIu64
               " evictions=%" PRIu64 " restores=%" PRIu64
               " expirations=%" PRIu64 " charged=%" PRIu64
@@ -557,7 +592,38 @@ int RunKeyed(const SinkSpec& spec, const KeyedRun& keyed,
               total_events, total.live_keys, total.spilled_keys,
               total.evictions, total.restores, total.expirations,
               total.charged_bytes, total.retained_bytes);
+  std::printf("io_retries=%" PRIu64 " io_giveups=%" PRIu64
+              " degraded_drops=%" PRIu64 " shed_bytes=%" PRIu64
+              " quarantined_files=%" PRIu64 " restore_misses=%" PRIu64
+              " health=%s\n",
+              total.io_retries, total.io_giveups, total.degraded_drops,
+              total.shed_bytes, total.quarantined_files, total.restore_misses,
+              KeyedHealthName(worst));
+  // Any of these means the printed results are lossy or the engine ended
+  // the run inside an outage; succeed only on a clean (possibly retried)
+  // run.
+  if (latched || worst != KeyedEngineHealth::kHealthy ||
+      total.io_giveups > 0 || total.degraded_drops > 0 ||
+      total.restore_misses > 0) {
+    std::fprintf(stderr,
+                 "keyed: unhealthy run: health=%s io_giveups=%" PRIu64
+                 " degraded_drops=%" PRIu64 " quarantined_files=%" PRIu64
+                 " restore_misses=%" PRIu64 "\n",
+                 KeyedHealthName(worst), total.io_giveups,
+                 total.degraded_drops, total.quarantined_files,
+                 total.restore_misses);
+    return 1;
+  }
   return 0;
+}
+
+/// atexit hook, installed only when failpoints were armed: dumps per-site
+/// hit/fire counters so a fault drill shows exactly what was injected.
+void PrintFailpointReport() {
+  const std::string report = FailpointReport();
+  if (!report.empty()) {
+    std::fprintf(stderr, "failpoints:\n%s", report.c_str());
+  }
 }
 
 // Parses a non-negative integer flag value; false on garbage, sign, or
@@ -622,6 +688,8 @@ int main(int argc, char** argv) {
   std::string partition;
   CheckpointRun checkpoint;
   KeyedRun keyed;
+  std::string failpoints;    // --failpoints; also SWSAMPLE_FAILPOINTS env
+  bool failpoints_set = false;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -673,6 +741,25 @@ int main(int argc, char** argv) {
       keyed.strict_budget = true;
     } else if (std::strcmp(arg, "--key-sync-restore") == 0) {
       keyed.sync_restore = true;
+    } else if (std::strncmp(arg, "--key-degrade=", 14) == 0) {
+      const char* mode = arg + 14;
+      if (std::strcmp(mode, "block") == 0) {
+        keyed.degrade = KeyedDegradeMode::kBlock;
+      } else if (std::strcmp(mode, "shed") == 0) {
+        keyed.degrade = KeyedDegradeMode::kShed;
+      } else {
+        std::fprintf(stderr,
+                     "error: --key-degrade expects block or shed, got "
+                     "\"%s\"\n",
+                     mode);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--key-io-retries=", 17) == 0) {
+      u64_flag = &keyed.io_retries;
+      u64_value = arg + 17;
+    } else if (std::strncmp(arg, "--failpoints=", 13) == 0) {
+      failpoints = arg + 13;
+      failpoints_set = true;
     } else if (std::strncmp(arg, "--spill-dir=", 12) == 0) {
       keyed.spill_dir = arg + 12;
     } else if (std::strncmp(arg, "--file=", 7) == 0) {
@@ -744,6 +831,19 @@ int main(int argc, char** argv) {
                    static_cast<int>(u64_value - arg - 1), arg, u64_value);
       return 2;
     }
+  }
+  // Arm fault injection before any sink or driver touches a file. The
+  // failpoint seed forks off --seed so drills are reproducible; the env
+  // var reaches runs the harness cannot pass flags to.
+  {
+    const Status armed = failpoints_set
+                             ? ArmFailpoints(failpoints, seed)
+                             : ArmFailpointsFromEnv(seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+    if (AnyFailpointArmed()) std::atexit(PrintFailpointReport);
   }
   if (!sink_text.empty() &&
       (!algo.empty() || !estimator_name.empty() || !substrate.empty())) {
@@ -902,10 +1002,11 @@ int main(int argc, char** argv) {
     return RunKeyed(spec, keyed, run, timestamped, report_every);
   }
   if (!keyed.spill_dir.empty() || keyed.budget_bytes > 0 ||
-      keyed.idle_ttl > 0) {
+      keyed.idle_ttl > 0 || keyed.degrade != KeyedDegradeMode::kBlock ||
+      keyed.io_retries > 0) {
     std::fprintf(stderr,
-                 "error: --key-budget/--key-ttl/--spill-dir require "
-                 "--keys\n");
+                 "error: --key-budget/--key-ttl/--spill-dir/--key-degrade/"
+                 "--key-io-retries require --keys\n");
     return 2;
   }
 
@@ -1048,6 +1149,11 @@ int main(int argc, char** argv) {
                "sink=%s items=%" PRIu64 " batches=%" PRIu64
                " throughput=%.2fM items/s\n",
                sink->name(), total_events, r.batches, r.items_per_sec / 1e6);
+  if (r.io_retries > 0 || r.io_giveups > 0) {
+    std::fprintf(stderr, "checkpoint: io_retries=%" PRIu64
+                 " io_giveups=%" PRIu64 "\n",
+                 r.io_retries, r.io_giveups);
+  }
   if (estimator != nullptr) {
     ReportEstimate(*estimator, total_events, stdout);
   } else {

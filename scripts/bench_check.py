@@ -25,7 +25,12 @@ The gate scores four metric classes:
     raw timing on a shared runner, so the allowance is deliberately wide
     (4x baseline) — the gate exists to catch losing SpillBatch grouping
     (which regresses the metric by an order of magnitude), not to score
-    disk jitter.
+    disk jitter;
+  * "evict_shed_amortized_us" (keyed-engine shed row): per-drop wall
+    cost of holding the memory budget through a permanent spill outage
+    in shed degradation mode. Scored with the same 4x allowance: the
+    drop path must stay I/O-free, and regaining a (failing, retried)
+    write attempt per victim regresses it by orders of magnitude.
 Keyed (e18) rows additionally WARN when speedup_batch16k sits below
 2.0x: the key-run demux path is expected to at least double gated-row
 throughput, and a slide below that — while not an outright failure —
@@ -70,7 +75,8 @@ def check(baseline_path, fresh_paths, threshold):
                 # tripping the budget flag keeps it tripped.
                 best = (min if metric.startswith(("bytes_per_key",
                                                   "structures_max",
-                                                  "evict_batch_amortized_us"))
+                                                  "evict_batch_amortized_us",
+                                                  "evict_shed_amortized_us"))
                         else max)
                 merged[metric] = best(merged.get(metric, value), value)
     failures = []
@@ -112,12 +118,14 @@ def check(baseline_path, fresh_paths, threshold):
                     print(f"ok  {key[0]}/{key[1]}.{metric}: "
                           f"{new_value:.1f} (baseline {base_value:.1f})")
                 continue
-            if metric == "evict_batch_amortized_us":
+            if metric in ("evict_batch_amortized_us",
+                          "evict_shed_amortized_us"):
                 new_value = fresh_entry.get(metric)
                 compared += 1
                 # Raw spill-pass timing: 4x headroom absorbs shared-disk
                 # jitter while still catching a lost SpillBatch grouping
-                # (one file + fsync per victim is >10x the batched cost).
+                # (one file + fsync per victim is >10x the batched cost)
+                # or a shed path that regained per-victim I/O attempts.
                 if new_value is None:
                     failures.append(f"{key[0]}/{key[1]}.{metric}: missing")
                 elif base_value > 0 and new_value > 4.0 * base_value:

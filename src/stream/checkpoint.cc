@@ -7,16 +7,12 @@
 #include <filesystem>
 #include <utility>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
-
 #include "apps/estimator_checkpoint.h"
 #include "core/checkpoint.h"
 #include "stream/driver.h"
 #include "stream/item_serial.h"
 #include "stream/sharded_driver.h"
+#include "util/file_ops.h"
 
 namespace swsample {
 namespace {
@@ -34,80 +30,6 @@ std::string ShardFileName(uint64_t shard, uint64_t items) {
   std::snprintf(buf, sizeof(buf), "shard-%04" PRIu64 "-%" PRIu64 ".ckpt",
                 shard, items);
   return buf;
-}
-
-/// Writes `data` to `path` via a temporary file + fsync + atomic rename.
-/// The fsync-before-rename matters: without it a system crash can commit
-/// the rename (metadata) before the file contents, leaving a readable
-/// name full of garbage — and Write() deletes the previous checkpoint's
-/// files, so durability of the new one is the whole game. `do_fsync`
-/// false is for callers that traded durability for speed explicitly
-/// (keyed spills with fsync disabled).
-Status AtomicWriteFile(const fs::path& path, const std::string& data,
-                       bool do_fsync = true) {
-  const fs::path tmp = path.string() + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("checkpoint: cannot create " +
-                                   tmp.string());
-  }
-  bool ok =
-      (data.empty() || std::fwrite(data.data(), 1, data.size(), f) ==
-                           data.size()) &&
-      std::fflush(f) == 0;
-#ifndef _WIN32
-  ok = ok && (!do_fsync || fsync(fileno(f)) == 0);
-#else
-  (void)do_fsync;
-#endif
-  std::fclose(f);
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("checkpoint: short write to " +
-                                   tmp.string());
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("checkpoint: cannot rename " +
-                                   tmp.string());
-  }
-  return Status::Ok();
-}
-
-/// Persists the directory entries themselves (the renames above) so the
-/// MANIFEST commit survives power loss. Best-effort on filesystems that
-/// reject directory fsync.
-void SyncDirectory(const std::string& dir) {
-#ifndef _WIN32
-  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    fsync(fd);
-    close(fd);
-  }
-#else
-  (void)dir;
-#endif
-}
-
-Result<std::string> ReadFile(const fs::path& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("checkpoint: cannot open " +
-                                   path.string());
-  }
-  std::string data;
-  char buf[1 << 16];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    data.append(buf, got);
-  }
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!ok) {
-    return Status::InvalidArgument("checkpoint: read error on " +
-                                   path.string());
-  }
-  return data;
 }
 
 /// Manifest wire format: envelope header (kManifest) + position fields +
@@ -197,15 +119,22 @@ Result<CheckpointManifest> DecodeManifest(
 }  // namespace
 
 Status SpillBatch(const std::string& dir, std::span<const SpillFile> files,
-                  bool fsync_files, size_t* files_written) {
+                  bool fsync_files, size_t* files_written,
+                  const RetryPolicy& retry, uint64_t* io_retries,
+                  const char* site) {
   if (files_written != nullptr) *files_written = 0;
-  for (const SpillFile& file : files) {
+  for (size_t i = 0; i < files.size(); ++i) {
+    const SpillFile& file = files[i];
     if (file.name.empty() || file.name.find('/') != std::string::npos) {
       return Status::InvalidArgument("checkpoint: invalid spill file name \"" +
                                      file.name + "\"");
     }
-    if (Status status = AtomicWriteFile(fs::path(dir) / file.name, file.data,
-                                        fsync_files);
+    const std::string path = (fs::path(dir) / file.name).string();
+    if (Status status = RetryIo(retry, i, io_retries,
+                                [&] {
+                                  return AtomicWriteFile(site, path, file.data,
+                                                         fsync_files);
+                                });
         !status.ok()) {
       return status;
     }
@@ -286,20 +215,37 @@ Status CheckpointWriter::Write(const CheckpointManifest& manifest,
         SpillFile{shard_files.back(), std::move(blob).ValueOrDie()});
   }
   if (Status status = SpillBatch(policy_.dir, shard_spills,
-                                 /*fsync_files=*/true);
+                                 /*fsync_files=*/true, nullptr, policy_.retry,
+                                 &io_retries_, "ckpt.write");
       !status.ok()) {
+    ++io_giveups_;
     return status;
   }
-  if (Status status =
-          AtomicWriteFile(fs::path(policy_.dir) / kManifestName,
-                          EncodeManifest(manifest, shard_files));
+  const std::string manifest_path =
+      (fs::path(policy_.dir) / kManifestName).string();
+  const std::string manifest_data = EncodeManifest(manifest, shard_files);
+  if (Status status = RetryIo(policy_.retry, /*op_id=*/sinks.size(),
+                              &io_retries_,
+                              [&] {
+                                return AtomicWriteFile("ckpt.manifest",
+                                                       manifest_path,
+                                                       manifest_data,
+                                                       /*do_fsync=*/true);
+                              });
       !status.ok()) {
+    ++io_giveups_;
     return status;
   }
   SyncDirectory(policy_.dir);
-  // The new checkpoint is committed; clean up files it does not reference.
+  // The new checkpoint is committed; clean up files it does not
+  // reference, plus temps orphaned by a crash between write and rename
+  // (our own error paths never leave one behind).
   for (const auto& entry : fs::directory_iterator(policy_.dir, ec)) {
     const std::string name = entry.path().filename().string();
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
     if (name == kManifestName) continue;
     if (name.rfind("shard-", 0) != 0) continue;
     bool referenced = false;
@@ -364,7 +310,8 @@ Result<uint64_t> PumpEventLines(
 }
 
 Result<ResumedCheckpoint> LoadCheckpoint(const std::string& dir) {
-  auto manifest_data = ReadFile(fs::path(dir) / kManifestName);
+  auto manifest_data =
+      ReadFileBytes("ckpt.read", (fs::path(dir) / kManifestName).string());
   if (!manifest_data.ok()) return manifest_data.status();
   std::vector<std::string> shard_files;
   auto manifest = DecodeManifest(manifest_data.value(), &shard_files);
@@ -373,7 +320,8 @@ Result<ResumedCheckpoint> LoadCheckpoint(const std::string& dir) {
   ResumedCheckpoint resumed;
   resumed.position = std::move(manifest).ValueOrDie();
   for (size_t s = 0; s < shard_files.size(); ++s) {
-    auto blob = ReadFile(fs::path(dir) / shard_files[s]);
+    auto blob =
+        ReadFileBytes("ckpt.read", (fs::path(dir) / shard_files[s]).string());
     if (!blob.ok()) return blob.status();
     // Record the envelope metadata (name + per-shard config) alongside
     // the restored sink; Restore* re-validates everything.

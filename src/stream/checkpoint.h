@@ -45,6 +45,7 @@
 #include "core/api.h"
 #include "core/registry.h"
 #include "stream/item.h"
+#include "util/file_ops.h"
 #include "util/status.h"
 
 namespace swsample {
@@ -58,6 +59,10 @@ struct CheckpointPolicy {
   std::string dir;
   uint64_t every_items = 0;
   double every_seconds = 0.0;
+  /// Transient I/O faults (ENOSPC, EIO, injected failpoints) on shard
+  /// files and the MANIFEST commit are retried under this policy before
+  /// the Write reports failure.
+  RetryPolicy retry;
 };
 
 /// Builds the self-describing envelope blob for one sink. Bound to the
@@ -114,8 +119,15 @@ struct SpillFile {
 /// *files_written) are durably renamed and the rest were not attempted,
 /// so a caller can commit exactly the written prefix (the keyed engine
 /// drops only those entries). `files_written` may be null.
+///
+/// Each file write goes through the FileOps seam at failpoint `site` and
+/// is retried per `retry` while the failure is transient; `io_retries`
+/// (nullable) accumulates the retry count.
 Status SpillBatch(const std::string& dir, std::span<const SpillFile> files,
-                  bool fsync_files, size_t* files_written = nullptr);
+                  bool fsync_files, size_t* files_written = nullptr,
+                  const RetryPolicy& retry = RetryPolicy{},
+                  uint64_t* io_retries = nullptr,
+                  const char* site = "spill.write");
 
 /// Writes atomic checkpoints for one ingestion run. Drivers call Due() at
 /// consistent points and Write() when it fires.
@@ -144,6 +156,12 @@ class CheckpointWriter {
   /// Items recorded by the last successful Write (0 before the first).
   uint64_t last_written_items() const { return last_items_; }
 
+  /// Transient-fault retries spent across every Write so far, and the
+  /// number of operations that exhausted their retry budget (each give-up
+  /// also failed that Write).
+  uint64_t io_retries() const { return io_retries_; }
+  uint64_t io_giveups() const { return io_giveups_; }
+
   /// Test hook: invoked after each successful Write with the manifest's
   /// item count (the CLI's --kill-after uses this to SIGKILL itself at a
   /// deterministic point).
@@ -154,6 +172,8 @@ class CheckpointWriter {
  private:
   CheckpointPolicy policy_;
   std::vector<SinkSerializer> serializers_;
+  uint64_t io_retries_ = 0;
+  uint64_t io_giveups_ = 0;
   uint64_t last_items_ = 0;
   std::chrono::steady_clock::time_point last_write_time_;
   std::function<void(uint64_t)> after_write_;

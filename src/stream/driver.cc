@@ -17,6 +17,7 @@
 #endif
 
 #include "util/bits.h"
+#include "util/file_ops.h"
 #include "util/macros.h"
 
 namespace swsample {
@@ -432,10 +433,9 @@ Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
   // Fast path: map regular files read-only and parse in place — no
   // per-line copies, no stdio locking, and the kernel readahead streams
   // pages in under MADV_SEQUENTIAL.
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::InvalidArgument("cannot open stream file: " + path);
-  }
+  auto fd_or = OpenReadFd("ingest.open", path);
+  if (!fd_or.ok()) return fd_or.status();
+  const int fd = fd_or.value();
   struct stat st;
   // The SIZE_MAX guard keeps a >4 GiB file on an ILP32 build from being
   // silently truncated by the size_t cast — such files take the stdio
@@ -457,10 +457,9 @@ Result<DriveReport> StreamDriver::DriveFile(const std::string& path,
   ::close(fd);
   // Fall through: empty files, pipes/devices, or mmap failure use stdio.
 #endif
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open stream file: " + path);
-  }
+  auto f_or = OpenStdioFile("ingest.open", path);
+  if (!f_or.ok()) return f_or.status();
+  std::FILE* f = f_or.value();
   auto result = DriveLines(f, path, timestamped, sink);
   std::fclose(f);
   return result;
@@ -513,16 +512,19 @@ Result<DriveReport> StreamDriver::DriveLinesCheckpointed(
   pump.Flush();
   pump.FinishLatencies();
   Finalize(begin, sink, &report);
+  if (writer != nullptr) {
+    report.io_retries = writer->io_retries();
+    report.io_giveups = writer->io_giveups();
+  }
   return report;
 }
 
 Result<DriveReport> StreamDriver::DriveFileCheckpointed(
     const std::string& path, bool timestamped, StreamSink& sink,
     CheckpointWriter* writer, const CheckpointManifest* resume) const {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open stream file: " + path);
-  }
+  auto f_or = OpenStdioFile("ingest.open", path);
+  if (!f_or.ok()) return f_or.status();
+  std::FILE* f = f_or.value();
   auto result =
       DriveLinesCheckpointed(f, path, timestamped, sink, writer, resume);
   std::fclose(f);

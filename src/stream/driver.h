@@ -54,6 +54,10 @@ struct DriveReport {
   /// statistic); 0 otherwise.
   double p50_batch_seconds = 0.0;
   double p99_batch_seconds = 0.0;
+  /// Transient-I/O retries spent (and retry budgets exhausted) by the
+  /// checkpoint writer during a checkpointed drive; 0 otherwise.
+  uint64_t io_retries = 0;
+  uint64_t io_giveups = 0;
 };
 
 /// Drives streams through a sampler or estimator in batches.

@@ -13,12 +13,9 @@
 #include <thread>
 #include <utility>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
-
 #include "stream/checkpoint.h"
+#include "util/failpoint.h"
+#include "util/file_ops.h"
 #include "util/macros.h"
 #include "util/rng.h"
 #include "util/serial.h"
@@ -41,22 +38,11 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-Result<std::string> ReadFile(const fs::path& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("keyed: cannot open " + path.string());
-  }
-  std::string data;
-  char buf[1 << 16];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, got);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!ok) {
-    return Status::InvalidArgument("keyed: read error on " + path.string());
-  }
-  return data;
-}
+// Every spill read — the async reader included — goes through the
+// FileOps seam at this site, so restore faults are injectable on both
+// the sync and prefetch paths.
+constexpr char kSpillReadSite[] = "spill.read";
+constexpr char kSpillWriteSite[] = "spill.write";
 
 // "key-%016llx.ckpt" -> key; false for any other file name.
 bool ParseSpillName(const std::string& name, uint64_t* key) {
@@ -83,6 +69,18 @@ bool ParseSpillName(const std::string& name, uint64_t* key) {
 }
 
 }  // namespace
+
+const char* KeyedHealthName(KeyedEngineHealth health) {
+  switch (health) {
+    case KeyedEngineHealth::kHealthy:
+      return "healthy";
+    case KeyedEngineHealth::kDegraded:
+      return "degraded";
+    case KeyedEngineHealth::kRecovering:
+      return "recovering";
+  }
+  return "healthy";
+}
 
 /// I/O-only background reader for the async restore lane: Submit hands it
 /// a spill file path, the worker reads the file BYTES into the slot, and
@@ -161,7 +159,7 @@ class KeyedSpillReader {
       s.state = State::kReading;
       const std::string path = s.path;
       lock.unlock();
-      auto blob = ReadFile(path);
+      auto blob = ReadFileBytes(kSpillReadSite, path);
       lock.lock();
       if (blob.ok()) {
         s.blob = std::move(blob).ValueOrDie();
@@ -255,11 +253,20 @@ Result<std::unique_ptr<KeyedWindowEngine>> KeyedWindowEngine::Create(
       return Status::InvalidArgument("keyed: cannot create spill dir " +
                                      options.spill_dir + ": " + ec.message());
     }
+    // A crash between write and rename leaves orphaned temps; GC them
+    // before adoption (mirrors the checkpoint writer's manifest GC).
+    SweepTempFiles(options.spill_dir);
     // Adopt spill files from a previous (crashed or handed-off) run.
+    // Files quarantined by an earlier engine (".bad") are skipped by the
+    // exact-name parse but surface in the stats.
     for (const auto& dirent : fs::directory_iterator(options.spill_dir, ec)) {
+      const std::string name = dirent.path().filename().string();
       uint64_t key;
-      if (ParseSpillName(dirent.path().filename().string(), &key)) {
+      if (ParseSpillName(name, &key)) {
         engine->spilled_.TryEmplace(key, 1);
+      } else if (name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".bad") == 0) {
+        ++engine->stats_.quarantined_files;
       }
     }
     if (ec) {
@@ -290,6 +297,51 @@ SinkSpec KeyedWindowEngine::TierSpec(uint64_t key, uint64_t tier) const {
 
 void KeyedWindowEngine::LatchError(const Status& status) {
   if (last_error_.ok()) last_error_ = status;
+}
+
+void KeyedWindowEngine::SetHealth(KeyedEngineHealth health) {
+  if (stats_.health == health) return;
+  stats_.health = health;
+  if (health == KeyedEngineHealth::kDegraded) {
+    next_reprobe_items_ = stats_.items + options_.reprobe_every_items;
+  }
+}
+
+RetryPolicy KeyedWindowEngine::EffectiveRetry() const {
+  RetryPolicy retry = options_.io_retry;
+  if (stats_.health == KeyedEngineHealth::kDegraded) retry.max_attempts = 1;
+  return retry;
+}
+
+void KeyedWindowEngine::MaybeReprobe() {
+  if (stats_.health != KeyedEngineHealth::kDegraded) return;
+  if (options_.spill_dir.empty()) return;
+  if (stats_.items < next_reprobe_items_) return;
+  next_reprobe_items_ = stats_.items + options_.reprobe_every_items;
+  // The probe goes through the same failpoint site as real spills, so an
+  // injected permanent outage keeps the engine degraded and a transient
+  // one heals it; the name never matches the adoption parse.
+  const std::string probe =
+      (fs::path(options_.spill_dir) / "health.probe").string();
+  if (AtomicWriteFile(kSpillWriteSite, probe, "probe",
+                      /*do_fsync=*/false)
+          .ok()) {
+    std::remove(probe.c_str());
+    SetHealth(KeyedEngineHealth::kRecovering);
+  }
+}
+
+void KeyedWindowEngine::QuarantineSpill(uint64_t key,
+                                        const std::string& path) {
+  // Rename aside so adoption scans skip it and an operator can inspect
+  // the bytes; fall back to unlink if even the rename fails.
+  const std::string aside = path + ".bad";
+  if (std::rename(path.c_str(), aside.c_str()) != 0) {
+    std::remove(path.c_str());
+  }
+  spilled_.Erase(key);
+  stats_.spilled_keys = spilled_.Size();
+  ++stats_.quarantined_files;
 }
 
 void KeyedWindowEngine::TouchLru(KeyEntry* entry) {
@@ -410,9 +462,17 @@ Status KeyedWindowEngine::SpillEntry(KeyEntry* entry) {
                        std::move(blob).ValueOrDie()};
   if (Status status =
           SpillBatch(options_.spill_dir, std::span<const SpillFile>(&file, 1),
-                     options_.fsync_spills);
+                     options_.fsync_spills, nullptr, EffectiveRetry(),
+                     &stats_.io_retries, kSpillWriteSite);
       !status.ok()) {
+    if (status.retryable()) {
+      ++stats_.io_giveups;
+      SetHealth(KeyedEngineHealth::kDegraded);
+    }
     return status;
+  }
+  if (stats_.health == KeyedEngineHealth::kRecovering) {
+    SetHealth(KeyedEngineHealth::kHealthy);
   }
   spilled_.TryEmplace(entry->key, 1);
   stats_.spilled_keys = spilled_.Size();
@@ -433,6 +493,7 @@ void KeyedWindowEngine::DropEntry(KeyEntry* entry) {
 
 Result<KeyedWindowEngine::KeyEntry*> KeyedWindowEngine::RestoreEntry(
     uint64_t key, KeyEntry** slot) {
+  MaybeReprobe();
   const auto start = Clock::now();
   const std::string path = SpillPath(key);
   // Prefer bytes the async reader already fetched for this block; the
@@ -446,30 +507,73 @@ Result<KeyedWindowEngine::KeyEntry*> KeyedWindowEngine::RestoreEntry(
   }
   Result<std::string> blob = prefetched >= 0
                                  ? reader_->Take(prefetch_slots_[prefetched])
-                                 : ReadFile(path);
+                                 : ReadFileBytes(kSpillReadSite, path);
   if (prefetched >= 0) {
     prefetch_slots_[prefetched] = -1;  // consumed
     ++stats_.prefetched_restores;
   }
-  if (!blob.ok()) return blob.status();
-  BinaryReader r(blob.value());
-  uint64_t magic, version, stored_key, tier, local_index, arrivals;
-  int64_t last_seen;
-  std::string envelope;
-  if (!r.GetU64(&magic) || magic != kSpillMagic ||  //
-      !r.GetU64(&version) || version != kSpillVersion ||
-      !r.GetU64(&stored_key) || stored_key != key || !r.GetU64(&tier) ||
-      !r.GetU64(&local_index) || !r.GetU64(&arrivals) ||
-      !r.GetI64(&last_seen) || !r.GetString(&envelope) || !r.AtEnd()) {
-    return Status::InvalidArgument("keyed: corrupt spill file " + path);
+  // Transient read faults — from either lane — retry synchronously here;
+  // a retried restore rereads the same bytes, so success is bit-identical
+  // to a fault-free restore.
+  const RetryPolicy retry = EffectiveRetry();
+  const uint32_t attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  for (uint32_t attempt = 1;
+       !blob.ok() && blob.status().retryable() && attempt < attempts;
+       ++attempt) {
+    ++stats_.io_retries;
+    const double secs = RetryBackoffSeconds(retry, key, attempt);
+    if (secs > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+    }
+    blob = ReadFileBytes(kSpillReadSite, path);
   }
-  auto restored = RestoreSink(envelope);
-  if (!restored.ok()) return restored.status();
-  if ((restored.value().sink.sampler != nullptr) !=
-      (kind_ == SinkKind::kSampler)) {
-    return Status::InvalidArgument(
+  if (!blob.ok()) {
+    if (blob.status().retryable()) {
+      ++stats_.io_giveups;
+      SetHealth(KeyedEngineHealth::kDegraded);
+      if (options_.degrade == KeyedDegradeMode::kBlock) return blob.status();
+      // kShed: the parked state is unreachable — the key restarts fresh
+      // and the loss is reported. The file stays put; a later eviction
+      // of the reborn key overwrites it.
+      spilled_.Erase(key);
+      stats_.spilled_keys = spilled_.Size();
+      ++stats_.restore_misses;
+      return static_cast<KeyEntry*>(nullptr);
+    }
+    // Permanent: the file is gone or unreadable — same treatment as
+    // corruption below.
+    QuarantineSpill(key, path);
+    ++stats_.restore_misses;
+    return static_cast<KeyEntry*>(nullptr);
+  }
+  BinaryReader r(blob.value());
+  uint64_t magic = 0, version = 0, stored_key = 0, tier = 0, local_index = 0,
+           arrivals = 0;
+  int64_t last_seen = 0;
+  std::string envelope;
+  bool decoded =
+      r.GetU64(&magic) && magic == kSpillMagic &&  //
+      r.GetU64(&version) && version == kSpillVersion &&
+      r.GetU64(&stored_key) && stored_key == key && r.GetU64(&tier) &&
+      r.GetU64(&local_index) && r.GetU64(&arrivals) && r.GetI64(&last_seen) &&
+      r.GetString(&envelope) && r.AtEnd();
+  Result<RestoredSink> restored =
+      decoded ? RestoreSink(envelope)
+              : Result<RestoredSink>(Status::InvalidArgument(
+                    "keyed: corrupt spill file " + path));
+  if (restored.ok() && (restored.value().sink.sampler != nullptr) !=
+                           (kind_ == SinkKind::kSampler)) {
+    restored = Status::InvalidArgument(
         "keyed: spill file " + path +
         " holds a different sink kind than this engine");
+  }
+  if (!restored.ok()) {
+    // Torn/corrupt spill state (a crash mid-write, a truncated file):
+    // quarantine just this file and restart the key instead of failing
+    // the whole engine.
+    QuarantineSpill(key, path);
+    ++stats_.restore_misses;
+    return static_cast<KeyEntry*>(nullptr);
   }
   KeyEntry* entry = AllocEntry();
   entry->key = key;
@@ -487,6 +591,9 @@ Result<KeyedWindowEngine::KeyEntry*> KeyedWindowEngine::RestoreEntry(
   stats_.spilled_keys = spilled_.Size();
   ++stats_.restores;
   stats_.restore_seconds += SecondsSince(start);
+  if (stats_.health == KeyedEngineHealth::kRecovering) {
+    SetHealth(KeyedEngineHealth::kHealthy);
+  }
   return entry;
 }
 
@@ -498,10 +605,12 @@ KeyedWindowEngine::KeyEntry* KeyedWindowEngine::FindEntry(
     if (!spilled_.Contains(key)) return nullptr;
     auto probe = directory_.TryEmplace(key, nullptr);
     auto restored = RestoreEntry(key, probe.first);
-    if (!restored.ok()) {
+    if (!restored.ok() || restored.value() == nullptr) {
+      // Error, or a restore miss (quarantined/unreachable state): either
+      // way there is nothing to query — the key reads as unknown.
       directory_.Erase(key);
       stats_.live_keys = directory_.Size();
-      LatchError(restored.status());
+      if (!restored.ok()) LatchError(restored.status());
       return nullptr;
     }
     return restored.value();
@@ -517,7 +626,8 @@ KeyedWindowEngine::KeyEntry* KeyedWindowEngine::FindEntry(
       LatchError(restored.status());
       return nullptr;
     }
-    return restored.value();
+    if (restored.value() != nullptr) return restored.value();
+    // Restore miss: the key starts over fresh on the tail tier.
   }
   return CreateEntry(key, /*tier=*/0, /*local_index=*/0, /*arrivals=*/0,
                      /*last_seen=*/now_, probe.first);
@@ -744,7 +854,8 @@ KeyedWindowEngine::KeyEntry* KeyedWindowEngine::ResolveRunEntry(
       LatchError(restored.status());
       return nullptr;
     }
-    return restored.value();
+    if (restored.value() != nullptr) return restored.value();
+    // Restore miss: the key starts over fresh on the tail tier.
   }
   return CreateEntry(run.key, /*tier=*/0, /*local_index=*/0, /*arrivals=*/0,
                      /*last_seen=*/now_, probe.first);
@@ -829,6 +940,14 @@ void KeyedWindowEngine::ExpireIdle() {
 
 void KeyedWindowEngine::EvictUntil(uint64_t limit, const KeyEntry* protect) {
   if (ChargedBytes() <= limit) return;
+  MaybeReprobe();
+  if (options_.degrade == KeyedDegradeMode::kShed &&
+      stats_.health == KeyedEngineHealth::kDegraded) {
+    // Storage is known-down: hold the budget without touching the disk
+    // until the re-probe sees it heal.
+    ShedUntil(limit, protect);
+    return;
+  }
   const auto start = Clock::now();
   // Collect LRU victims until the projected charge fits, then write all
   // their spill files as ONE batch: one directory fsync instead of one
@@ -855,10 +974,19 @@ void KeyedWindowEngine::EvictUntil(uint64_t limit, const KeyEntry* protect) {
   }
   if (victims.empty()) return;
   size_t written = 0;
-  if (Status status = SpillBatch(options_.spill_dir, files,
-                                 options_.fsync_spills, &written);
-      !status.ok()) {
-    LatchError(status);
+  Status status =
+      SpillBatch(options_.spill_dir, files, options_.fsync_spills, &written,
+                 EffectiveRetry(), &stats_.io_retries, kSpillWriteSite);
+  if (!status.ok()) {
+    if (status.retryable()) {
+      ++stats_.io_giveups;
+      SetHealth(KeyedEngineHealth::kDegraded);
+    }
+    if (options_.degrade == KeyedDegradeMode::kBlock || !status.retryable()) {
+      LatchError(status);
+    }
+  } else if (stats_.health == KeyedEngineHealth::kRecovering) {
+    SetHealth(KeyedEngineHealth::kHealthy);
   }
   for (size_t v = 0; v < written; ++v) {
     spilled_.TryEmplace(victims[v]->key, 1);
@@ -868,6 +996,27 @@ void KeyedWindowEngine::EvictUntil(uint64_t limit, const KeyEntry* protect) {
   stats_.spilled_keys = spilled_.Size();
   ++stats_.spill_batches;
   stats_.evict_seconds += SecondsSince(start);
+  if (!status.ok() && options_.degrade == KeyedDegradeMode::kShed) {
+    // The write prefix was not enough: shed the rest so the budget holds
+    // even on the very pass that discovered the outage.
+    ShedUntil(limit, protect);
+  }
+}
+
+void KeyedWindowEngine::ShedUntil(uint64_t limit, const KeyEntry* protect) {
+  if (ChargedBytes() <= limit) return;
+  const auto start = Clock::now();
+  KeyEntry* victim = lru_tail_;
+  while (ChargedBytes() > limit && victim != nullptr) {
+    KeyEntry* next = victim->lru_prev;
+    if (victim != protect) {
+      stats_.shed_bytes += victim->charge_bytes;
+      ++stats_.degraded_drops;
+      DropEntry(victim);
+    }
+    victim = next;
+  }
+  stats_.shed_seconds += SecondsSince(start);
 }
 
 void KeyedWindowEngine::EnforceBudget(const KeyEntry* protect) {

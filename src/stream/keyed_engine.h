@@ -103,12 +103,40 @@
 #include "core/api.h"
 #include "stream/item.h"
 #include "util/arena.h"
+#include "util/file_ops.h"
 #include "util/flat_map.h"
 #include "util/status.h"
 
 namespace swsample {
 
 class KeyedSpillReader;
+
+/// What the engine does when spill storage stays down after retries.
+enum class KeyedDegradeMode : uint8_t {
+  /// Strict fail-stop: the failure latches into `status()`, the affected
+  /// arrival is dropped, and the budget may be exceeded until the next
+  /// successful spill (the pre-existing behavior).
+  kBlock = 0,
+  /// Availability over durability: victims the engine cannot spill are
+  /// dropped outright (accounted in `degraded_drops`/`shed_bytes`), so
+  /// the memory budget holds even with the spill dir permanently failed;
+  /// unreadable parked keys restart fresh (`restore_misses`). Nothing
+  /// latches — the loss is reported, not fatal.
+  kShed = 1,
+};
+
+/// Spill-storage health, driven by I/O outcomes: a retry give-up moves
+/// the engine to kDegraded; a periodic re-probe of the spill dir that
+/// succeeds moves it to kRecovering; the next real spill/restore success
+/// completes the round trip back to kHealthy.
+enum class KeyedEngineHealth : uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kRecovering = 2,
+};
+
+/// Lowercase display name ("healthy", "degraded", "recovering").
+const char* KeyedHealthName(KeyedEngineHealth health);
 
 /// Construction-time policy for a KeyedWindowEngine.
 struct KeyedEngineOptions {
@@ -156,6 +184,18 @@ struct KeyedEngineOptions {
   /// restore. Only the batched path prefetches; Observe() and the query
   /// surface always restore synchronously.
   bool async_restore = true;
+  /// Bounded-retry schedule for transient spill/restore I/O faults.
+  /// Retries rewrite/reread the same bytes, so a run whose every fault
+  /// is cured by a retry is bit-identical to a fault-free run. While the
+  /// engine is degraded, operations fail fast (one attempt) until the
+  /// re-probe sees storage heal.
+  RetryPolicy io_retry;
+  /// Behavior when spill storage stays down after retries.
+  KeyedDegradeMode degrade = KeyedDegradeMode::kBlock;
+  /// While degraded, re-probe the spill dir (a small write + unlink
+  /// through the same failpoint site as real spills) every this many
+  /// delivered items; success moves the engine to kRecovering.
+  uint64_t reprobe_every_items = 65536;
 };
 
 /// Counters exposed for benches, budget gates and tests.
@@ -173,7 +213,15 @@ struct KeyedEngineStats {
   uint64_t peak_charged_bytes = 0;   ///< max budget-governed bytes seen
   uint64_t spill_batches = 0;   ///< batched spill passes (1 dir fsync each)
   uint64_t prefetched_restores = 0;  ///< restores served by the async reader
+  uint64_t io_retries = 0;      ///< transient-fault retries that ran
+  uint64_t io_giveups = 0;      ///< operations that exhausted retries
+  uint64_t degraded_drops = 0;  ///< victims shed without a spill (kShed)
+  uint64_t shed_bytes = 0;      ///< charged bytes reclaimed by shedding
+  uint64_t quarantined_files = 0;  ///< corrupt spill files renamed aside
+  uint64_t restore_misses = 0;  ///< parked keys that had to restart fresh
+  KeyedEngineHealth health = KeyedEngineHealth::kHealthy;
   double evict_seconds = 0.0;    ///< total wall time spent spilling
+  double shed_seconds = 0.0;     ///< wall time spent in degraded shedding
   double restore_seconds = 0.0;  ///< total wall time spent restoring
 };
 
@@ -225,8 +273,11 @@ class KeyedWindowEngine final : public StreamSink {
   Status EvictKey(uint64_t key);
 
   /// First spill/restore I/O error latched during Observe (Ok when
-  /// clean). Check after a drive.
+  /// clean). Check after a drive. kShed engines do not latch storage
+  /// give-ups — check `stats().io_giveups` and `health()` instead.
   Status status() const { return last_error_; }
+  /// Current spill-storage health (see KeyedEngineHealth).
+  KeyedEngineHealth health() const { return stats_.health; }
   const KeyedEngineStats& stats() const { return stats_; }
   /// Live (in-memory) keys, unordered. O(directory); test/debug aid.
   std::vector<uint64_t> LiveKeys() const;
@@ -275,9 +326,18 @@ class KeyedWindowEngine final : public StreamSink {
                         uint64_t arrivals, Timestamp last_seen,
                         KeyEntry** slot);
   /// Reads + decodes `key`'s spill file into the pre-probed slot
-  /// (prefetched bytes when the async reader fetched them already). The
-  /// caller erases the placeholder slot on failure.
+  /// (prefetched bytes when the async reader fetched them already),
+  /// retrying transient read faults under the engine retry policy. The
+  /// caller erases the placeholder slot unless a live entry comes back.
+  /// Three outcomes: a live entry; a nullptr VALUE — the parked state is
+  /// unusable (quarantined corruption, or unreachable storage in kShed)
+  /// and the key restarts fresh (`restore_misses`); or an error Status
+  /// (kBlock give-up — the caller latches it).
   Result<KeyEntry*> RestoreEntry(uint64_t key, KeyEntry** slot);
+  /// Renames `key`'s spill file aside (`.bad`, invisible to adoption
+  /// scans) and forgets the parked key, so one torn file costs one key
+  /// instead of the directory.
+  void QuarantineSpill(uint64_t key, const std::string& path);
   /// Replaces the entry's sink with a fresh hot-tier instance in place —
   /// no directory erase/re-insert, LRU linkage preserved.
   bool PromoteInPlace(KeyEntry* entry);
@@ -308,8 +368,19 @@ class KeyedWindowEngine final : public StreamSink {
   /// ChargedBytes() <= limit; EnforceBudget passes the budget itself,
   /// the pre-delivery headroom check passes budget - expected growth.
   void EvictUntil(uint64_t limit, const KeyEntry* protect);
+  /// Degraded-mode budget enforcement: drops LRU victims (never
+  /// `protect`) with no I/O and no allocation until ChargedBytes() <=
+  /// limit, accounting every loss.
+  void ShedUntil(uint64_t limit, const KeyEntry* protect);
   void EnforceBudget(const KeyEntry* protect);
   void LatchError(const Status& status);
+  void SetHealth(KeyedEngineHealth health);
+  /// While degraded, probes the spill dir every `reprobe_every_items`
+  /// delivered items; a successful probe write moves to kRecovering.
+  void MaybeReprobe();
+  /// The engine retry policy, collapsed to one attempt while degraded
+  /// (storage is known-bad; fail fast until the re-probe heals it).
+  RetryPolicy EffectiveRetry() const;
 
   /// Demux/staging/pool bytes: engine scratch that eviction cannot
   /// reclaim — reported by RetainedBytes(), exempt from the budget like
@@ -361,6 +432,8 @@ class KeyedWindowEngine final : public StreamSink {
 
   KeyedEngineStats stats_;
   Status last_error_ = Status::Ok();
+  /// Next stats_.items threshold at which a degraded engine re-probes.
+  uint64_t next_reprobe_items_ = 0;
 };
 
 /// N per-shard engines for ShardedStreamDriver kKeyHash runs: budget

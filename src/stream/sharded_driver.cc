@@ -17,6 +17,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/file_ops.h"
 #include "util/flat_map.h"
 #include "util/macros.h"
 
@@ -526,10 +527,9 @@ Result<ShardedDriveReport> ShardedStreamDriver::DriveLines(
 Result<ShardedDriveReport> ShardedStreamDriver::DriveFile(
     const std::string& path, bool timestamped,
     std::span<StreamSink* const> shards) const {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open stream file: " + path);
-  }
+  auto f_or = OpenStdioFile("ingest.open", path);
+  if (!f_or.ok()) return f_or.status();
+  std::FILE* f = f_or.value();
   auto result = DriveLines(f, path, timestamped, shards);
   std::fclose(f);
   return result;
@@ -589,17 +589,21 @@ Result<ShardedDriveReport> ShardedStreamDriver::DriveLinesCheckpointed(
   auto events = PumpEventLines(f, source_name, timestamped, resume, deliver);
   if (!events.ok()) return events.status();
   router.FinishStream();
-  return AssembleReport(begin, engine.Finish(), /*empty_steps=*/0);
+  auto report = AssembleReport(begin, engine.Finish(), /*empty_steps=*/0);
+  if (writer != nullptr) {
+    report.total.io_retries = writer->io_retries();
+    report.total.io_giveups = writer->io_giveups();
+  }
+  return report;
 }
 
 Result<ShardedDriveReport> ShardedStreamDriver::DriveFileCheckpointed(
     const std::string& path, bool timestamped,
     std::span<StreamSink* const> shards, CheckpointWriter* writer,
     const CheckpointManifest* resume) const {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open stream file: " + path);
-  }
+  auto f_or = OpenStdioFile("ingest.open", path);
+  if (!f_or.ok()) return f_or.status();
+  std::FILE* f = f_or.value();
   auto result = DriveLinesCheckpointed(f, path, timestamped, shards, writer,
                                        resume);
   std::fclose(f);

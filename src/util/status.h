@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kUnavailable,
 };
 
 /// Lightweight status value. Ok status carries no message and no allocation.
@@ -43,8 +44,16 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True for transient faults (I/O hiccups, ENOSPC, injected failures)
+  /// where re-running the same idempotent operation may succeed. Permanent
+  /// classes (bad config, corrupt data, API misuse) are never retryable.
+  bool retryable() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
